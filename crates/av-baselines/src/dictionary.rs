@@ -1,0 +1,159 @@
+//! Dictionary-based validators: TFDV and Amazon Deequ (§5.2).
+//!
+//! TFDV infers a fixed dictionary from observed values and requires future
+//! values to come from it — the paper's §1 example shows exactly why this
+//! false-alarms on machine-generated data ("Apr 01 2019" after a March
+//! training window). Deequ's `CategoricalRangeRule` (Deequ-Cat) does the
+//! same but only when the column looks categorical, and its
+//! `FractionalCategoricalRangeRule` (Deequ-Fra) requires only a fraction of
+//! future values to be in-dictionary.
+
+use crate::validator::{ColumnValidator, InferredRule};
+use std::collections::HashSet;
+
+fn dictionary(train: &[String]) -> HashSet<String> {
+    train.iter().cloned().collect()
+}
+
+/// Google TensorFlow Data Validation: unconditional dictionary rule.
+#[derive(Debug, Default)]
+pub struct Tfdv;
+
+impl ColumnValidator for Tfdv {
+    fn name(&self) -> &str {
+        "TFDV"
+    }
+
+    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+        if train.is_empty() {
+            return None;
+        }
+        let dict = dictionary(train);
+        Some(InferredRule::new(
+            format!("dictionary({} values)", dict.len()),
+            move |col: &[String]| col.iter().all(|v| dict.contains(v)),
+        ))
+    }
+}
+
+/// Deequ `CategoricalRangeRule`: dictionary rule, suggested only when the
+/// training column looks categorical (low distinct-to-total ratio).
+#[derive(Debug)]
+pub struct DeequCat {
+    /// Maximum distinct/total ratio for the rule to be suggested.
+    pub max_distinct_ratio: f64,
+}
+
+impl Default for DeequCat {
+    fn default() -> Self {
+        DeequCat {
+            max_distinct_ratio: 0.9,
+        }
+    }
+}
+
+impl ColumnValidator for DeequCat {
+    fn name(&self) -> &str {
+        "Deequ-Cat"
+    }
+
+    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+        if train.is_empty() {
+            return None;
+        }
+        let dict = dictionary(train);
+        let ratio = dict.len() as f64 / train.len() as f64;
+        if ratio > self.max_distinct_ratio {
+            return None; // not categorical enough; Deequ stays silent
+        }
+        Some(InferredRule::new(
+            format!("categorical-range({} values)", dict.len()),
+            move |col: &[String]| col.iter().all(|v| dict.contains(v)),
+        ))
+    }
+}
+
+/// Deequ `FractionalCategoricalRangeRule`: at least `min_fraction` of the
+/// future values must be in-dictionary.
+#[derive(Debug)]
+pub struct DeequFra {
+    /// Required in-dictionary fraction at validation time.
+    pub min_fraction: f64,
+}
+
+impl Default for DeequFra {
+    fn default() -> Self {
+        DeequFra { min_fraction: 0.9 }
+    }
+}
+
+impl ColumnValidator for DeequFra {
+    fn name(&self) -> &str {
+        "Deequ-Fra"
+    }
+
+    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+        if train.is_empty() {
+            return None;
+        }
+        let dict = dictionary(train);
+        let min_fraction = self.min_fraction;
+        Some(InferredRule::new(
+            format!("fractional-categorical({} values)", dict.len()),
+            move |col: &[String]| {
+                if col.is_empty() {
+                    return true;
+                }
+                let hits = col.iter().filter(|v| dict.contains(*v)).count();
+                hits as f64 / col.len() as f64 >= min_fraction
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(vals: &[&str]) -> Vec<String> {
+        vals.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn tfdv_false_alarms_on_unseen_dates() {
+        // The §1 example: March dictionary, April arrivals.
+        let train = col(&["Mar 01 2019", "Mar 02 2019", "Mar 30 2019"]);
+        let rule = Tfdv.infer(&train).unwrap();
+        assert!(rule.passes(&col(&["Mar 01 2019", "Mar 02 2019"])));
+        assert!(!rule.passes(&col(&["Apr 01 2019"])), "dictionary rules false-alarm");
+    }
+
+    #[test]
+    fn deequ_cat_declines_high_cardinality_columns() {
+        let unique: Vec<String> = (0..100).map(|i| format!("id-{i}")).collect();
+        assert!(DeequCat::default().infer(&unique).is_none());
+        let categorical = col(&["US", "UK", "US", "DE", "US", "UK", "DE", "US", "UK", "DE"]);
+        assert!(DeequCat::default().infer(&categorical).is_some());
+    }
+
+    #[test]
+    fn deequ_fra_tolerates_small_novelty() {
+        let train: Vec<String> = (0..50).map(|i| format!("c{}", i % 5)).collect();
+        let rule = DeequFra::default().infer(&train).unwrap();
+        // 5% novel values: passes.
+        let mut future: Vec<String> = (0..95).map(|i| format!("c{}", i % 5)).collect();
+        future.extend((0..5).map(|i| format!("new{i}")));
+        assert!(rule.passes(&future));
+        // 50% novel values: fails.
+        let mut drifted: Vec<String> = (0..50).map(|i| format!("c{}", i % 5)).collect();
+        drifted.extend((0..50).map(|i| format!("new{i}")));
+        assert!(!rule.passes(&drifted));
+    }
+
+    #[test]
+    fn empty_training_declines() {
+        assert!(Tfdv.infer(&[]).is_none());
+        assert!(DeequCat::default().infer(&[]).is_none());
+        assert!(DeequFra::default().infer(&[]).is_none());
+    }
+}

@@ -1,0 +1,61 @@
+//! The common interface all compared methods implement (§5.2).
+//!
+//! Following the paper's methodology (§5.1): each method observes
+//! `C_train`, optionally infers a rule, and the rule is then asked to
+//! *pass or fail* future columns — `C_test` from the same column (failing
+//! it is a false positive) and other columns `C_j, j ≠ i` (passing them is
+//! a recall loss).
+
+/// A rule inferred from training data, applied to future columns.
+pub struct InferredRule {
+    /// Human-readable description (pattern, dictionary size, ...).
+    pub description: String,
+    check: Box<dyn Fn(&[String]) -> bool + Send + Sync>,
+}
+
+impl InferredRule {
+    /// Wrap a pass/fail predicate.
+    pub fn new(
+        description: impl Into<String>,
+        check: impl Fn(&[String]) -> bool + Send + Sync + 'static,
+    ) -> InferredRule {
+        InferredRule {
+            description: description.into(),
+            check: Box::new(check),
+        }
+    }
+
+    /// Does the future column pass validation (no alarm)?
+    pub fn passes(&self, column: &[String]) -> bool {
+        (self.check)(column)
+    }
+}
+
+impl std::fmt::Debug for InferredRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "InferredRule({})", self.description)
+    }
+}
+
+/// A validation method under comparison.
+pub trait ColumnValidator: Send + Sync {
+    /// Display name matching the paper's figures (e.g. "PWheel", "TFDV").
+    fn name(&self) -> &str;
+    /// Learn a rule from training values; `None` when the method declines
+    /// to produce a rule for this column (treated as pass-everything:
+    /// perfect precision, zero recall).
+    fn infer(&self, train: &[String]) -> Option<InferredRule>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_wraps_predicate() {
+        let rule = InferredRule::new("len<=3", |col: &[String]| col.iter().all(|v| v.len() <= 3));
+        assert!(rule.passes(&["ab".into(), "abc".into()]));
+        assert!(!rule.passes(&["abcd".into()]));
+        assert_eq!(rule.description, "len<=3");
+    }
+}

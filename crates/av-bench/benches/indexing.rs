@@ -1,0 +1,46 @@
+//! Criterion benchmarks for the offline stage: corpus indexing throughput
+//! (the paper's 7M-column / 3-hour cluster job, at laptop scale) and
+//! per-column pattern profiling.
+
+use av_corpus::{generate_lake, Column, LakeProfile};
+use av_index::{IndexConfig, PatternIndex};
+use av_pattern::{column_pattern_profile, PatternConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_index_build(c: &mut Criterion) {
+    let corpus = generate_lake(&LakeProfile::tiny().scaled(500), 11);
+    let cols: Vec<&Column> = corpus.columns().collect();
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cols.len() as u64));
+    for tau in [8usize, 13] {
+        let config = IndexConfig {
+            tau,
+            ..Default::default()
+        };
+        group.bench_function(format!("tau{tau}_500cols"), |b| {
+            b.iter(|| black_box(PatternIndex::build(black_box(&cols), &config).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_profile_column(c: &mut Criterion) {
+    let corpus = generate_lake(&LakeProfile::tiny().scaled(300), 13);
+    let col = corpus
+        .columns()
+        .find(|c| c.len() >= 40)
+        .expect("a sizable column");
+    let cfg = PatternConfig::default();
+    c.bench_function("column_pattern_profile", |b| {
+        b.iter(|| black_box(column_pattern_profile(black_box(&col.values), &cfg, 13).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_index_build, bench_profile_column
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks for online inference latency (Fig. 14's
+//! measurement at micro scale): per-variant rule inference on a prebuilt
+//! index, plus pattern matching and hypothesis enumeration.
+
+use av_core::{AutoValidate, FmdvConfig, Variant};
+use av_corpus::{generate_lake, Column, LakeProfile};
+use av_index::{IndexConfig, PatternIndex};
+use av_pattern::{hypothesis_space, matches, parse, PatternConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn setup() -> (PatternIndex, Vec<String>, Vec<String>) {
+    let corpus = generate_lake(&LakeProfile::tiny().scaled(1500), 7);
+    let cols: Vec<&Column> = corpus.columns().collect();
+    let index = PatternIndex::build(&cols, &IndexConfig::default());
+    let times: Vec<String> = (0..100)
+        .map(|i| format!("{:02}:{:02}:{:02}", i % 24, (i * 7) % 60, (i * 13) % 60))
+        .collect();
+    let composite: Vec<String> = (0..100)
+        .map(|i| {
+            format!(
+                "{}-{:02}-{:02}|{:02}:{:02}:{:02}",
+                2010 + (i % 20),
+                (i % 12) + 1,
+                (i % 28) + 1,
+                i % 24,
+                (i * 7) % 60,
+                (i * 13) % 60
+            )
+        })
+        .collect();
+    (index, times, composite)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let (index, times, composite) = setup();
+    let config = FmdvConfig::scaled_for_corpus(index.num_columns);
+    let engine = AutoValidate::new(&index, config);
+    let mut group = c.benchmark_group("infer");
+    for variant in [Variant::Fmdv, Variant::FmdvH] {
+        group.bench_function(variant.label(), |b| {
+            b.iter(|| black_box(engine.infer(black_box(&times), variant)))
+        });
+    }
+    for variant in [Variant::FmdvV, Variant::FmdvVH] {
+        group.bench_function(format!("{} composite", variant.label()), |b| {
+            b.iter(|| black_box(engine.infer(black_box(&composite), variant)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    let (_, times, composite) = setup();
+    let pattern = parse("<digit>{2}:<digit>{2}:<digit>{2}").unwrap();
+    c.bench_function("match 100 values", |b| {
+        b.iter(|| {
+            black_box(
+                times
+                    .iter()
+                    .filter(|v| matches(black_box(&pattern), v))
+                    .count(),
+            )
+        })
+    });
+    let cfg = PatternConfig::default();
+    c.bench_function("hypothesis_space narrow", |b| {
+        b.iter(|| black_box(hypothesis_space(black_box(&times), &cfg).len()))
+    });
+    c.bench_function("hypothesis_space composite", |b| {
+        b.iter(|| black_box(hypothesis_space(black_box(&composite), &cfg).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_inference, bench_primitives
+}
+criterion_main!(benches);

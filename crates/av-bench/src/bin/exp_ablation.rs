@@ -1,0 +1,65 @@
+//! Ablations called out in DESIGN.md (design choices the paper discusses
+//! but does not plot):
+//!
+//! * **CMDV vs FMDV** (§2.3): minimizing coverage instead of FPR — the
+//!   paper reports "the conservative FMDV is more effective in practice".
+//! * **Optimistic vs pessimistic vertical aggregation** (§3): `max` instead
+//!   of `sum` over segment FPRs — "we find this to be less effective".
+//! * **Fisher's exact vs χ²-Yates** (§4): "little difference".
+
+use av_baselines::ColumnValidator;
+use av_bench::{prepare, ExpArgs};
+use av_core::Variant;
+use av_eval::{evaluate_method, precision_recall_table, write_results_csv, EvalConfig, FmdvValidator};
+use av_stats::HomogeneityTest;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let env = prepare(&args);
+    let cfg = EvalConfig {
+        recall_sample: args.scale.recall_sample(),
+        ..Default::default()
+    };
+    let mut results = Vec::new();
+
+    // 1. Objective: FMDV vs CMDV.
+    for (variant, label) in [(Variant::Fmdv, "FMDV"), (Variant::Cmdv, "CMDV")] {
+        let v = FmdvValidator::new(env.index.clone(), env.fmdv.clone(), variant)
+            .with_label(format!("{label} (objective)"));
+        eprintln!("[ablation] {}…", v.name());
+        results.push(evaluate_method(&v, &env.benchmark, &cfg));
+    }
+
+    // 2. Vertical aggregation: sum (pessimistic) vs max (optimistic).
+    for (optimistic, label) in [(false, "VH sum-FPR"), (true, "VH max-FPR")] {
+        let mut c = env.fmdv.clone();
+        c.optimistic_vertical = optimistic;
+        let v = FmdvValidator::new(env.index.clone(), c, Variant::FmdvVH)
+            .with_label(label.to_string());
+        eprintln!("[ablation] {}…", v.name());
+        results.push(evaluate_method(&v, &env.benchmark, &cfg));
+    }
+
+    // 3. Distributional test: Fisher vs χ² with Yates.
+    for (test, label) in [
+        (HomogeneityTest::FisherExact, "VH Fisher"),
+        (HomogeneityTest::ChiSquaredYates, "VH chi2-Yates"),
+    ] {
+        let mut c = env.fmdv.clone();
+        c.test = test;
+        let v = FmdvValidator::new(env.index.clone(), c, Variant::FmdvVH)
+            .with_label(label.to_string());
+        eprintln!("[ablation] {}…", v.name());
+        results.push(evaluate_method(&v, &env.benchmark, &cfg));
+    }
+
+    println!("Ablation study\n");
+    println!("{}", precision_recall_table(&results));
+    let path = args.out_dir.join("ablation.csv");
+    write_results_csv(&path, &results).expect("write csv");
+    println!("wrote {}", path.display());
+    println!(
+        "\nexpected shapes: FMDV ≥ CMDV on F1; sum-FPR ≥ max-FPR on precision; \
+         Fisher ≈ chi2-Yates."
+    );
+}

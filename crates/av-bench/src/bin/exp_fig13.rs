@@ -1,0 +1,83 @@
+//! Figure 13 — distribution of patterns in the offline index: (a) by number
+//! of tokens, (b) by how many columns follow each pattern (the power-law
+//! "head domains vs junk tail" plot). Also prints the high-coverage/low-FPR
+//! head patterns — the Fig. 3-style common domains of the lake.
+
+use av_bench::{prepare_with, ExpArgs};
+use av_eval::write_series_csv;
+use av_index::IndexConfig;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let index_config = IndexConfig {
+        keep_patterns: true,
+        ..Default::default()
+    };
+    let env = prepare_with(&args, index_config, Some(10));
+
+    // (a) by token count.
+    println!("Fig 13(a): pattern distribution by token count");
+    let by_len = env.index.token_length_histogram();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut cumulative = 0u64;
+    for (len, count) in &by_len {
+        cumulative += count;
+        println!("  {len:>2} tokens: {count:>9} patterns (cumulative {cumulative})");
+        rows.push(vec![len.to_string(), count.to_string(), cumulative.to_string()]);
+    }
+    write_series_csv(
+        args.out_dir.join("fig13a_by_tokens.csv"),
+        "tokens,patterns,cumulative",
+        &rows,
+    )
+    .expect("write csv");
+
+    // (b) by coverage.
+    println!("\nFig 13(b): pattern distribution by column frequency");
+    let by_cov = env.index.coverage_histogram(200);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut cumulative = 0u64;
+    for (cov, count) in &by_cov {
+        cumulative += count;
+        rows.push(vec![cov.to_string(), count.to_string(), cumulative.to_string()]);
+    }
+    let head: Vec<&(u64, u64)> = by_cov.iter().take(10).collect();
+    for (cov, count) in head {
+        println!("  followed by {cov:>4} columns: {count:>9} patterns");
+    }
+    println!("  … ({} coverage buckets total)", by_cov.len());
+    write_series_csv(
+        args.out_dir.join("fig13b_by_coverage.csv"),
+        "coverage,patterns,cumulative",
+        &rows,
+    )
+    .expect("write csv");
+
+    // Power-law check: the tail (cov ≤ 2) should dwarf the head.
+    let tail: u64 = by_cov
+        .iter()
+        .filter(|(c, _)| *c <= 2)
+        .map(|(_, n)| n)
+        .sum();
+    let total: u64 = by_cov.iter().map(|(_, n)| n).sum();
+    println!(
+        "\ntail share (patterns followed by ≤2 columns): {:.1}%",
+        100.0 * tail as f64 / total as f64
+    );
+
+    // Head patterns — the common data domains of the lake (Fig. 3).
+    let min_cov = (env.index.num_columns / 100).max(5);
+    println!("\nhead domain patterns (coverage ≥ {min_cov}, FPR ≤ 1%):");
+    for (pattern, stats) in env.index.head_patterns(min_cov, 0.01).into_iter().take(20) {
+        println!(
+            "  cov {:>5}  fpr {:>7.4}%  {}",
+            stats.cov,
+            stats.fpr * 100.0,
+            pattern
+        );
+    }
+    println!(
+        "\npaper reference: patterns spread over token lengths with 5–7 the most common; \
+         coverage distribution is power-law-like — a few head domains, a huge tail."
+    );
+}

@@ -1,0 +1,121 @@
+//! Figure 15 — impact of schema-drift on the eleven Kaggle-style tasks,
+//! with and without data validation.
+//!
+//! For each task: train GBDT on the original training data; score (1) the
+//! clean test data (normalized to 100%), (2) the test data with two
+//! categorical columns silently swapped, and (3) check whether an
+//! FMDV-inferred rule per column catches the swap (in which case the
+//! pipeline would halt and fix the drift instead of silently degrading).
+
+use av_bench::{prepare_with, ExpArgs};
+use av_core::{AutoValidate, Variant};
+use av_corpus::kaggle_tasks;
+use av_eval::write_series_csv;
+use av_index::IndexConfig;
+use av_ml::{average_precision, r2_score, CategoryEncoder, Gbdt, GbdtConfig};
+
+/// Train on a task's training split and score a given test split.
+fn train_and_score(task: &av_corpus::KaggleTask, test_cats: &[Vec<String>]) -> f64 {
+    // Per-position categorical encoders — the pipeline the paper's case
+    // study assumes, where a silent positional swap scrambles encodings.
+    let encoders: Vec<CategoryEncoder> = task
+        .cat_train
+        .iter()
+        .map(|col| CategoryEncoder::fit(col))
+        .collect();
+    let mut features: Vec<Vec<f64>> = Vec::new();
+    for (enc, col) in encoders.iter().zip(&task.cat_train) {
+        features.push(enc.encode_column(col));
+    }
+    features.extend(task.num_train.iter().cloned());
+    let config = if task.is_classification {
+        GbdtConfig::classification()
+    } else {
+        GbdtConfig::default()
+    };
+    let model = Gbdt::train(&features, &task.y_train, config);
+    let mut test_features: Vec<Vec<f64>> = Vec::new();
+    for (enc, col) in encoders.iter().zip(test_cats) {
+        test_features.push(enc.encode_column(col));
+    }
+    test_features.extend(task.num_test.iter().cloned());
+    let preds = model.predict(&test_features);
+    if task.is_classification {
+        average_precision(&task.y_test, &preds)
+    } else {
+        r2_score(&task.y_test, &preds)
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    // The validation rules come from the enterprise lake's index — the
+    // pipeline's corpus — exactly as deployed validation would.
+    let env = prepare_with(&args, IndexConfig::default(), Some(10));
+    let engine = AutoValidate::new(&env.index, env.fmdv.clone());
+    let (n_train, n_test) = (600usize, 300usize);
+    let tasks = kaggle_tasks(n_train, n_test, args.seed);
+
+    println!("Figure 15: schema-drift impact on ML quality, with and without validation\n");
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>10} {:>12}",
+        "task", "kind", "no-drift", "drifted", "rel.", "validation"
+    );
+    println!("{}", "-".repeat(72));
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut detected_count = 0usize;
+    for task in &tasks {
+        let clean = train_and_score(task, &task.cat_test);
+        let drifted_task = task.with_swapped_test_cats(0, 1);
+        let drifted = train_and_score(task, &drifted_task.cat_test);
+        let rel = if clean.abs() > 1e-9 { drifted / clean } else { 0.0 };
+        // Validation: infer a rule per categorical column from training
+        // data; flag if any column's post-drift test data trips its rule.
+        let mut detected = false;
+        for (i, train_col) in task.cat_train.iter().enumerate() {
+            if let Ok(rule) = engine.infer(train_col, Variant::FmdvVH) {
+                if rule.validate(&drifted_task.cat_test[i]).flagged {
+                    detected = true;
+                }
+            }
+        }
+        if detected {
+            detected_count += 1;
+        }
+        println!(
+            "{:<14} {:>6} {:>12.3} {:>12.3} {:>9.0}% {:>12}",
+            task.name,
+            if task.is_classification { "clf" } else { "reg" },
+            clean,
+            drifted,
+            rel * 100.0,
+            if detected { "DETECTED" } else { "missed" }
+        );
+        rows.push(vec![
+            task.name.clone(),
+            if task.is_classification { "classification" } else { "regression" }.into(),
+            format!("{clean:.4}"),
+            format!("{drifted:.4}"),
+            format!("{rel:.4}"),
+            detected.to_string(),
+            task.swap_is_detectable(0, 1).to_string(),
+        ]);
+    }
+    println!(
+        "\nvalidation detected schema-drift in {detected_count} / {} tasks",
+        tasks.len()
+    );
+    let path = args.out_dir.join("fig15_kaggle.csv");
+    write_series_csv(
+        &path,
+        "task,kind,score_clean,score_drifted,relative,detected,syntactically_detectable",
+        &rows,
+    )
+    .expect("write csv");
+    println!("wrote {}", path.display());
+    println!(
+        "\npaper reference: quality drops up to 78% under drift; FMDV detects 8/11 tasks \
+         (all except WestNile, HomeDepot, WalmartTrips — same-format column pairs) with \
+         no false positives."
+    );
+}

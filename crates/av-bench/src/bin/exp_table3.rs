@@ -1,0 +1,72 @@
+//! Table 3 — the user study: simulated programmers hand-writing validation
+//! regexes for 20 sampled columns vs FMDV-VH, scored with the same
+//! precision/recall methodology.
+//!
+//! Authoring wall-clock time cannot be simulated; the paper's measured
+//! times (84–145 s per regex vs 0.08 s for the algorithm) are printed as
+//! the reference. Our contribution is the *quality* comparison, which is
+//! the part the substitution preserves: hand-written regexes overfit the
+//! training sample.
+
+use av_baselines::study_panel;
+use av_bench::{prepare_with, ExpArgs};
+use av_core::Variant;
+use av_eval::{evaluate_method, write_series_csv, EvalConfig, FmdvValidator};
+use av_index::IndexConfig;
+
+fn main() {
+    let args = ExpArgs::parse();
+    let env = prepare_with(&args, IndexConfig::default(), Some(20));
+    let cfg = EvalConfig {
+        recall_sample: 0, // 20 cases — test against all others, like the paper
+        ..Default::default()
+    };
+    println!("Table 3: user study on {} test columns\n", env.benchmark.len());
+    println!(
+        "{:<14} {:>14} {:>12} {:>10}",
+        "participant", "avg-time (s)", "precision", "recall"
+    );
+    println!("{}", "-".repeat(54));
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    // Paper-reported authoring times for the three scoring programmers.
+    let paper_times = [145.0, 123.0, 84.0];
+    for (p, paper_time) in study_panel(args.seed).iter().zip(paper_times) {
+        let r = evaluate_method(p, &env.benchmark, &cfg);
+        println!(
+            "{:<14} {:>14} {:>12.3} {:>10.3}",
+            r.method,
+            format!("{paper_time} (paper)"),
+            r.precision,
+            r.recall
+        );
+        rows.push(vec![
+            r.method.clone(),
+            paper_time.to_string(),
+            format!("{:.4}", r.precision),
+            format!("{:.4}", r.recall),
+        ]);
+    }
+    let v = FmdvValidator::new(env.index.clone(), env.fmdv.clone(), Variant::FmdvVH);
+    let r = evaluate_method(&v, &env.benchmark, &cfg);
+    println!(
+        "{:<14} {:>14.2} {:>12.3} {:>10.3}",
+        "FMDV-VH",
+        r.avg_latency_ms / 1000.0,
+        r.precision,
+        r.recall
+    );
+    rows.push(vec![
+        "FMDV-VH".into(),
+        format!("{:.4}", r.avg_latency_ms / 1000.0),
+        format!("{:.4}", r.precision),
+        format!("{:.4}", r.recall),
+    ]);
+    let path = args.out_dir.join("table3_user_study.csv");
+    write_series_csv(&path, "participant,avg_time_s,precision,recall", &rows)
+        .expect("write csv");
+    println!("\nwrote {}", path.display());
+    println!(
+        "\npaper reference: programmers averaged 117 s per regex at precision 0.3–0.65 \
+         (2 of 5 failed outright); FMDV-VH took 0.08 s at precision 1.0 / recall 0.978."
+    );
+}

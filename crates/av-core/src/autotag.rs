@@ -1,0 +1,142 @@
+//! Auto-Tag: the dual of FMDV (§2.3, shipped as the Auto-Tag feature in
+//! Azure Purview).
+//!
+//! Where FMDV looks for a *safe* (minimum-FPR) validation pattern, the dual
+//! problem looks for the *most restrictive* (smallest-coverage) pattern that
+//! still describes the underlying domain, under a target false-negative
+//! budget — such a pattern can then "tag" related columns of the same type
+//! across the lake.
+
+use crate::config::{FmdvConfig, InferError};
+use crate::fmdv::lookup_candidates;
+use av_index::PatternIndex;
+use av_pattern::{analyze_column, matches, Pattern};
+
+/// An inferred tagging pattern.
+#[derive(Debug, Clone)]
+pub struct TagRule {
+    /// The most restrictive pattern meeting the FNR budget.
+    pub pattern: Pattern,
+    /// Number of corpus columns the pattern covers (the "tag reach").
+    pub coverage: u64,
+    /// Fraction of training values *not* matched (observed FNR proxy).
+    pub train_fnr: f64,
+}
+
+impl TagRule {
+    /// Would this tag apply to a column (majority of values match)?
+    pub fn tags<S: AsRef<str>>(&self, values: &[S]) -> bool {
+        if values.is_empty() {
+            return false;
+        }
+        let hits = values
+            .iter()
+            .filter(|v| matches(&self.pattern, v.as_ref()))
+            .count();
+        hits * 2 > values.len()
+    }
+}
+
+/// Infer a tagging pattern: minimize `Cov_T(h)` subject to the pattern
+/// matching at least `(1 - fnr_budget)` of the training values and having
+/// non-trivial corpus support.
+pub fn infer_tag<S: AsRef<str>>(
+    index: &PatternIndex,
+    cfg: &FmdvConfig,
+    train: &[S],
+    fnr_budget: f64,
+) -> Result<TagRule, InferError> {
+    if train.is_empty() {
+        return Err(InferError::EmptyColumn);
+    }
+    let analysis = analyze_column(train, &cfg.pattern);
+    let group = analysis.dominant().ok_or(InferError::NoHypothesis)?;
+    let group_frac = group.count as f64 / analysis.total_values as f64;
+    if group_frac + 1e-12 < 1.0 - fnr_budget {
+        return Err(InferError::NoHypothesis);
+    }
+    let need = ((1.0 - fnr_budget) * analysis.total_values as f64 / group.count as f64
+        * group.sample_size as f64)
+        .ceil() as usize;
+    let supported = group.enumerate_segment(
+        0,
+        group.positions.len(),
+        need.clamp(1, group.sample_size),
+        &cfg.pattern,
+    );
+    let candidates = lookup_candidates(index, supported.into_iter().map(|sp| sp.pattern));
+    let best = candidates
+        .iter()
+        .filter(|c| c.cov >= 1)
+        .min_by(|a, b| {
+            a.cov
+                .cmp(&b.cov)
+                .then_with(|| a.pattern.cmp(&b.pattern))
+        })
+        .cloned()
+        .ok_or(InferError::NoFeasible)?;
+    let miss = train
+        .iter()
+        .filter(|v| !matches(&best.pattern, v.as_ref()))
+        .count();
+    Ok(TagRule {
+        pattern: best.pattern,
+        coverage: best.cov,
+        train_fnr: miss as f64 / train.len() as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_corpus::{generate_lake, Column, LakeProfile};
+    use av_index::{IndexConfig, PatternIndex};
+
+    fn test_index() -> PatternIndex {
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(800), 77);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        PatternIndex::build(&cols, &IndexConfig::default())
+    }
+
+    #[test]
+    fn tag_is_more_restrictive_than_validation_rule() {
+        let index = test_index();
+        let cfg = FmdvConfig::scaled_for_corpus(index.num_columns);
+        let train: Vec<String> = (0..50)
+            .map(|i| format!("{:02}:{:02}:{:02}", i % 24, (i * 7) % 60, (i * 13) % 60))
+            .collect();
+        let tag = infer_tag(&index, &cfg, &train, 0.0).expect("tag inference");
+        let rule = crate::fmdv::infer_fmdv(&index, &cfg, &train, false).expect("fmdv");
+        assert!(
+            tag.coverage <= rule.cov,
+            "tag cov {} should be ≤ validation cov {}",
+            tag.coverage,
+            rule.cov
+        );
+        assert_eq!(tag.train_fnr, 0.0);
+        assert!(tag.tags(&train));
+    }
+
+    #[test]
+    fn tag_rejects_foreign_columns() {
+        let index = test_index();
+        let cfg = FmdvConfig::scaled_for_corpus(index.num_columns);
+        let train: Vec<String> = (0..50)
+            .map(|i| format!("{:02}:{:02}:{:02}", i % 24, (i * 7) % 60, (i * 13) % 60))
+            .collect();
+        let tag = infer_tag(&index, &cfg, &train, 0.0).unwrap();
+        let foreign: Vec<String> = (0..50).map(|i| format!("user-{i}")).collect();
+        assert!(!tag.tags(&foreign));
+        assert!(!tag.tags(&Vec::<String>::new()));
+    }
+
+    #[test]
+    fn empty_column_is_rejected() {
+        let index = test_index();
+        let cfg = FmdvConfig::default();
+        assert!(matches!(
+            infer_tag(&index, &cfg, &Vec::<String>::new(), 0.1),
+            Err(InferError::EmptyColumn)
+        ));
+    }
+}

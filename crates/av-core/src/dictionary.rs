@@ -1,0 +1,160 @@
+//! Dictionary rules with a distributional test — the fallback for columns
+//! whose domain is a fixed vocabulary rather than a syntactic pattern.
+//!
+//! The paper's §6 notes that "for natural-language data drawn from a fixed
+//! vocabulary (e.g., countries or airport-codes), dictionary-based
+//! validation learned from examples is applicable". Unlike TFDV's brittle
+//! exact-dictionary rule, this one reuses the §4 machinery: it tracks the
+//! training-time out-of-vocabulary rate and raises an alarm only when the
+//! rate shifts significantly under a two-sample homogeneity test.
+
+use av_stats::{HomogeneityTest, Table2x2};
+use std::collections::BTreeSet;
+
+use crate::config::{FmdvConfig, InferError};
+use crate::rule::ValidationReport;
+
+/// A learned vocabulary rule.
+#[derive(Debug, Clone)]
+pub struct DictionaryRule {
+    /// The vocabulary observed at training time.
+    pub dictionary: BTreeSet<String>,
+    /// Training-time out-of-vocabulary rate (0.0 when trained on all data).
+    pub train_oov: f64,
+    /// Number of training values observed.
+    pub train_size: usize,
+    /// Homogeneity test applied at validation time.
+    pub test: HomogeneityTest,
+    /// Significance level for raising an alarm.
+    pub alpha: f64,
+}
+
+impl DictionaryRule {
+    /// Learn a dictionary from training values. Declines (`NoHypothesis`)
+    /// unless the column is genuinely categorical: the vocabulary must be
+    /// small relative to the data (`distinct/total ≤ max_distinct_ratio`),
+    /// otherwise unseen-but-valid values would flood validation with false
+    /// positives — the §1 TFDV failure mode.
+    pub fn infer<S: AsRef<str>>(
+        train: &[S],
+        cfg: &FmdvConfig,
+        max_distinct_ratio: f64,
+    ) -> Result<DictionaryRule, InferError> {
+        if train.is_empty() {
+            return Err(InferError::EmptyColumn);
+        }
+        let dictionary: BTreeSet<String> =
+            train.iter().map(|v| v.as_ref().to_string()).collect();
+        let ratio = dictionary.len() as f64 / train.len() as f64;
+        if ratio > max_distinct_ratio {
+            return Err(InferError::NoHypothesis);
+        }
+        Ok(DictionaryRule {
+            dictionary,
+            train_oov: 0.0,
+            train_size: train.len(),
+            test: cfg.test,
+            alpha: cfg.alpha,
+        })
+    }
+
+    /// Is a single value in-vocabulary?
+    pub fn conforms(&self, value: &str) -> bool {
+        self.dictionary.contains(value)
+    }
+
+    /// Validate a future column: flag when the out-of-vocabulary rate
+    /// increased significantly versus training time.
+    pub fn validate<S: AsRef<str>>(&self, values: &[S]) -> ValidationReport {
+        let checked = values.len();
+        let nonconforming = values
+            .iter()
+            .filter(|v| !self.conforms(v.as_ref()))
+            .count();
+        let frac = if checked == 0 {
+            0.0
+        } else {
+            nonconforming as f64 / checked as f64
+        };
+        let train_conform = ((1.0 - self.train_oov) * self.train_size as f64).round() as u64;
+        let table = Table2x2::from_counts(
+            train_conform.min(self.train_size as u64),
+            self.train_size as u64,
+            (checked - nonconforming) as u64,
+            checked as u64,
+        );
+        let p_value = self.test.p_value(&table);
+        ValidationReport {
+            checked,
+            nonconforming,
+            nonconforming_frac: frac,
+            p_value,
+            flagged: checked > 0 && frac > self.train_oov && p_value < self.alpha,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(vals: &[&str]) -> Vec<String> {
+        vals.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn categorical_train() -> Vec<String> {
+        (0..100)
+            .map(|i| ["Delivered", "Pending", "Rejected"][i % 3].to_string())
+            .collect()
+    }
+
+    #[test]
+    fn categorical_column_gets_a_dictionary() {
+        let rule =
+            DictionaryRule::infer(&categorical_train(), &FmdvConfig::default(), 0.1).unwrap();
+        assert_eq!(rule.dictionary.len(), 3);
+        assert!(rule.conforms("Pending"));
+        assert!(!rule.conforms("pending"));
+    }
+
+    #[test]
+    fn high_cardinality_column_declines() {
+        let unique: Vec<String> = (0..100).map(|i| format!("id-{i}")).collect();
+        assert!(matches!(
+            DictionaryRule::infer(&unique, &FmdvConfig::default(), 0.1),
+            Err(InferError::NoHypothesis)
+        ));
+    }
+
+    #[test]
+    fn occasional_new_category_is_tolerated() {
+        // A handful of new values is not a significant distribution shift.
+        let rule =
+            DictionaryRule::infer(&categorical_train(), &FmdvConfig::default(), 0.1).unwrap();
+        let mut future = categorical_train();
+        future[0] = "Archived".to_string();
+        let report = rule.validate(&future);
+        assert!(!report.flagged, "p = {}", report.p_value);
+    }
+
+    #[test]
+    fn vocabulary_swap_is_flagged() {
+        let rule =
+            DictionaryRule::infer(&categorical_train(), &FmdvConfig::default(), 0.1).unwrap();
+        let swapped: Vec<String> = (0..100).map(|i| format!("2019-03-{:02}", i % 28 + 1)).collect();
+        let report = rule.validate(&swapped);
+        assert!(report.flagged);
+        assert_eq!(report.nonconforming, 100);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(matches!(
+            DictionaryRule::infer(&Vec::<String>::new(), &FmdvConfig::default(), 0.1),
+            Err(InferError::EmptyColumn)
+        ));
+        let rule =
+            DictionaryRule::infer(&categorical_train(), &FmdvConfig::default(), 0.1).unwrap();
+        assert!(!rule.validate(&Vec::<String>::new()).flagged);
+    }
+}

@@ -1,0 +1,200 @@
+//! The basic FMDV optimization (§2.3, Eq. 5–7) and the CMDV ablation.
+
+use crate::config::{FmdvConfig, InferError};
+use av_index::PatternIndex;
+use av_pattern::{hypothesis_space, Pattern};
+
+/// A hypothesis pattern with its index-provided statistics.
+#[derive(Debug, Clone)]
+pub(crate) struct Candidate {
+    pub pattern: Pattern,
+    pub fpr: f64,
+    pub cov: u64,
+}
+
+impl Candidate {
+    /// Generality of the pattern (sum of per-token hierarchy depths);
+    /// smaller = more specific = more data-quality issues caught.
+    pub fn specificity(&self) -> u32 {
+        self.pattern.specificity()
+    }
+}
+
+/// Look up candidates in the offline index. Patterns the index has never
+/// seen get coverage 0 (and are therefore infeasible under Eq. 7).
+pub(crate) fn lookup_candidates(
+    index: &PatternIndex,
+    patterns: impl IntoIterator<Item = Pattern>,
+) -> Vec<Candidate> {
+    patterns
+        .into_iter()
+        .map(|pattern| match index.lookup(&pattern) {
+            Some(stats) => Candidate {
+                pattern,
+                fpr: stats.fpr,
+                cov: stats.cov,
+            },
+            None => Candidate {
+                pattern,
+                fpr: 1.0,
+                cov: 0,
+            },
+        })
+        .collect()
+}
+
+/// FMDV selection (Eq. 5–7): among candidates satisfying `FPR ≤ r` and
+/// `Cov ≥ m`, pick the **most specific** pattern, breaking ties toward
+/// lower FPR, then higher coverage.
+///
+/// Rationale: the FPR constraint is what prunes under-generalization —
+/// Lemma 1 shows any pattern narrower than the true domain accumulates
+/// impurity evidence and violates `FPR ≤ r`. Over-generalization, however,
+/// is *not* penalized by FPR at all: a near-trivial pattern matches
+/// everything, is never impure, and so has FPR ≈ 0 by construction. Taking
+/// the literal minimum over FPR therefore degenerates to the most general
+/// survivor; the useful minimizer — and the only reading consistent with
+/// the paper's measured recall — is the most specific pattern inside the
+/// feasible region, with FPR as the safety constraint.
+pub(crate) fn select_min_fpr(candidates: &[Candidate], r: f64, m: u64) -> Option<Candidate> {
+    candidates
+        .iter()
+        .filter(|c| c.fpr <= r && c.cov >= m)
+        .min_by(|a, b| {
+            a.specificity()
+                .cmp(&b.specificity())
+                .then_with(|| a.fpr.partial_cmp(&b.fpr).expect("FPRs are finite"))
+                .then_with(|| b.cov.cmp(&a.cov))
+                .then_with(|| a.pattern.cmp(&b.pattern))
+        })
+        .cloned()
+}
+
+/// Pure FPR minimization among feasible candidates (the literal Eq. 5
+/// objective), used by the vertical DP's conservative fallback pass when
+/// the specificity-first segmentation exceeds the Eq. 9 budget.
+pub(crate) fn select_lowest_fpr(candidates: &[Candidate], r: f64, m: u64) -> Option<Candidate> {
+    candidates
+        .iter()
+        .filter(|c| c.fpr <= r && c.cov >= m)
+        .min_by(|a, b| {
+            a.fpr
+                .partial_cmp(&b.fpr)
+                .expect("FPRs are finite")
+                .then_with(|| a.specificity().cmp(&b.specificity()))
+                .then_with(|| a.pattern.cmp(&b.pattern))
+        })
+        .cloned()
+}
+
+/// CMDV selection (§2.3 alternative): minimize coverage instead. The paper
+/// reports this is less effective in practice — kept for the ablation.
+pub(crate) fn select_min_cov(candidates: &[Candidate], r: f64, m: u64) -> Option<Candidate> {
+    candidates
+        .iter()
+        .filter(|c| c.fpr <= r && c.cov >= m)
+        .min_by(|a, b| {
+            a.cov
+                .cmp(&b.cov)
+                .then_with(|| a.fpr.partial_cmp(&b.fpr).expect("finite"))
+                .then_with(|| a.pattern.cmp(&b.pattern))
+        })
+        .cloned()
+}
+
+/// Basic FMDV (§2.3): enumerate `H(C)`, look up pre-computed stats, pick the
+/// feasible minimizer.
+pub(crate) fn infer_fmdv<S: AsRef<str>>(
+    index: &PatternIndex,
+    cfg: &FmdvConfig,
+    train: &[S],
+    minimize_coverage: bool,
+) -> Result<Candidate, InferError> {
+    if train.is_empty() {
+        return Err(InferError::EmptyColumn);
+    }
+    let hypotheses = hypothesis_space(train, &cfg.pattern);
+    if hypotheses.is_empty() {
+        return Err(InferError::NoHypothesis);
+    }
+    let candidates = lookup_candidates(index, hypotheses);
+    let chosen = if minimize_coverage {
+        select_min_cov(&candidates, cfg.r, cfg.m)
+    } else {
+        select_min_fpr(&candidates, cfg.r, cfg.m)
+    };
+    chosen.ok_or(InferError::NoFeasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_pattern::parse;
+
+    fn cand(p: &str, fpr: f64, cov: u64) -> Candidate {
+        Candidate {
+            pattern: parse(p).unwrap(),
+            fpr,
+            cov,
+        }
+    }
+
+    #[test]
+    fn min_fpr_respects_constraints() {
+        // Example 6 of the paper: h1/h2 infeasible on FPR, h5 feasible.
+        let cands = vec![
+            cand("<digit>{1}:<digit>{2}", 0.67, 5000), // h2-like
+            cand("<digit>+:<digit>{2}", 0.0004, 5000), // h5-like
+            cand("<digit>+:<digit>+", 0.002, 6000),
+        ];
+        let best = select_min_fpr(&cands, 0.001, 100).unwrap();
+        assert_eq!(best.pattern, parse("<digit>+:<digit>{2}").unwrap());
+    }
+
+    #[test]
+    fn coverage_constraint_excludes_rare_patterns() {
+        let cands = vec![cand("<digit>{7}", 0.0, 5), cand("<digit>+", 0.001, 900)];
+        let best = select_min_fpr(&cands, 0.1, 100).unwrap();
+        assert_eq!(best.pattern, parse("<digit>+").unwrap());
+    }
+
+    #[test]
+    fn infeasible_when_all_violate() {
+        let cands = vec![cand("<digit>{7}", 0.5, 5000)];
+        assert!(select_min_fpr(&cands, 0.1, 100).is_none());
+    }
+
+    #[test]
+    fn prefers_the_most_specific_feasible_pattern() {
+        // Both feasible: the specific one catches more issues; FPR already
+        // certifies it as safe. Min-FPR-first would degenerate here.
+        let cands = vec![
+            cand("<digit>{4}", 0.001, 200),
+            cand("<digit>+", 0.0, 9000),
+        ];
+        let best = select_min_fpr(&cands, 0.1, 100).unwrap();
+        assert_eq!(best.pattern, parse("<digit>{4}").unwrap());
+    }
+
+    #[test]
+    fn specificity_does_not_override_feasibility() {
+        // The specific pattern violates the FPR budget (Lemma 1's pruning);
+        // the general one is the only lawful choice.
+        let cands = vec![
+            cand("<digit>{4}", 0.4, 200),
+            cand("<digit>+", 0.001, 9000),
+        ];
+        let best = select_min_fpr(&cands, 0.1, 100).unwrap();
+        assert_eq!(best.pattern, parse("<digit>+").unwrap());
+    }
+
+    #[test]
+    fn cmdv_prefers_restrictive_patterns() {
+        let cands = vec![
+            cand("<digit>{4}", 0.0, 200),
+            cand("<digit>+", 0.0, 9000),
+        ];
+        let best = select_min_cov(&cands, 0.1, 100).unwrap();
+        assert_eq!(best.pattern, parse("<digit>{4}").unwrap());
+    }
+}

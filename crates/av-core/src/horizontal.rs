@@ -1,0 +1,190 @@
+//! Horizontal cuts (§4): tolerate up to a θ fraction of non-conforming
+//! values (ad-hoc specials like `"-"` or `"NULL"`, Fig. 9).
+//!
+//! Deciding feasibility of FMDV-H is NP-hard in general (Theorem 2), but in
+//! practice non-conforming values rarely share structure with the normal
+//! ones, so the paper optimizes greedily: discard values whose patterns do
+//! not intersect with most others, then solve FMDV on the conforming rest.
+//! Our grouped analysis makes this direct — the dominant coarse group *is*
+//! the conforming subset.
+
+use crate::config::{FmdvConfig, InferError};
+use crate::fmdv::{lookup_candidates, select_min_fpr, Candidate};
+use crate::vertical::{solve_vertical, VerticalSolution};
+use av_index::PatternIndex;
+use av_pattern::{analyze_column, CoarseGroup};
+
+/// Pick the dominant group if it covers at least `(1-θ)` of the column
+/// (Eq. 16's feasibility precondition under the greedy strategy).
+fn dominant_group<'a>(
+    analysis: &'a av_pattern::ColumnAnalysis,
+    theta: f64,
+) -> Result<&'a CoarseGroup, InferError> {
+    let group = analysis.dominant().ok_or(InferError::NoHypothesis)?;
+    let frac = group.count as f64 / analysis.total_values as f64;
+    if frac + 1e-12 < 1.0 - theta {
+        return Err(InferError::NoHypothesis);
+    }
+    Ok(group)
+}
+
+/// Support floor inside the dominant group so that global support satisfies
+/// Eq. 16: `matched ≥ (1-θ)|C|`, given the group already covers
+/// `count/total` of the column.
+fn group_min_support(group: &CoarseGroup, total: usize, theta: f64) -> usize {
+    let need_global = (1.0 - theta) * total as f64;
+    let group_frac = group.count as f64 / group.sample_size as f64;
+    // support/sample × count/total ≥ 1-θ  ⇒  support ≥ (1-θ)·total·sample/count
+    let min = (need_global / group_frac).ceil() as usize;
+    min.clamp(1, group.sample_size)
+}
+
+/// FMDV-H (Eq. 12–16): single-pattern inference tolerating θ outliers.
+pub(crate) fn infer_fmdv_h<S: AsRef<str>>(
+    index: &PatternIndex,
+    cfg: &FmdvConfig,
+    train: &[S],
+) -> Result<Candidate, InferError> {
+    if train.is_empty() {
+        return Err(InferError::EmptyColumn);
+    }
+    let analysis = analyze_column(train, &cfg.pattern);
+    let group = dominant_group(&analysis, cfg.theta)?;
+    let min_support = group_min_support(group, analysis.total_values, cfg.theta);
+    let supported =
+        group.enumerate_segment(0, group.positions.len(), min_support, &cfg.pattern);
+    let candidates = lookup_candidates(index, supported.into_iter().map(|sp| sp.pattern));
+    select_min_fpr(&candidates, cfg.r, cfg.m).ok_or(InferError::NoFeasible)
+}
+
+/// FMDV-VH: horizontal cut to the dominant group, then the vertical DP with
+/// the relaxed support floor.
+pub(crate) fn infer_fmdv_vh<S: AsRef<str>>(
+    index: &PatternIndex,
+    cfg: &FmdvConfig,
+    train: &[S],
+) -> Result<VerticalSolution, InferError> {
+    if train.is_empty() {
+        return Err(InferError::EmptyColumn);
+    }
+    let analysis = analyze_column(train, &cfg.pattern);
+    let group = dominant_group(&analysis, cfg.theta)?;
+    let min_support = group_min_support(group, analysis.total_values, cfg.theta);
+    solve_vertical(index, cfg, group, min_support)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_corpus::{generate_lake, Column, LakeProfile};
+    use av_index::{IndexConfig, PatternIndex};
+    use av_pattern::matches;
+
+    fn test_index() -> PatternIndex {
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(800), 77);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        PatternIndex::build(&cols, &IndexConfig::default())
+    }
+
+    /// Fig. 9-style column: a corpus-popular domain (24h times) with one
+    /// ad-hoc "-" outlier.
+    fn dirty_column() -> Vec<String> {
+        let mut v: Vec<String> = (0..99)
+            .map(|i| format!("{:02}:{:02}:{:02}", i % 24, (i * 7) % 60, (i * 13) % 60))
+            .collect();
+        v.push("-".to_string());
+        v
+    }
+
+    #[test]
+    fn horizontal_cut_tolerates_adhoc_values() {
+        let index = test_index();
+        let mut cfg = FmdvConfig::scaled_for_corpus(index.num_columns);
+        cfg.theta = 0.05;
+        let train = dirty_column();
+        let result = infer_fmdv_h(&index, &cfg, &train);
+        // Basic FMDV fails on this column (no common hypothesis)…
+        assert!(matches!(
+            crate::fmdv::infer_fmdv(&index, &cfg, &train, false),
+            Err(InferError::NoHypothesis)
+        ));
+        // …but FMDV-H finds the digit-group pattern of Example 9.
+        let c = result.expect("FMDV-H should succeed");
+        let conforming = train
+            .iter()
+            .filter(|v| matches(&c.pattern, v))
+            .count();
+        assert!(conforming >= 99, "pattern must cover the 99 normal values");
+        assert!(!matches(&c.pattern, "-"), "the outlier stays non-conforming");
+    }
+
+    #[test]
+    fn tolerance_zero_requires_full_coverage() {
+        let index = test_index();
+        let mut cfg = FmdvConfig::scaled_for_corpus(index.num_columns);
+        cfg.theta = 0.0;
+        let train = dirty_column();
+        assert!(matches!(
+            infer_fmdv_h(&index, &cfg, &train),
+            Err(InferError::NoHypothesis)
+        ));
+    }
+
+    #[test]
+    fn too_many_outliers_exceed_tolerance() {
+        let index = test_index();
+        let mut cfg = FmdvConfig::scaled_for_corpus(index.num_columns);
+        cfg.theta = 0.05;
+        // 20% outliers > θ = 5%.
+        let mut train: Vec<String> = (0..80).map(|i| format!("{:05}", i)).collect();
+        train.extend((0..20).map(|_| "-".to_string()));
+        assert!(matches!(
+            infer_fmdv_h(&index, &cfg, &train),
+            Err(InferError::NoHypothesis)
+        ));
+    }
+
+    #[test]
+    fn vh_combines_both_cuts() {
+        let index = test_index();
+        let mut cfg = FmdvConfig::scaled_for_corpus(index.num_columns);
+        cfg.theta = 0.05;
+        cfg.max_segment_tokens = index.tau;
+        // Wide composite column with an ad-hoc special value.
+        let mut train: Vec<String> = (0..99)
+            .map(|i| {
+                format!(
+                    "{}-{:02}-{:02}|{:02}:{:02}:{:02}",
+                    2010 + (i % 20),
+                    (i % 12) + 1,
+                    (i % 28) + 1,
+                    i % 24,
+                    (i * 7) % 60,
+                    (i * 13) % 60,
+                )
+            })
+            .collect();
+        train.push("NULL".to_string());
+        let sol = infer_fmdv_vh(&index, &cfg, &train).expect("VH should succeed");
+        let full = sol.full_pattern();
+        let conforming = train.iter().filter(|v| matches(&full, v)).count();
+        assert_eq!(conforming, 99, "{full}");
+    }
+
+    #[test]
+    fn group_min_support_bounds() {
+        // Group covering 99/100 values, sample 99, θ = 0.05:
+        // support ≥ 0.95·100·99/99 = 95.
+        let train = dirty_column();
+        let cfg = FmdvConfig::default();
+        let analysis = analyze_column(&train, &cfg.pattern);
+        let g = analysis.dominant().unwrap();
+        let ms = group_min_support(g, analysis.total_values, 0.05);
+        assert_eq!(ms, 95);
+        // θ = 0 on a fully-covering group needs full support.
+        let clean: Vec<String> = (0..50).map(|i| i.to_string()).collect();
+        let a2 = analyze_column(&clean, &cfg.pattern);
+        let g2 = a2.dominant().unwrap();
+        assert_eq!(group_min_support(g2, 50, 0.0), g2.sample_size);
+    }
+}

@@ -1,0 +1,192 @@
+//! # av-core — the Auto-Validate inference engine
+//!
+//! Implements the paper's four FMDV variants (§2–§4) on top of the offline
+//! [`av_index::PatternIndex`]:
+//!
+//! * **FMDV** (Eq. 5–7): minimum-FPR pattern from the hypothesis space
+//!   `H(C)` subject to `FPR_T(h) ≤ r` and `Cov_T(h) ≥ m`;
+//! * **FMDV-V** (§3): vertical cuts — the Eq. 11 segmentation DP for
+//!   composite columns;
+//! * **FMDV-H** (§4): horizontal cuts — tolerate a θ fraction of ad-hoc
+//!   non-conforming values, with a two-sample homogeneity test at
+//!   validation time;
+//! * **FMDV-VH**: both, the paper's best variant;
+//! * plus the **CMDV** ablation and the **Auto-Tag** dual (§2.3).
+//!
+//! ```no_run
+//! use av_core::{AutoValidate, FmdvConfig, Variant};
+//! use av_index::{IndexConfig, PatternIndex};
+//!
+//! # fn demo(columns: &[&av_corpus::Column]) -> Result<(), Box<dyn std::error::Error>> {
+//! let index = PatternIndex::build(columns, &IndexConfig::default());
+//! let av = AutoValidate::new(&index, FmdvConfig::scaled_for_corpus(index.num_columns));
+//! let train = vec!["Mar 01 2019".to_string(), "Mar 02 2019".to_string()];
+//! let rule = av.infer(&train, Variant::FmdvVH)?;
+//! let report = rule.validate(&["Apr 01 2019".to_string()]);
+//! assert!(!report.flagged);
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+
+mod autotag;
+mod config;
+mod dictionary;
+mod fmdv;
+mod horizontal;
+mod msa;
+mod numeric;
+mod rule;
+mod vertical;
+
+pub use autotag::{infer_tag, TagRule};
+pub use config::{FmdvConfig, InferError, Variant};
+pub use dictionary::DictionaryRule;
+pub use msa::{align_pair, alignment_gap_distance, Aligned};
+pub use numeric::NumericRule;
+pub use rule::{ValidationReport, ValidationRule};
+
+/// Either kind of inferred rule (see [`AutoValidate::infer_auto`]).
+#[derive(Debug, Clone)]
+pub enum AnyRule {
+    /// A data-domain pattern rule (machine-generated data).
+    Pattern(ValidationRule),
+    /// A numeric range rule (§7 future-work extension).
+    Numeric(NumericRule),
+    /// A vocabulary rule (fixed-dictionary data, §6).
+    Dictionary(DictionaryRule),
+}
+
+impl AnyRule {
+    /// Does a single value conform?
+    pub fn conforms(&self, value: &str) -> bool {
+        match self {
+            AnyRule::Pattern(r) => r.conforms(value),
+            AnyRule::Numeric(r) => r.conforms(value),
+            AnyRule::Dictionary(r) => r.conforms(value),
+        }
+    }
+
+    /// Validate a future column with the §4 distributional test.
+    pub fn validate<S: AsRef<str>>(&self, values: &[S]) -> ValidationReport {
+        match self {
+            AnyRule::Pattern(r) => r.validate(values),
+            AnyRule::Numeric(r) => r.validate(values),
+            AnyRule::Dictionary(r) => r.validate(values),
+        }
+    }
+
+    /// Short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            AnyRule::Pattern(r) => format!("pattern {}", r.pattern),
+            AnyRule::Numeric(r) => format!("numeric range [{:.4}, {:.4}]", r.lo, r.hi),
+            AnyRule::Dictionary(r) => format!("dictionary of {} values", r.dictionary.len()),
+        }
+    }
+}
+
+use av_index::PatternIndex;
+use av_pattern::matches;
+
+/// The Auto-Validate inference engine: an offline index plus configuration.
+pub struct AutoValidate<'a> {
+    index: &'a PatternIndex,
+    /// The FMDV configuration in effect.
+    pub config: FmdvConfig,
+}
+
+impl<'a> AutoValidate<'a> {
+    /// Create an engine over a built (or loaded) index.
+    pub fn new(index: &'a PatternIndex, config: FmdvConfig) -> AutoValidate<'a> {
+        AutoValidate { index, config }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &PatternIndex {
+        self.index
+    }
+
+    /// Infer a validation rule from training values with the given variant.
+    pub fn infer<S: AsRef<str>>(
+        &self,
+        train: &[S],
+        variant: Variant,
+    ) -> Result<ValidationRule, InferError> {
+        let cfg = &self.config;
+        let (pattern, fpr, cov) = match variant {
+            Variant::Fmdv => {
+                let c = fmdv::infer_fmdv(self.index, cfg, train, false)?;
+                (c.pattern, c.fpr, c.cov)
+            }
+            Variant::Cmdv => {
+                let c = fmdv::infer_fmdv(self.index, cfg, train, true)?;
+                (c.pattern, c.fpr, c.cov)
+            }
+            Variant::FmdvV => {
+                let sol = vertical::infer_fmdv_v(self.index, cfg, train)?;
+                let cov = sol.min_coverage();
+                (sol.full_pattern(), sol.total_fpr, cov)
+            }
+            Variant::FmdvH => {
+                let c = horizontal::infer_fmdv_h(self.index, cfg, train)?;
+                (c.pattern, c.fpr, c.cov)
+            }
+            Variant::FmdvVH => {
+                let sol = horizontal::infer_fmdv_vh(self.index, cfg, train)?;
+                let cov = sol.min_coverage();
+                (sol.full_pattern(), sol.total_fpr, cov)
+            }
+        };
+        // Exact training-time non-conforming fraction θ_C(h) (§4).
+        let miss = train
+            .iter()
+            .filter(|v| !matches(&pattern, v.as_ref()))
+            .count();
+        Ok(ValidationRule {
+            pattern,
+            train_nonconforming: miss as f64 / train.len().max(1) as f64,
+            train_size: train.len(),
+            expected_fpr: fpr,
+            coverage: cov,
+            test: cfg.test,
+            alpha: cfg.alpha,
+        })
+    }
+
+    /// Infer with the paper's best variant (FMDV-VH).
+    pub fn infer_default<S: AsRef<str>>(&self, train: &[S]) -> Result<ValidationRule, InferError> {
+        self.infer(train, Variant::FmdvVH)
+    }
+
+    /// Infer an Auto-Tag pattern (the dual problem, §2.3).
+    pub fn infer_tag<S: AsRef<str>>(
+        &self,
+        train: &[S],
+        fnr_budget: f64,
+    ) -> Result<TagRule, InferError> {
+        autotag::infer_tag(self.index, &self.config, train, fnr_budget)
+    }
+
+    /// Infer a rule with automatic fallback: try the pattern engine
+    /// (FMDV-VH), and when no syntactic domain exists — fixed-vocabulary
+    /// columns like statuses or country names (§6) — fall back to a
+    /// [`DictionaryRule`] with the same distributional test.
+    pub fn infer_auto<S: AsRef<str>>(&self, train: &[S]) -> Result<AnyRule, InferError> {
+        match self.infer(train, Variant::FmdvVH) {
+            Ok(rule) => Ok(AnyRule::Pattern(rule)),
+            Err(InferError::EmptyColumn) => Err(InferError::EmptyColumn),
+            Err(first) => {
+                // No syntactic domain: numeric columns with heterogeneous
+                // formats (ints mixed with floats) get a range rule (§7);
+                // fixed vocabularies get a dictionary (§6).
+                if let Ok(rule) = NumericRule::infer_default(train, &self.config) {
+                    return Ok(AnyRule::Numeric(rule));
+                }
+                DictionaryRule::infer(train, &self.config, 0.1)
+                    .map(AnyRule::Dictionary)
+                    .map_err(|_| first)
+            }
+        }
+    }
+}

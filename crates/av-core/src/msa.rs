@@ -1,0 +1,152 @@
+//! Greedy progressive multi-sequence alignment over coarse token sequences
+//! (§3).
+//!
+//! The paper aligns the coarse token sequences of a column's values before
+//! vertical cutting; since MSA is NP-hard under sum-of-pair scores, it
+//! aligns one additional sequence at a time greedily, noting that for
+//! homogeneous machine-generated data this is usually optimal.
+//!
+//! In this implementation, values are first grouped by their merged coarse
+//! key (identical keys align trivially — by far the common case). This
+//! module provides the alignment machinery used to *diagnose* near-misses:
+//! e.g. deciding whether two coarse structures differ by a small number of
+//! gaps (a candidate for tolerant alignment) or are fundamentally different
+//! domains (a case for horizontal cuts).
+
+use av_pattern::{Pattern, Token};
+
+/// One cell of an aligned sequence: a token or a gap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Aligned {
+    /// A token from the input sequence.
+    Tok(Token),
+    /// A gap inserted by the aligner.
+    Gap,
+}
+
+/// Pairwise global alignment (Needleman–Wunsch) of two token sequences.
+/// Match scores +2, mismatch −1, gap −1. Returns the aligned pair.
+pub fn align_pair(a: &[Token], b: &[Token]) -> (Vec<Aligned>, Vec<Aligned>) {
+    let (n, m) = (a.len(), b.len());
+    const MATCH: i64 = 2;
+    const MISMATCH: i64 = -1;
+    const GAP: i64 = -1;
+    let mut score = vec![vec![0i64; m + 1]; n + 1];
+    for i in 0..=n {
+        score[i][0] = GAP * i as i64;
+    }
+    for j in 0..=m {
+        score[0][j] = GAP * j as i64;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let diag = score[i - 1][j - 1]
+                + if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let up = score[i - 1][j] + GAP;
+            let left = score[i][j - 1] + GAP;
+            score[i][j] = diag.max(up).max(left);
+        }
+    }
+    // Traceback.
+    let (mut i, mut j) = (n, m);
+    let mut ra: Vec<Aligned> = Vec::with_capacity(n + m);
+    let mut rb: Vec<Aligned> = Vec::with_capacity(n + m);
+    while i > 0 || j > 0 {
+        if i > 0
+            && j > 0
+            && score[i][j]
+                == score[i - 1][j - 1]
+                    + if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH }
+        {
+            ra.push(Aligned::Tok(a[i - 1].clone()));
+            rb.push(Aligned::Tok(b[j - 1].clone()));
+            i -= 1;
+            j -= 1;
+        } else if i > 0 && score[i][j] == score[i - 1][j] + GAP {
+            ra.push(Aligned::Tok(a[i - 1].clone()));
+            rb.push(Aligned::Gap);
+            i -= 1;
+        } else {
+            ra.push(Aligned::Gap);
+            rb.push(Aligned::Tok(b[j - 1].clone()));
+            j -= 1;
+        }
+    }
+    ra.reverse();
+    rb.reverse();
+    (ra, rb)
+}
+
+/// Number of gaps needed to align two coarse patterns, or `None` when the
+/// aligned (non-gap) positions disagree — i.e. the structures are
+/// fundamentally different, not just off by insertions.
+pub fn alignment_gap_distance(a: &Pattern, b: &Pattern) -> Option<usize> {
+    let (ra, rb) = align_pair(a.tokens(), b.tokens());
+    let mut gaps = 0usize;
+    for (x, y) in ra.iter().zip(rb.iter()) {
+        match (x, y) {
+            (Aligned::Gap, _) | (_, Aligned::Gap) => gaps += 1,
+            (Aligned::Tok(t), Aligned::Tok(u)) => {
+                if t != u {
+                    return None;
+                }
+            }
+        }
+    }
+    Some(gaps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_pattern::merged_key;
+
+    #[test]
+    fn identical_sequences_align_without_gaps() {
+        let k = merged_key("9/07/2019 12:01:32 PM");
+        let d = alignment_gap_distance(&k, &k);
+        assert_eq!(d, Some(0));
+    }
+
+    #[test]
+    fn missing_trailing_field_costs_gaps() {
+        // "1:02:03" vs "1:02" — the second lacks one ":<num>" suffix.
+        let a = merged_key("1:02:03");
+        let b = merged_key("1:02");
+        let d = alignment_gap_distance(&a, &b).expect("alignable");
+        assert_eq!(d, 2, "one symbol + one alnum segment inserted");
+    }
+
+    #[test]
+    fn different_structures_are_unalignable() {
+        // Sym-vs-space class disagreement cannot be fixed by insertions
+        // alone at equal length… construct directly:
+        let a = merged_key("ab-cd");
+        let b = merged_key("ab cd");
+        // [alnum sym alnum] vs [alnum space alnum]: aligning token-by-token
+        // hits a mismatch; with gaps it costs 2. The distance is defined
+        // only when all aligned pairs agree, so expect either None or 2
+        // gaps — assert the aligner prefers the mismatch-free gap solution.
+        match alignment_gap_distance(&a, &b) {
+            None => {}
+            Some(g) => assert_eq!(g, 2),
+        }
+    }
+
+    #[test]
+    fn empty_sequence_aligns_with_all_gaps() {
+        let a = merged_key("abc");
+        let b = merged_key("");
+        assert_eq!(alignment_gap_distance(&a, &b), Some(1));
+    }
+
+    #[test]
+    fn pairwise_alignment_lengths_match() {
+        let a = merged_key("0.1|02/18/2015 00:00:00|OnBooking");
+        let b = merged_key("0.2|03/19/2016 01:02:03|Delivered");
+        let (ra, rb) = align_pair(a.tokens(), b.tokens());
+        assert_eq!(ra.len(), rb.len());
+        assert!(ra.iter().all(|x| *x != Aligned::Gap));
+        assert!(rb.iter().all(|x| *x != Aligned::Gap));
+    }
+}

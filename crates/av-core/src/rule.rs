@@ -1,0 +1,191 @@
+//! Validation rules and the test-time distributional check (§4).
+
+use av_pattern::{matches, Pattern};
+use av_stats::{HomogeneityTest, Table2x2};
+
+/// An inferred data-validation rule: a pattern plus the training-time
+/// non-conforming rate and the statistical test configuration.
+#[derive(Debug, Clone)]
+pub struct ValidationRule {
+    /// The data-domain pattern `h` chosen by FMDV.
+    pub pattern: Pattern,
+    /// Fraction of training values not matching `h` — `θ_C(h)` in §4
+    /// (0.0 for the non-horizontal variants).
+    pub train_nonconforming: f64,
+    /// Number of training values observed.
+    pub train_size: usize,
+    /// `FPR_T(h)` estimated from the corpus index at inference time.
+    pub expected_fpr: f64,
+    /// `Cov_T(h)` from the index.
+    pub coverage: u64,
+    /// Homogeneity test applied at validation time.
+    pub test: HomogeneityTest,
+    /// Significance level for raising an alarm.
+    pub alpha: f64,
+}
+
+/// Outcome of validating a future column `C'` against a rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// Values checked.
+    pub checked: usize,
+    /// Values not matching the rule's pattern.
+    pub nonconforming: usize,
+    /// `θ_C'(h)`: the non-conforming fraction at test time.
+    pub nonconforming_frac: f64,
+    /// p-value of the two-sample homogeneity test against training time.
+    pub p_value: f64,
+    /// True when the column should be flagged as a data-quality issue.
+    pub flagged: bool,
+}
+
+impl ValidationRule {
+    /// Does a single value conform to the rule's pattern?
+    pub fn conforms(&self, value: &str) -> bool {
+        matches(&self.pattern, value)
+    }
+
+    /// Validate a future column `C'` (§4): compute the non-conforming
+    /// fraction, run the two-sample homogeneity test against the training
+    /// fraction, and flag only when the fraction *increased* significantly
+    /// (a significant decrease is not a data-quality issue).
+    pub fn validate<S: AsRef<str>>(&self, values: &[S]) -> ValidationReport {
+        let checked = values.len();
+        let nonconforming = values
+            .iter()
+            .filter(|v| !self.conforms(v.as_ref()))
+            .count();
+        let frac = if checked == 0 {
+            0.0
+        } else {
+            nonconforming as f64 / checked as f64
+        };
+        // Conforming counts as "success" in the 2×2 table.
+        let train_conform =
+            ((1.0 - self.train_nonconforming) * self.train_size as f64).round() as u64;
+        let table = Table2x2::from_counts(
+            train_conform.min(self.train_size as u64),
+            self.train_size as u64,
+            (checked - nonconforming) as u64,
+            checked as u64,
+        );
+        let p_value = self.test.p_value(&table);
+        let flagged = checked > 0
+            && frac > self.train_nonconforming
+            && p_value < self.alpha;
+        ValidationReport {
+            checked,
+            nonconforming,
+            nonconforming_frac: frac,
+            p_value,
+            flagged,
+        }
+    }
+
+    /// Export the rule as a standard regex (usable outside this crate).
+    pub fn to_regex(&self) -> String {
+        self.pattern.to_regex()
+    }
+}
+
+impl std::fmt::Display for ValidationRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (expected FPR {:.4}%, coverage {}, θ_train {:.3})",
+            self.pattern,
+            self.expected_fpr * 100.0,
+            self.coverage,
+            self.train_nonconforming
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_pattern::parse;
+
+    fn rule(pattern: &str, theta: f64, train_size: usize) -> ValidationRule {
+        ValidationRule {
+            pattern: parse(pattern).unwrap(),
+            train_nonconforming: theta,
+            train_size,
+            expected_fpr: 0.001,
+            coverage: 500,
+            test: HomogeneityTest::FisherExact,
+            alpha: 0.01,
+        }
+    }
+
+    #[test]
+    fn clean_same_domain_column_passes() {
+        let r = rule("<letter>{3} <digit>{2} <digit>{4}", 0.0, 1000);
+        let future: Vec<String> = (1..=28).map(|d| format!("Apr {d:02} 2019")).collect();
+        let report = r.validate(&future);
+        assert_eq!(report.nonconforming, 0);
+        assert!(!report.flagged);
+    }
+
+    #[test]
+    fn schema_drift_column_is_flagged() {
+        let r = rule("<letter>{3} <digit>{2} <digit>{4}", 0.0, 1000);
+        let drifted: Vec<String> = (0..100).map(|i| format!("{i}.99")).collect();
+        let report = r.validate(&drifted);
+        assert_eq!(report.nonconforming, 100);
+        assert!((report.nonconforming_frac - 1.0).abs() < 1e-12);
+        assert!(report.flagged);
+        assert!(report.p_value < 1e-10);
+    }
+
+    #[test]
+    fn small_nonconforming_shift_is_not_flagged() {
+        // §4's example: θ_C = 0.1%, θ_C' = 0.11% — raising alarms would be
+        // a false positive.
+        let r = rule("<digit>+", 0.001, 10_000);
+        let mut future: Vec<String> = (0..9989).map(|i| i.to_string()).collect();
+        for _ in 0..11 {
+            future.push("-".to_string());
+        }
+        let report = r.validate(&future);
+        assert!((report.nonconforming_frac - 0.0011).abs() < 1e-6);
+        assert!(!report.flagged, "p = {}", report.p_value);
+    }
+
+    #[test]
+    fn large_nonconforming_shift_is_flagged() {
+        // §4: θ_C = 0.1% vs θ_C' = 5% — an issue we should report.
+        let r = rule("<digit>+", 0.001, 10_000);
+        let mut future: Vec<String> = (0..950).map(|i| i.to_string()).collect();
+        for _ in 0..50 {
+            future.push("N/A".to_string());
+        }
+        let report = r.validate(&future);
+        assert!(report.flagged, "p = {}", report.p_value);
+    }
+
+    #[test]
+    fn decrease_in_nonconforming_never_flags() {
+        let r = rule("<digit>+", 0.10, 1000);
+        let future: Vec<String> = (0..1000).map(|i| i.to_string()).collect();
+        let report = r.validate(&future);
+        assert_eq!(report.nonconforming, 0);
+        assert!(!report.flagged, "cleaner data is not an issue");
+    }
+
+    #[test]
+    fn empty_future_column_is_not_flagged() {
+        let r = rule("<digit>+", 0.0, 100);
+        let report = r.validate(&Vec::<String>::new());
+        assert!(!report.flagged);
+        assert_eq!(report.checked, 0);
+    }
+
+    #[test]
+    fn regex_export_is_usable() {
+        let r = rule("<digit>{2}/<digit>{4}", 0.0, 10);
+        let re = av_regex::Regex::new(&r.to_regex()).unwrap();
+        assert!(re.is_full_match("03/2019"));
+        assert!(!re.is_full_match("3/2019"));
+    }
+}

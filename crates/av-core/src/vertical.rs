@@ -1,0 +1,362 @@
+//! Vertical cuts (§3): segment a composite column and validate each segment
+//! with its own pattern, minimizing the summed FPR via the Eq. 11 dynamic
+//! program (the min-FPR scores have optimal substructure).
+
+use crate::config::{FmdvConfig, InferError};
+use crate::fmdv::{lookup_candidates, select_lowest_fpr, select_min_fpr, Candidate};
+use av_index::PatternIndex;
+use av_pattern::{analyze_column, CoarseGroup, Pattern, Token};
+
+/// A "structural" segment candidate: when a segment consists purely of
+/// symbol/whitespace positions whose literal is constant across all
+/// conforming training values (e.g. the `"|"` separators of Fig. 8), the
+/// literal itself is a zero-risk validation pattern — no corpus evidence is
+/// needed for a delimiter, and a delimiter change *should* trip validation.
+/// Alphanumeric constants (years, status words) never get this shortcut:
+/// they must pay their corpus-estimated FPR, otherwise the DP would happily
+/// pin `Lit("2019")` and false-alarm in January.
+fn structural_literal(group: &CoarseGroup, s: usize, e: usize, min_support: usize) -> Option<Pattern> {
+    let mut tokens: Vec<Token> = Vec::with_capacity(e - s);
+    for pos in &group.positions[s..e] {
+        let mut lit: Option<Token> = None;
+        for (t, bits) in &pos.options {
+            match t {
+                Token::Lit(_) => {
+                    if bits.count() >= min_support {
+                        lit = Some(t.clone());
+                    }
+                }
+                Token::Sym(_) | Token::SymPlus | Token::SpacePlus | Token::AnyPlus => {}
+                _ => return None, // an alphanumeric-class position
+            }
+        }
+        tokens.push(lit?);
+    }
+    Some(Pattern::new(tokens))
+}
+
+/// Result of the vertical-cut optimization.
+#[derive(Debug, Clone)]
+pub(crate) struct VerticalSolution {
+    /// Chosen pattern per segment, in order.
+    pub segments: Vec<Candidate>,
+    /// Aggregated expected FPR (sum, or max in optimistic mode).
+    pub total_fpr: f64,
+}
+
+impl VerticalSolution {
+    /// Stitch the segment patterns back into one full-column pattern.
+    pub fn full_pattern(&self) -> Pattern {
+        let mut p = Pattern::empty();
+        for c in &self.segments {
+            p = p.concat(&c.pattern);
+        }
+        p
+    }
+
+    /// The weakest coverage across segments (reported on the final rule).
+    /// Structural literal segments (cov = `u64::MAX`) are skipped — they
+    /// carry no corpus evidence requirement.
+    pub fn min_coverage(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|c| c.cov)
+            .filter(|&c| c != u64::MAX)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+/// DP objective mode. The first pass prefers specificity (maximum issue
+/// detection); if the chosen segmentation blows the Eq. 9 FPR budget, a
+/// second pass minimizes the aggregated FPR instead — the conservative
+/// reading of Eq. 8 — so feasible columns are never rejected just because
+/// their most specific cover is too risky.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DpMode {
+    SpecificFirst,
+    MinFpr,
+}
+
+/// Objective value of a (partial) segmentation: lexicographic over
+/// (total specificity, aggregated FPR) or the reverse, per [`DpMode`].
+/// Specificity sums are comparable across segmentations because every
+/// segmentation covers the same token positions exactly once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Score {
+    spec: u32,
+    fpr: f64,
+}
+
+impl Score {
+    fn better_than(&self, other: &Score, mode: DpMode) -> bool {
+        match mode {
+            DpMode::SpecificFirst => {
+                self.spec < other.spec || (self.spec == other.spec && self.fpr < other.fpr)
+            }
+            DpMode::MinFpr => {
+                self.fpr < other.fpr || (self.fpr == other.fpr && self.spec < other.spec)
+            }
+        }
+    }
+}
+
+/// One DP cell: best achievable score for segment `[s, e)` plus the argmin.
+#[derive(Debug, Clone)]
+enum Cell {
+    Infeasible,
+    Direct(Candidate, Score),
+    Split(usize, Score),
+}
+
+impl Cell {
+    fn score(&self) -> Option<Score> {
+        match self {
+            Cell::Infeasible => None,
+            Cell::Direct(_, s) | Cell::Split(_, s) => Some(*s),
+        }
+    }
+}
+
+/// Solve FMDV-V / the vertical part of FMDV-VH on an analyzed group.
+///
+/// `min_support` controls the per-segment hypothesis space: the group's
+/// sample size for pure vertical cuts (every value must conform), or
+/// `⌈(1−θ)·sample⌉` when combined with horizontal cuts.
+pub(crate) fn solve_vertical(
+    index: &PatternIndex,
+    cfg: &FmdvConfig,
+    group: &CoarseGroup,
+    min_support: usize,
+) -> Result<VerticalSolution, InferError> {
+    match solve_vertical_mode(index, cfg, group, min_support, DpMode::SpecificFirst) {
+        Ok(sol) if sol.total_fpr <= cfg.r => Ok(sol),
+        // Specific cover too risky (or none): fall back to pure FPR
+        // minimization before declaring infeasibility.
+        _ => {
+            let sol = solve_vertical_mode(index, cfg, group, min_support, DpMode::MinFpr)?;
+            if sol.total_fpr > cfg.r {
+                return Err(InferError::NoFeasible);
+            }
+            Ok(sol)
+        }
+    }
+}
+
+fn solve_vertical_mode(
+    index: &PatternIndex,
+    cfg: &FmdvConfig,
+    group: &CoarseGroup,
+    min_support: usize,
+    mode: DpMode,
+) -> Result<VerticalSolution, InferError> {
+    let n = group.positions.len();
+    if n == 0 {
+        // A column of empty strings: the empty pattern validates it.
+        return Ok(VerticalSolution {
+            segments: vec![],
+            total_fpr: 0.0,
+        });
+    }
+    let agg = |a: f64, b: f64| {
+        if cfg.optimistic_vertical {
+            a.max(b)
+        } else {
+            a + b
+        }
+    };
+    // dp[s][e] for 0 ≤ s < e ≤ n, bottom-up over widths (Eq. 11).
+    let mut dp: Vec<Vec<Cell>> = vec![vec![Cell::Infeasible; n + 1]; n + 1];
+    for width in 1..=n {
+        for s in 0..=(n - width) {
+            let e = s + width;
+            // Option 1: no split — treat C[s,e) as one column, solve FMDV.
+            let mut best = Cell::Infeasible;
+            if width <= cfg.max_segment_tokens {
+                let supported = group.enumerate_segment(s, e, min_support, &cfg.pattern);
+                let mut candidates =
+                    lookup_candidates(index, supported.into_iter().map(|sp| sp.pattern));
+                if let Some(p) = structural_literal(group, s, e, min_support) {
+                    candidates.push(Candidate {
+                        pattern: p,
+                        fpr: 0.0,
+                        cov: u64::MAX,
+                    });
+                }
+                // Per-segment constraints: coverage (Eq. 10). The FPR budget
+                // (Eq. 9) is enforced on the aggregate at the end, but no
+                // single segment may exceed it either.
+                let selected = match mode {
+                    DpMode::SpecificFirst => select_min_fpr(&candidates, cfg.r, cfg.m),
+                    DpMode::MinFpr => select_lowest_fpr(&candidates, cfg.r, cfg.m),
+                };
+                if let Some(c) = selected {
+                    let score = Score {
+                        spec: c.specificity(),
+                        fpr: c.fpr,
+                    };
+                    best = Cell::Direct(c, score);
+                }
+            }
+            // Option 2: best two-way split (sub-solutions already optimal).
+            for t in s + 1..e {
+                if let (Some(left), Some(right)) = (dp[s][t].score(), dp[t][e].score()) {
+                    let combined = Score {
+                        spec: left.spec + right.spec,
+                        fpr: agg(left.fpr, right.fpr),
+                    };
+                    if best.score().is_none_or(|cur| combined.better_than(&cur, mode)) {
+                        best = Cell::Split(t, combined);
+                    }
+                }
+            }
+            dp[s][e] = best;
+        }
+    }
+    let total = dp[0][n].score().ok_or(InferError::NoFeasible)?;
+    let total_fpr = total.fpr;
+    let mut segments = Vec::new();
+    reconstruct(&dp, 0, n, &mut segments);
+    Ok(VerticalSolution {
+        segments,
+        total_fpr,
+    })
+}
+
+fn reconstruct(dp: &[Vec<Cell>], s: usize, e: usize, out: &mut Vec<Candidate>) {
+    match &dp[s][e] {
+        Cell::Direct(c, _) => out.push(c.clone()),
+        Cell::Split(t, _) => {
+            reconstruct(dp, s, *t, out);
+            reconstruct(dp, *t, e, out);
+        }
+        Cell::Infeasible => unreachable!("reconstructing an infeasible cell"),
+    }
+}
+
+/// FMDV-V entry point: requires a homogeneous column (all values share one
+/// coarse structure); heterogeneity is FMDV-H's job (§4).
+pub(crate) fn infer_fmdv_v<S: AsRef<str>>(
+    index: &PatternIndex,
+    cfg: &FmdvConfig,
+    train: &[S],
+) -> Result<VerticalSolution, InferError> {
+    if train.is_empty() {
+        return Err(InferError::EmptyColumn);
+    }
+    let analysis = analyze_column(train, &cfg.pattern);
+    if !analysis.is_homogeneous() {
+        return Err(InferError::NoHypothesis);
+    }
+    let group = &analysis.groups[0];
+    solve_vertical(index, cfg, group, group.sample_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_corpus::{generate_lake, Column, LakeProfile};
+    use av_index::{IndexConfig, PatternIndex};
+    use av_pattern::matches;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn test_index() -> PatternIndex {
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(800), 77);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        PatternIndex::build(&cols, &IndexConfig::default())
+    }
+
+    fn composite_column(n: usize, seed: u64) -> Vec<String> {
+        // "date-iso|time-24h|epoch" — a Fig. 8-style composite whose atomic
+        // sub-domains are popular in the corpus (so the index carries their
+        // segment patterns), joined by a separator no atomic column has.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                format!(
+                    "{}-{:02}-{:02}|{:02}:{:02}:{:02}|{}",
+                    rng.random_range(2010..2030),
+                    rng.random_range(1..13),
+                    rng.random_range(1..29),
+                    rng.random_range(0..24),
+                    rng.random_range(0..60),
+                    rng.random_range(0..60),
+                    rng.random_range(1_400_000_000u64..1_700_000_000),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn vertical_cut_handles_wide_composite_columns() {
+        let index = test_index();
+        let mut cfg = FmdvConfig::scaled_for_corpus(index.num_columns);
+        cfg.max_segment_tokens = index.tau;
+        let train = composite_column(60, 5);
+        let solution = infer_fmdv_v(&index, &cfg, &train);
+        // The composite column is ~19 tokens wide — too wide for any single
+        // indexed pattern — yet the DP must find a feasible segmentation.
+        let solution = solution.expect("vertical cut should find a solution");
+        assert!(solution.segments.len() >= 2, "should actually cut");
+        let full = solution.full_pattern();
+        for v in &train {
+            assert!(matches(&full, v), "{full} !~ {v}");
+        }
+        assert!(solution.total_fpr <= cfg.r);
+    }
+
+    #[test]
+    fn heterogeneous_column_is_rejected() {
+        let index = test_index();
+        let cfg = FmdvConfig::scaled_for_corpus(index.num_columns);
+        let train = vec!["123".to_string(), "abc-def".to_string()];
+        assert_eq!(
+            infer_fmdv_v(&index, &cfg, &train).err(),
+            Some(InferError::NoHypothesis).map(|e| e)
+        );
+    }
+
+    #[test]
+    fn empty_train_is_rejected() {
+        let index = test_index();
+        let cfg = FmdvConfig::default();
+        let train: Vec<String> = vec![];
+        assert!(matches!(
+            infer_fmdv_v(&index, &cfg, &train),
+            Err(InferError::EmptyColumn)
+        ));
+    }
+
+    #[test]
+    fn solution_reports_min_coverage() {
+        let index = test_index();
+        let mut cfg = FmdvConfig::scaled_for_corpus(index.num_columns);
+        cfg.max_segment_tokens = index.tau;
+        let train = composite_column(40, 9);
+        if let Ok(sol) = infer_fmdv_v(&index, &cfg, &train) {
+            assert!(sol.min_coverage() >= cfg.m);
+        }
+    }
+
+    #[test]
+    fn optimistic_aggregation_also_solves() {
+        // The optimistic (`max`) aggregation is an ablation; both modes
+        // must produce budget-respecting solutions on the same column
+        // (their chosen segmentations may legitimately differ).
+        let index = test_index();
+        let mut pess = FmdvConfig::scaled_for_corpus(index.num_columns);
+        pess.max_segment_tokens = index.tau;
+        let mut opt = pess.clone();
+        opt.optimistic_vertical = true;
+        let train = composite_column(40, 11);
+        let a = infer_fmdv_v(&index, &pess, &train).expect("pessimistic solves");
+        let b = infer_fmdv_v(&index, &opt, &train).expect("optimistic solves");
+        assert!(a.total_fpr <= pess.r);
+        assert!(b.total_fpr <= opt.r);
+        for v in &train {
+            assert!(av_pattern::matches(&a.full_pattern(), v));
+            assert!(av_pattern::matches(&b.full_pattern(), v));
+        }
+    }
+}

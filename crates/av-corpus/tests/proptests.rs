@@ -1,0 +1,78 @@
+//! Property-based tests for the corpus substrate: every generator must
+//! stay consistent with its own ground truth under all seeds and times.
+
+use av_corpus::{generate_lake, kaggle_tasks, machine_domains, Benchmark, LakeProfile};
+use av_pattern::matches;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every machine domain's samples match its ground truth at every
+    /// drift time t — the temporal window must never escape the domain.
+    #[test]
+    fn samples_match_ground_truth_at_all_times(seed in 0u64..10_000, t in 0.0f64..1.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for d in machine_domains() {
+            let gt = d.ground_truth().expect("machine domains carry ground truth");
+            let v = d.sample_at(&mut rng, t);
+            prop_assert!(matches(&gt, &v), "{} at t={t}: {gt} !~ {v:?}", d.name());
+        }
+    }
+
+    /// Lakes are seed-deterministic and structurally sound: row-aligned
+    /// tables, machine columns conforming to their ground truth up to the
+    /// recorded dirty rate.
+    #[test]
+    fn lake_invariants(seed in 0u64..500) {
+        let profile = LakeProfile::tiny().scaled(120);
+        let corpus = generate_lake(&profile, seed);
+        prop_assert!(corpus.num_columns() >= 120);
+        for table in &corpus.tables {
+            let rows = table.columns[0].len();
+            for col in &table.columns {
+                prop_assert_eq!(col.len(), rows, "row alignment in {}", table.name);
+            }
+        }
+        for col in corpus.columns() {
+            if let Some(gt) = &col.meta.ground_truth {
+                let bad = col.values.iter().filter(|v| !matches(gt, v)).count();
+                let allowed = (col.meta.dirty_rate * col.len() as f64).round() as usize;
+                prop_assert!(
+                    bad <= allowed,
+                    "{}: {} nonconforming but dirty_rate allows {}",
+                    col.name, bad, allowed
+                );
+            }
+        }
+    }
+
+    /// Benchmarks split 10/90 and never invent values.
+    #[test]
+    fn benchmark_invariants(seed in 0u64..200) {
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(150), seed);
+        let bench = Benchmark::sample(&corpus, 30, 20, 100, seed);
+        for case in &bench.cases {
+            let total = case.train.len() + case.test.len();
+            prop_assert!(total <= 100);
+            prop_assert_eq!(case.train.len(), (total / 10).max(1));
+            // Train + test is a prefix of the source column.
+            let rebuilt: Vec<&String> = case.train.iter().chain(case.test.iter()).collect();
+            let source: Vec<&String> = case.column.values.iter().take(total).collect();
+            prop_assert_eq!(rebuilt, source);
+        }
+    }
+
+    /// Kaggle tasks: swapping is an involution and clean data round-trips.
+    #[test]
+    fn kaggle_swap_involution(seed in 0u64..200) {
+        for task in kaggle_tasks(40, 20, seed) {
+            let once = task.with_swapped_test_cats(0, 1);
+            let twice = once.with_swapped_test_cats(0, 1);
+            prop_assert_eq!(&twice.cat_test, &task.cat_test);
+            prop_assert_eq!(&once.cat_train, &task.cat_train, "train never changes");
+        }
+    }
+}

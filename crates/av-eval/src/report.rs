@@ -1,0 +1,136 @@
+//! Report writers: aligned text tables for the console and CSV files for
+//! downstream plotting — one per paper table/figure.
+
+use crate::methodology::MethodResult;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Render method results as an aligned text table (the console analogue of
+/// Fig. 10's scatter).
+pub fn precision_recall_table(results: &[MethodResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>10} {:>10} {:>8} {:>12} {:>12}",
+        "method", "precision", "recall", "F1", "precision-GT", "recall-GT"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(74));
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>10.3} {:>10.3} {:>8.3} {:>12.3} {:>12.3}",
+            r.method,
+            r.precision,
+            r.recall,
+            r.f1(),
+            r.precision_gt,
+            r.recall_gt
+        );
+    }
+    out
+}
+
+/// Render a latency table (Fig. 14): average milliseconds per query column.
+pub fn latency_table(results: &[(String, f64)]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<20} {:>16}", "method", "avg latency (ms)");
+    let _ = writeln!(out, "{}", "-".repeat(38));
+    for (name, ms) in results {
+        let _ = writeln!(out, "{:<20} {:>16.3}", name, ms);
+    }
+    out
+}
+
+/// Write method results as CSV (`method,precision,recall,f1,precision_gt,recall_gt,latency_ms`).
+pub fn write_results_csv(path: impl AsRef<Path>, results: &[MethodResult]) -> io::Result<()> {
+    let mut s = String::from("method,precision,recall,f1,precision_gt,recall_gt,latency_ms\n");
+    for r in results {
+        let _ = writeln!(
+            s,
+            "{},{:.6},{:.6},{:.6},{:.6},{:.6},{:.6}",
+            r.method,
+            r.precision,
+            r.recall,
+            r.f1(),
+            r.precision_gt,
+            r.recall_gt,
+            r.avg_latency_ms
+        );
+    }
+    if let Some(dir) = path.as_ref().parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, s)
+}
+
+/// Write an arbitrary series as CSV with a header row.
+pub fn write_series_csv(
+    path: impl AsRef<Path>,
+    header: &str,
+    rows: &[Vec<String>],
+) -> io::Result<()> {
+    let mut s = String::from(header);
+    s.push('\n');
+    for row in rows {
+        s.push_str(&row.join(","));
+        s.push('\n');
+    }
+    if let Some(dir) = path.as_ref().parent() {
+        fs::create_dir_all(dir)?;
+    }
+    fs::write(path, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::methodology::MethodResult;
+
+    fn result(name: &str) -> MethodResult {
+        MethodResult {
+            method: name.into(),
+            precision: 0.96,
+            recall: 0.88,
+            precision_gt: 0.963,
+            recall_gt: 0.915,
+            avg_latency_ms: 0.08,
+            cases: vec![],
+        }
+    }
+
+    #[test]
+    fn table_contains_all_methods() {
+        let t = precision_recall_table(&[result("FMDV-VH"), result("PWheel")]);
+        assert!(t.contains("FMDV-VH"));
+        assert!(t.contains("PWheel"));
+        assert!(t.contains("0.960"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let dir = std::env::temp_dir().join("av_eval_report_test");
+        let path = dir.join("fig10.csv");
+        write_results_csv(&path, &[result("FMDV")]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("method,precision"));
+        assert_eq!(content.lines().count(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn series_csv() {
+        let dir = std::env::temp_dir().join("av_eval_series_test");
+        let path = dir.join("fig12.csv");
+        write_series_csv(
+            &path,
+            "r,precision,recall",
+            &[vec!["0.1".into(), "0.96".into(), "0.88".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "r,precision,recall\n0.1,0.96,0.88\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,395 @@
+//! Offline index construction (§2.4): one scan over the corpus, enumerating
+//! `P(D)` per column and aggregating impurity/coverage per pattern.
+//!
+//! The paper runs this as a Map-Reduce job on a production cluster; here it
+//! is a shard-and-merge build over OS threads — same dataflow (map: pattern
+//! enumeration per column, reduce: per-pattern aggregation), laptop scale.
+
+use crate::stats::{PatternStats, StatsAcc};
+use av_corpus::Column;
+use av_pattern::{column_pattern_profile, Pattern, PatternConfig};
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Identity hasher: index keys are already 64-bit FNV fingerprints, so
+/// rehashing them would be wasted work.
+#[derive(Default)]
+pub struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("identity hasher only accepts u64 keys");
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
+}
+
+type FastMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
+
+/// Configuration of the offline build.
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// Pattern-generation knobs. For indexing, `max_patterns` bounds the
+    /// patterns enumerated per column (the paper's coverage-threshold and
+    /// τ-limit mechanisms keep `P(D)` tractable).
+    pub pattern: PatternConfig,
+    /// Token-limit τ: values with more tokens are skipped (§2.4) — safe
+    /// because vertical cuts recompose wide columns at query time (§3).
+    pub tau: usize,
+    /// Worker threads for the shard-and-merge build.
+    pub num_threads: usize,
+    /// Keep pattern display strings (needed only for head-pattern analyses
+    /// like Fig. 3 / Fig. 13b labels; costs memory on big corpora).
+    pub keep_patterns: bool,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            pattern: PatternConfig {
+                max_patterns: 512,
+                ..Default::default()
+            },
+            tau: 13,
+            num_threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            keep_patterns: false,
+        }
+    }
+}
+
+impl IndexConfig {
+    /// Config with a specific τ.
+    pub fn with_tau(tau: usize) -> IndexConfig {
+        IndexConfig {
+            tau,
+            ..Default::default()
+        }
+    }
+}
+
+/// The offline index: pattern fingerprint → pre-computed `(FPR_T, Cov_T)`.
+///
+/// Orders of magnitude smaller than the corpus (the paper: 1 TB corpus →
+/// < 1 GB index); lookups are O(1), which is what turns hours-long corpus
+/// scans into sub-100ms online inference (Fig. 14).
+#[derive(Debug, Default)]
+pub struct PatternIndex {
+    map: FastMap<PatternStats>,
+    patterns: FastMap<String>,
+    /// Number of corpus columns scanned.
+    pub num_columns: u64,
+    /// The τ used at build time.
+    pub tau: usize,
+}
+
+impl PatternIndex {
+    /// Build the index over `columns` with `config`.
+    pub fn build(columns: &[&Column], config: &IndexConfig) -> PatternIndex {
+        let shards = config.num_threads.max(1);
+        let chunk = columns.len().div_ceil(shards).max(1);
+        let results: Vec<(FastMap<StatsAcc>, FastMap<String>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = columns
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut acc: FastMap<StatsAcc> = FastMap::default();
+                        let mut names: FastMap<String> = FastMap::default();
+                        for col in shard {
+                            index_one_column(col, config, &mut acc, &mut names);
+                        }
+                        (acc, names)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("indexing worker panicked"))
+                .collect()
+        });
+        let mut merged: FastMap<StatsAcc> = FastMap::default();
+        let mut patterns: FastMap<String> = FastMap::default();
+        for (shard, names) in results {
+            for (k, v) in shard {
+                merged.entry(k).or_default().merge(&v);
+            }
+            patterns.extend(names);
+        }
+        PatternIndex {
+            map: merged.into_iter().map(|(k, v)| (k, v.finish())).collect(),
+            patterns,
+            num_columns: columns.len() as u64,
+            tau: config.tau,
+        }
+    }
+
+    /// Pre-sized empty index (used by deserialization).
+    pub(crate) fn with_capacity(n: usize, num_columns: u64, tau: usize) -> PatternIndex {
+        PatternIndex {
+            map: FastMap::with_capacity_and_hasher(n, Default::default()),
+            patterns: FastMap::default(),
+            num_columns,
+            tau,
+        }
+    }
+
+    /// Insert a raw entry (used by deserialization).
+    pub(crate) fn insert_raw(&mut self, fingerprint: u64, stats: PatternStats) {
+        self.map.insert(fingerprint, stats);
+    }
+
+    /// Attach a display string to a fingerprint (used by deserialization).
+    pub(crate) fn insert_pattern_string(&mut self, fingerprint: u64, s: String) {
+        self.patterns.insert(fingerprint, s);
+    }
+
+    /// Look up pre-computed stats for a pattern.
+    pub fn lookup(&self, pattern: &Pattern) -> Option<PatternStats> {
+        self.map.get(&pattern.fingerprint()).copied()
+    }
+
+    /// `FPR_T(p)`, or `None` when the pattern never occurred in the corpus.
+    pub fn fpr(&self, pattern: &Pattern) -> Option<f64> {
+        self.lookup(pattern).map(|s| s.fpr)
+    }
+
+    /// `Cov_T(p)` (0 when absent).
+    pub fn cov(&self, pattern: &Pattern) -> u64 {
+        self.lookup(pattern).map(|s| s.cov).unwrap_or(0)
+    }
+
+    /// Number of distinct patterns indexed.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing was indexed.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over `(fingerprint, stats)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (u64, PatternStats)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Display string for a fingerprint (only in `keep_patterns` builds).
+    pub fn pattern_string(&self, fingerprint: u64) -> Option<&str> {
+        self.patterns.get(&fingerprint).map(|s| s.as_str())
+    }
+
+    /// Histogram of patterns by token length (Fig. 13a).
+    pub fn token_length_histogram(&self) -> Vec<(usize, u64)> {
+        let mut hist: HashMap<usize, u64> = HashMap::new();
+        for stats in self.map.values() {
+            *hist.entry(stats.token_len as usize).or_insert(0) += 1;
+        }
+        let mut out: Vec<(usize, u64)> = hist.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Histogram of patterns by coverage (Fig. 13b): how many patterns are
+    /// followed by exactly `cov` columns, for `cov` in `[1, max_cov]`;
+    /// the final bucket aggregates everything above.
+    pub fn coverage_histogram(&self, max_cov: u64) -> Vec<(u64, u64)> {
+        let mut hist: HashMap<u64, u64> = HashMap::new();
+        for stats in self.map.values() {
+            let bucket = stats.cov.min(max_cov);
+            *hist.entry(bucket).or_insert(0) += 1;
+        }
+        let mut out: Vec<(u64, u64)> = hist.into_iter().collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The "head" domain patterns (Fig. 3-style analysis): high coverage,
+    /// low FPR, sorted by coverage descending. Requires `keep_patterns`.
+    pub fn head_patterns(&self, min_cov: u64, max_fpr: f64) -> Vec<(String, PatternStats)> {
+        let mut out: Vec<(String, PatternStats)> = self
+            .map
+            .iter()
+            .filter(|(_, s)| s.cov >= min_cov && s.fpr <= max_fpr)
+            .filter_map(|(k, s)| self.patterns.get(k).map(|p| (p.clone(), *s)))
+            .collect();
+        out.sort_by(|a, b| b.1.cov.cmp(&a.1.cov).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+/// Index one column: enumerate `P(D)` with per-pattern matched fractions
+/// and fold into the shard accumulator.
+fn index_one_column(
+    col: &Column,
+    config: &IndexConfig,
+    acc: &mut FastMap<StatsAcc>,
+    names: &mut FastMap<String>,
+) {
+    for (pattern, matched_frac) in column_pattern_profile(&col.values, &config.pattern, config.tau)
+    {
+        let fp = pattern.fingerprint();
+        let entry = acc.entry(fp).or_default();
+        entry.imp_sum += 1.0 - matched_frac;
+        entry.cols += 1;
+        entry.token_len = pattern.len().min(255) as u8;
+        if config.keep_patterns {
+            names
+                .entry(fp)
+                .or_insert_with(|| pattern.to_string());
+        }
+    }
+}
+
+/// Scan-based FPR/coverage computation **without** an index — the paper's
+/// "FMDV (no-index)" reference point in Fig. 14. Returns `(fpr, cov)` for
+/// each requested pattern by profiling every corpus column on the fly.
+pub fn scan_corpus_fpr(
+    columns: &[&Column],
+    patterns: &[Pattern],
+    config: &IndexConfig,
+) -> Vec<(f64, u64)> {
+    let mut accs: Vec<StatsAcc> = vec![StatsAcc::default(); patterns.len()];
+    let want: HashMap<u64, usize> = patterns
+        .iter()
+        .enumerate()
+        .map(|(i, p)| (p.fingerprint(), i))
+        .collect();
+    for col in columns {
+        for (pattern, frac) in column_pattern_profile(&col.values, &config.pattern, config.tau) {
+            if let Some(&i) = want.get(&pattern.fingerprint()) {
+                accs[i].imp_sum += 1.0 - frac;
+                accs[i].cols += 1;
+            }
+        }
+    }
+    accs.iter().map(|a| (a.finish().fpr, a.cols)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_corpus::{generate_lake, LakeProfile};
+    use av_pattern::parse;
+
+    fn tiny_index() -> (av_corpus::Corpus, PatternIndex) {
+        let corpus = generate_lake(&LakeProfile::tiny(), 42);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let index = PatternIndex::build(&cols, &IndexConfig::default());
+        // Corpus must outlive nothing (index owns its data); return both.
+        drop(cols);
+        (corpus, index)
+    }
+
+    #[test]
+    fn build_indexes_popular_domains() {
+        let (_corpus, index) = tiny_index();
+        assert!(index.len() > 1000, "only {} patterns", index.len());
+        // The GUID domain pattern must be present with low FPR.
+        let guid = parse("<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-<alnum>{12}").unwrap();
+        let stats = index.lookup(&guid);
+        if let Some(s) = stats {
+            assert!(s.fpr < 0.2, "guid fpr {}", s.fpr);
+            assert!(s.cov >= 1);
+        }
+        // The trivial pattern is never indexed.
+        let trivial = av_pattern::Pattern::new(vec![av_pattern::Token::AnyPlus]);
+        assert!(index.lookup(&trivial).is_none());
+    }
+
+    #[test]
+    fn popular_pattern_has_high_coverage() {
+        let (corpus, index) = tiny_index();
+        // Count machine columns of the ipv4 domain in the corpus.
+        let ip_cols = corpus
+            .columns()
+            .filter(|c| c.meta.domain.as_deref() == Some("ipv4"))
+            .count() as u64;
+        if ip_cols >= 2 {
+            let p = parse("<digit>+.<digit>+.<digit>+.<digit>+").unwrap();
+            let cov = index.cov(&p);
+            assert!(
+                cov >= ip_cols,
+                "ipv4 pattern covers {cov} columns, expected at least {ip_cols}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_threaded_and_parallel_builds_agree() {
+        let corpus = generate_lake(&LakeProfile::tiny(), 9);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let mut cfg1 = IndexConfig::default();
+        cfg1.num_threads = 1;
+        let mut cfg4 = IndexConfig::default();
+        cfg4.num_threads = 4;
+        let a = PatternIndex::build(&cols, &cfg1);
+        let b = PatternIndex::build(&cols, &cfg4);
+        assert_eq!(a.len(), b.len());
+        let bmap: std::collections::HashMap<u64, PatternStats> = b.entries().collect();
+        for (k, sa) in a.entries() {
+            let sb = bmap.get(&k).expect("pattern in both");
+            assert!((sa.fpr - sb.fpr).abs() < 1e-12);
+            assert_eq!(sa.cov, sb.cov);
+        }
+    }
+
+    #[test]
+    fn scan_agrees_with_index() {
+        let corpus = generate_lake(&LakeProfile::tiny(), 4);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let config = IndexConfig::default();
+        let index = PatternIndex::build(&cols, &config);
+        let probes: Vec<Pattern> = vec![
+            parse("<digit>+.<digit>+.<digit>+.<digit>+").unwrap(),
+            parse("<letter>{3} <digit>{2} <digit>{4}").unwrap(),
+            parse("ZZZ-does-not-exist").unwrap(),
+        ];
+        let scanned = scan_corpus_fpr(&cols, &probes, &config);
+        for (p, (fpr, cov)) in probes.iter().zip(&scanned) {
+            let idx = index.lookup(p);
+            match idx {
+                Some(s) => {
+                    assert!((s.fpr - fpr).abs() < 1e-9, "{p}");
+                    assert_eq!(s.cov, *cov, "{p}");
+                }
+                None => assert_eq!(*cov, 0, "{p}"),
+            }
+        }
+    }
+
+    #[test]
+    fn histograms_are_consistent() {
+        let (_corpus, index) = tiny_index();
+        let by_len = index.token_length_histogram();
+        let total: u64 = by_len.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, index.len() as u64);
+        let by_cov = index.coverage_histogram(50);
+        let total2: u64 = by_cov.iter().map(|(_, c)| c).sum();
+        assert_eq!(total2, index.len() as u64);
+        assert!(by_cov.iter().all(|(cov, _)| *cov <= 50));
+    }
+
+    #[test]
+    fn keep_patterns_enables_head_analysis() {
+        let corpus = generate_lake(&LakeProfile::tiny(), 21);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let config = IndexConfig {
+            keep_patterns: true,
+            ..Default::default()
+        };
+        let index = PatternIndex::build(&cols, &config);
+        let heads = index.head_patterns(3, 0.05);
+        assert!(!heads.is_empty());
+        // Head patterns are sorted by coverage descending.
+        for w in heads.windows(2) {
+            assert!(w[0].1.cov >= w[1].1.cov);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! # av-index — the Auto-Validate offline index (§2.4)
+//!
+//! A naive FMDV implementation would scan the whole corpus `T` to compute
+//! `FPR_T(h)` and `Cov_T(h)` for every hypothesis — hours per query. The
+//! offline stage instead scans `T` once, enumerates `P(D)` for every column
+//! `D` (token-limit τ keeps this tractable; vertical cuts recompose wide
+//! columns at query time, §3), and aggregates per-pattern impurity and
+//! coverage into a [`PatternIndex`]: fingerprint → `(FPR_T, Cov_T)`.
+//!
+//! The build is a shard-and-merge map/reduce over OS threads (the paper
+//! uses a production Map-Reduce cluster — same dataflow). Indexes persist
+//! to a compact binary format and are orders of magnitude smaller than the
+//! corpus they summarize.
+
+#![warn(missing_docs)]
+
+mod build;
+mod persist;
+mod stats;
+
+pub use build::{scan_corpus_fpr, IdentityHasher, IndexConfig, PatternIndex};
+pub use persist::PersistError;
+pub use stats::PatternStats;

@@ -1,0 +1,224 @@
+//! Index persistence: a compact binary format so the offline stage's output
+//! can be shipped to the online service (§2.4: "the result from the offline
+//! step is an index for lookup").
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic "AVIX" | version u32 | num_columns u64 | tau u64 | n_entries u64
+//! then n_entries × (fingerprint u64, fpr f64, cov u64, token_len u8)
+//! then n_strings u64, n_strings × (fingerprint u64, len u32, utf-8 bytes)
+//! ```
+
+use crate::build::PatternIndex;
+use crate::stats::PatternStats;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"AVIX";
+const VERSION: u32 = 1;
+
+/// Errors from loading a persisted index.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not an index or is corrupt.
+    Format(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "index io error: {e}"),
+            PersistError::Format(m) => write!(f, "index format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl PatternIndex {
+    /// Serialize to bytes.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(32 + self.len() * 25);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u64_le(self.num_columns);
+        buf.put_u64_le(self.tau as u64);
+        let mut entries: Vec<(u64, PatternStats)> = self.entries().collect();
+        entries.sort_by_key(|(k, _)| *k);
+        buf.put_u64_le(entries.len() as u64);
+        for (k, s) in &entries {
+            buf.put_u64_le(*k);
+            buf.put_f64_le(s.fpr);
+            buf.put_u64_le(s.cov);
+            buf.put_u8(s.token_len);
+        }
+        let strings: Vec<(u64, &str)> = entries
+            .iter()
+            .filter_map(|(k, _)| self.pattern_string(*k).map(|s| (*k, s)))
+            .collect();
+        buf.put_u64_le(strings.len() as u64);
+        for (k, s) in strings {
+            buf.put_u64_le(k);
+            buf.put_u32_le(s.len() as u32);
+            buf.put_slice(s.as_bytes());
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize from bytes.
+    pub fn from_bytes(mut buf: &[u8]) -> Result<PatternIndex, PersistError> {
+        let err = |m: &str| PersistError::Format(m.to_string());
+        if buf.remaining() < 4 || &buf[..4] != MAGIC {
+            return Err(err("bad magic"));
+        }
+        buf.advance(4);
+        if buf.remaining() < 28 {
+            return Err(err("truncated header"));
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(PersistError::Format(format!("unsupported version {version}")));
+        }
+        let num_columns = buf.get_u64_le();
+        let tau = buf.get_u64_le() as usize;
+        let n = buf.get_u64_le() as usize;
+        let mut index = PatternIndex::with_capacity(n, num_columns, tau);
+        for _ in 0..n {
+            if buf.remaining() < 25 {
+                return Err(err("truncated entries"));
+            }
+            let k = buf.get_u64_le();
+            let fpr = buf.get_f64_le();
+            let cov = buf.get_u64_le();
+            let token_len = buf.get_u8();
+            index.insert_raw(k, PatternStats { fpr, cov, token_len });
+        }
+        if buf.remaining() < 8 {
+            return Err(err("missing string section"));
+        }
+        let ns = buf.get_u64_le() as usize;
+        for _ in 0..ns {
+            if buf.remaining() < 12 {
+                return Err(err("truncated strings"));
+            }
+            let k = buf.get_u64_le();
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(err("truncated string payload"));
+            }
+            let s = String::from_utf8(buf[..len].to_vec())
+                .map_err(|_| err("invalid utf-8 in pattern string"))?;
+            buf.advance(len);
+            index.insert_pattern_string(k, s);
+        }
+        Ok(index)
+    }
+
+    /// Write the index to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        let mut f = File::create(path)?;
+        f.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Read an index from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<PatternIndex, PersistError> {
+        let mut f = File::open(path)?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        PatternIndex::from_bytes(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{IndexConfig, PatternIndex};
+    use av_corpus::{generate_lake, Column, LakeProfile};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let corpus = generate_lake(&LakeProfile::tiny(), 8);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let config = IndexConfig {
+            keep_patterns: true,
+            ..Default::default()
+        };
+        let index = PatternIndex::build(&cols, &config);
+        let bytes = index.to_bytes();
+        let restored = PatternIndex::from_bytes(&bytes).unwrap();
+        assert_eq!(restored.len(), index.len());
+        assert_eq!(restored.num_columns, index.num_columns);
+        assert_eq!(restored.tau, index.tau);
+        let rmap: std::collections::HashMap<u64, crate::stats::PatternStats> =
+            restored.entries().collect();
+        for (k, s) in index.entries() {
+            let r = rmap.get(&k).expect("entry survives");
+            assert_eq!(r.cov, s.cov);
+            assert!((r.fpr - s.fpr).abs() < 1e-15);
+            assert_eq!(restored.pattern_string(k), index.pattern_string(k));
+        }
+    }
+
+    #[test]
+    fn corrupt_input_is_rejected() {
+        assert!(PatternIndex::from_bytes(b"not an index").is_err());
+        assert!(PatternIndex::from_bytes(b"AVIX").is_err());
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(50), 8);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let index = PatternIndex::build(&cols, &IndexConfig::default());
+        let bytes = index.to_bytes();
+        // Truncate mid-entries.
+        assert!(PatternIndex::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn save_and_load_via_file() {
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(60), 2);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let index = PatternIndex::build(&cols, &IndexConfig::default());
+        let dir = std::env::temp_dir().join("av_index_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.avix");
+        index.save(&path).unwrap();
+        let loaded = PatternIndex::load(&path).unwrap();
+        assert_eq!(loaded.len(), index.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn index_size_is_compact() {
+        // The paper: terabyte corpus → sub-gigabyte index. Proportionally:
+        // our index must be much smaller than the raw values it summarizes.
+        // Use realistic column sizes — compactness comes from patterns being
+        // shared across values and columns.
+        let mut profile = LakeProfile::tiny().scaled(400);
+        profile.rows = (100, 300);
+        let corpus = generate_lake(&profile, 31);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let raw: usize = cols
+            .iter()
+            .flat_map(|c| c.values.iter())
+            .map(|v| v.len())
+            .sum();
+        let index = PatternIndex::build(&cols, &IndexConfig::default());
+        let bytes = index.to_bytes();
+        assert!(
+            bytes.len() < raw,
+            "index {} bytes vs raw {} bytes",
+            bytes.len(),
+            raw
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Per-pattern summary statistics stored in the offline index.
+
+/// Pre-computed statistics for one pattern `p ∈ P(T)` (§2.4): the estimated
+/// false-positive rate `FPR_T(p)` (Def. 3) and the coverage `Cov_T(p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternStats {
+    /// `FPR_T(p)`: average impurity over the columns `p` covers.
+    pub fpr: f64,
+    /// `Cov_T(p)`: number of corpus columns with at least one matching value.
+    pub cov: u64,
+    /// Number of tokens in the pattern (for the Fig. 13a distribution).
+    pub token_len: u8,
+}
+
+/// Mutable accumulator used during the map/reduce build.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct StatsAcc {
+    /// Sum of per-column impurities.
+    pub imp_sum: f64,
+    /// Number of covering columns.
+    pub cols: u64,
+    /// Token length (constant per pattern).
+    pub token_len: u8,
+}
+
+impl StatsAcc {
+    pub(crate) fn merge(&mut self, other: &StatsAcc) {
+        self.imp_sum += other.imp_sum;
+        self.cols += other.cols;
+        self.token_len = self.token_len.max(other.token_len);
+    }
+
+    pub(crate) fn finish(&self) -> PatternStats {
+        PatternStats {
+            fpr: if self.cols == 0 {
+                0.0
+            } else {
+                self.imp_sum / self.cols as f64
+            },
+            cov: self.cols,
+            token_len: self.token_len,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acc_merge_and_finish() {
+        // Example 5 of the paper: 5000 covering columns, 4800 with impurity
+        // 0 and 200 with impurity 1% → FPR 0.04%.
+        let mut a = StatsAcc {
+            imp_sum: 0.0,
+            cols: 4800,
+            token_len: 4,
+        };
+        let b = StatsAcc {
+            imp_sum: 200.0 * 0.01,
+            cols: 200,
+            token_len: 4,
+        };
+        a.merge(&b);
+        let s = a.finish();
+        assert_eq!(s.cov, 5000);
+        assert!((s.fpr - 0.0004).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_acc_has_zero_fpr() {
+        let s = StatsAcc::default().finish();
+        assert_eq!(s.fpr, 0.0);
+        assert_eq!(s.cov, 0);
+    }
+}

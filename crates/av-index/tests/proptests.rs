@@ -1,0 +1,80 @@
+//! Property-based tests for index invariants on arbitrary synthetic columns.
+
+use av_corpus::{Column, ColumnMeta};
+use av_index::{IndexConfig, PatternIndex};
+use proptest::prelude::*;
+
+fn value() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9:/._-]{0,12}").expect("valid regex")
+}
+
+fn column(id: usize, values: Vec<String>) -> Column {
+    Column {
+        name: format!("c{id}"),
+        values,
+        meta: ColumnMeta::machine("prop", None),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For any corpus: FPRs live in [0,1], coverage never exceeds the
+    /// column count, token lengths are consistent, and serialization
+    /// round-trips.
+    #[test]
+    fn index_invariants(
+        cols in proptest::collection::vec(
+            proptest::collection::vec(value(), 1..20),
+            1..12,
+        )
+    ) {
+        let columns: Vec<Column> = cols
+            .into_iter()
+            .enumerate()
+            .map(|(i, vals)| column(i, vals))
+            .collect();
+        let refs: Vec<&Column> = columns.iter().collect();
+        let index = PatternIndex::build(&refs, &IndexConfig::default());
+        prop_assert_eq!(index.num_columns, refs.len() as u64);
+        for (_, stats) in index.entries() {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&stats.fpr), "fpr {}", stats.fpr);
+            prop_assert!(stats.cov >= 1);
+            prop_assert!(stats.cov <= index.num_columns);
+        }
+        let restored = PatternIndex::from_bytes(&index.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(restored.len(), index.len());
+    }
+
+    /// Duplicating every column doubles coverage counts but keeps FPRs.
+    #[test]
+    fn duplication_scales_coverage_not_fpr(
+        cols in proptest::collection::vec(
+            proptest::collection::vec(value(), 2..12),
+            1..6,
+        )
+    ) {
+        let single: Vec<Column> = cols
+            .iter()
+            .cloned()
+            .enumerate()
+            .map(|(i, v)| column(i, v))
+            .collect();
+        let doubled: Vec<Column> = cols
+            .iter()
+            .cloned()
+            .chain(cols.iter().cloned())
+            .enumerate()
+            .map(|(i, v)| column(i, v))
+            .collect();
+        let idx1 = PatternIndex::build(&single.iter().collect::<Vec<_>>(), &IndexConfig::default());
+        let idx2 = PatternIndex::build(&doubled.iter().collect::<Vec<_>>(), &IndexConfig::default());
+        prop_assert_eq!(idx1.len(), idx2.len(), "same pattern set");
+        let map2: std::collections::HashMap<u64, av_index::PatternStats> = idx2.entries().collect();
+        for (k, s1) in idx1.entries() {
+            let s2 = map2.get(&k).expect("pattern survives duplication");
+            prop_assert_eq!(s2.cov, s1.cov * 2, "coverage doubles");
+            prop_assert!((s2.fpr - s1.fpr).abs() < 1e-9, "fpr invariant");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Quality metrics for the case study: R² for regression tasks and average
+//! precision for classification tasks (the metrics Fig. 15 reports).
+
+/// Coefficient of determination R².
+pub fn r2_score(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    let ss_res: f64 = truth
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| (t - p) * (t - p))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Average precision (area under the precision-recall curve, step-wise),
+/// for binary labels scored by descending `pred`.
+pub fn average_precision(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    let positives = truth.iter().filter(|&&t| t > 0.5).count();
+    if positives == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..truth.len()).collect();
+    order.sort_by(|&a, &b| pred[b].partial_cmp(&pred[a]).expect("finite scores"));
+    let mut hits = 0usize;
+    let mut ap = 0.0f64;
+    for (rank, &i) in order.iter().enumerate() {
+        if truth[i] > 0.5 {
+            hits += 1;
+            ap += hits as f64 / (rank + 1) as f64;
+        }
+    }
+    ap / positives as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn r2_perfect_and_mean_predictors() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        assert!((r2_score(&truth, &truth) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.5; 4];
+        assert!(r2_score(&truth, &mean_pred).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_worse_than_mean_is_negative() {
+        let truth = [1.0, 2.0, 3.0];
+        let bad = [3.0, 1.0, 10.0];
+        assert!(r2_score(&truth, &bad) < 0.0);
+    }
+
+    #[test]
+    fn ap_perfect_ranking() {
+        let truth = [1.0, 1.0, 0.0, 0.0];
+        let pred = [0.9, 0.8, 0.2, 0.1];
+        assert!((average_precision(&truth, &pred) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_random_is_positive_rate() {
+        // With all scores equal? Ties keep input order; use a known case:
+        // worst ranking puts positives last.
+        let truth = [0.0, 0.0, 1.0];
+        let pred = [0.9, 0.8, 0.1];
+        // single positive at rank 3 → AP = 1/3.
+        assert!((average_precision(&truth, &pred) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ap_without_positives_is_zero() {
+        assert_eq!(average_precision(&[0.0, 0.0], &[0.5, 0.6]), 0.0);
+    }
+}

@@ -1,0 +1,680 @@
+//! Column analysis: Algorithm 1 with support counting.
+//!
+//! The paper's pattern generation runs in two steps (Alg. 1): emit coarse
+//! patterns, retain those with sufficient coverage, then drill each position
+//! down the hierarchy, again retaining refinements with sufficient coverage.
+//!
+//! We implement this with **support bitsets**: values are grouped by their
+//! *merged* coarse structure (adjacent digit/letter runs fused into one
+//! alphanumeric segment, so hex/GUID-like domains whose strict run structure
+//! varies per value still group together). Within a group every candidate
+//! token at every position carries a bitset of the sampled values that
+//! generate it, so for any enumerated pattern `p` we know exactly how many
+//! values `v` have `p ∈ P(v)` — which is precisely the quantity behind the
+//! impurity `Imp_D(p)` of Definition 1.
+
+use crate::generalize::{run_options, PatternConfig};
+use crate::pattern::Pattern;
+use crate::token::{CharClass, Token};
+use crate::tokenize::{tokenize, Run};
+use std::collections::HashMap;
+
+/// A fixed-capacity bitset over the sampled values of one coarse group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// Empty set over `len` slots.
+    pub fn new(len: usize) -> BitSet {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Set slot `i`.
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Is slot `i` set?
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set slots.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// In-place intersection.
+    pub fn and_assign(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// Capacity.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when capacity is zero.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Class of a merged (alnum-fused) run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum MergedClass {
+    Alnum,
+    Sym,
+    Space,
+}
+
+/// A merged run: adjacent digit/letter runs fuse into one `Alnum` segment.
+struct MergedRun<'a> {
+    class: MergedClass,
+    text: &'a str,
+    subs: Vec<Run<'a>>,
+}
+
+/// Merge the strict runs of `value` into alnum/sym/space segments.
+fn merged_runs(value: &str) -> Vec<MergedRun<'_>> {
+    let runs = tokenize(value);
+    let mut out: Vec<MergedRun<'_>> = Vec::with_capacity(runs.len());
+    let mut offset = 0usize; // byte offset where the current run starts
+    for run in runs {
+        let end = offset + run.text.len();
+        let class = match run.class {
+            CharClass::Digit | CharClass::Letter => MergedClass::Alnum,
+            CharClass::Symbol => MergedClass::Sym,
+            CharClass::Space => MergedClass::Space,
+        };
+        match out.last_mut() {
+            Some(last) if last.class == MergedClass::Alnum && class == MergedClass::Alnum => {
+                let start = end - last.text.len() - run.text.len();
+                last.text = &value[start..end];
+                last.subs.push(run);
+            }
+            _ => {
+                out.push(MergedRun {
+                    class,
+                    text: &value[offset..end],
+                    subs: vec![run],
+                });
+            }
+        }
+        offset = end;
+    }
+    out
+}
+
+/// Number of merged tokens in a value — the effective position count of
+/// the analyzer (adjacent digit/letter runs count once). This is the width
+/// measure the τ token-limit applies to: hex/GUID-like values alternate
+/// digit and letter runs and would absurdly exceed any strict-run limit
+/// while having few *positions*.
+pub fn merged_token_count(value: &str) -> usize {
+    merged_runs(value).len()
+}
+
+/// The merged coarse key of a value: one class token per merged run. Values
+/// sharing a key are structurally compatible and analyzed together.
+pub fn merged_key(value: &str) -> Pattern {
+    merged_runs(value)
+        .iter()
+        .map(|m| match m.class {
+            MergedClass::Alnum => Token::AlnumPlus,
+            MergedClass::Sym => Token::SymPlus,
+            MergedClass::Space => Token::SpacePlus,
+        })
+        .collect()
+}
+
+/// Candidate tokens with support, for one (flattened) position.
+///
+/// Options are stored in **trim order**: when the enumeration cross-product
+/// exceeds the configured cap, options are dropped from the *front*. The
+/// order puts partial-support options first (lowest support earliest), then
+/// full-support options from most expendable (`<any>+`, cross-class
+/// `<alnum>` on pure positions) to least (the class's own tokens and
+/// literal delimiters), so the patterns a validator actually wants survive
+/// trimming the longest.
+#[derive(Debug, Clone)]
+pub struct PositionOptions {
+    /// `(token, supporting sampled values)`, in trim order.
+    pub options: Vec<(Token, BitSet)>,
+}
+
+/// Expendability rank used for trim ordering: smaller = dropped earlier when
+/// the enumeration budget is exceeded. `full` says whether the option is
+/// supported by every sampled value.
+///
+/// The ordering encodes what a validator needs most: partial-support
+/// literals are noise (dropped first), `<any>+` and cross-class tokens are
+/// rarely the chosen rule, full-support literals pin real constants, and the
+/// class's own fixed/variadic tokens are kept longest — *including
+/// partial-support fixed widths* (e.g. `<digit>{1}` on a column mixing 1-
+/// and 2-digit hours), because those are exactly the narrow hypotheses whose
+/// impurity evidence the corpus index must record (Fig. 6).
+fn trim_rank(t: &Token, full: bool) -> u8 {
+    match t {
+        Token::Lit(_) if !full => 0,
+        Token::AnyPlus => 1,
+        Token::Alnum(_) if !full => 2,
+        Token::Upper(_) | Token::Lower(_) if !full => 2,
+        Token::UpperPlus | Token::LowerPlus if !full => 3,
+        Token::Alnum(_) => 3,
+        Token::AlnumPlus | Token::Num | Token::SymPlus => 4,
+        Token::Lit(_) => 5,
+        Token::Upper(_) | Token::Lower(_) | Token::UpperPlus | Token::LowerPlus => 6,
+        Token::Digit(_) | Token::Letter(_) | Token::Sym(_) => 7,
+        Token::DigitPlus | Token::LetterPlus | Token::SpacePlus => 8,
+    }
+}
+
+/// One coarse group of a column.
+#[derive(Debug, Clone)]
+pub struct CoarseGroup {
+    /// The merged coarse key shared by the group's values.
+    pub key: Pattern,
+    /// Number of column values in the group (all, not only sampled).
+    pub count: usize,
+    /// Number of values actually sampled into the bitsets.
+    pub sample_size: usize,
+    /// Flattened per-position candidate tokens with support.
+    pub positions: Vec<PositionOptions>,
+}
+
+/// One enumerated pattern with its exact sample support.
+#[derive(Debug, Clone)]
+pub struct SupportedPattern {
+    /// The pattern.
+    pub pattern: Pattern,
+    /// Number of sampled values `v` with `pattern ∈ P(v)`.
+    pub support: usize,
+}
+
+impl CoarseGroup {
+    /// Upper bound on the cross-product size before trimming.
+    pub fn num_combinations(&self) -> u128 {
+        self.positions
+            .iter()
+            .map(|p| p.options.len() as u128)
+            .product::<u128>()
+            .max(1)
+    }
+
+    /// Enumerate fine-grained patterns with exact supports (step 2 of
+    /// Algorithm 1). Patterns supported by zero sampled values and the
+    /// trivial all-`<any>+` pattern are dropped. When the cross-product
+    /// exceeds `cfg.max_patterns`, the most specific options are trimmed
+    /// from the widest positions first.
+    pub fn enumerate(&self, cfg: &PatternConfig) -> Vec<SupportedPattern> {
+        self.enumerate_segment(0, self.positions.len(), 1, cfg)
+    }
+
+    /// Enumerate patterns for the position range `[start, end)` only,
+    /// keeping patterns supported by at least `min_support` sampled values.
+    /// This is the building block of the vertical-cut DP (§3): each segment
+    /// `C[s, e]` is treated "just like a regular column cut from C".
+    pub fn enumerate_segment(
+        &self,
+        start: usize,
+        end: usize,
+        min_support: usize,
+        cfg: &PatternConfig,
+    ) -> Vec<SupportedPattern> {
+        assert!(start <= end && end <= self.positions.len(), "segment bounds");
+        if start == end {
+            return vec![SupportedPattern {
+                pattern: Pattern::empty(),
+                support: self.sample_size,
+            }];
+        }
+        // Trim to fit the cap.
+        let mut positions: Vec<Vec<(Token, BitSet)>> = self.positions[start..end]
+            .iter()
+            .map(|p| p.options.clone())
+            .collect();
+        loop {
+            let product: u128 = positions.iter().map(|p| p.len() as u128).product();
+            if product <= cfg.max_patterns as u128 {
+                break;
+            }
+            let widest = positions
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, p)| p.len())
+                .map(|(i, _)| i)
+                .expect("positions non-empty");
+            if positions[widest].len() <= 1 {
+                break;
+            }
+            positions[widest].remove(0);
+        }
+        let full = {
+            let mut b = BitSet::new(self.sample_size);
+            for i in 0..self.sample_size {
+                b.set(i);
+            }
+            b
+        };
+        let mut out: Vec<SupportedPattern> = Vec::new();
+        let mut stack: Vec<Token> = Vec::with_capacity(positions.len());
+        enumerate_rec(&positions, 0, &full, min_support.max(1), &mut stack, &mut out);
+        out.retain(|sp| !sp.pattern.is_trivial());
+        out
+    }
+
+    /// Only the patterns supported by *every* sampled value — the group's
+    /// contribution to `H(C) = ∩ P(v)`.
+    pub fn full_support_patterns(&self, cfg: &PatternConfig) -> Vec<Pattern> {
+        self.enumerate(cfg)
+            .into_iter()
+            .filter(|sp| sp.support == self.sample_size)
+            .map(|sp| sp.pattern)
+            .collect()
+    }
+}
+
+fn enumerate_rec(
+    positions: &[Vec<(Token, BitSet)>],
+    depth: usize,
+    support: &BitSet,
+    min_support: usize,
+    stack: &mut Vec<Token>,
+    out: &mut Vec<SupportedPattern>,
+) {
+    if depth == positions.len() {
+        out.push(SupportedPattern {
+            pattern: Pattern::new(stack.clone()),
+            support: support.count(),
+        });
+        return;
+    }
+    for (token, bits) in &positions[depth] {
+        let mut next = support.clone();
+        next.and_assign(bits);
+        // Support only shrinks with depth, so pruning here is exact.
+        if next.count() < min_support {
+            continue;
+        }
+        stack.push(token.clone());
+        enumerate_rec(positions, depth + 1, &next, min_support, stack, out);
+        stack.pop();
+    }
+}
+
+/// Full analysis result for a column.
+#[derive(Debug, Clone)]
+pub struct ColumnAnalysis {
+    /// Retained coarse groups, largest first.
+    pub groups: Vec<CoarseGroup>,
+    /// Total number of values analyzed (including dropped groups).
+    pub total_values: usize,
+}
+
+impl ColumnAnalysis {
+    /// The dominant group, if any.
+    pub fn dominant(&self) -> Option<&CoarseGroup> {
+        self.groups.first()
+    }
+
+    /// Single coarse structure covering every value (basic-FMDV assumption)?
+    pub fn is_homogeneous(&self) -> bool {
+        self.groups.len() == 1 && self.groups[0].count == self.total_values
+    }
+}
+
+/// Merged-level generalization options for one merged run of a value.
+fn merged_options(m: &MergedRun<'_>) -> Vec<Token> {
+    let w = m.text.chars().count() as u16;
+    match m.class {
+        MergedClass::Alnum => vec![
+            Token::lit(m.text),
+            Token::Alnum(w),
+            Token::AlnumPlus,
+            Token::AnyPlus,
+        ],
+        MergedClass::Sym => vec![
+            Token::lit(m.text),
+            Token::Sym(w),
+            Token::SymPlus,
+            Token::AnyPlus,
+        ],
+        MergedClass::Space => vec![Token::lit(m.text), Token::SpacePlus, Token::AnyPlus],
+    }
+}
+
+/// Analyze a column: group by merged coarse key, flatten positions (strict
+/// sub-runs where the whole group agrees on sub-structure, merged segments
+/// otherwise) and record per-token supports.
+pub fn analyze_column<S: AsRef<str>>(values: &[S], cfg: &PatternConfig) -> ColumnAnalysis {
+    let total = values.len();
+    // 1. Group value indices by merged key.
+    let mut groups: HashMap<Pattern, Vec<usize>> = HashMap::new();
+    for (i, v) in values.iter().enumerate() {
+        groups.entry(merged_key(v.as_ref())).or_default().push(i);
+    }
+    let min_count = ((cfg.coverage_frac * total as f64).ceil() as usize).max(1);
+    let mut out: Vec<CoarseGroup> = Vec::new();
+    for (key, members) in groups {
+        if members.len() < min_count {
+            continue;
+        }
+        let sample: Vec<&str> = members
+            .iter()
+            .take(cfg.sample_values)
+            .map(|&i| values[i].as_ref())
+            .collect();
+        let sample_size = sample.len();
+        let parsed: Vec<Vec<MergedRun<'_>>> = sample.iter().map(|v| merged_runs(v)).collect();
+        let arity = key.len();
+        // Drill-down retention (Alg. 1): a candidate token must cover at
+        // least the configured fraction of values — and never fewer than 2
+        // once the sample is big enough to tell ("seeing a pattern once or
+        // twice is not sufficient", §2.2). Tiny samples (single values,
+        // short test columns) keep everything.
+        let floor = if sample_size >= 8 { 2 } else { 1 };
+        let min_support = ((cfg.coverage_frac * sample_size as f64).ceil() as usize).max(floor);
+        let mut positions: Vec<PositionOptions> = Vec::new();
+        for j in 0..arity {
+            // Does the whole group share the strict sub-structure here?
+            let first_classes: Vec<CharClass> = parsed[0][j].subs.iter().map(|r| r.class).collect();
+            let consistent = parsed.iter().all(|mr| {
+                mr[j].subs.len() == first_classes.len()
+                    && mr[j]
+                        .subs
+                        .iter()
+                        .zip(&first_classes)
+                        .all(|(r, c)| r.class == *c)
+            });
+            if consistent {
+                for s in 0..first_classes.len() {
+                    let mut map: HashMap<Token, BitSet> = HashMap::new();
+                    for (vi, mr) in parsed.iter().enumerate() {
+                        for token in run_options(&mr[j].subs[s], cfg) {
+                            map.entry(token)
+                                .or_insert_with(|| BitSet::new(sample_size))
+                                .set(vi);
+                        }
+                    }
+                    positions.push(collect_options(map, min_support, sample_size));
+                }
+            } else {
+                let mut map: HashMap<Token, BitSet> = HashMap::new();
+                for (vi, mr) in parsed.iter().enumerate() {
+                    for token in merged_options(&mr[j]) {
+                        map.entry(token)
+                            .or_insert_with(|| BitSet::new(sample_size))
+                            .set(vi);
+                    }
+                }
+                positions.push(collect_options(map, min_support, sample_size));
+            }
+        }
+        out.push(CoarseGroup {
+            key,
+            count: members.len(),
+            sample_size,
+            positions,
+        });
+    }
+    out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp(&b.key)));
+    ColumnAnalysis {
+        groups: out,
+        total_values: total,
+    }
+}
+
+/// Filter by support threshold (class-level tokens always have full support
+/// and survive), then order for trimming: partial-support options first
+/// (lowest support earliest), then full-support by expendability rank, with
+/// a deterministic token tie-break.
+fn collect_options(
+    map: HashMap<Token, BitSet>,
+    min_support: usize,
+    sample_size: usize,
+) -> PositionOptions {
+    let mut options: Vec<(Token, BitSet)> = map
+        .into_iter()
+        .filter(|(_, bits)| bits.count() >= min_support)
+        .collect();
+    options.sort_by(|(a, abits), (b, bbits)| {
+        let a_full = abits.count() == sample_size;
+        let b_full = bbits.count() == sample_size;
+        trim_rank(a, a_full)
+            .cmp(&trim_rank(b, b_full))
+            .then_with(|| abits.count().cmp(&bbits.count()))
+            .then_with(|| a.cmp(b))
+    });
+    PositionOptions { options }
+}
+
+/// The hypothesis space `H(C) = ∩_{v∈C} P(v) \ ".*"` (§2.1): patterns
+/// supported by every sampled value, available only when the column is
+/// homogeneous (one coarse structure) — otherwise empty, which is the case
+/// horizontal cuts (§4) handle.
+pub fn hypothesis_space<S: AsRef<str>>(values: &[S], cfg: &PatternConfig) -> Vec<Pattern> {
+    let analysis = analyze_column(values, cfg);
+    if !analysis.is_homogeneous() {
+        return Vec::new();
+    }
+    analysis.groups[0].full_support_patterns(cfg)
+}
+
+/// The space `P(v)` of patterns consistent with a single value (§2.1),
+/// bounded by the enumeration caps.
+pub fn patterns_of_value(value: &str, cfg: &PatternConfig) -> Vec<Pattern> {
+    analyze_column(&[value], cfg)
+        .groups
+        .first()
+        .map(|g| g.enumerate(cfg).into_iter().map(|sp| sp.pattern).collect())
+        .unwrap_or_default()
+}
+
+/// Per-pattern matched fraction over the whole column — the quantity behind
+/// `Imp_D(p) = 1 − matched_fraction` (Def. 1). Used by the offline indexer.
+///
+/// `tau` is the token-limit τ of §2.4, measured in *merged* tokens (the
+/// analyzer's positions): wider values are excluded from pattern generation
+/// (vertical cuts compensate at query time); they still count in the
+/// denominator, i.e. they are treated as non-matching, which is
+/// conservative.
+pub fn column_pattern_profile<S: AsRef<str>>(
+    values: &[S],
+    cfg: &PatternConfig,
+    tau: usize,
+) -> Vec<(Pattern, f64)> {
+    let narrow: Vec<&str> = values
+        .iter()
+        .map(|v| v.as_ref())
+        .filter(|v| merged_token_count(v) <= tau)
+        .collect();
+    if narrow.is_empty() {
+        return Vec::new();
+    }
+    let total = values.len();
+    let analysis = analyze_column(&narrow, cfg);
+    let mut acc: HashMap<Pattern, f64> = HashMap::new();
+    for g in &analysis.groups {
+        if g.sample_size == 0 {
+            continue;
+        }
+        let scale = (g.count as f64 / g.sample_size as f64) / total as f64;
+        for sp in g.enumerate(cfg) {
+            *acc.entry(sp.pattern).or_insert(0.0) += sp.support as f64 * scale;
+        }
+    }
+    let mut out: Vec<(Pattern, f64)> = acc.into_iter().collect();
+    out.sort_by(|(a, _), (b, _)| a.cmp(b));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::matches;
+
+    #[test]
+    fn bitset_basics() {
+        let mut b = BitSet::new(130);
+        assert_eq!(b.count(), 0);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert_eq!(b.count(), 3);
+        assert!(b.get(64));
+        assert!(!b.get(63));
+        let mut c = BitSet::new(130);
+        c.set(64);
+        c.set(100);
+        b.and_assign(&c);
+        assert_eq!(b.count(), 1);
+        assert!(b.get(64));
+    }
+
+    #[test]
+    fn merged_key_fuses_alnum_runs() {
+        // GUID-ish hex segments vary in strict structure but share a merged key.
+        let k1 = merged_key("550e8400-e29b-41d4");
+        let k2 = merged_key("abcdffff-1234-cdef");
+        assert_eq!(k1, k2);
+        assert_eq!(k1.to_string(), "<alnum>+<sym>+<alnum>+<sym>+<alnum>+");
+    }
+
+    #[test]
+    fn merged_runs_reconstruct_text() {
+        for v in ["550e8400-e29b", "Mar 01 2019", "..ab12..", ""] {
+            let ms = merged_runs(v);
+            let joined: String = ms.iter().map(|m| m.text).collect();
+            assert_eq!(joined, v);
+        }
+    }
+
+    #[test]
+    fn guid_column_is_homogeneous_and_yields_alnum_patterns() {
+        let values = [
+            "550e8400-e29b-41d4-a716-446655440000",
+            "67e55044-10b1-426f-9247-bb680e5fe0c8",
+            "deadbeef-cafe-babe-f00d-000000000001",
+        ];
+        let cfg = PatternConfig::default();
+        let analysis = analyze_column(&values, &cfg);
+        assert!(analysis.is_homogeneous());
+        let h = hypothesis_space(&values, &cfg);
+        assert!(!h.is_empty());
+        // The canonical GUID pattern must be among the hypotheses.
+        let want = crate::parser::parse(
+            "<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-<alnum>{12}",
+        )
+        .unwrap();
+        assert!(h.contains(&want), "H(C) missing {want}");
+        for p in &h {
+            for v in &values {
+                assert!(matches(p, v), "{p} vs {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn impure_column_reports_partial_support() {
+        // Fig. 6's D: time-stamps where some values have 1-digit hours and
+        // some 2-digit hours. The narrow pattern h2 must come out with
+        // partial support (impurity > 0), not disappear.
+        let values = [
+            "9:07:32 AM",
+            "8:01:15 AM",
+            "7:00:00 PM",
+            "10:02:20 AM",
+            "11:45:12 PM",
+            "12:01:32 PM",
+        ];
+        let cfg = PatternConfig::default();
+        let analysis = analyze_column(&values, &cfg);
+        assert_eq!(analysis.groups.len(), 1, "one coarse structure");
+        let g = &analysis.groups[0];
+        let enumerated = g.enumerate(&cfg);
+        // h2-like pattern with a single-digit hour.
+        let h2 = crate::parser::parse("<digit>{1}:<digit>{2}:<digit>{2} <letter>{2}").unwrap();
+        let found = enumerated
+            .iter()
+            .find(|sp| sp.pattern == h2)
+            .unwrap_or_else(|| panic!("h2 not enumerated"));
+        assert_eq!(found.support, 3, "three values have 1-digit hours");
+        // The good pattern has full support.
+        let h5 = crate::parser::parse("<digit>+:<digit>{2}:<digit>{2} <letter>{2}").unwrap();
+        let found5 = enumerated.iter().find(|sp| sp.pattern == h5).unwrap();
+        assert_eq!(found5.support, 6);
+    }
+
+    #[test]
+    fn profile_reports_matched_fractions() {
+        let values = [
+            "9:07:32 AM",
+            "8:01:15 AM",
+            "7:00:00 PM",
+            "10:02:20 AM",
+            "11:45:12 PM",
+            "12:01:32 PM",
+        ];
+        let cfg = PatternConfig::default();
+        let profile = column_pattern_profile(&values, &cfg, 13);
+        let h2 = crate::parser::parse("<digit>{1}:<digit>{2}:<digit>{2} <letter>{2}").unwrap();
+        let h5 = crate::parser::parse("<digit>+:<digit>{2}:<digit>{2} <letter>{2}").unwrap();
+        let frac = |p: &Pattern| {
+            profile
+                .iter()
+                .find(|(q, _)| q == p)
+                .map(|(_, f)| *f)
+                .unwrap_or(0.0)
+        };
+        assert!((frac(&h2) - 0.5).abs() < 1e-9, "h2 frac = {}", frac(&h2));
+        assert!((frac(&h5) - 1.0).abs() < 1e-9, "h5 frac = {}", frac(&h5));
+    }
+
+    #[test]
+    fn tau_excludes_wide_values() {
+        // One narrow value, one 15-token value; τ = 8 keeps only the narrow
+        // one and scales by the full column size.
+        let values = ["abc", "1/2/3 4:5:6 7-8"];
+        let cfg = PatternConfig::default();
+        let profile = column_pattern_profile(&values, &cfg, 8);
+        assert!(!profile.is_empty());
+        for (p, f) in &profile {
+            assert!(*f <= 0.5 + 1e-9, "{p} has frac {f}");
+        }
+    }
+
+    #[test]
+    fn mixed_alnum_and_symbol_structures_are_different_groups() {
+        let values = ["12345", "hello", "2019-01-01"];
+        let cfg = PatternConfig::default();
+        let analysis = analyze_column(&values, &cfg);
+        assert_eq!(analysis.groups.len(), 2); // [alnum] ×2 and [alnum sym alnum sym alnum]
+        assert!(hypothesis_space(&values, &cfg).is_empty());
+    }
+
+    #[test]
+    fn pure_alnum_disagreement_still_shares_alnum_level() {
+        // "12345" and "hello" have the same merged key; H(C) contains the
+        // alnum-level generalizations only.
+        let values = ["12345", "hello"];
+        let cfg = PatternConfig::default();
+        let h = hypothesis_space(&values, &cfg);
+        let alnum5 = Pattern::new(vec![Token::Alnum(5)]);
+        let alnum_plus = Pattern::new(vec![Token::AlnumPlus]);
+        assert!(h.contains(&alnum5));
+        assert!(h.contains(&alnum_plus));
+        assert!(h.iter().all(|p| !p.is_trivial()));
+    }
+}

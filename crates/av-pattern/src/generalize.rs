@@ -1,0 +1,186 @@
+//! Generation config, per-run generalization chains, and coarse patterns.
+//!
+//! The per-position option chains follow the paper's §1 enumeration of the
+//! seven ways to generalize the digit "9": constant, `<digit>{1}`,
+//! `<digit>+`, `<num>`, `<alnum>{1}`, `<alnum>+`, `<any>+` (letter runs get
+//! case-specific refinements, symbol/space runs shorter chains).
+//! Column-level analysis lives in [`crate::analyze`].
+
+use crate::pattern::Pattern;
+use crate::token::{CharClass, Token};
+use crate::tokenize::{tokenize, Run};
+
+/// Tuning knobs for pattern generation.
+#[derive(Debug, Clone)]
+pub struct PatternConfig {
+    /// Token-limit τ (§2.4): values with more than this many coarse tokens
+    /// are skipped during offline indexing (vertical cuts compensate, §3).
+    pub max_tokens: usize,
+    /// Minimum fraction of a column's values a coarse group or a drilled
+    /// token must cover to be retained (Algorithm 1's "sufficient coverage").
+    pub coverage_frac: f64,
+    /// Hard cap on the number of fine-grained patterns enumerated per coarse
+    /// group; when the cross-product exceeds it, options are trimmed in a
+    /// class-aware order (partial-support and `<any>+` options first).
+    pub max_patterns: usize,
+    /// Offer `<upper>`/`<lower>` refinements for uniformly-cased letter runs.
+    pub case_tokens: bool,
+    /// Maximum number of values per coarse group tracked in support bitsets.
+    pub sample_values: usize,
+}
+
+impl Default for PatternConfig {
+    fn default() -> Self {
+        PatternConfig {
+            max_tokens: 13,
+            coverage_frac: 0.05,
+            max_patterns: 4096,
+            case_tokens: true,
+            sample_values: 256,
+        }
+    }
+}
+
+impl PatternConfig {
+    /// Config with a given τ, other knobs default.
+    pub fn with_tau(max_tokens: usize) -> Self {
+        PatternConfig {
+            max_tokens,
+            ..Default::default()
+        }
+    }
+}
+
+/// The strict coarse pattern of a value: one token per run (digits →
+/// `<num>`, letters → `<letter>+`, whitespace/symbols as literals),
+/// mirroring the paper's step-1 lexer output, e.g.
+/// `"<num>/<num>/<num> <num>:<num>:<num> <letter>+"`.
+pub fn coarse_pattern(value: &str) -> Pattern {
+    tokenize(value)
+        .iter()
+        .map(|run| match run.class {
+            CharClass::Digit => Token::Num,
+            CharClass::Letter => Token::LetterPlus,
+            CharClass::Space | CharClass::Symbol => Token::lit(run.text),
+        })
+        .collect()
+}
+
+/// Per-position generalization options for one strict run, most specific
+/// first. This is the §1 chain, extended with case-specific letter tokens.
+pub(crate) fn run_options(run: &Run<'_>, cfg: &PatternConfig) -> Vec<Token> {
+    let k = run.len() as u16;
+    let mut opts = Vec::with_capacity(8);
+    opts.push(Token::lit(run.text));
+    match run.class {
+        CharClass::Digit => {
+            opts.push(Token::Digit(k));
+            opts.push(Token::DigitPlus);
+            opts.push(Token::Num);
+            opts.push(Token::Alnum(k));
+            opts.push(Token::AlnumPlus);
+        }
+        CharClass::Letter => {
+            if cfg.case_tokens {
+                if run.text.chars().all(|c| c.is_ascii_uppercase()) {
+                    opts.push(Token::Upper(k));
+                    opts.push(Token::UpperPlus);
+                } else if run.text.chars().all(|c| c.is_ascii_lowercase()) {
+                    opts.push(Token::Lower(k));
+                    opts.push(Token::LowerPlus);
+                }
+            }
+            opts.push(Token::Letter(k));
+            opts.push(Token::LetterPlus);
+            opts.push(Token::Alnum(k));
+            opts.push(Token::AlnumPlus);
+        }
+        CharClass::Space => {
+            opts.push(Token::SpacePlus);
+        }
+        CharClass::Symbol => {
+            opts.push(Token::Sym(k));
+            opts.push(Token::SymPlus);
+        }
+    }
+    opts.push(Token::AnyPlus);
+    opts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coarse_pattern_of_datetime() {
+        let p = coarse_pattern("9/07/2019 12:01:32 PM");
+        assert_eq!(
+            p.to_string(),
+            "<num>/<num>/<num> <num>:<num>:<num> <letter>+"
+        );
+    }
+
+    #[test]
+    fn run_options_for_digit_follow_paper_chain() {
+        let cfg = PatternConfig::default();
+        let runs = tokenize("9");
+        let opts = run_options(&runs[0], &cfg);
+        // Const("9"), <digit>{1}, <digit>+, <num>, <alnum>{1}, <alnum>+, <any>+
+        assert_eq!(opts.len(), 7);
+        assert_eq!(opts[0], Token::lit("9"));
+        assert_eq!(opts[1], Token::Digit(1));
+        assert_eq!(opts[2], Token::DigitPlus);
+        assert_eq!(opts[3], Token::Num);
+        assert_eq!(opts[4], Token::Alnum(1));
+        assert_eq!(opts[5], Token::AlnumPlus);
+        assert_eq!(opts[6], Token::AnyPlus);
+    }
+
+    #[test]
+    fn uppercase_run_offers_case_tokens() {
+        let cfg = PatternConfig::default();
+        let runs = tokenize("PM");
+        let opts = run_options(&runs[0], &cfg);
+        assert!(opts.contains(&Token::Upper(2)));
+        assert!(opts.contains(&Token::UpperPlus));
+        assert!(!opts.contains(&Token::Lower(2)));
+    }
+
+    #[test]
+    fn mixed_case_letters_have_no_case_tokens() {
+        let cfg = PatternConfig::default();
+        let runs = tokenize("OnBooking");
+        let opts = run_options(&runs[0], &cfg);
+        assert!(!opts.contains(&Token::UpperPlus));
+        assert!(!opts.contains(&Token::LowerPlus));
+        assert!(opts.contains(&Token::LetterPlus));
+    }
+
+    #[test]
+    fn case_tokens_can_be_disabled() {
+        let cfg = PatternConfig {
+            case_tokens: false,
+            ..Default::default()
+        };
+        let runs = tokenize("PM");
+        let opts = run_options(&runs[0], &cfg);
+        assert!(!opts.contains(&Token::Upper(2)));
+        assert!(opts.contains(&Token::Letter(2)));
+    }
+
+    #[test]
+    fn symbol_and_space_chains() {
+        let cfg = PatternConfig::default();
+        let runs = tokenize("--- x");
+        let sym_opts = run_options(&runs[0], &cfg);
+        assert_eq!(
+            sym_opts,
+            vec![Token::lit("---"), Token::Sym(3), Token::SymPlus, Token::AnyPlus]
+        );
+        let space_opts = run_options(&runs[1], &cfg);
+        assert_eq!(
+            space_opts,
+            vec![Token::lit(" "), Token::SpacePlus, Token::AnyPlus]
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! # av-pattern — the Auto-Validate pattern language
+//!
+//! The pattern language of *Auto-Validate: Unsupervised Data Validation
+//! Using Data-Domain Patterns Inferred from Data Lakes* (SIGMOD 2021, §2.1).
+//!
+//! A [`Pattern`] is a sequence of [`Token`]s drawn from a string
+//! generalization hierarchy (Fig. 4 of the paper): literals at the leaves,
+//! class tokens like `<digit>{2}`, `<letter>+`, `<num>` above them, and the
+//! root `<any>+`. The crate provides:
+//!
+//! * [`tokenize`] — the coarse lexer splitting values into same-class runs;
+//! * [`matches()`](fn@matches) — full-string pattern matching (`h ∈ P(v)` at test time);
+//! * [`analyze_column`] / [`hypothesis_space`] / [`patterns_of_value`] —
+//!   Algorithm 1: coarse grouping plus per-position drill-down, producing
+//!   `P(v)`, `P(D)` and `H(C)`;
+//! * [`parse`] — the inverse of `Display`, for persisting patterns.
+//!
+//! ```
+//! use av_pattern::{hypothesis_space, matches, PatternConfig};
+//!
+//! let column = ["Mar 01 2019", "Mar 04 2019", "Mar 30 2019"];
+//! let h = hypothesis_space(&column, &PatternConfig::default());
+//! // Every hypothesis is consistent with every observed value…
+//! assert!(h.iter().all(|p| column.iter().all(|v| matches(p, v))));
+//! // …and the ideal validation pattern from the paper is among them.
+//! let ideal = av_pattern::parse("<letter>{3} <digit>{2} <digit>{4}").unwrap();
+//! assert!(h.contains(&ideal));
+//! ```
+
+#![warn(missing_docs)]
+
+mod analyze;
+mod generalize;
+mod matcher;
+mod parser;
+mod pattern;
+mod token;
+mod tokenize;
+
+pub use analyze::{
+    analyze_column, column_pattern_profile, hypothesis_space, merged_key, merged_token_count,
+    patterns_of_value,
+    BitSet, CoarseGroup, ColumnAnalysis, PositionOptions, SupportedPattern,
+};
+pub use generalize::{coarse_pattern, PatternConfig};
+pub use matcher::matches;
+pub use parser::{parse, ParseError};
+pub use pattern::Pattern;
+pub use token::{CharClass, Token};
+pub use tokenize::{token_count, tokenize, Run};

@@ -1,0 +1,255 @@
+//! Full-string pattern matching: does a pattern accept a value?
+//!
+//! This implements the "`h ∈ P(v)`" test used at validation time (Def. 1 and
+//! the validator in §4). Matching is character-level with memoized
+//! backtracking: only variadic tokens (`<digit>+`, `<num>`, `<any>+`, ...)
+//! branch, and the memo bounds work to `O(|tokens| · |value|)` states.
+
+use crate::pattern::Pattern;
+use crate::token::Token;
+
+/// Returns true when `pattern` matches the *entire* `value`.
+///
+/// ```
+/// use av_pattern::{Pattern, Token, matches};
+/// let p = Pattern::new(vec![Token::Letter(3), Token::lit(" "), Token::Digit(2)]);
+/// assert!(matches(&p, "Mar 01"));
+/// assert!(!matches(&p, "Mar 1"));
+/// assert!(!matches(&p, "Mar 01 "));
+/// ```
+pub fn matches(pattern: &Pattern, value: &str) -> bool {
+    let chars: Vec<char> = value.chars().collect();
+    let tokens = pattern.tokens();
+    if tokens.is_empty() {
+        return chars.is_empty();
+    }
+    // memo[ti * (n+1) + pos] = true if (ti, pos) is known to fail.
+    let n = chars.len();
+    let mut failed = vec![false; tokens.len() * (n + 1)];
+    match_at(tokens, &chars, 0, 0, &mut failed)
+}
+
+fn match_at(tokens: &[Token], chars: &[char], ti: usize, pos: usize, failed: &mut [bool]) -> bool {
+    if ti == tokens.len() {
+        return pos == chars.len();
+    }
+    let n = chars.len();
+    let key = ti * (n + 1) + pos;
+    if failed[key] {
+        return false;
+    }
+    let ok = match &tokens[ti] {
+        Token::Lit(s) => {
+            let lit: Vec<char> = s.chars().collect();
+            if pos + lit.len() <= n && chars[pos..pos + lit.len()] == lit[..] {
+                match_at(tokens, chars, ti + 1, pos + lit.len(), failed)
+            } else {
+                false
+            }
+        }
+        t @ (Token::Digit(_)
+        | Token::Upper(_)
+        | Token::Lower(_)
+        | Token::Letter(_)
+        | Token::Alnum(_)
+        | Token::Sym(_)) => {
+            let w = t.fixed_width().expect("fixed token has width");
+            if pos + w <= n && chars[pos..pos + w].iter().all(|&c| t.class_contains(c)) {
+                match_at(tokens, chars, ti + 1, pos + w, failed)
+            } else {
+                false
+            }
+        }
+        Token::Num => match_num(tokens, chars, ti, pos, failed),
+        t @ (Token::DigitPlus
+        | Token::UpperPlus
+        | Token::LowerPlus
+        | Token::LetterPlus
+        | Token::AlnumPlus
+        | Token::SymPlus
+        | Token::SpacePlus
+        | Token::AnyPlus) => {
+            // Greedy with backtracking: find the maximal run in the token's
+            // class, then try splits from longest to shortest.
+            let mut max_end = pos;
+            while max_end < n && t.class_contains(chars[max_end]) {
+                max_end += 1;
+            }
+            let mut found = false;
+            let mut end = max_end;
+            while end > pos {
+                if match_at(tokens, chars, ti + 1, end, failed) {
+                    found = true;
+                    break;
+                }
+                end -= 1;
+            }
+            found
+        }
+    };
+    if !ok {
+        failed[key] = true;
+    }
+    ok
+}
+
+/// `<num>` = `\d+(\.\d+)?`. Try every legal end position, longest first.
+fn match_num(tokens: &[Token], chars: &[char], ti: usize, pos: usize, failed: &mut [bool]) -> bool {
+    let n = chars.len();
+    // integer part
+    let mut int_end = pos;
+    while int_end < n && chars[int_end].is_ascii_digit() {
+        int_end += 1;
+    }
+    if int_end == pos {
+        return false;
+    }
+    // optional fractional part (only directly after the maximal integer run
+    // or any shorter one; we must consider all split points).
+    // Collect candidate end positions.
+    let mut candidates: Vec<usize> = Vec::new();
+    for ie in (pos + 1..=int_end).rev() {
+        // with fraction: chars[ie] == '.' then 1+ digits
+        if ie < n && chars[ie] == '.' {
+            let mut fe = ie + 1;
+            while fe < n && chars[fe].is_ascii_digit() {
+                fe += 1;
+            }
+            // all fraction lengths are legal ends
+            let mut f = fe;
+            while f > ie + 1 {
+                candidates.push(f);
+                f -= 1;
+            }
+        }
+        candidates.push(ie);
+    }
+    candidates.into_iter().any(|end| match_at(tokens, chars, ti + 1, end, failed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::Token;
+
+    fn pat(tokens: Vec<Token>) -> Pattern {
+        Pattern::new(tokens)
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty_string() {
+        assert!(matches(&Pattern::empty(), ""));
+        assert!(!matches(&Pattern::empty(), "x"));
+    }
+
+    #[test]
+    fn paper_c1_validation_pattern() {
+        // "<letter>{3} <digit>{2} <digit>{4}" validates both observed and
+        // future values of C1 (Fig. 2a).
+        let p = pat(vec![
+            Token::Letter(3),
+            Token::lit(" "),
+            Token::Digit(2),
+            Token::lit(" "),
+            Token::Digit(4),
+        ]);
+        for v in ["Mar 01 2019", "Mar 30 2019", "Apr 01 2019", "Oct 11 2020"] {
+            assert!(matches(&p, v), "{v}");
+        }
+        assert!(!matches(&p, "March 01 2019"));
+        assert!(!matches(&p, "Mar 1 2019"));
+    }
+
+    #[test]
+    fn paper_c2_validation_pattern() {
+        // "<digit>+/<digit>{2}/<digit>{4} <digit>+:<digit>{2}:<digit>{2} <letter>{2}"
+        let p = pat(vec![
+            Token::DigitPlus,
+            Token::lit("/"),
+            Token::Digit(2),
+            Token::lit("/"),
+            Token::Digit(4),
+            Token::lit(" "),
+            Token::DigitPlus,
+            Token::lit(":"),
+            Token::Digit(2),
+            Token::lit(":"),
+            Token::Digit(2),
+            Token::lit(" "),
+            Token::Letter(2),
+        ]);
+        assert!(matches(&p, "9/07/2019 12:01:32 PM"));
+        assert!(matches(&p, "12/01/2019 9:40:51 AM"));
+        assert!(!matches(&p, "9/07/2019 12:01:32"));
+    }
+
+    #[test]
+    fn num_matches_integers_and_floats() {
+        let p = pat(vec![Token::Num]);
+        assert!(matches(&p, "9"));
+        assert!(matches(&p, "0.1"));
+        assert!(matches(&p, "12345.6789"));
+        assert!(!matches(&p, ".5"));
+        assert!(!matches(&p, "5."));
+        assert!(!matches(&p, "1.2.3"));
+        assert!(!matches(&p, ""));
+    }
+
+    #[test]
+    fn num_with_following_literal_backtracks() {
+        // <num>:<digit>+ on "9:07" (paper §2.1 example member of P(v)).
+        let p = pat(vec![Token::Num, Token::lit(":"), Token::DigitPlus]);
+        assert!(matches(&p, "9:07"));
+        // <num>.<digit>{2} on "3.14" requires <num> to give back the dot.
+        let p2 = pat(vec![Token::Num, Token::lit("."), Token::Digit(2)]);
+        assert!(matches(&p2, "3.14"));
+        // and on "1.5.99" <num> must match "1.5".
+        let p3 = pat(vec![Token::Num, Token::lit("."), Token::Digit(2)]);
+        assert!(matches(&p3, "1.5.99"));
+    }
+
+    #[test]
+    fn adjacent_variadic_tokens_split() {
+        // <alnum>+<alnum>+ requires at least two alphanumeric chars.
+        let p = pat(vec![Token::AlnumPlus, Token::AlnumPlus]);
+        assert!(matches(&p, "a1"));
+        assert!(matches(&p, "abc123"));
+        assert!(!matches(&p, "a"));
+    }
+
+    #[test]
+    fn any_plus_absorbs_everything_nonempty() {
+        let p = pat(vec![Token::AnyPlus]);
+        assert!(matches(&p, "anything at all !@#"));
+        assert!(!matches(&p, ""));
+    }
+
+    #[test]
+    fn case_tokens() {
+        assert!(matches(&pat(vec![Token::UpperPlus]), "ABC"));
+        assert!(!matches(&pat(vec![Token::UpperPlus]), "AbC"));
+        assert!(matches(&pat(vec![Token::Upper(1), Token::LowerPlus]), "Mar"));
+    }
+
+    #[test]
+    fn sym_and_space() {
+        assert!(matches(&pat(vec![Token::Sym(2)]), "--"));
+        assert!(!matches(&pat(vec![Token::Sym(2)]), "-a"));
+        assert!(matches(&pat(vec![Token::lit("a"), Token::SpacePlus, Token::lit("b")]), "a  \tb"));
+    }
+
+    #[test]
+    fn pathological_backtracking_terminates() {
+        // Many adjacent <any>+ tokens against a long string must not blow up.
+        let p = pat(vec![Token::AnyPlus; 12]);
+        let long = "x".repeat(200);
+        assert!(matches(&p, &long));
+        let p2 = Pattern::new(
+            std::iter::repeat(Token::AnyPlus)
+                .take(12)
+                .chain([Token::lit("!")])
+                .collect::<Vec<_>>(),
+        );
+        assert!(!matches(&p2, &long));
+    }
+}

@@ -1,0 +1,186 @@
+//! Parse the textual pattern form back into a [`Pattern`].
+//!
+//! The grammar is exactly what [`Pattern`]'s `Display` emits: class tokens
+//! like `<digit>{2}`, `<letter>+`, `<num>`, `<any>+`, and literal characters
+//! with `\` escaping `<`, `>` and `\`. Round-tripping
+//! `parse(p.to_string()) == p` holds for all patterns whose adjacent literal
+//! tokens are non-mergeable (the printer concatenates literals).
+
+use crate::pattern::Pattern;
+use crate::token::Token;
+use std::fmt;
+
+/// Error produced when a pattern string cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the error in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pattern parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a pattern string such as `"<letter>{3} <digit>{2} <digit>{4}"`.
+///
+/// Consecutive literal characters coalesce into a single `Lit` token, which
+/// matches how the `Display` implementation prints patterns.
+pub fn parse(input: &str) -> Result<Pattern, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut lit = String::new();
+    let mut i = 0usize;
+
+    let flush = |lit: &mut String, tokens: &mut Vec<Token>| {
+        if !lit.is_empty() {
+            tokens.push(Token::lit(std::mem::take(lit)));
+        }
+    };
+
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => {
+                if i + 1 >= bytes.len() {
+                    return Err(ParseError {
+                        offset: i,
+                        message: "dangling escape".into(),
+                    });
+                }
+                // Escapes are single ASCII chars in our printer.
+                lit.push(bytes[i + 1] as char);
+                i += 2;
+            }
+            b'<' => {
+                let end = input[i..].find('>').map(|e| i + e).ok_or(ParseError {
+                    offset: i,
+                    message: "unterminated class token".into(),
+                })?;
+                let name = &input[i + 1..end];
+                i = end + 1;
+                // Suffix: '+' or '{n}' (or nothing, for <num>).
+                enum Suffix {
+                    Plus,
+                    Fixed(u16),
+                    None,
+                }
+                let suffix = if i < bytes.len() && bytes[i] == b'+' {
+                    i += 1;
+                    Suffix::Plus
+                } else if i < bytes.len() && bytes[i] == b'{' {
+                    let close = input[i..].find('}').map(|e| i + e).ok_or(ParseError {
+                        offset: i,
+                        message: "unterminated width".into(),
+                    })?;
+                    let n: u16 = input[i + 1..close].parse().map_err(|_| ParseError {
+                        offset: i,
+                        message: format!("bad width {:?}", &input[i + 1..close]),
+                    })?;
+                    i = close + 1;
+                    Suffix::Fixed(n)
+                } else {
+                    Suffix::None
+                };
+                flush(&mut lit, &mut tokens);
+                let tok = match (name, suffix) {
+                    ("digit", Suffix::Fixed(n)) => Token::Digit(n),
+                    ("digit", Suffix::Plus) => Token::DigitPlus,
+                    ("num", Suffix::None) => Token::Num,
+                    ("upper", Suffix::Fixed(n)) => Token::Upper(n),
+                    ("upper", Suffix::Plus) => Token::UpperPlus,
+                    ("lower", Suffix::Fixed(n)) => Token::Lower(n),
+                    ("lower", Suffix::Plus) => Token::LowerPlus,
+                    ("letter", Suffix::Fixed(n)) => Token::Letter(n),
+                    ("letter", Suffix::Plus) => Token::LetterPlus,
+                    ("alnum", Suffix::Fixed(n)) => Token::Alnum(n),
+                    ("alnum", Suffix::Plus) => Token::AlnumPlus,
+                    ("sym", Suffix::Fixed(n)) => Token::Sym(n),
+                    ("sym", Suffix::Plus) => Token::SymPlus,
+                    ("space", Suffix::Plus) => Token::SpacePlus,
+                    ("any", Suffix::Plus) => Token::AnyPlus,
+                    (other, _) => {
+                        return Err(ParseError {
+                            offset: i,
+                            message: format!("unknown class token <{other}>"),
+                        })
+                    }
+                };
+                tokens.push(tok);
+            }
+            _ => {
+                // Take one UTF-8 char as literal.
+                let c = input[i..].chars().next().expect("non-empty remainder");
+                lit.push(c);
+                i += c.len_utf8();
+            }
+        }
+    }
+    flush(&mut lit, &mut tokens);
+    Ok(Pattern::new(tokens))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_pattern() {
+        let p = parse("<letter>{3} <digit>{2} <digit>{4}").unwrap();
+        assert_eq!(
+            p.tokens(),
+            &[
+                Token::Letter(3),
+                Token::lit(" "),
+                Token::Digit(2),
+                Token::lit(" "),
+                Token::Digit(4),
+            ]
+        );
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        let patterns = [
+            "<num>/<num>",
+            "<digit>+:<digit>{2}",
+            "abc-<upper>{4}",
+            "<any>+",
+            "\\<escaped\\>",
+            "",
+            "<alnum>+_<sym>{2}<space>+x",
+        ];
+        for s in patterns {
+            let p = parse(s).unwrap();
+            let printed = p.to_string();
+            let p2 = parse(&printed).unwrap();
+            assert_eq!(p, p2, "roundtrip failed for {s:?}");
+        }
+    }
+
+    #[test]
+    fn adjacent_literals_coalesce() {
+        let p = parse("ab").unwrap();
+        assert_eq!(p.tokens(), &[Token::lit("ab")]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("<bogus>+").is_err());
+        assert!(parse("<digit>{x}").is_err());
+        assert!(parse("<digit").is_err());
+        assert!(parse("tail\\").is_err());
+        // <num> takes no suffix; <num>{2} is an unknown combination.
+        assert!(parse("<num>{2}").is_err());
+    }
+
+    #[test]
+    fn unicode_literals() {
+        let p = parse("é<digit>{1}").unwrap();
+        assert_eq!(p.tokens()[0], Token::lit("é"));
+    }
+}

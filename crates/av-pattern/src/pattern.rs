@@ -1,0 +1,275 @@
+//! [`Pattern`]: a sequence of tokens describing a data domain.
+
+use crate::token::Token;
+use std::fmt;
+
+/// A data-domain pattern: an ordered sequence of [`Token`]s.
+///
+/// A pattern *matches* a string when the tokens can consume the entire
+/// string left to right (see [`crate::matches`]). Patterns are the unit
+/// stored in the offline index and produced as validation rules.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Pattern {
+    tokens: Vec<Token>,
+}
+
+impl Pattern {
+    /// Build a pattern from tokens.
+    ///
+    /// Adjacent literal tokens are canonicalized into one (`Lit("/m")` +
+    /// `Lit("/")` ≡ `Lit("/m/")`), so patterns assembled from differently
+    /// sliced literals compare equal.
+    pub fn new(tokens: Vec<Token>) -> Pattern {
+        let mut canon: Vec<Token> = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            match (canon.last_mut(), &t) {
+                (Some(Token::Lit(prev)), Token::Lit(next)) => {
+                    let mut s = String::with_capacity(prev.len() + next.len());
+                    s.push_str(prev);
+                    s.push_str(next);
+                    *prev = s.into_boxed_str();
+                }
+                _ => canon.push(t),
+            }
+        }
+        Pattern { tokens: canon }
+    }
+
+    /// The empty pattern (matches only the empty string).
+    pub fn empty() -> Pattern {
+        Pattern { tokens: Vec::new() }
+    }
+
+    /// Borrow the token sequence.
+    pub fn tokens(&self) -> &[Token] {
+        &self.tokens
+    }
+
+    /// Number of tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// True when the pattern has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// The paper excludes the trivial `.*` pattern from every hypothesis
+    /// space (`H(C) = ∩ P(v) \ ".*"`, §2.1). Our equivalent of `.*` is a
+    /// pattern consisting solely of `<any>+` tokens.
+    pub fn is_trivial(&self) -> bool {
+        !self.tokens.is_empty() && self.tokens.iter().all(Token::is_any)
+    }
+
+    /// Concatenate two patterns (used when stitching vertical-cut segments).
+    pub fn concat(&self, other: &Pattern) -> Pattern {
+        let mut tokens = Vec::with_capacity(self.tokens.len() + other.tokens.len());
+        tokens.extend_from_slice(&self.tokens);
+        tokens.extend_from_slice(&other.tokens);
+        Pattern::new(tokens)
+    }
+
+    /// Sub-pattern over the token range `[start, end)` (vertical cuts, §3).
+    pub fn slice(&self, start: usize, end: usize) -> Pattern {
+        Pattern {
+            tokens: self.tokens[start..end].to_vec(),
+        }
+    }
+
+    /// Sum of per-token specificity ranks; smaller = more specific. Used
+    /// only for deterministic tie-breaking among patterns with equal FPR.
+    pub fn specificity(&self) -> u32 {
+        self.tokens.iter().map(|t| t.specificity() as u32).sum()
+    }
+
+    /// A stable 64-bit fingerprint of the pattern (FNV-1a over the display
+    /// form structure). Stable across processes; used as a compact index key.
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+        const FNV_PRIME: u64 = 0x100000001b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        for t in &self.tokens {
+            match t {
+                Token::Lit(s) => {
+                    eat(1);
+                    for b in s.as_bytes() {
+                        eat(*b);
+                    }
+                    eat(0);
+                }
+                Token::Digit(n) => {
+                    eat(2);
+                    eat(*n as u8);
+                    eat((*n >> 8) as u8);
+                }
+                Token::DigitPlus => eat(3),
+                Token::Num => eat(4),
+                Token::Upper(n) => {
+                    eat(5);
+                    eat(*n as u8);
+                    eat((*n >> 8) as u8);
+                }
+                Token::UpperPlus => eat(6),
+                Token::Lower(n) => {
+                    eat(7);
+                    eat(*n as u8);
+                    eat((*n >> 8) as u8);
+                }
+                Token::LowerPlus => eat(8),
+                Token::Letter(n) => {
+                    eat(9);
+                    eat(*n as u8);
+                    eat((*n >> 8) as u8);
+                }
+                Token::LetterPlus => eat(10),
+                Token::Alnum(n) => {
+                    eat(11);
+                    eat(*n as u8);
+                    eat((*n >> 8) as u8);
+                }
+                Token::AlnumPlus => eat(12),
+                Token::Sym(n) => {
+                    eat(13);
+                    eat(*n as u8);
+                    eat((*n >> 8) as u8);
+                }
+                Token::SymPlus => eat(14),
+                Token::SpacePlus => eat(15),
+                Token::AnyPlus => eat(16),
+            }
+        }
+        h
+    }
+
+    /// Render the pattern as a regex string usable with `av-regex` or any
+    /// POSIX-ish engine. Anchored implicitly (the caller should use a
+    /// full-match API).
+    pub fn to_regex(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tokens {
+            match t {
+                Token::Lit(s) => {
+                    for c in s.chars() {
+                        if "\\^$.|?*+()[]{}".contains(c) {
+                            out.push('\\');
+                        }
+                        out.push(c);
+                    }
+                }
+                Token::Digit(n) => out.push_str(&format!("[0-9]{{{n}}}")),
+                Token::DigitPlus => out.push_str("[0-9]+"),
+                Token::Num => out.push_str("[0-9]+(\\.[0-9]+)?"),
+                Token::Upper(n) => out.push_str(&format!("[A-Z]{{{n}}}")),
+                Token::UpperPlus => out.push_str("[A-Z]+"),
+                Token::Lower(n) => out.push_str(&format!("[a-z]{{{n}}}")),
+                Token::LowerPlus => out.push_str("[a-z]+"),
+                Token::Letter(n) => out.push_str(&format!("[A-Za-z]{{{n}}}")),
+                Token::LetterPlus => out.push_str("[A-Za-z]+"),
+                Token::Alnum(n) => out.push_str(&format!("[A-Za-z0-9]{{{n}}}")),
+                Token::AlnumPlus => out.push_str("[A-Za-z0-9]+"),
+                Token::Sym(n) => out.push_str(&format!("[^A-Za-z0-9 \\t]{{{n}}}")),
+                Token::SymPlus => out.push_str("[^A-Za-z0-9 \\t]+"),
+                Token::SpacePlus => out.push_str("[ \\t]+"),
+                Token::AnyPlus => out.push_str("(.|\\n)+"),
+            }
+        }
+        out
+    }
+}
+
+impl From<Vec<Token>> for Pattern {
+    fn from(tokens: Vec<Token>) -> Pattern {
+        Pattern::new(tokens)
+    }
+}
+
+impl FromIterator<Token> for Pattern {
+    fn from_iter<I: IntoIterator<Item = Token>>(iter: I) -> Pattern {
+        Pattern::new(iter.into_iter().collect())
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tokens {
+            write!(f, "{t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(tokens: Vec<Token>) -> Pattern {
+        Pattern::new(tokens)
+    }
+
+    #[test]
+    fn display_of_paper_pattern() {
+        // "<letter>{3} <digit>{2} <digit>{4}" from §1 (validation pattern for C1).
+        let pat = p(vec![
+            Token::Letter(3),
+            Token::lit(" "),
+            Token::Digit(2),
+            Token::lit(" "),
+            Token::Digit(4),
+        ]);
+        assert_eq!(pat.to_string(), "<letter>{3} <digit>{2} <digit>{4}");
+    }
+
+    #[test]
+    fn trivial_detection() {
+        assert!(p(vec![Token::AnyPlus]).is_trivial());
+        assert!(p(vec![Token::AnyPlus, Token::AnyPlus]).is_trivial());
+        assert!(!p(vec![Token::AnyPlus, Token::lit("/")]).is_trivial());
+        assert!(!Pattern::empty().is_trivial());
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let a = p(vec![Token::Digit(2), Token::lit("/")]);
+        let b = p(vec![Token::Digit(4)]);
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.slice(0, 2), a);
+        assert_eq!(c.slice(2, 3), b);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_width() {
+        assert_ne!(
+            p(vec![Token::Digit(2)]).fingerprint(),
+            p(vec![Token::Digit(3)]).fingerprint()
+        );
+        assert_ne!(
+            p(vec![Token::Digit(2)]).fingerprint(),
+            p(vec![Token::Letter(2)]).fingerprint()
+        );
+        assert_eq!(
+            p(vec![Token::Num, Token::lit(":")]).fingerprint(),
+            p(vec![Token::Num, Token::lit(":")]).fingerprint()
+        );
+    }
+
+    #[test]
+    fn adjacent_literals_canonicalize() {
+        let a = p(vec![Token::lit("/m"), Token::lit("/"), Token::AlnumPlus]);
+        let b = p(vec![Token::lit("/"), Token::lit("m"), Token::lit("/"), Token::AlnumPlus]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn regex_rendering() {
+        let pat = p(vec![Token::Digit(2), Token::lit("."), Token::LetterPlus]);
+        assert_eq!(pat.to_regex(), "[0-9]{2}\\.[A-Za-z]+");
+    }
+}

@@ -1,0 +1,152 @@
+//! Coarse lexer: split a value into maximal runs of a single character class.
+//!
+//! This is the first step of the paper's pattern generation (§3): "we first
+//! use a lexer to tokenize each v ∈ C into coarse-grained token-classes
+//! (`<symbol>`, `<num>`, `<letter>`), by scanning each v from left to right
+//! and growing each token until a character of a different class is
+//! encountered."
+
+use crate::token::CharClass;
+
+/// One maximal run of same-class characters inside a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run<'a> {
+    /// The character class of every char in the run.
+    pub class: CharClass,
+    /// The run's text (a slice of the original value).
+    pub text: &'a str,
+}
+
+impl<'a> Run<'a> {
+    /// Number of characters in the run.
+    pub fn len(&self) -> usize {
+        self.text.chars().count()
+    }
+
+    /// True when the run is empty (never produced by [`tokenize`]).
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+}
+
+/// Split `value` into maximal same-class runs.
+///
+/// The concatenation of all run texts is exactly `value`; empty input yields
+/// an empty vector.
+///
+/// ```
+/// use av_pattern::{tokenize, CharClass};
+/// let runs = tokenize("Mar 01 2019");
+/// assert_eq!(runs.len(), 5);
+/// assert_eq!(runs[0].text, "Mar");
+/// assert_eq!(runs[0].class, CharClass::Letter);
+/// assert_eq!(runs[1].class, CharClass::Space);
+/// assert_eq!(runs[2].text, "01");
+/// ```
+pub fn tokenize(value: &str) -> Vec<Run<'_>> {
+    let mut runs = Vec::new();
+    let mut start = 0usize;
+    let mut cur: Option<CharClass> = None;
+    for (i, c) in value.char_indices() {
+        let class = CharClass::of(c);
+        match cur {
+            Some(prev) if prev == class => {}
+            Some(prev) => {
+                runs.push(Run {
+                    class: prev,
+                    text: &value[start..i],
+                });
+                start = i;
+                cur = Some(class);
+            }
+            None => {
+                cur = Some(class);
+            }
+        }
+    }
+    if let Some(class) = cur {
+        runs.push(Run {
+            class,
+            text: &value[start..],
+        });
+    }
+    runs
+}
+
+/// Number of coarse tokens in a value — the paper's `t(v)` (§2.4), used for
+/// the token-limit τ when deciding whether a column is indexed.
+pub fn token_count(value: &str) -> usize {
+    let mut count = 0usize;
+    let mut cur: Option<CharClass> = None;
+    for c in value.chars() {
+        let class = CharClass::of(c);
+        if cur != Some(class) {
+            count += 1;
+            cur = Some(class);
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_value_has_no_runs() {
+        assert!(tokenize("").is_empty());
+        assert_eq!(token_count(""), 0);
+    }
+
+    #[test]
+    fn single_class_value_is_one_run() {
+        let runs = tokenize("12345");
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].class, CharClass::Digit);
+        assert_eq!(runs[0].text, "12345");
+    }
+
+    #[test]
+    fn date_time_example_from_paper() {
+        // Fig. 5: "9/07/2019 12:01:32 PM"
+        let runs = tokenize("9/07/2019 12:01:32 PM");
+        let texts: Vec<&str> = runs.iter().map(|r| r.text).collect();
+        assert_eq!(
+            texts,
+            vec!["9", "/", "07", "/", "2019", " ", "12", ":", "01", ":", "32", " ", "PM"]
+        );
+        assert_eq!(token_count("9/07/2019 12:01:32 PM"), 13);
+    }
+
+    #[test]
+    fn symbols_group_into_runs() {
+        let runs = tokenize("a--b");
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[1].text, "--");
+        assert_eq!(runs[1].class, CharClass::Symbol);
+    }
+
+    #[test]
+    fn concatenation_reconstructs_value() {
+        for v in ["Mar 01 2019", "0.1|02/18/2015 00:00:00|OnBooking", "", "  a1!"] {
+            let runs = tokenize(v);
+            let joined: String = runs.iter().map(|r| r.text).collect();
+            assert_eq!(joined, v);
+        }
+    }
+
+    #[test]
+    fn token_count_matches_tokenize_len() {
+        for v in ["9:07", "en-US", "...", "a1b2c3", " x "] {
+            assert_eq!(token_count(v), tokenize(v).len(), "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn non_ascii_is_symbol_class() {
+        let runs = tokenize("naïve");
+        // 'ï' is a symbol under the ASCII-centric classifier.
+        assert_eq!(runs.len(), 3);
+        assert_eq!(runs[1].class, CharClass::Symbol);
+    }
+}

@@ -1,0 +1,155 @@
+//! Property-based tests for the pattern language invariants.
+
+use av_pattern::{
+    analyze_column, coarse_pattern, hypothesis_space, matches, parse, patterns_of_value,
+    token_count, tokenize, Pattern, PatternConfig, Token,
+};
+use proptest::prelude::*;
+
+/// Strategy: machine-generated-looking values (ASCII, short).
+fn machine_value() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9 :/._-]{0,24}").expect("valid regex")
+}
+
+/// Strategy: arbitrary short strings (including unicode).
+fn any_value() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<char>(), 0..12).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    /// Tokenize must partition the value: concatenation reconstructs it.
+    #[test]
+    fn tokenize_partitions(v in any_value()) {
+        let runs = tokenize(&v);
+        let joined: String = runs.iter().map(|r| r.text).collect();
+        prop_assert_eq!(joined, v);
+    }
+
+    /// token_count agrees with tokenize().len().
+    #[test]
+    fn token_count_agrees(v in any_value()) {
+        prop_assert_eq!(token_count(&v), tokenize(&v).len());
+    }
+
+    /// Adjacent runs never share a class (runs are maximal).
+    #[test]
+    fn runs_are_maximal(v in any_value()) {
+        let runs = tokenize(&v);
+        for w in runs.windows(2) {
+            prop_assert_ne!(w[0].class, w[1].class);
+        }
+    }
+
+    /// Every pattern generated for a value matches that value
+    /// (generation ⊆ matching: the core soundness property tying Alg. 1
+    /// to Def. 1's membership test).
+    #[test]
+    fn generated_patterns_match_value(v in machine_value()) {
+        let cfg = PatternConfig { max_patterns: 256, ..Default::default() };
+        for p in patterns_of_value(&v, &cfg) {
+            prop_assert!(matches(&p, &v), "{} should match {:?}", p, v);
+        }
+    }
+
+    /// The coarse pattern always matches its own value.
+    #[test]
+    fn coarse_pattern_matches(v in machine_value()) {
+        let p = coarse_pattern(&v);
+        if !v.is_empty() {
+            prop_assert!(matches(&p, &v), "{} should match {:?}", p, v);
+        }
+    }
+
+    /// Hypothesis-space patterns match every value of the column.
+    #[test]
+    fn hypothesis_matches_all(col in proptest::collection::vec(machine_value(), 1..8)) {
+        let cfg = PatternConfig { max_patterns: 128, ..Default::default() };
+        for p in hypothesis_space(&col, &cfg) {
+            for v in &col {
+                prop_assert!(matches(&p, v), "{} should match {:?}", p, v);
+            }
+        }
+    }
+
+    /// Display → parse round-trips for generated patterns.
+    #[test]
+    fn display_parse_roundtrip(v in machine_value()) {
+        let cfg = PatternConfig { max_patterns: 64, ..Default::default() };
+        for p in patterns_of_value(&v, &cfg) {
+            let printed = p.to_string();
+            let parsed = parse(&printed).unwrap();
+            // Parsing coalesces adjacent literals, so compare via display.
+            prop_assert_eq!(parsed.to_string(), printed);
+        }
+    }
+
+    /// Fingerprints are deterministic and display-stable.
+    #[test]
+    fn fingerprint_deterministic(v in machine_value()) {
+        let cfg = PatternConfig::default();
+        for p in patterns_of_value(&v, &cfg).into_iter().take(16) {
+            let clone = Pattern::new(p.tokens().to_vec());
+            prop_assert_eq!(p.fingerprint(), clone.fingerprint());
+        }
+    }
+
+    /// analyze_column group counts sum to the total (no values lost at
+    /// coverage_frac = 0), positions at least cover the merged key arity
+    /// (strict splitting can only add positions), and every position keeps
+    /// at least one option.
+    #[test]
+    fn analyze_column_invariants(col in proptest::collection::vec(machine_value(), 1..12)) {
+        let cfg = PatternConfig { coverage_frac: 0.0, ..Default::default() };
+        let cp = analyze_column(&col, &cfg);
+        let sum: usize = cp.groups.iter().map(|g| g.count).sum();
+        prop_assert_eq!(sum, col.len());
+        for g in &cp.groups {
+            prop_assert!(g.positions.len() >= g.key.len());
+            prop_assert!(g.sample_size >= 1);
+            for pos in &g.positions {
+                prop_assert!(!pos.options.is_empty(), "every position keeps at least one option");
+            }
+        }
+    }
+
+    /// Enumerated supports are exact: a pattern with support k must match
+    /// exactly k of the sampled values under the matcher.
+    #[test]
+    fn supports_agree_with_matcher(col in proptest::collection::vec(machine_value(), 1..8)) {
+        let cfg = PatternConfig { coverage_frac: 0.0, max_patterns: 128, ..Default::default() };
+        let cp = analyze_column(&col, &cfg);
+        for g in &cp.groups {
+            for sp in g.enumerate(&cfg) {
+                let matched = col.iter().filter(|v| matches(&sp.pattern, v)).count();
+                // Matching can only be broader than generation (e.g. <num>
+                // spanning a float that generation treats as three runs).
+                prop_assert!(
+                    matched >= sp.support,
+                    "{} support {} but matches {}", sp.pattern, sp.support, matched
+                );
+            }
+        }
+    }
+
+    /// The trivial all-<any>+ pattern matches any non-empty string; our
+    /// is_trivial flag identifies exactly the patterns excluded from H(C).
+    #[test]
+    fn trivial_exclusion(col in proptest::collection::vec(machine_value(), 1..6)) {
+        let cfg = PatternConfig::default();
+        for p in hypothesis_space(&col, &cfg) {
+            prop_assert!(!p.is_trivial());
+        }
+    }
+}
+
+#[test]
+fn num_token_generation_and_matching_agree_on_digit_runs() {
+    // For pure digit strings, <num> is generated and matches.
+    let cfg = PatternConfig::default();
+    for v in ["0", "42", "00123"] {
+        let pv = patterns_of_value(v, &cfg);
+        let num: Pattern = vec![Token::Num].into();
+        assert!(pv.contains(&num), "P({v:?}) should contain <num>");
+        assert!(matches(&num, v));
+    }
+}

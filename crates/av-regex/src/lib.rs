@@ -1,0 +1,101 @@
+//! # av-regex — a small, safe regular-expression engine
+//!
+//! A from-scratch regex engine used as a substrate by Auto-Validate's
+//! baselines: the Grok pattern library (§5.2), the SSIS-style profiler, the
+//! simulated programmers of the user study (Table 3), and for exporting
+//! inferred `av-pattern` rules as standard regexes.
+//!
+//! Matching compiles to a Thompson NFA executed by a Pike VM, so it runs in
+//! `O(|input| × |pattern|)` with **no backtracking blow-up** — important
+//! because baselines run over millions of machine-generated values.
+//!
+//! ```
+//! use av_regex::Regex;
+//! let re = Regex::new(r"\d{4}-\d{2}-\d{2}").unwrap();
+//! assert!(re.is_full_match("2019-03-01"));
+//! assert!(!re.is_full_match("2019-3-1"));
+//! assert!(re.is_match("shipped on 2019-03-01 ok"));
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod nfa;
+
+pub use ast::RegexError;
+
+use ast::parse;
+use nfa::Program;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone)]
+pub struct Regex {
+    pattern: String,
+    program: Program,
+}
+
+impl Regex {
+    /// Compile a pattern. See the crate docs for the supported dialect.
+    pub fn new(pattern: &str) -> Result<Regex, RegexError> {
+        let ast = parse(pattern)?;
+        Ok(Regex {
+            pattern: pattern.to_string(),
+            program: Program::compile(&ast),
+        })
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// Does the regex match the *entire* input?
+    pub fn is_full_match(&self, input: &str) -> bool {
+        self.program.is_full_match(input)
+    }
+
+    /// Does the regex match anywhere in the input?
+    pub fn is_match(&self, input: &str) -> bool {
+        self.program.is_match(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grok_style_patterns() {
+        let cases = [
+            (r"(25[0-5]|2[0-4]\d|[01]?\d?\d)(\.(25[0-5]|2[0-4]\d|[01]?\d?\d)){3}", "192.168.0.1", true),
+            (r"(25[0-5]|2[0-4]\d|[01]?\d?\d)(\.(25[0-5]|2[0-4]\d|[01]?\d?\d)){3}", "999.1.1.1", false),
+            (r"[0-9A-Fa-f]{8}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{12}",
+             "550e8400-e29b-41d4-a716-446655440000", true),
+            (r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}", "2021-04-13T09:00:00", true),
+        ];
+        for (pat, input, want) in cases {
+            let re = Regex::new(pat).unwrap();
+            assert_eq!(re.is_full_match(input), want, "{pat} vs {input}");
+        }
+    }
+
+    #[test]
+    fn unicode_input_is_handled() {
+        let re = Regex::new(r".+").unwrap();
+        assert!(re.is_full_match("héllo"));
+        let re2 = Regex::new(r"\w+").unwrap();
+        assert!(!re2.is_full_match("héllo")); // é is not an ASCII word char
+    }
+
+    #[test]
+    fn pattern_accessor() {
+        let re = Regex::new("abc").unwrap();
+        assert_eq!(re.pattern(), "abc");
+    }
+
+    #[test]
+    fn invalid_patterns_error() {
+        assert!(Regex::new("(").is_err());
+        assert!(Regex::new("a{2,1}").is_err());
+    }
+}

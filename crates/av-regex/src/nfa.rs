@@ -1,0 +1,295 @@
+//! Thompson NFA construction and Pike-VM execution.
+//!
+//! Matching is linear in `|input| × |states|` with no backtracking, so even
+//! adversarial patterns from the Grok library cannot blow up.
+
+use crate::ast::{Ast, CharSet};
+
+/// NFA instruction.
+#[derive(Debug, Clone)]
+pub(crate) enum Inst {
+    /// Consume one char in the set, go to next instruction.
+    Char(CharSet),
+    /// Jump to either target (epsilon split).
+    Split(usize, usize),
+    /// Unconditional jump.
+    Jump(usize),
+    /// Accept.
+    Match,
+}
+
+/// Compiled NFA program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub(crate) insts: Vec<Inst>,
+}
+
+impl Program {
+    /// Compile an AST into an NFA program ending in `Match`.
+    pub(crate) fn compile(ast: &Ast) -> Program {
+        let mut insts = Vec::new();
+        compile_node(ast, &mut insts);
+        insts.push(Inst::Match);
+        Program { insts }
+    }
+
+    /// Number of instructions (used to bound repeat expansion in tests).
+    #[allow(dead_code)]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when the program is just `Match`.
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.insts.len() <= 1
+    }
+
+    /// Run the Pike VM; returns true when the whole input is accepted.
+    pub fn is_full_match(&self, input: &str) -> bool {
+        let mut current: Vec<usize> = Vec::with_capacity(self.insts.len());
+        let mut next: Vec<usize> = Vec::with_capacity(self.insts.len());
+        let mut on_current = vec![false; self.insts.len()];
+        let mut on_next = vec![false; self.insts.len()];
+
+        add_thread(&self.insts, 0, &mut current, &mut on_current);
+        for c in input.chars() {
+            if current.is_empty() {
+                return false;
+            }
+            next.clear();
+            on_next.iter_mut().for_each(|b| *b = false);
+            for &pc in &current {
+                if let Inst::Char(set) = &self.insts[pc] {
+                    if set.contains(c) {
+                        add_thread(&self.insts, pc + 1, &mut next, &mut on_next);
+                    }
+                }
+            }
+            std::mem::swap(&mut current, &mut next);
+            std::mem::swap(&mut on_current, &mut on_next);
+        }
+        current
+            .iter()
+            .any(|&pc| matches!(self.insts[pc], Inst::Match))
+    }
+
+    /// Does the pattern match anywhere inside the input (substring search)?
+    pub fn is_match(&self, input: &str) -> bool {
+        // Unanchored search: start a fresh thread set at every position.
+        let chars: Vec<char> = input.chars().collect();
+        let n = chars.len();
+        let mut current: Vec<usize> = Vec::with_capacity(self.insts.len());
+        let mut next: Vec<usize> = Vec::with_capacity(self.insts.len());
+        let mut on_current = vec![false; self.insts.len()];
+        let mut on_next = vec![false; self.insts.len()];
+
+        for start in 0..=n {
+            current.clear();
+            on_current.iter_mut().for_each(|b| *b = false);
+            add_thread(&self.insts, 0, &mut current, &mut on_current);
+            if current
+                .iter()
+                .any(|&pc| matches!(self.insts[pc], Inst::Match))
+            {
+                return true;
+            }
+            for &c in &chars[start..] {
+                next.clear();
+                on_next.iter_mut().for_each(|b| *b = false);
+                for &pc in &current {
+                    if let Inst::Char(set) = &self.insts[pc] {
+                        if set.contains(c) {
+                            add_thread(&self.insts, pc + 1, &mut next, &mut on_next);
+                        }
+                    }
+                }
+                std::mem::swap(&mut current, &mut next);
+                std::mem::swap(&mut on_current, &mut on_next);
+                if current
+                    .iter()
+                    .any(|&pc| matches!(self.insts[pc], Inst::Match))
+                {
+                    return true;
+                }
+                if current.is_empty() {
+                    break;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Epsilon-closure insertion of a thread.
+fn add_thread(insts: &[Inst], pc: usize, list: &mut Vec<usize>, on_list: &mut [bool]) {
+    if on_list[pc] {
+        return;
+    }
+    on_list[pc] = true;
+    match &insts[pc] {
+        Inst::Jump(t) => add_thread(insts, *t, list, on_list),
+        Inst::Split(a, b) => {
+            add_thread(insts, *a, list, on_list);
+            add_thread(insts, *b, list, on_list);
+        }
+        Inst::Char(_) | Inst::Match => list.push(pc),
+    }
+}
+
+/// Cap on expanded repeat counts; `a{1000}` compiles but larger bounds are
+/// clamped to keep programs small (Grok uses tiny bounds only).
+const MAX_REPEAT: u32 = 1000;
+
+fn compile_node(ast: &Ast, insts: &mut Vec<Inst>) {
+    match ast {
+        Ast::Empty => {}
+        Ast::Class(set) => insts.push(Inst::Char(set.clone())),
+        Ast::Concat(items) => {
+            for item in items {
+                compile_node(item, insts);
+            }
+        }
+        Ast::Alt(branches) => {
+            // Chain of splits; each branch jumps to the common end.
+            let mut jump_slots: Vec<usize> = Vec::new();
+            let last = branches.len() - 1;
+            for (i, branch) in branches.iter().enumerate() {
+                if i < last {
+                    let split_at = insts.len();
+                    insts.push(Inst::Split(0, 0)); // patched below
+                    compile_node(branch, insts);
+                    jump_slots.push(insts.len());
+                    insts.push(Inst::Jump(0)); // patched below
+                    let after = insts.len();
+                    insts[split_at] = Inst::Split(split_at + 1, after);
+                } else {
+                    compile_node(branch, insts);
+                }
+            }
+            let end = insts.len();
+            for slot in jump_slots {
+                insts[slot] = Inst::Jump(end);
+            }
+        }
+        Ast::Repeat { node, min, max } => {
+            let min = (*min).min(MAX_REPEAT);
+            match max {
+                Some(maxv) => {
+                    let maxv = (*maxv).min(MAX_REPEAT).max(min);
+                    // min mandatory copies…
+                    for _ in 0..min {
+                        compile_node(node, insts);
+                    }
+                    // …then (max-min) optional copies, each with an exit split.
+                    let mut split_slots: Vec<usize> = Vec::new();
+                    for _ in min..maxv {
+                        let split_at = insts.len();
+                        insts.push(Inst::Split(0, 0));
+                        split_slots.push(split_at);
+                        compile_node(node, insts);
+                    }
+                    let end = insts.len();
+                    for slot in split_slots {
+                        insts[slot] = Inst::Split(slot + 1, end);
+                    }
+                }
+                None => {
+                    if min == 0 {
+                        // star: split over (body, out); body jumps back.
+                        let split_at = insts.len();
+                        insts.push(Inst::Split(0, 0));
+                        compile_node(node, insts);
+                        insts.push(Inst::Jump(split_at));
+                        let end = insts.len();
+                        insts[split_at] = Inst::Split(split_at + 1, end);
+                    } else {
+                        // plus family: min-1 copies then one trailing loop.
+                        for _ in 0..min - 1 {
+                            compile_node(node, insts);
+                        }
+                        let body_start = insts.len();
+                        compile_node(node, insts);
+                        let split_at = insts.len();
+                        insts.push(Inst::Split(body_start, split_at + 1));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::parse;
+
+    fn prog(pattern: &str) -> Program {
+        Program::compile(&parse(pattern).unwrap())
+    }
+
+    #[test]
+    fn full_match_basics() {
+        let p = prog("ab+c?");
+        assert!(p.is_full_match("ab"));
+        assert!(p.is_full_match("abbbc"));
+        assert!(!p.is_full_match("ac"));
+        assert!(!p.is_full_match("abcx"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        let p = prog("(cat|dog)s?");
+        for ok in ["cat", "dogs", "cats"] {
+            assert!(p.is_full_match(ok), "{ok}");
+        }
+        assert!(!p.is_full_match("cow"));
+    }
+
+    #[test]
+    fn bounded_repeats() {
+        let p = prog(r"\d{2,4}");
+        assert!(!p.is_full_match("1"));
+        assert!(p.is_full_match("12"));
+        assert!(p.is_full_match("1234"));
+        assert!(!p.is_full_match("12345"));
+    }
+
+    #[test]
+    fn empty_pattern_matches_empty() {
+        let p = prog("");
+        assert!(p.is_full_match(""));
+        assert!(!p.is_full_match("a"));
+    }
+
+    #[test]
+    fn substring_search() {
+        let p = prog(r"\d+\.\d+\.\d+\.\d+");
+        assert!(p.is_match("server at 10.0.0.1 responded"));
+        assert!(!p.is_match("server at ten dot zero"));
+        assert!(p.is_match("10.0.0.1"));
+    }
+
+    #[test]
+    fn star_with_empty_body_terminates() {
+        let p = prog("(a?)*b");
+        assert!(p.is_full_match("b"));
+        assert!(p.is_full_match("aab"));
+        assert!(!p.is_full_match("c"));
+    }
+
+    #[test]
+    fn linear_time_on_adversarial_pattern() {
+        // (a+)+$ style patterns kill backtracking engines; the Pike VM is fine.
+        let p = prog("(a+)+");
+        let input = "a".repeat(64) + "!";
+        assert!(!p.is_full_match(&input));
+        assert!(p.is_full_match(&"a".repeat(64)));
+    }
+
+    #[test]
+    fn huge_bounded_repeat_is_clamped_not_oom() {
+        let p = prog("a{100000}");
+        assert!(p.len() < 5000);
+    }
+}

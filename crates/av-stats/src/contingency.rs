@@ -1,0 +1,239 @@
+//! Two-sample homogeneity tests on 2×2 contingency tables (paper §4).
+//!
+//! FMDV-H models conforming/non-conforming draws in the training column `C`
+//! and a future column `C'` as two binomials and asks whether the
+//! non-conforming fraction changed significantly. The paper uses Fisher's
+//! exact test and Pearson's χ² with Yates correction, reporting "little
+//! difference" between them — we implement both.
+
+use crate::gamma::{chi2_sf, ln_factorial};
+
+/// A 2×2 contingency table:
+///
+/// |           | success | failure |
+/// |-----------|---------|---------|
+/// | sample 1  |   a     |   b     |
+/// | sample 2  |   c     |   d     |
+///
+/// For FMDV-H: sample 1 = training column `C` (a = conforming,
+/// b = non-conforming), sample 2 = tested column `C'`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table2x2 {
+    /// Sample-1 successes.
+    pub a: u64,
+    /// Sample-1 failures.
+    pub b: u64,
+    /// Sample-2 successes.
+    pub c: u64,
+    /// Sample-2 failures.
+    pub d: u64,
+}
+
+impl Table2x2 {
+    /// Build from (successes, total) pairs for both samples.
+    ///
+    /// # Panics
+    /// Panics when successes exceed the total for either sample.
+    pub fn from_counts(s1: u64, n1: u64, s2: u64, n2: u64) -> Table2x2 {
+        assert!(s1 <= n1 && s2 <= n2, "successes exceed totals");
+        Table2x2 {
+            a: s1,
+            b: n1 - s1,
+            c: s2,
+            d: n2 - s2,
+        }
+    }
+
+    /// Total observations.
+    pub fn n(&self) -> u64 {
+        self.a + self.b + self.c + self.d
+    }
+}
+
+/// Log of the hypergeometric probability of the table given fixed margins.
+fn ln_hypergeom(t: &Table2x2) -> f64 {
+    let (a, b, c, d) = (t.a, t.b, t.c, t.d);
+    let n = t.n();
+    ln_factorial(a + b) + ln_factorial(c + d) + ln_factorial(a + c) + ln_factorial(b + d)
+        - ln_factorial(n)
+        - ln_factorial(a)
+        - ln_factorial(b)
+        - ln_factorial(c)
+        - ln_factorial(d)
+}
+
+/// Two-tailed Fisher's exact test p-value.
+///
+/// Sums the probabilities of all tables with the same margins whose
+/// probability does not exceed that of the observed table (the standard
+/// "sum of small p" definition). Exact for any sample size; cost is linear
+/// in the smallest margin.
+pub fn fisher_exact(t: &Table2x2) -> f64 {
+    let row1 = t.a + t.b;
+    let col1 = t.a + t.c;
+    let n = t.n();
+    if n == 0 {
+        return 1.0;
+    }
+    // a ranges over max(0, row1+col1-n) ..= min(row1, col1).
+    let lo = row1.saturating_add(col1).saturating_sub(n);
+    let hi = row1.min(col1);
+    let ln_obs = ln_hypergeom(t);
+    // Numerical slack so tables "as extreme" (equal probability) count.
+    const EPS: f64 = 1e-7;
+    let mut p = 0.0f64;
+    for a in lo..=hi {
+        let b = row1 - a;
+        let c = col1 - a;
+        let d = n - row1 - c;
+        let cand = Table2x2 { a, b, c, d };
+        let ln_p = ln_hypergeom(&cand);
+        if ln_p <= ln_obs + EPS {
+            p += ln_p.exp();
+        }
+    }
+    p.min(1.0)
+}
+
+/// Pearson's χ² test with Yates continuity correction; returns the p-value.
+///
+/// Returns 1.0 when any margin is zero (the test is undefined; no evidence
+/// of heterogeneity either way).
+pub fn chi2_yates(t: &Table2x2) -> f64 {
+    let (a, b, c, d) = (t.a as f64, t.b as f64, t.c as f64, t.d as f64);
+    let n = a + b + c + d;
+    let r1 = a + b;
+    let r2 = c + d;
+    let c1 = a + c;
+    let c2 = b + d;
+    if r1 == 0.0 || r2 == 0.0 || c1 == 0.0 || c2 == 0.0 {
+        return 1.0;
+    }
+    let diff = (a * d - b * c).abs();
+    let corrected = (diff - n / 2.0).max(0.0);
+    let chi2 = n * corrected * corrected / (r1 * r2 * c1 * c2);
+    chi2_sf(chi2, 1.0)
+}
+
+/// Which homogeneity test to run (paper §4 evaluates both).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HomogeneityTest {
+    /// Fisher's exact test, two-tailed (the paper's default in §5.2).
+    #[default]
+    FisherExact,
+    /// Pearson's χ² with Yates continuity correction.
+    ChiSquaredYates,
+}
+
+impl HomogeneityTest {
+    /// p-value of the chosen test on the table.
+    pub fn p_value(&self, t: &Table2x2) -> f64 {
+        match self {
+            HomogeneityTest::FisherExact => fisher_exact(t),
+            HomogeneityTest::ChiSquaredYates => chi2_yates(t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fisher_classic_tea_tasting() {
+        // Fisher's lady-tasting-tea table: [[3,1],[1,3]], two-tailed p ≈ 0.4857.
+        let t = Table2x2 { a: 3, b: 1, c: 1, d: 3 };
+        let p = fisher_exact(&t);
+        assert!((p - 0.485714).abs() < 1e-4, "p={p}");
+    }
+
+    #[test]
+    fn fisher_extreme_table_is_significant() {
+        // [[10,0],[0,10]] — maximally heterogeneous.
+        let t = Table2x2 { a: 10, b: 0, c: 0, d: 10 };
+        let p = fisher_exact(&t);
+        assert!(p < 2e-4, "p={p}");
+    }
+
+    #[test]
+    fn fisher_identical_samples_not_significant() {
+        let t = Table2x2::from_counts(95, 100, 950, 1000);
+        let p = fisher_exact(&t);
+        assert!(p > 0.5, "p={p}");
+    }
+
+    #[test]
+    fn paper_scenario_small_shift_not_flagged() {
+        // §4: θ_C = 0.1% on 1000 values vs θ_C' = 0.11% on ~1000 — noise.
+        let t = Table2x2::from_counts(999, 1000, 998, 1000);
+        assert!(fisher_exact(&t) > 0.05);
+        assert!(chi2_yates(&t) > 0.05);
+    }
+
+    #[test]
+    fn paper_scenario_large_shift_flagged() {
+        // §4: θ_C = 0.1% vs θ_C' = 5% — strong divergence, reject H0.
+        let t = Table2x2::from_counts(999, 1000, 950, 1000);
+        assert!(fisher_exact(&t) < 0.01);
+        assert!(chi2_yates(&t) < 0.01);
+    }
+
+    #[test]
+    fn all_nonconforming_is_extreme() {
+        // "The special case where no value in C' matches h" (§4).
+        let t = Table2x2::from_counts(1000, 1000, 0, 100);
+        assert!(fisher_exact(&t) < 1e-10);
+        assert!(chi2_yates(&t) < 1e-10);
+    }
+
+    #[test]
+    fn chi2_and_fisher_roughly_agree() {
+        // "In practice we find both to perform well, with little difference" (§4).
+        let cases = [
+            Table2x2::from_counts(990, 1000, 985, 1000),
+            Table2x2::from_counts(990, 1000, 900, 1000),
+            Table2x2::from_counts(500, 1000, 480, 1000),
+            Table2x2::from_counts(50, 100, 20, 100),
+        ];
+        for t in cases {
+            let pf = fisher_exact(&t);
+            let pc = chi2_yates(&t);
+            let same_verdict = (pf < 0.01) == (pc < 0.01);
+            assert!(same_verdict, "disagree on {t:?}: fisher={pf} chi2={pc}");
+        }
+    }
+
+    #[test]
+    fn degenerate_tables() {
+        assert_eq!(fisher_exact(&Table2x2 { a: 0, b: 0, c: 0, d: 0 }), 1.0);
+        assert_eq!(chi2_yates(&Table2x2 { a: 5, b: 0, c: 7, d: 0 }), 1.0);
+        // One empty sample: margins still defined, must not panic.
+        let t = Table2x2::from_counts(0, 0, 5, 10);
+        let _ = fisher_exact(&t);
+        let _ = chi2_yates(&t);
+    }
+
+    #[test]
+    fn p_values_in_unit_interval() {
+        for a in [0u64, 1, 5, 50] {
+            for b in [0u64, 1, 5, 50] {
+                for c in [0u64, 1, 5, 50] {
+                    for d in [0u64, 1, 5, 50] {
+                        let t = Table2x2 { a, b, c, d };
+                        let pf = fisher_exact(&t);
+                        let pc = chi2_yates(&t);
+                        assert!((0.0..=1.0).contains(&pf), "{t:?} fisher={pf}");
+                        assert!((0.0..=1.0).contains(&pc), "{t:?} chi2={pc}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn test_enum_dispatch() {
+        let t = Table2x2::from_counts(999, 1000, 950, 1000);
+        assert!(HomogeneityTest::FisherExact.p_value(&t) < 0.01);
+        assert!(HomogeneityTest::ChiSquaredYates.p_value(&t) < 0.01);
+    }
+}

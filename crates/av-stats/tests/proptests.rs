@@ -1,0 +1,86 @@
+//! Property-based tests for the statistical substrate.
+
+use av_stats::{chi2_sf, chi2_yates, fisher_exact, gamma_p, gamma_q, ln_gamma, Table2x2};
+use proptest::prelude::*;
+
+proptest! {
+    /// p-values always live in [0, 1].
+    #[test]
+    fn p_values_in_unit_interval(a in 0u64..300, b in 0u64..300, c in 0u64..300, d in 0u64..300) {
+        let t = Table2x2 { a, b, c, d };
+        let pf = fisher_exact(&t);
+        let pc = chi2_yates(&t);
+        prop_assert!((0.0..=1.0).contains(&pf), "fisher {pf}");
+        prop_assert!((0.0..=1.0).contains(&pc), "chi2 {pc}");
+    }
+
+    /// The tests are symmetric in the two samples.
+    #[test]
+    fn sample_order_symmetry(a in 0u64..200, b in 0u64..200, c in 0u64..200, d in 0u64..200) {
+        let t = Table2x2 { a, b, c, d };
+        let swapped = Table2x2 { a: c, b: d, c: a, d: b };
+        prop_assert!((fisher_exact(&t) - fisher_exact(&swapped)).abs() < 1e-9);
+        prop_assert!((chi2_yates(&t) - chi2_yates(&swapped)).abs() < 1e-9);
+    }
+
+    /// Identical proportions are never significant at any usual level.
+    #[test]
+    fn proportional_tables_are_insignificant(s in 1u64..100, n in 1u64..100, k in 1u64..6) {
+        let t = Table2x2::from_counts(s.min(n), n, (s.min(n)) * k, n * k);
+        prop_assert!(fisher_exact(&t) > 0.05, "p = {}", fisher_exact(&t));
+    }
+
+    /// Fisher and χ²-Yates agree on the verdict for well-populated tables
+    /// ("little difference in practice", §4).
+    #[test]
+    fn tests_agree_on_clear_cases(s1 in 0u64..100, s2 in 0u64..100) {
+        let t = Table2x2::from_counts(s1, 100, s2, 100);
+        let pf = fisher_exact(&t);
+        let pc = chi2_yates(&t);
+        // Only check away from the decision boundary.
+        if (pf - 0.01).abs() > 0.009 && (pc - 0.01).abs() > 0.009 {
+            prop_assert_eq!(pf < 0.01, pc < 0.01, "fisher {} vs chi2 {}", pf, pc);
+        }
+    }
+
+    /// Γ satisfies the recurrence Γ(x+1) = x·Γ(x).
+    #[test]
+    fn gamma_recurrence(x in 0.1f64..50.0) {
+        let lhs = ln_gamma(x + 1.0);
+        let rhs = x.ln() + ln_gamma(x);
+        prop_assert!((lhs - rhs).abs() < 1e-9 * lhs.abs().max(1.0), "x = {x}");
+    }
+
+    /// Regularized incomplete gammas are complementary and monotone in x.
+    #[test]
+    fn incomplete_gamma_properties(a in 0.2f64..30.0, x in 0.0f64..60.0) {
+        let p = gamma_p(a, x);
+        let q = gamma_q(a, x);
+        prop_assert!((p + q - 1.0).abs() < 1e-9);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&p));
+        let p2 = gamma_p(a, x + 1.0);
+        prop_assert!(p2 + 1e-12 >= p, "P must be nondecreasing in x");
+    }
+
+    /// χ² survival function is a valid decreasing tail probability.
+    #[test]
+    fn chi2_sf_properties(x in 0.0f64..50.0, k in 1u8..8) {
+        let s = chi2_sf(x, k as f64);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert!(chi2_sf(x + 0.5, k as f64) <= s + 1e-12);
+    }
+
+    /// More extreme tables (same margins) have smaller Fisher p-values.
+    #[test]
+    fn extremity_monotonicity(n in 4u64..60) {
+        // Margins fixed at (n, n) rows and (n, n) columns; a ranges over
+        // the diagonal excess.
+        let mut prev = 1.0f64;
+        for a in (n / 2)..=n {
+            let t = Table2x2 { a, b: n - a, c: n - a, d: a };
+            let p = fisher_exact(&t);
+            prop_assert!(p <= prev + 1e-9, "a={a}: {p} > {prev}");
+            prev = p;
+        }
+    }
+}

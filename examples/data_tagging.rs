@@ -1,0 +1,71 @@
+//! Auto-Tag (§2.3's dual problem, shipped in Azure Purview): instead of the
+//! *safest* pattern for validation, find the *most restrictive* pattern
+//! that still describes a column's domain, and use it to tag related
+//! columns of the same type across the lake — data-governance discovery.
+//!
+//! ```sh
+//! cargo run --release --example data_tagging
+//! ```
+
+use auto_validate::prelude::*;
+use av_core::TagRule;
+
+fn main() {
+    println!("setting up corpus and index…");
+    let corpus = generate_lake(&LakeProfile::tiny().scaled(2000), 23);
+    let columns: Vec<&Column> = corpus.columns().collect();
+    let index = PatternIndex::build(&columns, &IndexConfig::default());
+    let engine = AutoValidate::new(&index, FmdvConfig::scaled_for_corpus(index.num_columns));
+
+    // A steward labels ONE column as "GUID" and asks the system to find the
+    // rest of them in the lake.
+    let seed_column = corpus
+        .columns()
+        .find(|c| c.meta.domain.as_deref() == Some("guid") && c.len() >= 30)
+        .expect("a guid column in the lake");
+    println!(
+        "\nsteward-labeled column: {} ({} values, e.g. {:?})",
+        seed_column.name,
+        seed_column.len(),
+        seed_column.values.first().expect("non-empty")
+    );
+    let tag: TagRule = engine
+        .infer_tag(&seed_column.values, 0.01)
+        .expect("tag pattern");
+    println!(
+        "inferred tag pattern: {}  (reaches {} corpus columns)",
+        tag.pattern, tag.coverage
+    );
+
+    // Sweep the lake.
+    let mut tagged = 0usize;
+    let mut true_guid = 0usize;
+    let mut missed_guid = 0usize;
+    let mut wrong = Vec::new();
+    for col in corpus.columns() {
+        let is_guid = col.meta.domain.as_deref() == Some("guid");
+        let hit = tag.tags(&col.values);
+        if hit {
+            tagged += 1;
+            if is_guid {
+                true_guid += 1;
+            } else {
+                wrong.push((col.name.clone(), col.meta.domain.clone()));
+            }
+        } else if is_guid {
+            missed_guid += 1;
+        }
+    }
+    println!("\nsweep over {} columns:", corpus.num_columns());
+    println!("  tagged {tagged} columns; {true_guid} are genuine guid columns");
+    println!("  missed {missed_guid} guid columns");
+    for (name, domain) in wrong.iter().take(5) {
+        println!("  (also tagged {name} from domain {domain:?})");
+    }
+    assert!(true_guid > 0, "the tag must find other guid columns");
+    assert!(
+        true_guid * 10 >= tagged * 9 || wrong.iter().all(|(_, d)| d.as_deref() != Some("boolean")),
+        "tagging should be precise"
+    );
+    println!("\nok: one labeled column was enough to tag the lake's GUID columns.");
+}

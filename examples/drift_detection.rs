@@ -1,0 +1,72 @@
+//! Side-by-side comparison on the paper's §1 motivating example: why
+//! dictionary-based validation (TFDV/Deequ style) false-alarms on
+//! machine-generated data while profiling patterns (Potter's Wheel style)
+//! overfit — and how the corpus-driven pattern avoids both failure modes.
+//!
+//! ```sh
+//! cargo run --release --example drift_detection
+//! ```
+
+use auto_validate::prelude::*;
+use av_baselines::{ColumnValidator, PottersWheel, Tfdv};
+
+fn check(name: &str, passes: bool, should_pass: bool) {
+    let verdict = if passes { "pass " } else { "ALARM" };
+    let ok = if passes == should_pass { "✓" } else { "✗ (wrong!)" };
+    println!("    {name:<28} {verdict}  {ok}");
+}
+
+fn main() {
+    println!("setting up corpus and index…");
+    let corpus = generate_lake(&LakeProfile::tiny().scaled(2000), 5);
+    let columns: Vec<&Column> = corpus.columns().collect();
+    let index = PatternIndex::build(&columns, &IndexConfig::default());
+    let engine = AutoValidate::new(&index, FmdvConfig::scaled_for_corpus(index.num_columns));
+
+    // C1 (Fig. 2a): date strings observed during March 2019.
+    let march: Vec<String> = (1..=28).map(|d| format!("Mar {d:02} 2019")).collect();
+    println!("\ntraining data (C1): {:?} … {:?}", march[0], march[27]);
+
+    let tfdv = Tfdv.infer(&march).expect("tfdv rule");
+    let pwheel = PottersWheel.infer(&march).expect("pwheel rule");
+    let fmdv = engine.infer_default(&march).expect("fmdv rule");
+    println!("\ninferred rules:");
+    println!("  TFDV   : {}", tfdv.description);
+    println!("  PWheel : {}", pwheel.description);
+    println!("  FMDV-VH: {}", fmdv.pattern);
+
+    // Scenario 1: the feed refreshes in April — same domain, new values.
+    let april: Vec<String> = (1..=30).map(|d| format!("Apr {d:02} 2019")).collect();
+    println!("\nscenario 1: April refresh (same domain — should PASS)");
+    check("TFDV (dictionary)", tfdv.passes(&april), true);
+    check("PWheel (profiling pattern)", pwheel.passes(&april), true);
+    check("FMDV-VH (domain pattern)", !fmdv.validate(&april).flagged, true);
+
+    // Scenario 2: genuine drift — the upstream column moved.
+    let drifted: Vec<String> = (0..30).map(|i| format!("session-{i:04}")).collect();
+    println!("\nscenario 2: schema drift (different domain — should ALARM)");
+    check("TFDV (dictionary)", tfdv.passes(&drifted), false);
+    check("PWheel (profiling pattern)", pwheel.passes(&drifted), false);
+    check(
+        "FMDV-VH (domain pattern)",
+        !fmdv.validate(&drifted).flagged,
+        false,
+    );
+
+    // Scenario 3: subtle format change ("Mar 01 2019" → "March 01 2019").
+    let reformatted: Vec<String> = (1..=28).map(|d| format!("March {d:02} 2019")).collect();
+    println!("\nscenario 3: format change, fixed-width month → full name (should ALARM)");
+    check(
+        "FMDV-VH (domain pattern)",
+        !fmdv.validate(&reformatted).flagged,
+        false,
+    );
+
+    assert!(!fmdv.validate(&april).flagged, "FMDV must not false-alarm on April");
+    assert!(fmdv.validate(&drifted).flagged, "FMDV must catch drift");
+    assert!(!tfdv.passes(&april), "the dictionary false-alarm is the paper's point");
+    println!(
+        "\nsummary: the dictionary false-alarms on the April refresh; the corpus-driven \
+         pattern passes it and still catches both real incidents."
+    );
+}

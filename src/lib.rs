@@ -1,0 +1,73 @@
+//! # auto-validate
+//!
+//! A from-scratch Rust reproduction of **"Auto-Validate: Unsupervised Data
+//! Validation Using Data-Domain Patterns Inferred from Data Lakes"**
+//! (Jie Song and Yeye He, SIGMOD 2021).
+//!
+//! Recurring data pipelines break silently when upstream feeds drift.
+//! Auto-Validate infers regex-like **data-domain patterns** for
+//! string-valued columns by consulting a large corpus of columns from the
+//! same data lake: a pattern is a good validator when it (1) rarely splits
+//! corpus columns into matching and non-matching parts (low estimated
+//! false-positive rate) and (2) matches many corpus columns (coverage).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use auto_validate::prelude::*;
+//!
+//! // 1. A corpus T — here a small synthetic lake; in production, your own.
+//! let corpus = generate_lake(&LakeProfile::tiny(), 42);
+//! let columns: Vec<&Column> = corpus.columns().collect();
+//!
+//! // 2. Offline: one scan of T builds the pattern index (§2.4).
+//! let index = PatternIndex::build(&columns, &IndexConfig::default());
+//!
+//! // 3. Online: infer a validation rule for a query column in milliseconds.
+//! let engine = AutoValidate::new(&index, FmdvConfig::scaled_for_corpus(index.num_columns));
+//! let train: Vec<String> = (1..=30).map(|d| format!("2019-03-{d:02}")).collect();
+//! let rule = engine.infer_default(&train).expect("rule");
+//!
+//! // 4. Validate future data: same domain passes, drifted data is flagged.
+//! let april: Vec<String> = (1..=30).map(|d| format!("2019-04-{d:02}")).collect();
+//! assert!(!rule.validate(&april).flagged);
+//! let drifted: Vec<String> = (1..=30).map(|d| format!("user-{d}")).collect();
+//! assert!(rule.validate(&drifted).flagged);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`av_pattern`] | pattern language, tokenizer, `P(v)`/`H(C)` enumeration, matcher |
+//! | [`av_index`] | offline corpus index: pattern → (FPR, coverage) |
+//! | [`av_core`] | FMDV, FMDV-V, FMDV-H, FMDV-VH, CMDV, Auto-Tag |
+//! | [`av_stats`] | Fisher's exact test, χ² with Yates, special functions |
+//! | [`av_corpus`] | synthetic data lakes, domain generators, benchmarks |
+//! | [`av_baselines`] | TFDV, Deequ, Potter's Wheel, Grok, schema matching, … |
+//! | [`av_eval`] | the §5.1 evaluation methodology |
+//! | [`av_ml`] | GBDT + encoders for the Fig. 15 case study |
+//! | [`av_regex`] | small regex engine (NFA/Pike VM) used by baselines |
+
+#![warn(missing_docs)]
+
+pub use av_baselines;
+pub use av_core;
+pub use av_corpus;
+pub use av_eval;
+pub use av_index;
+pub use av_ml;
+pub use av_pattern;
+pub use av_regex;
+pub use av_stats;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use av_core::{
+        AnyRule, AutoValidate, DictionaryRule, FmdvConfig, InferError, TagRule,
+        ValidationReport, ValidationRule, Variant,
+    };
+    pub use av_corpus::{generate_lake, Benchmark, Column, Corpus, LakeProfile, Table};
+    pub use av_index::{IndexConfig, PatternIndex};
+    pub use av_pattern::{matches, parse, Pattern, PatternConfig, Token};
+}

@@ -1,0 +1,151 @@
+//! Robustness / failure-injection: adversarial inputs across the public
+//! API surface must degrade gracefully — errors, never panics or hangs.
+
+use auto_validate::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+fn index() -> &'static Arc<PatternIndex> {
+    static IDX: OnceLock<Arc<PatternIndex>> = OnceLock::new();
+    IDX.get_or_init(|| {
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(500), 1);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        Arc::new(PatternIndex::build(&cols, &IndexConfig::default()))
+    })
+}
+
+fn engine() -> AutoValidate<'static> {
+    let idx = index();
+    AutoValidate::new(idx, FmdvConfig::scaled_for_corpus(idx.num_columns))
+}
+
+#[test]
+fn adversarial_training_columns_never_panic() {
+    let e = engine();
+    let adversarial: Vec<Vec<String>> = vec![
+        vec![],                                          // empty column
+        vec!["".into()],                                 // single empty string
+        vec!["".into(); 50],                             // all empty
+        vec!["a".into()],                                // single char
+        vec!["x".repeat(5000)],                          // very long value
+        vec!["日本語".into(), "中文".into()],            // non-ASCII
+        vec!["\u{0}\u{1}\u{2}".into()],                  // control chars
+        (0..100).map(|i| format!("{i}")).collect(),      // plain ints
+        vec!["a b c d e f g h i j k l m n o p".into(); 10], // many tokens
+        vec!["-".into(), "?".into(), "".into(), "NULL".into()], // all specials
+        (0..50)
+            .map(|i| "abc".repeat(i % 20 + 1))
+            .collect(),                                  // wildly varying widths
+    ];
+    for (i, train) in adversarial.iter().enumerate() {
+        for variant in [Variant::Fmdv, Variant::FmdvV, Variant::FmdvH, Variant::FmdvVH] {
+            let _ = e.infer(train, variant); // Ok or Err, never panic
+        }
+        let _ = e.infer_auto(train);
+        let _ = e.infer_tag(train, 0.05);
+        let _ = i;
+    }
+}
+
+#[test]
+fn adversarial_validation_inputs_never_panic() {
+    let e = engine();
+    let train: Vec<String> = (0..40).map(|i| format!("{:04}", i)).collect();
+    let Ok(rule) = e.infer_default(&train) else {
+        return;
+    };
+    for test_col in [
+        vec![],
+        vec!["".to_string()],
+        vec!["™∞é".to_string()],
+        vec!["9".repeat(10_000)],
+        (0..10_000).map(|i| i.to_string()).collect::<Vec<_>>(),
+    ] {
+        let report = rule.validate(&test_col);
+        assert!(report.nonconforming <= report.checked);
+        assert!((0.0..=1.0).contains(&report.p_value));
+    }
+}
+
+#[test]
+fn extreme_configs_are_handled() {
+    let idx = index();
+    let train: Vec<String> = (0..30).map(|i| format!("{:02}:{:02}", i % 24, i % 60)).collect();
+    // r = 0 (strictest), m = huge (nothing feasible), θ = 1 (everything cut).
+    for (r, m, theta) in [(0.0, 1, 0.1), (0.1, u64::MAX, 0.1), (0.1, 1, 1.0), (1.0, 0, 0.0)] {
+        let mut config = FmdvConfig::scaled_for_corpus(idx.num_columns);
+        config.r = r;
+        config.m = m;
+        config.theta = theta;
+        let e = AutoValidate::new(idx, config);
+        for variant in [Variant::Fmdv, Variant::FmdvV, Variant::FmdvH, Variant::FmdvVH] {
+            let _ = e.infer(&train, variant);
+        }
+    }
+}
+
+#[test]
+fn corrupted_index_bytes_are_rejected_not_trusted() {
+    let idx = index();
+    let bytes = idx.to_bytes();
+    // Flip bytes at several offsets; load must either error or produce an
+    // index that still answers lookups without panicking.
+    for offset in [0usize, 3, 7, 12, 20, bytes.len() / 2, bytes.len() - 1] {
+        let mut corrupted = bytes.to_vec();
+        corrupted[offset] ^= 0xFF;
+        match PatternIndex::from_bytes(&corrupted) {
+            Err(_) => {}
+            Ok(loaded) => {
+                let p = parse("<digit>{4}").unwrap();
+                let _ = loaded.lookup(&p);
+            }
+        }
+    }
+    // Truncations at every power of two.
+    let mut cut = 1usize;
+    while cut < bytes.len() {
+        let _ = PatternIndex::from_bytes(&bytes[..cut]);
+        cut *= 2;
+    }
+}
+
+#[test]
+fn pattern_parser_rejects_garbage_without_panic() {
+    for garbage in [
+        "<", ">", "<digit>{", "<digit>{999999999999}", "<nope>+", "\\", "<any>{3}",
+        "<<>>", "<digit>{-1}", "a<b>c",
+    ] {
+        let _ = parse(garbage); // Err is fine; panic is not
+    }
+}
+
+#[test]
+fn unicode_values_roundtrip_through_the_whole_stack() {
+    let e = engine();
+    // Mixed-script machine-ish column: "ID-<digits>" with a unicode prefix.
+    let train: Vec<String> = (0..40).map(|i| format!("№-{i:04}")).collect();
+    if let Ok(rule) = e.infer_auto(&train) {
+        assert!(rule.conforms("№-9999") || !rule.conforms("№-9999")); // no panic
+        let report = rule.validate(&train);
+        assert!(!report.flagged, "training data must conform to its own rule");
+    }
+}
+
+#[test]
+fn empty_and_single_value_columns_are_consistent() {
+    use av_pattern::{analyze_column, column_pattern_profile, hypothesis_space, PatternConfig};
+    let cfg = PatternConfig::default();
+    // Column of empty strings: one empty-pattern group.
+    let empties = vec![String::new(); 10];
+    let analysis = analyze_column(&empties, &cfg);
+    assert_eq!(analysis.groups.len(), 1);
+    assert!(analysis.is_homogeneous());
+    // Hypothesis space for empty strings: just the empty pattern.
+    let h = hypothesis_space(&empties, &cfg);
+    assert_eq!(h.len(), 1);
+    assert!(h[0].is_empty());
+    // Profiles never report matched fractions above 1.
+    let profile = column_pattern_profile(&empties, &cfg, 13);
+    for (_, f) in profile {
+        assert!((0.0..=1.0 + 1e-9).contains(&f));
+    }
+}
