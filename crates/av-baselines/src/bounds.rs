@@ -137,10 +137,7 @@ mod tests {
     fn fd_violations_are_rejected() {
         let table = Table {
             name: "t".into(),
-            columns: vec![
-                col("a", &["x", "x"]),
-                col("b", &["1", "2"]),
-            ],
+            columns: vec![col("a", &["x", "x"]), col("b", &["1", "2"])],
         };
         // a → b fails (x maps to both); b → a holds but is from an
         // all-distinct determinant… which is allowed. Column 0 participates

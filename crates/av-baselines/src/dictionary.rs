@@ -125,7 +125,10 @@ mod tests {
         let train = col(&["Mar 01 2019", "Mar 02 2019", "Mar 30 2019"]);
         let rule = Tfdv.infer(&train).unwrap();
         assert!(rule.passes(&col(&["Mar 01 2019", "Mar 02 2019"])));
-        assert!(!rule.passes(&col(&["Apr 01 2019"])), "dictionary rules false-alarm");
+        assert!(
+            !rule.passes(&col(&["Apr 01 2019"])),
+            "dictionary rules false-alarm"
+        );
     }
 
     #[test]

@@ -12,19 +12,40 @@ pub const GROK_PATTERNS: &[(&str, &str)] = &[
     ("INT", r"[+-]?\d+"),
     ("NUMBER", r"[+-]?\d+(\.\d+)?"),
     ("BASE16NUM", r"(0x)?[0-9A-Fa-f]+"),
-    ("UUID", r"[0-9A-Fa-f]{8}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{12}"),
-    ("IPV4", r"(25[0-5]|2[0-4]\d|[01]?\d?\d)(\.(25[0-5]|2[0-4]\d|[01]?\d?\d)){3}"),
+    (
+        "UUID",
+        r"[0-9A-Fa-f]{8}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{12}",
+    ),
+    (
+        "IPV4",
+        r"(25[0-5]|2[0-4]\d|[01]?\d?\d)(\.(25[0-5]|2[0-4]\d|[01]?\d?\d)){3}",
+    ),
     ("MAC", r"([0-9A-Fa-f]{2}:){5}[0-9A-Fa-f]{2}"),
-    ("HOSTNAME", r"[a-zA-Z0-9]([a-zA-Z0-9-]{0,62})?(\.[a-zA-Z0-9]([a-zA-Z0-9-]{0,62})?)+"),
-    ("EMAILADDRESS", r"[a-zA-Z][a-zA-Z0-9_.+-]*@[a-zA-Z0-9][a-zA-Z0-9._-]*\.[a-zA-Z]+"),
+    (
+        "HOSTNAME",
+        r"[a-zA-Z0-9]([a-zA-Z0-9-]{0,62})?(\.[a-zA-Z0-9]([a-zA-Z0-9-]{0,62})?)+",
+    ),
+    (
+        "EMAILADDRESS",
+        r"[a-zA-Z][a-zA-Z0-9_.+-]*@[a-zA-Z0-9][a-zA-Z0-9._-]*\.[a-zA-Z]+",
+    ),
     ("URI", r"https?://[a-zA-Z0-9._-]+(/[a-zA-Z0-9._/-]*)?"),
     ("ISO8601_DATE", r"\d{4}-\d{2}-\d{2}"),
-    ("ISO8601_TIMESTAMP", r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}(Z|[+-]\d{2}:?\d{2})?"),
+    (
+        "ISO8601_TIMESTAMP",
+        r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}(Z|[+-]\d{2}:?\d{2})?",
+    ),
     ("DATE_US", r"\d{1,2}/\d{1,2}/\d{4}"),
     ("DATE_EU", r"\d{1,2}-\d{1,2}-\d{4}"),
     ("TIME", r"\d{1,2}:\d{2}(:\d{2})?"),
-    ("DATESTAMP_US", r"\d{1,2}/\d{1,2}/\d{4}[ T]\d{1,2}:\d{2}:\d{2}( (AM|PM))?"),
-    ("MONTHDAY_YEAR", r"(Jan|Feb|Mar|Apr|May|Jun|Jul|Aug|Sep|Oct|Nov|Dec) \d{2} \d{4}"),
+    (
+        "DATESTAMP_US",
+        r"\d{1,2}/\d{1,2}/\d{4}[ T]\d{1,2}:\d{2}:\d{2}( (AM|PM))?",
+    ),
+    (
+        "MONTHDAY_YEAR",
+        r"(Jan|Feb|Mar|Apr|May|Jun|Jul|Aug|Sep|Oct|Nov|Dec) \d{2} \d{4}",
+    ),
     ("HTTPDATE_YEAR", r"\d{4}"),
     ("ZIP", r"\d{5}(-\d{4})?"),
     ("PHONE_US", r"\(\d{3}\) \d{3}-\d{4}"),
@@ -86,18 +107,19 @@ impl ColumnValidator for Grok {
         let (name, regex) = compiled()
             .iter()
             .filter(|(name, _)| *name != "WORD" && *name != "INT" && *name != "HTTPDATE_YEAR")
-            .find(|(_, re)| {
-                train.iter().filter(|v| re.is_full_match(v)).count() >= need
-            })?;
+            .find(|(_, re)| train.iter().filter(|v| re.is_full_match(v)).count() >= need)?;
         let re = regex.clone();
         let frac = self.min_match_frac;
-        Some(InferredRule::new(format!("grok:{name}"), move |col: &[String]| {
-            if col.is_empty() {
-                return true;
-            }
-            let hits = col.iter().filter(|v| re.is_full_match(v)).count();
-            hits as f64 / col.len() as f64 >= frac
-        }))
+        Some(InferredRule::new(
+            format!("grok:{name}"),
+            move |col: &[String]| {
+                if col.is_empty() {
+                    return true;
+                }
+                let hits = col.iter().filter(|v| re.is_full_match(v)).count();
+                hits as f64 / col.len() as f64 >= frac
+            },
+        ))
     }
 }
 
@@ -129,7 +151,10 @@ mod tests {
             "550e8400-e29b-41d4-a716-446655440000",
             "67e55044-10b1-426f-9247-bb680e5fe0c8",
         ]);
-        assert_eq!(Grok::default().infer(&guids).unwrap().description, "grok:UUID");
+        assert_eq!(
+            Grok::default().infer(&guids).unwrap().description,
+            "grok:UUID"
+        );
         let dates = col(&["2019-03-01", "2020-12-31"]);
         assert_eq!(
             Grok::default().infer(&dates).unwrap().description,
@@ -156,6 +181,9 @@ mod tests {
     fn generalizes_across_months_unlike_dictionaries() {
         let train = col(&["Mar 01 2019", "Mar 05 2019"]);
         let rule = Grok::default().infer(&train).unwrap();
-        assert!(rule.passes(&col(&["Apr 01 2019"])), "curated month pattern generalizes");
+        assert!(
+            rule.passes(&col(&["Apr 01 2019"])),
+            "curated month pattern generalizes"
+        );
     }
 }

@@ -55,7 +55,11 @@ pub(crate) fn strict_groups(values: &[String]) -> Vec<StrictGroup<'_>> {
             g.count = empties;
         }
     }
-    out.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.classes.len().cmp(&b.classes.len())));
+    out.sort_by(|a, b| {
+        b.count
+            .cmp(&a.count)
+            .then_with(|| a.classes.len().cmp(&b.classes.len()))
+    });
     out
 }
 
@@ -79,9 +83,7 @@ fn dl_cost(token: &Token, texts: &[&str]) -> f64 {
     let bits_per_char = |t: &Token| -> f64 {
         match t {
             Token::Digit(_) | Token::DigitPlus | Token::Num => 10f64.log2(),
-            Token::Upper(_) | Token::UpperPlus | Token::Lower(_) | Token::LowerPlus => {
-                26f64.log2()
-            }
+            Token::Upper(_) | Token::UpperPlus | Token::Lower(_) | Token::LowerPlus => 26f64.log2(),
             Token::Letter(_) | Token::LetterPlus => 52f64.log2(),
             Token::Alnum(_) | Token::AlnumPlus => 62f64.log2(),
             Token::Sym(_) | Token::SymPlus => 32f64.log2(),
@@ -123,7 +125,7 @@ fn dl_cost(token: &Token, texts: &[&str]) -> f64 {
 /// Candidate tokens for a position of class `class` over `texts`.
 fn position_candidates(class: CharClass, texts: &[&str]) -> Vec<Token> {
     let w0 = texts.first().map(|t| t.chars().count()).unwrap_or(0) as u16;
-    let uniform_width = texts.iter().all(|t| t.chars().count() as usize == w0 as usize);
+    let uniform_width = texts.iter().all(|t| t.chars().count() == w0 as usize);
     let mut cands = vec![Token::lit(texts.first().copied().unwrap_or(""))];
     match class {
         CharClass::Digit => {
@@ -133,12 +135,18 @@ fn position_candidates(class: CharClass, texts: &[&str]) -> Vec<Token> {
             cands.push(Token::DigitPlus);
         }
         CharClass::Letter => {
-            if texts.iter().all(|t| t.chars().all(|c| c.is_ascii_uppercase())) {
+            if texts
+                .iter()
+                .all(|t| t.chars().all(|c| c.is_ascii_uppercase()))
+            {
                 if uniform_width {
                     cands.push(Token::Upper(w0));
                 }
                 cands.push(Token::UpperPlus);
-            } else if texts.iter().all(|t| t.chars().all(|c| c.is_ascii_lowercase())) {
+            } else if texts
+                .iter()
+                .all(|t| t.chars().all(|c| c.is_ascii_lowercase()))
+            {
                 if uniform_width {
                     cands.push(Token::Lower(w0));
                 }

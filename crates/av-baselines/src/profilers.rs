@@ -58,9 +58,10 @@ impl ColumnValidator for PottersWheel {
             return None;
         }
         let p = pattern.clone();
-        Some(InferredRule::new(pattern.to_string(), move |col: &[String]| {
-            col.iter().all(|v| matches(&p, v))
-        }))
+        Some(InferredRule::new(
+            pattern.to_string(),
+            move |col: &[String]| col.iter().all(|v| matches(&p, v)),
+        ))
     }
 }
 

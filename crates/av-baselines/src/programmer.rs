@@ -140,7 +140,11 @@ impl ColumnValidator for SimulatedProgrammer {
                 // Pins the first literal they saw (overfit mode) — or, if
                 // they noticed variation but didn't generalize, writes an
                 // alternation of observed values (still overfit).
-                let mut alts: Vec<&str> = if pin_literal { vec![run.text] } else { texts.clone() };
+                let mut alts: Vec<&str> = if pin_literal {
+                    vec![run.text]
+                } else {
+                    texts.clone()
+                };
                 alts.sort_unstable();
                 alts.dedup();
                 let escaped: Vec<String> = alts
@@ -197,7 +201,11 @@ mod tests {
     fn expert_generalizes_dates() {
         let p = SimulatedProgrammer::new("e", Skill::expert(), 7);
         let train = col(&[
-            "Mar 01 2019", "Mar 05 2019", "Mar 11 2019", "Mar 19 2019", "Mar 28 2019",
+            "Mar 01 2019",
+            "Mar 05 2019",
+            "Mar 11 2019",
+            "Mar 19 2019",
+            "Mar 28 2019",
         ]);
         let rule = p.infer(&train).expect("expert writes a regex");
         assert!(rule.passes(&col(&["Mar 14 2019"])), "{}", rule.description);
@@ -231,7 +239,10 @@ mod tests {
             novice_ok < expert_ok,
             "novice {novice_ok} vs expert {expert_ok}"
         );
-        assert!(expert_ok >= 30, "expert should usually generalize: {expert_ok}");
+        assert!(
+            expert_ok >= 30,
+            "expert should usually generalize: {expert_ok}"
+        );
     }
 
     #[test]

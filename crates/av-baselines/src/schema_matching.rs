@@ -224,7 +224,11 @@ mod tests {
         let validator = SmPattern::plurality(sm);
         let rule = validator.infer(&train).expect("rule");
         // The augmented training data covers other months, so April passes.
-        assert!(rule.passes(&["Apr 03 2021".to_string()]), "{}", rule.description);
+        assert!(
+            rule.passes(&["Apr 03 2021".to_string()]),
+            "{}",
+            rule.description
+        );
     }
 
     #[test]

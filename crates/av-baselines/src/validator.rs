@@ -6,11 +6,14 @@
 //! it is a false positive) and other columns `C_j, j ≠ i` (passing them is
 //! a recall loss).
 
+/// A pass/fail predicate over a column's values.
+type CheckFn = Box<dyn Fn(&[String]) -> bool + Send + Sync>;
+
 /// A rule inferred from training data, applied to future columns.
 pub struct InferredRule {
     /// Human-readable description (pattern, dictionary size, ...).
     pub description: String,
-    check: Box<dyn Fn(&[String]) -> bool + Send + Sync>,
+    check: CheckFn,
 }
 
 impl InferredRule {

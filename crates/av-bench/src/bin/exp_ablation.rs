@@ -10,7 +10,9 @@
 use av_baselines::ColumnValidator;
 use av_bench::{prepare, ExpArgs};
 use av_core::Variant;
-use av_eval::{evaluate_method, precision_recall_table, write_results_csv, EvalConfig, FmdvValidator};
+use av_eval::{
+    evaluate_method, precision_recall_table, write_results_csv, EvalConfig, FmdvValidator,
+};
 use av_stats::HomogeneityTest;
 
 fn main() {
@@ -34,8 +36,8 @@ fn main() {
     for (optimistic, label) in [(false, "VH sum-FPR"), (true, "VH max-FPR")] {
         let mut c = env.fmdv.clone();
         c.optimistic_vertical = optimistic;
-        let v = FmdvValidator::new(env.index.clone(), c, Variant::FmdvVH)
-            .with_label(label.to_string());
+        let v =
+            FmdvValidator::new(env.index.clone(), c, Variant::FmdvVH).with_label(label.to_string());
         eprintln!("[ablation] {}…", v.name());
         results.push(evaluate_method(&v, &env.benchmark, &cfg));
     }
@@ -47,8 +49,8 @@ fn main() {
     ] {
         let mut c = env.fmdv.clone();
         c.test = test;
-        let v = FmdvValidator::new(env.index.clone(), c, Variant::FmdvVH)
-            .with_label(label.to_string());
+        let v =
+            FmdvValidator::new(env.index.clone(), c, Variant::FmdvVH).with_label(label.to_string());
         eprintln!("[ablation] {}…", v.name());
         results.push(evaluate_method(&v, &env.benchmark, &cfg));
     }

@@ -20,8 +20,12 @@ fn main() {
         &fmdv_vh,
         &PottersWheel,
         &Ssis,
-        &Grok { min_match_frac: 0.99 },
-        &XSystem { min_branch_frac: 0.05 },
+        &Grok {
+            min_match_frac: 0.99,
+        },
+        &XSystem {
+            min_branch_frac: 0.05,
+        },
     ];
     let mut per_method: Vec<(String, Vec<(String, f64)>)> = Vec::new();
     for m in methods {

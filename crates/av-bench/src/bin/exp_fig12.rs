@@ -41,7 +41,10 @@ fn main() {
             let mut c = env.fmdv.clone();
             c.r = r_target;
             let (p, rec) = eval_point(&env, c, variant, &cfg);
-            println!("  r={r_target:<5} {:<8} P={p:.3} R={rec:.3}", variant.label());
+            println!(
+                "  r={r_target:<5} {:<8} P={p:.3} R={rec:.3}",
+                variant.label()
+            );
             rows.push(vec![
                 "r".into(),
                 format!("{r_target}"),
@@ -58,8 +61,11 @@ fn main() {
     let scale_m = |paper_m: f64| -> u64 {
         ((env.index.num_columns as f64) * (paper_m / 7_000_000.0)).ceil() as u64
     };
-    for (paper_m, m) in [(0.0, 0u64), (10.0, scale_m(10.0).max(1)), (100.0, scale_m(100.0).max(3))]
-    {
+    for (paper_m, m) in [
+        (0.0, 0u64),
+        (10.0, scale_m(10.0).max(1)),
+        (100.0, scale_m(100.0).max(3)),
+    ] {
         for variant in VARIANTS {
             let mut c = env.fmdv.clone();
             c.m = m;
@@ -82,8 +88,10 @@ fn main() {
     // with a drill-down depth (8-5, 11-7, 13-8); we sweep τ itself.
     println!("Fig 12(c): sensitivity to token limit τ (re-indexing per point)");
     for tau in [8usize, 11, 13] {
-        let mut ic = IndexConfig::default();
-        ic.tau = tau;
+        let ic = IndexConfig {
+            tau,
+            ..Default::default()
+        };
         let env_tau = prepare_with(&args, ic, None);
         for variant in VARIANTS {
             let mut c = env_tau.fmdv.clone();

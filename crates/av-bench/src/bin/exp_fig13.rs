@@ -23,7 +23,11 @@ fn main() {
     for (len, count) in &by_len {
         cumulative += count;
         println!("  {len:>2} tokens: {count:>9} patterns (cumulative {cumulative})");
-        rows.push(vec![len.to_string(), count.to_string(), cumulative.to_string()]);
+        rows.push(vec![
+            len.to_string(),
+            count.to_string(),
+            cumulative.to_string(),
+        ]);
     }
     write_series_csv(
         args.out_dir.join("fig13a_by_tokens.csv"),
@@ -39,7 +43,11 @@ fn main() {
     let mut cumulative = 0u64;
     for (cov, count) in &by_cov {
         cumulative += count;
-        rows.push(vec![cov.to_string(), count.to_string(), cumulative.to_string()]);
+        rows.push(vec![
+            cov.to_string(),
+            count.to_string(),
+            cumulative.to_string(),
+        ]);
     }
     let head: Vec<&(u64, u64)> = by_cov.iter().take(10).collect();
     for (cov, count) in head {
@@ -54,11 +62,7 @@ fn main() {
     .expect("write csv");
 
     // Power-law check: the tail (cov ≤ 2) should dwarf the head.
-    let tail: u64 = by_cov
-        .iter()
-        .filter(|(c, _)| *c <= 2)
-        .map(|(_, n)| n)
-        .sum();
+    let tail: u64 = by_cov.iter().filter(|(c, _)| *c <= 2).map(|(_, n)| n).sum();
     let total: u64 = by_cov.iter().map(|(_, n)| n).sum();
     println!(
         "\ntail share (patterns followed by ≤2 columns): {:.1}%",

@@ -42,7 +42,12 @@ fn main() {
         trains.len()
     );
     let mut results: Vec<(String, f64)> = Vec::new();
-    for variant in [Variant::Fmdv, Variant::FmdvV, Variant::FmdvH, Variant::FmdvVH] {
+    for variant in [
+        Variant::Fmdv,
+        Variant::FmdvV,
+        Variant::FmdvH,
+        Variant::FmdvVH,
+    ] {
         let v = FmdvValidator::new(env.index.clone(), env.fmdv.clone(), variant);
         results.push((v.name().to_string(), measure(&v, &trains)));
     }
@@ -57,7 +62,10 @@ fn main() {
     let columns = Arc::new(env.corpus.columns().cloned().collect::<Vec<_>>());
     let no_index = NoIndexFmdv::new(columns, env.fmdv.clone());
     let slow_sample: Vec<Vec<String>> = trains.iter().take(5).cloned().collect();
-    results.push((no_index.name().to_string(), measure(&no_index, &slow_sample)));
+    results.push((
+        no_index.name().to_string(),
+        measure(&no_index, &slow_sample),
+    ));
 
     println!("\n{}", latency_table(&results));
     let rows: Vec<Vec<String>> = results

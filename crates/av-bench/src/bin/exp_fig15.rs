@@ -68,7 +68,11 @@ fn main() {
         let clean = train_and_score(task, &task.cat_test);
         let drifted_task = task.with_swapped_test_cats(0, 1);
         let drifted = train_and_score(task, &drifted_task.cat_test);
-        let rel = if clean.abs() > 1e-9 { drifted / clean } else { 0.0 };
+        let rel = if clean.abs() > 1e-9 {
+            drifted / clean
+        } else {
+            0.0
+        };
         // Validation: infer a rule per categorical column from training
         // data; flag if any column's post-drift test data trips its rule.
         let mut detected = false;
@@ -93,7 +97,12 @@ fn main() {
         );
         rows.push(vec![
             task.name.clone(),
-            if task.is_classification { "classification" } else { "regression" }.into(),
+            if task.is_classification {
+                "classification"
+            } else {
+                "regression"
+            }
+            .into(),
             format!("{clean:.4}"),
             format!("{drifted:.4}"),
             format!("{rel:.4}"),

@@ -21,7 +21,10 @@ fn main() {
     let r = evaluate_method(&validator, &env.benchmark, &cfg);
 
     println!("Table 2: programmatic vs ground-truth evaluation (FMDV-VH)\n");
-    println!("{:<28} {:>10} {:>8}", "evaluation method", "precision", "recall");
+    println!(
+        "{:<28} {:>10} {:>8}",
+        "evaluation method", "precision", "recall"
+    );
     println!("{}", "-".repeat(48));
     println!(
         "{:<28} {:>10.3} {:>8.3}",

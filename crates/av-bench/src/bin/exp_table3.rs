@@ -21,7 +21,10 @@ fn main() {
         recall_sample: 0, // 20 cases — test against all others, like the paper
         ..Default::default()
     };
-    println!("Table 3: user study on {} test columns\n", env.benchmark.len());
+    println!(
+        "Table 3: user study on {} test columns\n",
+        env.benchmark.len()
+    );
     println!(
         "{:<14} {:>14} {:>12} {:>10}",
         "participant", "avg-time (s)", "precision", "recall"
@@ -62,8 +65,7 @@ fn main() {
         format!("{:.4}", r.recall),
     ]);
     let path = args.out_dir.join("table3_user_study.csv");
-    write_series_csv(&path, "participant,avg_time_s,precision,recall", &rows)
-        .expect("write csv");
+    write_series_csv(&path, "participant,avg_time_s,precision,recall", &rows).expect("write csv");
     println!("\nwrote {}", path.display());
     println!(
         "\npaper reference: programmers averaged 117 s per regex at precision 0.3–0.65 \

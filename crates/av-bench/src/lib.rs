@@ -135,7 +135,9 @@ pub fn prepare(args: &ExpArgs) -> Env {
 /// Like [`prepare`] but with a custom index configuration and an optional
 /// override of benchmark size.
 pub fn prepare_with(args: &ExpArgs, index_config: IndexConfig, cases: Option<usize>) -> Env {
-    let profile = args.profile.scaled(args.scale.corpus_columns(&args.profile));
+    let profile = args
+        .profile
+        .scaled(args.scale.corpus_columns(&args.profile));
     eprintln!(
         "[setup] generating {} corpus: {} columns…",
         profile.name, profile.num_columns
@@ -151,7 +153,11 @@ pub fn prepare_with(args: &ExpArgs, index_config: IndexConfig, cases: Option<usi
         index.len(),
         t0.elapsed()
     );
-    let value_cap = if profile.name == "government" { 100 } else { 1000 };
+    let value_cap = if profile.name == "government" {
+        100
+    } else {
+        1000
+    };
     let benchmark = Benchmark::sample(
         &corpus,
         cases.unwrap_or(args.scale.benchmark_cases()),
@@ -171,13 +177,18 @@ pub fn prepare_with(args: &ExpArgs, index_config: IndexConfig, cases: Option<usi
 
 /// The four FMDV variants under the environment's config.
 pub fn fmdv_roster(env: &Env) -> Vec<Box<dyn ColumnValidator>> {
-    [Variant::Fmdv, Variant::FmdvV, Variant::FmdvH, Variant::FmdvVH]
-        .into_iter()
-        .map(|v| {
-            Box::new(FmdvValidator::new(env.index.clone(), env.fmdv.clone(), v))
-                as Box<dyn ColumnValidator>
-        })
-        .collect()
+    [
+        Variant::Fmdv,
+        Variant::FmdvV,
+        Variant::FmdvH,
+        Variant::FmdvVH,
+    ]
+    .into_iter()
+    .map(|v| {
+        Box::new(FmdvValidator::new(env.index.clone(), env.fmdv.clone(), v))
+            as Box<dyn ColumnValidator>
+    })
+    .collect()
 }
 
 /// The full §5.2 roster: FMDV variants + every baseline.
@@ -223,8 +234,22 @@ mod tests {
         let roster = full_roster(&env);
         let names: Vec<String> = roster.iter().map(|v| v.name().to_string()).collect();
         for want in [
-            "FMDV", "FMDV-V", "FMDV-H", "FMDV-VH", "PWheel", "SSIS", "XSystem", "FlashProfile",
-            "Grok", "TFDV", "Deequ-Cat", "Deequ-Fra", "SM-I-1", "SM-I-10", "SM-P-M", "SM-P-P",
+            "FMDV",
+            "FMDV-V",
+            "FMDV-H",
+            "FMDV-VH",
+            "PWheel",
+            "SSIS",
+            "XSystem",
+            "FlashProfile",
+            "Grok",
+            "TFDV",
+            "Deequ-Cat",
+            "Deequ-Fra",
+            "SM-I-1",
+            "SM-I-10",
+            "SM-P-M",
+            "SM-P-P",
         ] {
             assert!(names.iter().any(|n| n == want), "missing {want}");
         }

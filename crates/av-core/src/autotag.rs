@@ -68,11 +68,7 @@ pub fn infer_tag<S: AsRef<str>>(
     let best = candidates
         .iter()
         .filter(|c| c.cov >= 1)
-        .min_by(|a, b| {
-            a.cov
-                .cmp(&b.cov)
-                .then_with(|| a.pattern.cmp(&b.pattern))
-        })
+        .min_by(|a, b| a.cov.cmp(&b.cov).then_with(|| a.pattern.cmp(&b.pattern)))
         .cloned()
         .ok_or(InferError::NoFeasible)?;
     let miss = train

@@ -43,8 +43,7 @@ impl DictionaryRule {
         if train.is_empty() {
             return Err(InferError::EmptyColumn);
         }
-        let dictionary: BTreeSet<String> =
-            train.iter().map(|v| v.as_ref().to_string()).collect();
+        let dictionary: BTreeSet<String> = train.iter().map(|v| v.as_ref().to_string()).collect();
         let ratio = dictionary.len() as f64 / train.len() as f64;
         if ratio > max_distinct_ratio {
             return Err(InferError::NoHypothesis);
@@ -67,10 +66,7 @@ impl DictionaryRule {
     /// increased significantly versus training time.
     pub fn validate<S: AsRef<str>>(&self, values: &[S]) -> ValidationReport {
         let checked = values.len();
-        let nonconforming = values
-            .iter()
-            .filter(|v| !self.conforms(v.as_ref()))
-            .count();
+        let nonconforming = values.iter().filter(|v| !self.conforms(v.as_ref())).count();
         let frac = if checked == 0 {
             0.0
         } else {
@@ -97,10 +93,6 @@ impl DictionaryRule {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn col(vals: &[&str]) -> Vec<String> {
-        vals.iter().map(|s| s.to_string()).collect()
-    }
 
     fn categorical_train() -> Vec<String> {
         (0..100)
@@ -141,7 +133,9 @@ mod tests {
     fn vocabulary_swap_is_flagged() {
         let rule =
             DictionaryRule::infer(&categorical_train(), &FmdvConfig::default(), 0.1).unwrap();
-        let swapped: Vec<String> = (0..100).map(|i| format!("2019-03-{:02}", i % 28 + 1)).collect();
+        let swapped: Vec<String> = (0..100)
+            .map(|i| format!("2019-03-{:02}", i % 28 + 1))
+            .collect();
         let report = rule.validate(&swapped);
         assert!(report.flagged);
         assert_eq!(report.nonconforming, 100);

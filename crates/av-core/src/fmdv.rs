@@ -168,10 +168,7 @@ mod tests {
     fn prefers_the_most_specific_feasible_pattern() {
         // Both feasible: the specific one catches more issues; FPR already
         // certifies it as safe. Min-FPR-first would degenerate here.
-        let cands = vec![
-            cand("<digit>{4}", 0.001, 200),
-            cand("<digit>+", 0.0, 9000),
-        ];
+        let cands = vec![cand("<digit>{4}", 0.001, 200), cand("<digit>+", 0.0, 9000)];
         let best = select_min_fpr(&cands, 0.1, 100).unwrap();
         assert_eq!(best.pattern, parse("<digit>{4}").unwrap());
     }
@@ -180,20 +177,14 @@ mod tests {
     fn specificity_does_not_override_feasibility() {
         // The specific pattern violates the FPR budget (Lemma 1's pruning);
         // the general one is the only lawful choice.
-        let cands = vec![
-            cand("<digit>{4}", 0.4, 200),
-            cand("<digit>+", 0.001, 9000),
-        ];
+        let cands = vec![cand("<digit>{4}", 0.4, 200), cand("<digit>+", 0.001, 9000)];
         let best = select_min_fpr(&cands, 0.1, 100).unwrap();
         assert_eq!(best.pattern, parse("<digit>+").unwrap());
     }
 
     #[test]
     fn cmdv_prefers_restrictive_patterns() {
-        let cands = vec![
-            cand("<digit>{4}", 0.0, 200),
-            cand("<digit>+", 0.0, 9000),
-        ];
+        let cands = vec![cand("<digit>{4}", 0.0, 200), cand("<digit>+", 0.0, 9000)];
         let best = select_min_cov(&cands, 0.1, 100).unwrap();
         assert_eq!(best.pattern, parse("<digit>{4}").unwrap());
     }

@@ -16,10 +16,10 @@ use av_pattern::{analyze_column, CoarseGroup};
 
 /// Pick the dominant group if it covers at least `(1-θ)` of the column
 /// (Eq. 16's feasibility precondition under the greedy strategy).
-fn dominant_group<'a>(
-    analysis: &'a av_pattern::ColumnAnalysis,
+fn dominant_group(
+    analysis: &av_pattern::ColumnAnalysis,
     theta: f64,
-) -> Result<&'a CoarseGroup, InferError> {
+) -> Result<&CoarseGroup, InferError> {
     let group = analysis.dominant().ok_or(InferError::NoHypothesis)?;
     let frac = group.count as f64 / analysis.total_values as f64;
     if frac + 1e-12 < 1.0 - theta {
@@ -51,8 +51,7 @@ pub(crate) fn infer_fmdv_h<S: AsRef<str>>(
     let analysis = analyze_column(train, &cfg.pattern);
     let group = dominant_group(&analysis, cfg.theta)?;
     let min_support = group_min_support(group, analysis.total_values, cfg.theta);
-    let supported =
-        group.enumerate_segment(0, group.positions.len(), min_support, &cfg.pattern);
+    let supported = group.enumerate_segment(0, group.positions.len(), min_support, &cfg.pattern);
     let candidates = lookup_candidates(index, supported.into_iter().map(|sp| sp.pattern));
     select_min_fpr(&candidates, cfg.r, cfg.m).ok_or(InferError::NoFeasible)
 }
@@ -110,12 +109,12 @@ mod tests {
         ));
         // …but FMDV-H finds the digit-group pattern of Example 9.
         let c = result.expect("FMDV-H should succeed");
-        let conforming = train
-            .iter()
-            .filter(|v| matches(&c.pattern, v))
-            .count();
+        let conforming = train.iter().filter(|v| matches(&c.pattern, v)).count();
         assert!(conforming >= 99, "pattern must cover the 99 normal values");
-        assert!(!matches(&c.pattern, "-"), "the outlier stays non-conforming");
+        assert!(
+            !matches(&c.pattern, "-"),
+            "the outlier stays non-conforming"
+        );
     }
 
     #[test]

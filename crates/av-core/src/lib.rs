@@ -38,6 +38,7 @@ mod msa;
 mod numeric;
 mod rule;
 mod vertical;
+mod wire;
 
 pub use autotag::{infer_tag, TagRule};
 pub use config::{FmdvConfig, InferError, Variant};
@@ -45,6 +46,7 @@ pub use dictionary::DictionaryRule;
 pub use msa::{align_pair, alignment_gap_distance, Aligned};
 pub use numeric::NumericRule;
 pub use rule::{ValidationReport, ValidationRule};
+pub use wire::{pct_decode, pct_encode, WireError};
 
 /// Either kind of inferred rule (see [`AutoValidate::infer_auto`]).
 #[derive(Debug, Clone)]

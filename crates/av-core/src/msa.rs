@@ -32,16 +32,20 @@ pub fn align_pair(a: &[Token], b: &[Token]) -> (Vec<Aligned>, Vec<Aligned>) {
     const MISMATCH: i64 = -1;
     const GAP: i64 = -1;
     let mut score = vec![vec![0i64; m + 1]; n + 1];
-    for i in 0..=n {
-        score[i][0] = GAP * i as i64;
+    for (i, row) in score.iter_mut().enumerate() {
+        row[0] = GAP * i as i64;
     }
-    for j in 0..=m {
-        score[0][j] = GAP * j as i64;
+    for (j, cell) in score[0].iter_mut().enumerate() {
+        *cell = GAP * j as i64;
     }
     for i in 1..=n {
         for j in 1..=m {
             let diag = score[i - 1][j - 1]
-                + if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+                + if a[i - 1] == b[j - 1] {
+                    MATCH
+                } else {
+                    MISMATCH
+                };
             let up = score[i - 1][j] + GAP;
             let left = score[i][j - 1] + GAP;
             score[i][j] = diag.max(up).max(left);
@@ -56,7 +60,11 @@ pub fn align_pair(a: &[Token], b: &[Token]) -> (Vec<Aligned>, Vec<Aligned>) {
             && j > 0
             && score[i][j]
                 == score[i - 1][j - 1]
-                    + if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH }
+                    + if a[i - 1] == b[j - 1] {
+                        MATCH
+                    } else {
+                        MISMATCH
+                    }
         {
             ra.push(Aligned::Tok(a[i - 1].clone()));
             rb.push(Aligned::Tok(b[j - 1].clone()));

@@ -111,10 +111,7 @@ impl NumericRule {
     /// significantly versus training time.
     pub fn validate<S: AsRef<str>>(&self, values: &[S]) -> ValidationReport {
         let checked = values.len();
-        let nonconforming = values
-            .iter()
-            .filter(|v| !self.conforms(v.as_ref()))
-            .count();
+        let nonconforming = values.iter().filter(|v| !self.conforms(v.as_ref())).count();
         let frac = if checked == 0 {
             0.0
         } else {
@@ -154,16 +151,16 @@ mod tests {
 
     #[test]
     fn stable_distribution_passes() {
-        let rule = NumericRule::infer_default(&uniform(200, 0.0, 100.0), &FmdvConfig::default())
-            .unwrap();
+        let rule =
+            NumericRule::infer_default(&uniform(200, 0.0, 100.0), &FmdvConfig::default()).unwrap();
         let report = rule.validate(&uniform(200, 2.0, 98.0));
         assert!(!report.flagged);
     }
 
     #[test]
     fn range_blowup_is_flagged() {
-        let rule = NumericRule::infer_default(&uniform(200, 0.0, 100.0), &FmdvConfig::default())
-            .unwrap();
+        let rule =
+            NumericRule::infer_default(&uniform(200, 0.0, 100.0), &FmdvConfig::default()).unwrap();
         // Values 100× out of range — a unit change (cents vs dollars).
         let report = rule.validate(&uniform(200, 5000.0, 10000.0));
         assert!(report.flagged);

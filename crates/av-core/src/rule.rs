@@ -51,10 +51,7 @@ impl ValidationRule {
     /// (a significant decrease is not a data-quality issue).
     pub fn validate<S: AsRef<str>>(&self, values: &[S]) -> ValidationReport {
         let checked = values.len();
-        let nonconforming = values
-            .iter()
-            .filter(|v| !self.conforms(v.as_ref()))
-            .count();
+        let nonconforming = values.iter().filter(|v| !self.conforms(v.as_ref())).count();
         let frac = if checked == 0 {
             0.0
         } else {
@@ -70,9 +67,7 @@ impl ValidationRule {
             checked as u64,
         );
         let p_value = self.test.p_value(&table);
-        let flagged = checked > 0
-            && frac > self.train_nonconforming
-            && p_value < self.alpha;
+        let flagged = checked > 0 && frac > self.train_nonconforming && p_value < self.alpha;
         ValidationReport {
             checked,
             nonconforming,

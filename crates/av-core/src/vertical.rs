@@ -15,7 +15,12 @@ use av_pattern::{analyze_column, CoarseGroup, Pattern, Token};
 /// Alphanumeric constants (years, status words) never get this shortcut:
 /// they must pay their corpus-estimated FPR, otherwise the DP would happily
 /// pin `Lit("2019")` and false-alarm in January.
-fn structural_literal(group: &CoarseGroup, s: usize, e: usize, min_support: usize) -> Option<Pattern> {
+fn structural_literal(
+    group: &CoarseGroup,
+    s: usize,
+    e: usize,
+    min_support: usize,
+) -> Option<Pattern> {
     let mut tokens: Vec<Token> = Vec::with_capacity(e - s);
     for pos in &group.positions[s..e] {
         let mut lit: Option<Token> = None;
@@ -199,13 +204,17 @@ fn solve_vertical_mode(
                 }
             }
             // Option 2: best two-way split (sub-solutions already optimal).
+            #[allow(clippy::needless_range_loop)] // t indexes dp twice, as split point
             for t in s + 1..e {
                 if let (Some(left), Some(right)) = (dp[s][t].score(), dp[t][e].score()) {
                     let combined = Score {
                         spec: left.spec + right.spec,
                         fpr: agg(left.fpr, right.fpr),
                     };
-                    if best.score().is_none_or(|cur| combined.better_than(&cur, mode)) {
+                    if best
+                        .score()
+                        .is_none_or(|cur| combined.better_than(&cur, mode))
+                    {
                         best = Cell::Split(t, combined);
                     }
                 }
@@ -313,7 +322,7 @@ mod tests {
         let train = vec!["123".to_string(), "abc-def".to_string()];
         assert_eq!(
             infer_fmdv_v(&index, &cfg, &train).err(),
-            Some(InferError::NoHypothesis).map(|e| e)
+            Some(InferError::NoHypothesis)
         );
     }
 

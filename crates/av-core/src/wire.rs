@@ -1,0 +1,364 @@
+//! Wire serialization for inferred rules, so a long-running service can
+//! persist its rule catalog and reload it after a restart.
+//!
+//! The format is a single line of `key=value` pairs separated by `;`, with
+//! percent-encoding for free-text fields. Floats are printed with Rust's
+//! shortest-roundtrip formatting, so every numeric field reloads to the
+//! exact same bits. Patterns serialize via their display form, whose
+//! display → parse round-trip is property-tested in `av-pattern`.
+
+use std::collections::BTreeSet;
+
+use av_stats::HomogeneityTest;
+
+use crate::dictionary::DictionaryRule;
+use crate::numeric::NumericRule;
+use crate::rule::ValidationRule;
+use crate::AnyRule;
+
+/// Why a wire line failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "rule wire format error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err(msg: impl Into<String>) -> WireError {
+    WireError(msg.into())
+}
+
+/// Percent-encode everything outside the printable-ASCII safe set, plus
+/// the wire delimiters themselves (`%`, `=`, `;`, `,`). Shared with the
+/// service-layer catalog so both sides of a line escape identically.
+pub fn pct_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        if (0x21..=0x7E).contains(&b) && !matches!(b, b'%' | b'=' | b';' | b',') {
+            out.push(b as char);
+        } else {
+            out.push_str(&format!("%{b:02X}"));
+        }
+    }
+    out
+}
+
+/// Inverse of [`pct_encode`].
+pub fn pct_decode(s: &str) -> Result<String, WireError> {
+    let mut bytes = Vec::with_capacity(s.len());
+    let raw = s.as_bytes();
+    let mut i = 0;
+    while i < raw.len() {
+        if raw[i] == b'%' {
+            let hex = raw
+                .get(i + 1..i + 3)
+                .ok_or_else(|| err("truncated percent escape"))?;
+            let hex = std::str::from_utf8(hex).map_err(|_| err("bad percent escape"))?;
+            bytes.push(u8::from_str_radix(hex, 16).map_err(|_| err("bad percent escape"))?);
+            i += 3;
+        } else {
+            bytes.push(raw[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(bytes).map_err(|_| err("invalid utf-8 after decoding"))
+}
+
+fn fields(line: &str) -> Vec<(&str, &str)> {
+    line.split(';')
+        .filter(|p| !p.is_empty())
+        .filter_map(|p| p.split_once('='))
+        .collect()
+}
+
+fn lookup<'a>(fs: &[(&'a str, &'a str)], key: &str) -> Result<&'a str, WireError> {
+    fs.iter()
+        .find(|(k, _)| *k == key)
+        .map(|(_, v)| *v)
+        .ok_or_else(|| err(format!("missing field {key:?}")))
+}
+
+fn parse_f64(fs: &[(&str, &str)], key: &str) -> Result<f64, WireError> {
+    lookup(fs, key)?
+        .parse()
+        .map_err(|_| err(format!("field {key:?} is not a float")))
+}
+
+fn parse_usize(fs: &[(&str, &str)], key: &str) -> Result<usize, WireError> {
+    lookup(fs, key)?
+        .parse()
+        .map_err(|_| err(format!("field {key:?} is not an integer")))
+}
+
+fn parse_u64(fs: &[(&str, &str)], key: &str) -> Result<u64, WireError> {
+    lookup(fs, key)?
+        .parse()
+        .map_err(|_| err(format!("field {key:?} is not an integer")))
+}
+
+fn test_name(t: HomogeneityTest) -> &'static str {
+    match t {
+        HomogeneityTest::FisherExact => "fisher",
+        HomogeneityTest::ChiSquaredYates => "chi2yates",
+    }
+}
+
+fn parse_test(s: &str) -> Result<HomogeneityTest, WireError> {
+    match s {
+        "fisher" => Ok(HomogeneityTest::FisherExact),
+        "chi2yates" => Ok(HomogeneityTest::ChiSquaredYates),
+        other => Err(err(format!("unknown homogeneity test {other:?}"))),
+    }
+}
+
+impl ValidationRule {
+    /// Serialize to one wire line.
+    pub fn to_wire(&self) -> String {
+        format!(
+            "kind=pattern;pattern={};theta={};n={};fpr={};cov={};test={};alpha={}",
+            pct_encode(&self.pattern.to_string()),
+            self.train_nonconforming,
+            self.train_size,
+            self.expected_fpr,
+            self.coverage,
+            test_name(self.test),
+            self.alpha,
+        )
+    }
+
+    /// Decode a line produced by [`ValidationRule::to_wire`].
+    pub fn from_wire(line: &str) -> Result<ValidationRule, WireError> {
+        let fs = fields(line);
+        if lookup(&fs, "kind")? != "pattern" {
+            return Err(err("not a pattern rule"));
+        }
+        let printed = pct_decode(lookup(&fs, "pattern")?)?;
+        let pattern = av_pattern::parse(&printed)
+            .map_err(|e| err(format!("unparseable pattern {printed:?}: {e}")))?;
+        Ok(ValidationRule {
+            pattern,
+            train_nonconforming: parse_f64(&fs, "theta")?,
+            train_size: parse_usize(&fs, "n")?,
+            expected_fpr: parse_f64(&fs, "fpr")?,
+            coverage: parse_u64(&fs, "cov")?,
+            test: parse_test(lookup(&fs, "test")?)?,
+            alpha: parse_f64(&fs, "alpha")?,
+        })
+    }
+}
+
+impl NumericRule {
+    /// Serialize to one wire line.
+    pub fn to_wire(&self) -> String {
+        format!(
+            "kind=numeric;lo={};hi={};theta={};n={};test={};alpha={}",
+            self.lo,
+            self.hi,
+            self.train_oor,
+            self.train_size,
+            test_name(self.test),
+            self.alpha,
+        )
+    }
+
+    /// Decode a line produced by [`NumericRule::to_wire`].
+    pub fn from_wire(line: &str) -> Result<NumericRule, WireError> {
+        let fs = fields(line);
+        if lookup(&fs, "kind")? != "numeric" {
+            return Err(err("not a numeric rule"));
+        }
+        Ok(NumericRule {
+            lo: parse_f64(&fs, "lo")?,
+            hi: parse_f64(&fs, "hi")?,
+            train_oor: parse_f64(&fs, "theta")?,
+            train_size: parse_usize(&fs, "n")?,
+            test: parse_test(lookup(&fs, "test")?)?,
+            alpha: parse_f64(&fs, "alpha")?,
+        })
+    }
+}
+
+impl DictionaryRule {
+    /// Serialize to one wire line. `nvocab` carries the exact entry
+    /// count so a vocabulary containing the empty string survives the
+    /// round-trip (an empty join is otherwise ambiguous with one empty
+    /// entry).
+    pub fn to_wire(&self) -> String {
+        let vocab: Vec<String> = self.dictionary.iter().map(|v| pct_encode(v)).collect();
+        format!(
+            "kind=dict;nvocab={};vocab={};theta={};n={};test={};alpha={}",
+            vocab.len(),
+            vocab.join(","),
+            self.train_oov,
+            self.train_size,
+            test_name(self.test),
+            self.alpha,
+        )
+    }
+
+    /// Decode a line produced by [`DictionaryRule::to_wire`].
+    pub fn from_wire(line: &str) -> Result<DictionaryRule, WireError> {
+        let fs = fields(line);
+        if lookup(&fs, "kind")? != "dict" {
+            return Err(err("not a dictionary rule"));
+        }
+        let raw = lookup(&fs, "vocab")?;
+        let nvocab = parse_usize(&fs, "nvocab")?;
+        let dictionary: BTreeSet<String> = if nvocab == 0 {
+            BTreeSet::new()
+        } else {
+            let entries: Vec<&str> = raw.split(',').collect();
+            if entries.len() != nvocab {
+                return Err(err(format!(
+                    "vocab has {} entries, nvocab says {nvocab}",
+                    entries.len()
+                )));
+            }
+            entries
+                .into_iter()
+                .map(pct_decode)
+                .collect::<Result<_, _>>()?
+        };
+        Ok(DictionaryRule {
+            dictionary,
+            train_oov: parse_f64(&fs, "theta")?,
+            train_size: parse_usize(&fs, "n")?,
+            test: parse_test(lookup(&fs, "test")?)?,
+            alpha: parse_f64(&fs, "alpha")?,
+        })
+    }
+}
+
+impl AnyRule {
+    /// Serialize to one wire line (dispatches on the rule kind).
+    pub fn to_wire(&self) -> String {
+        match self {
+            AnyRule::Pattern(r) => r.to_wire(),
+            AnyRule::Numeric(r) => r.to_wire(),
+            AnyRule::Dictionary(r) => r.to_wire(),
+        }
+    }
+
+    /// Decode any rule kind from a wire line.
+    pub fn from_wire(line: &str) -> Result<AnyRule, WireError> {
+        let fs = fields(line);
+        match lookup(&fs, "kind")? {
+            "pattern" => ValidationRule::from_wire(line).map(AnyRule::Pattern),
+            "numeric" => NumericRule::from_wire(line).map(AnyRule::Numeric),
+            "dict" => DictionaryRule::from_wire(line).map(AnyRule::Dictionary),
+            other => Err(err(format!("unknown rule kind {other:?}"))),
+        }
+    }
+}
+
+/// Rules flow between service threads; keep them `Send + Sync` forever.
+#[allow(dead_code)]
+fn assert_rules_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ValidationRule>();
+    assert_send_sync::<NumericRule>();
+    assert_send_sync::<DictionaryRule>();
+    assert_send_sync::<AnyRule>();
+    assert_send_sync::<crate::ValidationReport>();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FmdvConfig;
+    use av_pattern::parse;
+
+    fn pattern_rule() -> ValidationRule {
+        ValidationRule {
+            pattern: parse("<digit>{2}:<digit>{2}:<digit>{2}").unwrap(),
+            train_nonconforming: 1.0 / 3.0,
+            train_size: 300,
+            expected_fpr: 0.0123456789,
+            coverage: 542,
+            test: HomogeneityTest::FisherExact,
+            alpha: 0.01,
+        }
+    }
+
+    #[test]
+    fn pattern_rule_roundtrips_exactly() {
+        let r = pattern_rule();
+        let back = ValidationRule::from_wire(&r.to_wire()).unwrap();
+        assert_eq!(back.pattern.to_string(), r.pattern.to_string());
+        assert_eq!(
+            back.train_nonconforming.to_bits(),
+            r.train_nonconforming.to_bits()
+        );
+        assert_eq!(back.train_size, r.train_size);
+        assert_eq!(back.expected_fpr.to_bits(), r.expected_fpr.to_bits());
+        assert_eq!(back.coverage, r.coverage);
+        assert_eq!(back.test, r.test);
+        assert_eq!(back.alpha.to_bits(), r.alpha.to_bits());
+    }
+
+    #[test]
+    fn pattern_with_literal_delimiters_roundtrips() {
+        let mut r = pattern_rule();
+        r.pattern = parse("<digit>+;=,%<letter>+").unwrap();
+        let back = ValidationRule::from_wire(&r.to_wire()).unwrap();
+        assert_eq!(back.pattern.to_string(), r.pattern.to_string());
+        assert!(back.conforms("12;=,%ab"));
+    }
+
+    #[test]
+    fn dictionary_rule_roundtrips() {
+        let train: Vec<String> = ["Delivered", "Pending", "weird;=,%value", "ünïcode"]
+            .iter()
+            .flat_map(|v| std::iter::repeat_n(v.to_string(), 25))
+            .collect();
+        let r = DictionaryRule::infer(&train, &FmdvConfig::default(), 0.2).unwrap();
+        let back = DictionaryRule::from_wire(&r.to_wire()).unwrap();
+        assert_eq!(back.dictionary, r.dictionary);
+        assert!(back.conforms("weird;=,%value"));
+        assert!(back.conforms("ünïcode"));
+        assert!(!back.conforms("nope"));
+    }
+
+    #[test]
+    fn dictionary_with_empty_string_entry_roundtrips() {
+        let train: Vec<String> = ["", "yes", "no"]
+            .iter()
+            .flat_map(|v| std::iter::repeat_n(v.to_string(), 30))
+            .collect();
+        let r = DictionaryRule::infer(&train, &FmdvConfig::default(), 0.2).unwrap();
+        assert!(r.conforms(""));
+        let back = DictionaryRule::from_wire(&r.to_wire()).unwrap();
+        assert_eq!(back.dictionary, r.dictionary);
+        assert!(back.conforms(""), "empty-string vocab entry must survive");
+        // An inconsistent count is rejected rather than silently truncated.
+        assert!(DictionaryRule::from_wire(
+            "kind=dict;nvocab=3;vocab=a,b;theta=0;n=9;test=fisher;alpha=0.01"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn numeric_rule_roundtrips_exactly() {
+        let train: Vec<String> = (0..100).map(|i| (i as f64 / 7.0).to_string()).collect();
+        let r = NumericRule::infer_default(&train, &FmdvConfig::default()).unwrap();
+        let back = NumericRule::from_wire(&r.to_wire()).unwrap();
+        assert_eq!(back.lo.to_bits(), r.lo.to_bits());
+        assert_eq!(back.hi.to_bits(), r.hi.to_bits());
+        assert_eq!(back.train_oor.to_bits(), r.train_oor.to_bits());
+    }
+
+    #[test]
+    fn any_rule_dispatches_on_kind() {
+        let r = AnyRule::Pattern(pattern_rule());
+        assert!(matches!(
+            AnyRule::from_wire(&r.to_wire()).unwrap(),
+            AnyRule::Pattern(_)
+        ));
+        assert!(AnyRule::from_wire("kind=banana").is_err());
+        assert!(AnyRule::from_wire("garbage").is_err());
+    }
+}

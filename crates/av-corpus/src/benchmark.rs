@@ -57,7 +57,13 @@ pub struct Benchmark {
 impl Benchmark {
     /// Sample `n` query columns (with at least `min_values` values so the
     /// 10/90 split is meaningful), capping each at `value_cap` values.
-    pub fn sample(corpus: &Corpus, n: usize, min_values: usize, value_cap: usize, seed: u64) -> Benchmark {
+    pub fn sample(
+        corpus: &Corpus,
+        n: usize,
+        min_values: usize,
+        value_cap: usize,
+        seed: u64,
+    ) -> Benchmark {
         let cases = sample_columns(corpus, n, min_values, seed)
             .into_iter()
             .map(|c| BenchmarkCase::from_column(c, value_cap))

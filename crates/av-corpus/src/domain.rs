@@ -197,7 +197,9 @@ impl Part {
             }
             Part::Choice(words) => {
                 let first = words.first().expect("non-empty vocabulary");
-                let same_width = words.iter().all(|w| w.chars().count() == first.chars().count());
+                let same_width = words
+                    .iter()
+                    .all(|w| w.chars().count() == first.chars().count());
                 let all_upper = words
                     .iter()
                     .all(|w| w.chars().all(|c| c.is_ascii_uppercase()));
@@ -383,9 +385,17 @@ mod tests {
         let d = SpecDomain::new(
             "date-mdy",
             vec![
-                Part::Padded { width: 2, lo: 1, hi: 12 },
+                Part::Padded {
+                    width: 2,
+                    lo: 1,
+                    hi: 12,
+                },
                 Part::Const("/"),
-                Part::Padded { width: 2, lo: 1, hi: 28 },
+                Part::Padded {
+                    width: 2,
+                    lo: 1,
+                    hi: 28,
+                },
                 Part::Const("/"),
                 Part::Int { lo: 2000, hi: 2029 },
             ],
@@ -442,7 +452,13 @@ mod tests {
 
     #[test]
     fn float_ground_truth_uses_three_tokens() {
-        let d = SpecDomain::new("f", vec![Part::Float { int_hi: 99, frac: 2 }]);
+        let d = SpecDomain::new(
+            "f",
+            vec![Part::Float {
+                int_hi: 99,
+                frac: 2,
+            }],
+        );
         let gt = d.ground_truth().unwrap();
         assert_eq!(gt.to_string(), "<digit>+.<digit>{2}");
         let mut r = rng();
@@ -454,10 +470,7 @@ mod tests {
 
     #[test]
     fn ground_truth_merges_adjacent_constants() {
-        let d = SpecDomain::new(
-            "kb",
-            vec![Part::Const("/m/"), Part::AlnumVar(5, 7)],
-        );
+        let d = SpecDomain::new("kb", vec![Part::Const("/m/"), Part::AlnumVar(5, 7)]);
         let gt = d.ground_truth().unwrap();
         assert_eq!(gt.len(), 2);
         assert_eq!(gt.to_string(), "/m/<alnum>+");

@@ -27,7 +27,14 @@ const ADS_STATUS: &[&str] = &[
     "Serving",
 ];
 const BOOLS: &[&str] = &["true", "false"];
-const ORDER_STATUS: &[&str] = &["Created", "Packed", "Shipped", "InTransit", "Arrived", "Returned"];
+const ORDER_STATUS: &[&str] = &[
+    "Created",
+    "Packed",
+    "Shipped",
+    "InTransit",
+    "Arrived",
+    "Returned",
+];
 const ENVIRONMENTS: &[&str] = &["prod", "staging", "dev", "test", "canary"];
 const SEVERITIES: &[&str] = &["LOW", "MEDIUM", "HIGH", "CRITICAL"];
 const LOG_LEVELS: &[&str] = &["TRACE", "DEBUG", "INFO", "WARN", "ERROR", "FATAL"];
@@ -80,7 +87,11 @@ pub fn machine_domains() -> Vec<Arc<dyn Domain>> {
         vec![
             Choice(MONTHS3),
             Const(" "),
-            Padded { width: 2, lo: 1, hi: 28 },
+            Padded {
+                width: 2,
+                lo: 1,
+                hi: 28,
+            },
             Const(" "),
             Int { lo: 2010, hi: 2029 },
         ],
@@ -90,15 +101,27 @@ pub fn machine_domains() -> Vec<Arc<dyn Domain>> {
         vec![
             Int { lo: 1, hi: 12 },
             Const("/"),
-            Padded { width: 2, lo: 1, hi: 28 },
+            Padded {
+                width: 2,
+                lo: 1,
+                hi: 28,
+            },
             Const("/"),
             Int { lo: 2010, hi: 2029 },
             Const(" "),
             Int { lo: 1, hi: 12 },
             Const(":"),
-            Padded { width: 2, lo: 0, hi: 59 },
+            Padded {
+                width: 2,
+                lo: 0,
+                hi: 59,
+            },
             Const(":"),
-            Padded { width: 2, lo: 0, hi: 59 },
+            Padded {
+                width: 2,
+                lo: 0,
+                hi: 59,
+            },
             Const(" "),
             Choice(AMPM),
         ],
@@ -108,9 +131,17 @@ pub fn machine_domains() -> Vec<Arc<dyn Domain>> {
         vec![
             Int { lo: 2010, hi: 2029 },
             Const("-"),
-            Padded { width: 2, lo: 1, hi: 12 },
+            Padded {
+                width: 2,
+                lo: 1,
+                hi: 12,
+            },
             Const("-"),
-            Padded { width: 2, lo: 1, hi: 28 },
+            Padded {
+                width: 2,
+                lo: 1,
+                hi: 28,
+            },
         ],
     );
     push(
@@ -118,46 +149,110 @@ pub fn machine_domains() -> Vec<Arc<dyn Domain>> {
         vec![
             Int { lo: 2010, hi: 2029 },
             Const("-"),
-            Padded { width: 2, lo: 1, hi: 12 },
+            Padded {
+                width: 2,
+                lo: 1,
+                hi: 12,
+            },
             Const("-"),
-            Padded { width: 2, lo: 1, hi: 28 },
+            Padded {
+                width: 2,
+                lo: 1,
+                hi: 28,
+            },
             Const("T"),
-            Padded { width: 2, lo: 0, hi: 23 },
+            Padded {
+                width: 2,
+                lo: 0,
+                hi: 23,
+            },
             Const(":"),
-            Padded { width: 2, lo: 0, hi: 59 },
+            Padded {
+                width: 2,
+                lo: 0,
+                hi: 59,
+            },
             Const(":"),
-            Padded { width: 2, lo: 0, hi: 59 },
+            Padded {
+                width: 2,
+                lo: 0,
+                hi: 59,
+            },
             Const("Z"),
         ],
     );
     push(
         "timestamp-padded", // "02/18/2015 00:00:00" (Fig. 8 segment)
         vec![
-            Padded { width: 2, lo: 1, hi: 12 },
+            Padded {
+                width: 2,
+                lo: 1,
+                hi: 12,
+            },
             Const("/"),
-            Padded { width: 2, lo: 1, hi: 28 },
+            Padded {
+                width: 2,
+                lo: 1,
+                hi: 28,
+            },
             Const("/"),
             Int { lo: 2010, hi: 2029 },
             Const(" "),
-            Padded { width: 2, lo: 0, hi: 23 },
+            Padded {
+                width: 2,
+                lo: 0,
+                hi: 23,
+            },
             Const(":"),
-            Padded { width: 2, lo: 0, hi: 59 },
+            Padded {
+                width: 2,
+                lo: 0,
+                hi: 59,
+            },
             Const(":"),
-            Padded { width: 2, lo: 0, hi: 59 },
+            Padded {
+                width: 2,
+                lo: 0,
+                hi: 59,
+            },
         ],
     );
     push(
         "time-24h",
         vec![
-            Padded { width: 2, lo: 0, hi: 23 },
+            Padded {
+                width: 2,
+                lo: 0,
+                hi: 23,
+            },
             Const(":"),
-            Padded { width: 2, lo: 0, hi: 59 },
+            Padded {
+                width: 2,
+                lo: 0,
+                hi: 59,
+            },
             Const(":"),
-            Padded { width: 2, lo: 0, hi: 59 },
+            Padded {
+                width: 2,
+                lo: 0,
+                hi: 59,
+            },
         ],
     );
-    push("unix-epoch", vec![Int { lo: 1_400_000_000, hi: 1_699_999_999 }]);
-    push("epoch-millis", vec![Int { lo: 1_400_000_000_000, hi: 1_699_999_999_999 }]);
+    push(
+        "unix-epoch",
+        vec![Int {
+            lo: 1_400_000_000,
+            hi: 1_699_999_999,
+        }],
+    );
+    push(
+        "epoch-millis",
+        vec![Int {
+            lo: 1_400_000_000_000,
+            hi: 1_699_999_999_999,
+        }],
+    );
     push("date-compact", vec![DigitsFixed(8)]);
     push(
         "month-year",
@@ -168,7 +263,11 @@ pub fn machine_domains() -> Vec<Arc<dyn Domain>> {
         vec![
             Choice(WEEKDAYS3),
             Const(", "),
-            Padded { width: 2, lo: 1, hi: 28 },
+            Padded {
+                width: 2,
+                lo: 1,
+                hi: 28,
+            },
             Const(" "),
             Choice(MONTHS3),
             Const(" "),
@@ -177,7 +276,11 @@ pub fn machine_domains() -> Vec<Arc<dyn Domain>> {
     );
     push(
         "quarter-tag",
-        vec![Int { lo: 2010, hi: 2029 }, Const("-Q"), Int { lo: 1, hi: 4 }],
+        vec![
+            Int { lo: 2010, hi: 2029 },
+            Const("-Q"),
+            Int { lo: 1, hi: 4 },
+        ],
     );
 
     // --- Network / machine identifiers ---
@@ -196,22 +299,45 @@ pub fn machine_domains() -> Vec<Arc<dyn Domain>> {
     push(
         "mac-address",
         vec![
-            HexLower(2), Const(":"), HexLower(2), Const(":"), HexLower(2), Const(":"),
-            HexLower(2), Const(":"), HexLower(2), Const(":"), HexLower(2),
+            HexLower(2),
+            Const(":"),
+            HexLower(2),
+            Const(":"),
+            HexLower(2),
+            Const(":"),
+            HexLower(2),
+            Const(":"),
+            HexLower(2),
+            Const(":"),
+            HexLower(2),
         ],
     );
     push(
         "guid",
         vec![
-            HexLower(8), Const("-"), HexLower(4), Const("-"), HexLower(4), Const("-"),
-            HexLower(4), Const("-"), HexLower(12),
+            HexLower(8),
+            Const("-"),
+            HexLower(4),
+            Const("-"),
+            HexLower(4),
+            Const("-"),
+            HexLower(4),
+            Const("-"),
+            HexLower(12),
         ],
     );
     push(
         "guid-upper",
         vec![
-            HexUpper(8), Const("-"), HexUpper(4), Const("-"), HexUpper(4), Const("-"),
-            HexUpper(4), Const("-"), HexUpper(12),
+            HexUpper(8),
+            Const("-"),
+            HexUpper(4),
+            Const("-"),
+            HexUpper(4),
+            Const("-"),
+            HexUpper(4),
+            Const("-"),
+            HexUpper(12),
         ],
     );
     push("hex-id-16", vec![HexLower(16)]);
@@ -251,27 +377,68 @@ pub fn machine_domains() -> Vec<Arc<dyn Domain>> {
             Int { lo: 0, hi: 9999 },
         ],
     );
-    push("semver-v", vec![Const("v"), Int { lo: 1, hi: 9 }, Const("."), Int { lo: 0, hi: 30 }]);
-    push("build-tag", vec![Const("build-"), Int { lo: 1000, hi: 99999 }]);
+    push(
+        "semver-v",
+        vec![
+            Const("v"),
+            Int { lo: 1, hi: 9 },
+            Const("."),
+            Int { lo: 0, hi: 30 },
+        ],
+    );
+    push(
+        "build-tag",
+        vec![
+            Const("build-"),
+            Int {
+                lo: 1000,
+                hi: 99999,
+            },
+        ],
+    );
     push(
         "session-id", // Fig. 3-style proprietary session ids
-        vec![AlnumVar(7, 7), Const("-"), AlnumVar(3, 3), Const("-"), AlnumVar(5, 5)],
+        vec![
+            AlnumVar(7, 7),
+            Const("-"),
+            AlnumVar(3, 3),
+            Const("-"),
+            AlnumVar(5, 5),
+        ],
     );
     push(
         "http-request",
-        vec![Choice(HTTP_METHODS), Const(" /"), LowerVar(3, 9), Const(" HTTP/1.1")],
+        vec![
+            Choice(HTTP_METHODS),
+            Const(" /"),
+            LowerVar(3, 9),
+            Const(" HTTP/1.1"),
+        ],
     );
 
     // --- Business codes ---
-    push("product-sku", vec![UpperFixed(3), Const("-"), DigitsFixed(5)]);
+    push(
+        "product-sku",
+        vec![UpperFixed(3), Const("-"), DigitsFixed(5)],
+    );
     push("order-id", vec![Const("ORD"), DigitsFixed(8)]);
     push(
         "invoice-id",
-        vec![Const("INV-"), Int { lo: 2015, hi: 2025 }, Const("-"), DigitsFixed(6)],
+        vec![
+            Const("INV-"),
+            Int { lo: 2015, hi: 2025 },
+            Const("-"),
+            DigitsFixed(6),
+        ],
     );
     push(
         "currency-usd",
-        vec![Const("$"), Int { lo: 1, hi: 9999 }, Const("."), DigitsFixed(2)],
+        vec![
+            Const("$"),
+            Int { lo: 1, hi: 9999 },
+            Const("."),
+            DigitsFixed(2),
+        ],
     );
     push("percentage", vec![Int { lo: 0, hi: 100 }, Const("%")]);
     push("locale", vec![LowerFixed(2), Const("-"), UpperFixed(2)]);
@@ -279,16 +446,33 @@ pub fn machine_domains() -> Vec<Arc<dyn Domain>> {
     push("ads-delivery-status", vec![Choice(ADS_STATUS)]);
     push("http-status", vec![Int { lo: 100, hi: 599 }]);
     push("zip-code", vec![DigitsFixed(5)]);
-    push("zip-plus4", vec![DigitsFixed(5), Const("-"), DigitsFixed(4)]);
+    push(
+        "zip-plus4",
+        vec![DigitsFixed(5), Const("-"), DigitsFixed(4)],
+    );
     push(
         "phone-us",
         vec![
-            Const("("), DigitsFixed(3), Const(") "), DigitsFixed(3), Const("-"), DigitsFixed(4),
+            Const("("),
+            DigitsFixed(3),
+            Const(") "),
+            DigitsFixed(3),
+            Const("-"),
+            DigitsFixed(4),
         ],
     );
-    push("latitude", vec![Int { lo: 0, hi: 89 }, Const("."), DigitsFixed(4)]);
+    push(
+        "latitude",
+        vec![Int { lo: 0, hi: 89 }, Const("."), DigitsFixed(4)],
+    );
     push("metric-float", vec![Float { int_hi: 9, frac: 2 }]);
-    push("big-float", vec![Float { int_hi: 99999, frac: 3 }]);
+    push(
+        "big-float",
+        vec![Float {
+            int_hi: 99999,
+            frac: 3,
+        }],
+    );
     push("flight-no", vec![UpperFixed(2), DigitsVar(3, 4)]);
     push("boolean", vec![Choice(BOOLS)]);
     // Word/enum domains — extremely common in real lakes (status flags,
@@ -320,12 +504,46 @@ pub fn machine_domains() -> Vec<Arc<dyn Domain>> {
 
 /// Vocabulary for natural-language columns.
 const NL_WORDS: &[&str] = &[
-    "acme", "global", "dynamic", "systems", "analytics", "research", "development", "sales",
-    "marketing", "finance", "operations", "northwind", "contoso", "fabrikam", "engineering",
-    "quality", "assurance", "partner", "solutions", "consulting", "digital", "services",
-    "platform", "enterprise", "customer", "support", "product", "design", "strategy", "data",
-    "cloud", "mobile", "retail", "logistics", "payments", "insurance", "health", "energy",
-    "media", "travel",
+    "acme",
+    "global",
+    "dynamic",
+    "systems",
+    "analytics",
+    "research",
+    "development",
+    "sales",
+    "marketing",
+    "finance",
+    "operations",
+    "northwind",
+    "contoso",
+    "fabrikam",
+    "engineering",
+    "quality",
+    "assurance",
+    "partner",
+    "solutions",
+    "consulting",
+    "digital",
+    "services",
+    "platform",
+    "enterprise",
+    "customer",
+    "support",
+    "product",
+    "design",
+    "strategy",
+    "data",
+    "cloud",
+    "mobile",
+    "retail",
+    "logistics",
+    "payments",
+    "insurance",
+    "health",
+    "energy",
+    "media",
+    "travel",
 ];
 
 /// A natural-language-like domain: short multi-word phrases with varied
@@ -340,7 +558,12 @@ pub struct NaturalLanguageDomain {
 
 impl NaturalLanguageDomain {
     /// Create an NL domain producing `min_words..=max_words` phrases.
-    pub fn new(name: impl Into<String>, min_words: usize, max_words: usize, capitalize: bool) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        min_words: usize,
+        max_words: usize,
+        capitalize: bool,
+    ) -> Self {
         NaturalLanguageDomain {
             name: name.into(),
             min_words,

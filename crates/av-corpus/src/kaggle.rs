@@ -45,9 +45,22 @@ impl CatFormat {
             }
             CatFormat::Word => {
                 const WORDS: &[&str] = &[
-                    "Delivered", "Pending", "Throttled", "Rejected", "Booked", "Paused",
-                    "Archived", "Serving", "Expired", "Active", "Blocked", "Review",
-                    "Draft", "Closed", "Open", "Hold",
+                    "Delivered",
+                    "Pending",
+                    "Throttled",
+                    "Rejected",
+                    "Booked",
+                    "Paused",
+                    "Archived",
+                    "Serving",
+                    "Expired",
+                    "Active",
+                    "Blocked",
+                    "Review",
+                    "Draft",
+                    "Closed",
+                    "Open",
+                    "Hold",
                 ];
                 for w in WORDS.iter().take(cardinality) {
                     vocab.push((*w).to_string());
@@ -157,10 +170,7 @@ fn make_task(
     let n = n_train + n_test;
     let n_num = 3usize;
     // Vocabularies per categorical feature.
-    let vocabs: Vec<Vec<String>> = formats
-        .iter()
-        .map(|f| f.vocabulary(12, &mut rng))
-        .collect();
+    let vocabs: Vec<Vec<String>> = formats.iter().map(|f| f.vocabulary(12, &mut rng)).collect();
     // Row-wise generation.
     let mut cats: Vec<Vec<String>> = (0..formats.len()).map(|_| Vec::with_capacity(n)).collect();
     let mut nums: Vec<Vec<f64>> = (0..n_num).map(|_| Vec::with_capacity(n)).collect();
@@ -238,7 +248,14 @@ pub fn kaggle_tasks(n_train: usize, n_test: usize, seed: u64) -> Vec<KaggleTask>
     spec.into_iter()
         .enumerate()
         .map(|(i, (name, cls, formats))| {
-            make_task(name, cls, &formats, n_train, n_test, seed.wrapping_add(i as u64))
+            make_task(
+                name,
+                cls,
+                &formats,
+                n_train,
+                n_test,
+                seed.wrapping_add(i as u64),
+            )
         })
         .collect()
 }
@@ -308,7 +325,7 @@ mod tests {
         // Sanity: the target must carry categorical signal, otherwise the
         // case study cannot show drift-induced degradation.
         let t = &kaggle_tasks(2000, 10, 6)[7]; // HousePrice (regression)
-        // Group mean by first categorical value.
+                                               // Group mean by first categorical value.
         use std::collections::HashMap;
         let mut groups: HashMap<&str, (f64, usize)> = HashMap::new();
         for (v, y) in t.cat_train[0].iter().zip(&t.y_train) {

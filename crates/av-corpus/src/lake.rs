@@ -154,7 +154,10 @@ fn apply_text_noise(v: &str, rng: &mut StdRng) -> String {
                 .filter(|(_, c)| c.is_ascii_alphabetic())
                 .map(|(i, _)| i)
                 .collect();
-            if let Some(&i) = letters.get(rng.random_range(0..letters.len().max(1)).min(letters.len().saturating_sub(1))) {
+            if let Some(&i) = letters.get(
+                rng.random_range(0..letters.len().max(1))
+                    .min(letters.len().saturating_sub(1)),
+            ) {
                 chars[i] = if chars[i].is_ascii_uppercase() {
                     chars[i].to_ascii_lowercase()
                 } else {
@@ -315,7 +318,13 @@ pub fn generate_lake(profile: &LakeProfile, seed: u64) -> Corpus {
             let roll: f64 = rng.random();
             let column = if roll < profile.nl_fraction {
                 let d = &nls[rng.random_range(0..nls.len())];
-                make_column(name, d.as_ref(), n_rows, &mut rng, ColumnKind::NaturalLanguage)
+                make_column(
+                    name,
+                    d.as_ref(),
+                    n_rows,
+                    &mut rng,
+                    ColumnKind::NaturalLanguage,
+                )
             } else if roll < profile.nl_fraction + profile.impure_fraction {
                 // Two domains mixed. Production impurity is mostly light
                 // contamination — the paper's Example 5 sees impure columns
@@ -329,8 +338,7 @@ pub fn generate_lake(profile: &LakeProfile, seed: u64) -> Corpus {
                     rng.random_range(0.90..0.98)
                 };
                 let ratio = draw_distinct_ratio(&mut rng);
-                let major_values =
-                    sample_with_repeats(a.as_ref(), n_rows, ratio, &mut rng);
+                let major_values = sample_with_repeats(a.as_ref(), n_rows, ratio, &mut rng);
                 let mut values = Vec::with_capacity(n_rows);
                 for v in major_values {
                     if rng.random_bool(major) {
@@ -349,18 +357,15 @@ pub fn generate_lake(profile: &LakeProfile, seed: u64) -> Corpus {
                         dirty_rate: 0.0,
                     },
                 }
-            } else if roll < profile.nl_fraction + profile.impure_fraction + profile.composite_fraction
+            } else if roll
+                < profile.nl_fraction + profile.impure_fraction + profile.composite_fraction
             {
                 let k = rng.random_range(2..=4);
                 let parts: Vec<Arc<dyn Domain>> = (0..k)
                     .map(|_| machines[zipf.sample(&mut rng)].clone())
                     .collect();
                 let sep = seps[rng.random_range(0..seps.len())];
-                let comp_name = parts
-                    .iter()
-                    .map(|d| d.name())
-                    .collect::<Vec<_>>()
-                    .join("~");
+                let comp_name = parts.iter().map(|d| d.name()).collect::<Vec<_>>().join("~");
                 let comp = CompositeDomain::new(comp_name, parts, sep);
                 let mut col = make_column(name, &comp, n_rows, &mut rng, ColumnKind::Composite);
                 col.meta.ground_truth = comp.ground_truth();
@@ -431,17 +436,9 @@ fn make_column(
 
 /// Sample `n` benchmark columns uniformly from the corpus (the paper's
 /// `B_E`/`B_G`), preferring columns with at least `min_values` values.
-pub fn sample_columns<'a>(
-    corpus: &'a Corpus,
-    n: usize,
-    min_values: usize,
-    seed: u64,
-) -> Vec<&'a Column> {
+pub fn sample_columns(corpus: &Corpus, n: usize, min_values: usize, seed: u64) -> Vec<&Column> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut eligible: Vec<&Column> = corpus
-        .columns()
-        .filter(|c| c.len() >= min_values)
-        .collect();
+    let mut eligible: Vec<&Column> = corpus.columns().filter(|c| c.len() >= min_values).collect();
     eligible.shuffle(&mut rng);
     eligible.truncate(n);
     eligible
@@ -487,7 +484,11 @@ mod tests {
             .columns()
             .filter(|c| c.meta.kind == ColumnKind::Impure)
             .count() as f64;
-        assert!((nl / total - profile.nl_fraction).abs() < 0.06, "nl {}", nl / total);
+        assert!(
+            (nl / total - profile.nl_fraction).abs() < 0.06,
+            "nl {}",
+            nl / total
+        );
         assert!(
             (impure / total - profile.impure_fraction).abs() < 0.05,
             "impure {}",
@@ -518,10 +519,7 @@ mod tests {
         profile.dirty_fraction = 0.5;
         profile.dirty_value_rate = 0.05;
         let corpus = generate_lake(&profile, 5);
-        let dirty_cols = corpus
-            .columns()
-            .filter(|c| c.meta.dirty_rate > 0.0)
-            .count();
+        let dirty_cols = corpus.columns().filter(|c| c.meta.dirty_rate > 0.0).count();
         assert!(dirty_cols > 50, "found {dirty_cols} dirty columns");
     }
 

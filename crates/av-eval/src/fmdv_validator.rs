@@ -43,9 +43,10 @@ impl ColumnValidator for FmdvValidator {
     fn infer(&self, train: &[String]) -> Option<InferredRule> {
         let engine = AutoValidate::new(&self.index, self.config.clone());
         let rule = engine.infer(train, self.variant).ok()?;
-        Some(InferredRule::new(rule.to_string(), move |col: &[String]| {
-            !rule.validate(col).flagged
-        }))
+        Some(InferredRule::new(
+            rule.to_string(),
+            move |col: &[String]| !rule.validate(col).flagged,
+        ))
     }
 }
 
@@ -102,9 +103,10 @@ impl ColumnValidator for NoIndexFmdv {
                     .then_with(|| a.0.cmp(b.0))
             })
             .map(|(p, _)| p.clone())?;
-        Some(InferredRule::new(best.to_string(), move |col: &[String]| {
-            col.iter().all(|v| av_pattern::matches(&best, v))
-        }))
+        Some(InferredRule::new(
+            best.to_string(),
+            move |col: &[String]| col.iter().all(|v| av_pattern::matches(&best, v)),
+        ))
     }
 }
 

@@ -240,7 +240,11 @@ fn evaluate_case(
         domain: case.domain().map(|s| s.to_string()),
         // Squash recall on any false positive (§5.1).
         recall: if precision == 0.0 { 0.0 } else { recall_raw },
-        recall_gt: if precision_gt == 0.0 { 0.0 } else { recall_gt_raw },
+        recall_gt: if precision_gt == 0.0 {
+            0.0
+        } else {
+            recall_gt_raw
+        },
         precision,
         precision_gt,
         rule: Some(rule.description),
@@ -270,7 +274,10 @@ mod tests {
             let r = evaluate_method(validator, &b, &cfg);
             assert!((0.0..=1.0).contains(&r.precision), "{}", r.method);
             assert!((0.0..=1.0).contains(&r.recall));
-            assert!(r.precision_gt >= r.precision - 1e-12, "gt cleaning only helps");
+            assert!(
+                r.precision_gt >= r.precision - 1e-12,
+                "gt cleaning only helps"
+            );
             assert!(!r.cases.is_empty());
         }
     }
@@ -303,9 +310,7 @@ mod tests {
             fn infer(&self, train: &[String]) -> Option<InferredRule> {
                 let sig: std::collections::HashSet<String> = train
                     .iter()
-                    .map(|v| {
-                        av_pattern::coarse_pattern(v).to_string()
-                    })
+                    .map(|v| av_pattern::coarse_pattern(v).to_string())
                     .collect();
                 Some(InferredRule::new("oracle", move |col: &[String]| {
                     col.iter()

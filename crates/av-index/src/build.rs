@@ -5,6 +5,7 @@
 //! is a shard-and-merge build over OS threads — same dataflow (map: pattern
 //! enumeration per column, reduce: per-pattern aggregation), laptop scale.
 
+use crate::delta::DeltaError;
 use crate::stats::{PatternStats, StatsAcc};
 use av_corpus::Column;
 use av_pattern::{column_pattern_profile, Pattern, PatternConfig};
@@ -30,7 +31,7 @@ impl Hasher for IdentityHasher {
     }
 }
 
-type FastMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
+pub(crate) type FastMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
 
 /// Configuration of the offline build.
 #[derive(Debug, Clone)]
@@ -80,10 +81,15 @@ impl IndexConfig {
 /// Orders of magnitude smaller than the corpus (the paper: 1 TB corpus →
 /// < 1 GB index); lookups are O(1), which is what turns hours-long corpus
 /// scans into sub-100ms online inference (Fig. 14).
-#[derive(Debug, Default)]
+///
+/// Internally the index keeps the raw fixed-point accumulators rather than
+/// finished floats, so an [`crate::IndexDelta`] built over new columns can
+/// be [merged](PatternIndex::merge_delta) in with statistics identical to
+/// a from-scratch rebuild over the union corpus.
+#[derive(Debug, Default, Clone)]
 pub struct PatternIndex {
-    map: FastMap<PatternStats>,
-    patterns: FastMap<String>,
+    pub(crate) map: FastMap<StatsAcc>,
+    pub(crate) patterns: FastMap<String>,
     /// Number of corpus columns scanned.
     pub num_columns: u64,
     /// The τ used at build time.
@@ -92,42 +98,16 @@ pub struct PatternIndex {
 
 impl PatternIndex {
     /// Build the index over `columns` with `config`.
+    ///
+    /// Implemented as `empty ∘ merge_delta(profile)`, so a full build and
+    /// an incremental sequence of delta merges run the exact same
+    /// aggregation code.
     pub fn build(columns: &[&Column], config: &IndexConfig) -> PatternIndex {
-        let shards = config.num_threads.max(1);
-        let chunk = columns.len().div_ceil(shards).max(1);
-        let results: Vec<(FastMap<StatsAcc>, FastMap<String>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = columns
-                .chunks(chunk)
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let mut acc: FastMap<StatsAcc> = FastMap::default();
-                        let mut names: FastMap<String> = FastMap::default();
-                        for col in shard {
-                            index_one_column(col, config, &mut acc, &mut names);
-                        }
-                        (acc, names)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("indexing worker panicked"))
-                .collect()
-        });
-        let mut merged: FastMap<StatsAcc> = FastMap::default();
-        let mut patterns: FastMap<String> = FastMap::default();
-        for (shard, names) in results {
-            for (k, v) in shard {
-                merged.entry(k).or_default().merge(&v);
-            }
-            patterns.extend(names);
-        }
-        PatternIndex {
-            map: merged.into_iter().map(|(k, v)| (k, v.finish())).collect(),
-            patterns,
-            num_columns: columns.len() as u64,
-            tau: config.tau,
-        }
+        let mut index = PatternIndex::with_capacity(0, 0, config.tau);
+        index
+            .merge_delta(crate::IndexDelta::profile(columns, config))
+            .expect("freshly built delta shares the index tau");
+        index
     }
 
     /// Pre-sized empty index (used by deserialization).
@@ -140,9 +120,9 @@ impl PatternIndex {
         }
     }
 
-    /// Insert a raw entry (used by deserialization).
-    pub(crate) fn insert_raw(&mut self, fingerprint: u64, stats: PatternStats) {
-        self.map.insert(fingerprint, stats);
+    /// Insert a raw accumulator entry (used by deserialization).
+    pub(crate) fn insert_raw(&mut self, fingerprint: u64, acc: StatsAcc) {
+        self.map.insert(fingerprint, acc);
     }
 
     /// Attach a display string to a fingerprint (used by deserialization).
@@ -150,9 +130,33 @@ impl PatternIndex {
         self.patterns.insert(fingerprint, s);
     }
 
+    /// Merge an incremental delta (profiled over *new* corpus columns)
+    /// into this index. Because both sides keep exact integer
+    /// accumulators, the result is bit-for-bit identical to rebuilding
+    /// from scratch over the union corpus — no stop-the-world rescan.
+    ///
+    /// Fails when the delta was profiled with a different token-limit τ
+    /// (its patterns would be incomparable with the index's population).
+    pub fn merge_delta(&mut self, delta: crate::IndexDelta) -> Result<(), DeltaError> {
+        if delta.tau != self.tau {
+            return Err(DeltaError::TauMismatch {
+                index_tau: self.tau,
+                delta_tau: delta.tau,
+            });
+        }
+        for (k, acc) in delta.acc {
+            self.map.entry(k).or_default().merge(&acc);
+        }
+        for (k, name) in delta.names {
+            self.patterns.entry(k).or_insert(name);
+        }
+        self.num_columns += delta.num_columns;
+        Ok(())
+    }
+
     /// Look up pre-computed stats for a pattern.
     pub fn lookup(&self, pattern: &Pattern) -> Option<PatternStats> {
-        self.map.get(&pattern.fingerprint()).copied()
+        self.map.get(&pattern.fingerprint()).map(|a| a.finish())
     }
 
     /// `FPR_T(p)`, or `None` when the pattern never occurred in the corpus.
@@ -177,6 +181,11 @@ impl PatternIndex {
 
     /// Iterate over `(fingerprint, stats)` pairs.
     pub fn entries(&self) -> impl Iterator<Item = (u64, PatternStats)> + '_ {
+        self.map.iter().map(|(k, v)| (*k, v.finish()))
+    }
+
+    /// Iterate over raw accumulator entries (persistence).
+    pub(crate) fn raw_entries(&self) -> impl Iterator<Item = (u64, StatsAcc)> + '_ {
         self.map.iter().map(|(k, v)| (*k, *v))
     }
 
@@ -202,7 +211,7 @@ impl PatternIndex {
     pub fn coverage_histogram(&self, max_cov: u64) -> Vec<(u64, u64)> {
         let mut hist: HashMap<u64, u64> = HashMap::new();
         for stats in self.map.values() {
-            let bucket = stats.cov.min(max_cov);
+            let bucket = stats.cols.min(max_cov);
             *hist.entry(bucket).or_insert(0) += 1;
         }
         let mut out: Vec<(u64, u64)> = hist.into_iter().collect();
@@ -216,8 +225,9 @@ impl PatternIndex {
         let mut out: Vec<(String, PatternStats)> = self
             .map
             .iter()
+            .map(|(k, a)| (k, a.finish()))
             .filter(|(_, s)| s.cov >= min_cov && s.fpr <= max_fpr)
-            .filter_map(|(k, s)| self.patterns.get(k).map(|p| (p.clone(), *s)))
+            .filter_map(|(k, s)| self.patterns.get(k).map(|p| (p.clone(), s)))
             .collect();
         out.sort_by(|a, b| b.1.cov.cmp(&a.1.cov).then_with(|| a.0.cmp(&b.0)));
         out
@@ -226,7 +236,7 @@ impl PatternIndex {
 
 /// Index one column: enumerate `P(D)` with per-pattern matched fractions
 /// and fold into the shard accumulator.
-fn index_one_column(
+pub(crate) fn index_one_column(
     col: &Column,
     config: &IndexConfig,
     acc: &mut FastMap<StatsAcc>,
@@ -235,14 +245,11 @@ fn index_one_column(
     for (pattern, matched_frac) in column_pattern_profile(&col.values, &config.pattern, config.tau)
     {
         let fp = pattern.fingerprint();
-        let entry = acc.entry(fp).or_default();
-        entry.imp_sum += 1.0 - matched_frac;
-        entry.cols += 1;
-        entry.token_len = pattern.len().min(255) as u8;
+        acc.entry(fp)
+            .or_default()
+            .add_impurity(1.0 - matched_frac, pattern.len().min(255) as u8);
         if config.keep_patterns {
-            names
-                .entry(fp)
-                .or_insert_with(|| pattern.to_string());
+            names.entry(fp).or_insert_with(|| pattern.to_string());
         }
     }
 }
@@ -264,8 +271,7 @@ pub fn scan_corpus_fpr(
     for col in columns {
         for (pattern, frac) in column_pattern_profile(&col.values, &config.pattern, config.tau) {
             if let Some(&i) = want.get(&pattern.fingerprint()) {
-                accs[i].imp_sum += 1.0 - frac;
-                accs[i].cols += 1;
+                accs[i].add_impurity(1.0 - frac, pattern.len().min(255) as u8);
             }
         }
     }
@@ -325,10 +331,14 @@ mod tests {
     fn single_threaded_and_parallel_builds_agree() {
         let corpus = generate_lake(&LakeProfile::tiny(), 9);
         let cols: Vec<&Column> = corpus.columns().collect();
-        let mut cfg1 = IndexConfig::default();
-        cfg1.num_threads = 1;
-        let mut cfg4 = IndexConfig::default();
-        cfg4.num_threads = 4;
+        let cfg1 = IndexConfig {
+            num_threads: 1,
+            ..Default::default()
+        };
+        let cfg4 = IndexConfig {
+            num_threads: 4,
+            ..Default::default()
+        };
         let a = PatternIndex::build(&cols, &cfg1);
         let b = PatternIndex::build(&cols, &cfg4);
         assert_eq!(a.len(), b.len());

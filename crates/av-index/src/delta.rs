@@ -1,0 +1,210 @@
+//! Incremental index maintenance: profile *new* corpus columns into an
+//! [`IndexDelta`] and fold it into a live [`PatternIndex`] with
+//! [`PatternIndex::merge_delta`] — the "answering under updates" dataflow:
+//! query-time lookups stay O(1) against the live index while the corpus
+//! grows, and nothing is ever rescanned.
+//!
+//! Exactness: both the index and the delta keep fixed-point integer
+//! impurity accumulators (see [`crate::PatternStats`]'s module docs), so
+//! `build(A) ⊕ delta(B)` equals `build(A ∪ B)` bit-for-bit on every
+//! statistic, for any sharding and any merge order.
+
+use crate::build::{index_one_column, FastMap, IndexConfig};
+use crate::stats::StatsAcc;
+use av_corpus::Column;
+
+#[cfg(doc)]
+use crate::build::PatternIndex;
+
+/// A profiled batch of new corpus columns, ready to merge into a live
+/// [`PatternIndex`].
+#[derive(Debug, Default, Clone)]
+pub struct IndexDelta {
+    pub(crate) acc: FastMap<StatsAcc>,
+    pub(crate) names: FastMap<String>,
+    pub(crate) num_columns: u64,
+    pub(crate) tau: usize,
+}
+
+/// Why a delta could not be merged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The delta was profiled under a different token-limit τ than the
+    /// index was built with; their pattern populations are incomparable.
+    TauMismatch {
+        /// τ of the receiving index.
+        index_tau: usize,
+        /// τ the delta was profiled with.
+        delta_tau: usize,
+    },
+}
+
+impl std::fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeltaError::TauMismatch {
+                index_tau,
+                delta_tau,
+            } => write!(
+                f,
+                "delta profiled with tau {delta_tau} cannot merge into index built with tau {index_tau}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl IndexDelta {
+    /// Profile `columns` into a delta with the same shard-and-merge
+    /// map/reduce the full build uses.
+    pub fn profile(columns: &[&Column], config: &IndexConfig) -> IndexDelta {
+        let shards = config.num_threads.max(1);
+        let chunk = columns.len().div_ceil(shards).max(1);
+        let results: Vec<(FastMap<StatsAcc>, FastMap<String>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = columns
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut acc: FastMap<StatsAcc> = FastMap::default();
+                        let mut names: FastMap<String> = FastMap::default();
+                        for col in shard {
+                            index_one_column(col, config, &mut acc, &mut names);
+                        }
+                        (acc, names)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("indexing worker panicked"))
+                .collect()
+        });
+        let mut merged: FastMap<StatsAcc> = FastMap::default();
+        let mut names: FastMap<String> = FastMap::default();
+        for (shard, shard_names) in results {
+            for (k, v) in shard {
+                merged.entry(k).or_default().merge(&v);
+            }
+            names.extend(shard_names);
+        }
+        IndexDelta {
+            acc: merged,
+            names,
+            num_columns: columns.len() as u64,
+            tau: config.tau,
+        }
+    }
+
+    /// Number of columns profiled into this delta.
+    pub fn num_columns(&self) -> u64 {
+        self.num_columns
+    }
+
+    /// Number of distinct patterns in this delta.
+    pub fn len(&self) -> usize {
+        self.acc.len()
+    }
+
+    /// True when no patterns were profiled.
+    pub fn is_empty(&self) -> bool {
+        self.acc.is_empty()
+    }
+
+    /// The token-limit τ this delta was profiled with.
+    pub fn tau(&self) -> usize {
+        self.tau
+    }
+}
+
+/// Convenience: an owned-column wrapper for [`IndexDelta::profile`].
+pub fn profile_columns(columns: &[Column], config: &IndexConfig) -> IndexDelta {
+    let refs: Vec<&Column> = columns.iter().collect();
+    IndexDelta::profile(&refs, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{IndexConfig, PatternIndex};
+    use av_corpus::{generate_lake, LakeProfile};
+    use std::collections::HashMap;
+
+    fn assert_bitwise_equal(a: &PatternIndex, b: &PatternIndex) {
+        assert_eq!(a.num_columns, b.num_columns);
+        assert_eq!(a.tau, b.tau);
+        assert_eq!(a.len(), b.len());
+        let bm: HashMap<u64, crate::PatternStats> = b.entries().collect();
+        for (k, sa) in a.entries() {
+            let sb = bm.get(&k).expect("pattern present in both");
+            assert_eq!(sa.fpr.to_bits(), sb.fpr.to_bits(), "fpr bits for {k}");
+            assert_eq!(sa.cov, sb.cov);
+            assert_eq!(sa.token_len, sb.token_len);
+        }
+    }
+
+    #[test]
+    fn delta_merge_matches_full_rebuild_bitwise() {
+        let lake_a = generate_lake(&LakeProfile::tiny(), 5);
+        let lake_b = generate_lake(&LakeProfile::tiny().scaled(70), 77);
+        let cols_a: Vec<&Column> = lake_a.columns().collect();
+        let cols_b: Vec<&Column> = lake_b.columns().collect();
+        let union: Vec<&Column> = cols_a.iter().chain(cols_b.iter()).copied().collect();
+        let config = IndexConfig::default();
+
+        let full = PatternIndex::build(&union, &config);
+        let mut incremental = PatternIndex::build(&cols_a, &config);
+        incremental
+            .merge_delta(IndexDelta::profile(&cols_b, &config))
+            .unwrap();
+        assert_bitwise_equal(&full, &incremental);
+    }
+
+    #[test]
+    fn merge_order_is_irrelevant() {
+        let lake_a = generate_lake(&LakeProfile::tiny().scaled(50), 1);
+        let lake_b = generate_lake(&LakeProfile::tiny().scaled(60), 2);
+        let cols_a: Vec<&Column> = lake_a.columns().collect();
+        let cols_b: Vec<&Column> = lake_b.columns().collect();
+        let config = IndexConfig::default();
+
+        let da = IndexDelta::profile(&cols_a, &config);
+        let db = IndexDelta::profile(&cols_b, &config);
+        let mut ab = PatternIndex::build(&[], &config);
+        ab.merge_delta(da.clone()).unwrap();
+        ab.merge_delta(db.clone()).unwrap();
+        let mut ba = PatternIndex::build(&[], &config);
+        ba.merge_delta(db).unwrap();
+        ba.merge_delta(da).unwrap();
+        assert_bitwise_equal(&ab, &ba);
+    }
+
+    #[test]
+    fn tau_mismatch_is_rejected() {
+        let lake = generate_lake(&LakeProfile::tiny().scaled(30), 3);
+        let cols: Vec<&Column> = lake.columns().collect();
+        let mut index = PatternIndex::build(&cols, &IndexConfig::with_tau(13));
+        let delta = IndexDelta::profile(&cols, &IndexConfig::with_tau(8));
+        assert!(matches!(
+            index.merge_delta(delta),
+            Err(DeltaError::TauMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_delta_is_a_noop() {
+        let lake = generate_lake(&LakeProfile::tiny().scaled(40), 9);
+        let cols: Vec<&Column> = lake.columns().collect();
+        let config = IndexConfig::default();
+        let mut index = PatternIndex::build(&cols, &config);
+        let before: Vec<(u64, crate::PatternStats)> = index.entries().collect();
+        index
+            .merge_delta(IndexDelta::profile(&[], &config))
+            .unwrap();
+        assert_eq!(index.num_columns, cols.len() as u64);
+        let after: HashMap<u64, crate::PatternStats> = index.entries().collect();
+        for (k, s) in before {
+            assert_eq!(after[&k], s);
+        }
+    }
+}

@@ -11,13 +11,21 @@
 //! uses a production Map-Reduce cluster — same dataflow). Indexes persist
 //! to a compact binary format and are orders of magnitude smaller than the
 //! corpus they summarize.
+//!
+//! For long-running deployments the index also supports **incremental
+//! maintenance**: profile new columns into an [`IndexDelta`] and
+//! [`PatternIndex::merge_delta`] it into the live index — bit-for-bit
+//! identical to a from-scratch rebuild on the union corpus, at the cost of
+//! scanning only the new columns.
 
 #![warn(missing_docs)]
 
 mod build;
+mod delta;
 mod persist;
 mod stats;
 
 pub use build::{scan_corpus_fpr, IdentityHasher, IndexConfig, PatternIndex};
+pub use delta::{profile_columns, DeltaError, IndexDelta};
 pub use persist::PersistError;
 pub use stats::PatternStats;

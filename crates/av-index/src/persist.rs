@@ -6,19 +6,25 @@
 //!
 //! ```text
 //! magic "AVIX" | version u32 | num_columns u64 | tau u64 | n_entries u64
-//! then n_entries × (fingerprint u64, fpr f64, cov u64, token_len u8)
+//! then n_entries × (fingerprint u64, imp_fp u64, cov u64, token_len u8)
 //! then n_strings u64, n_strings × (fingerprint u64, len u32, utf-8 bytes)
 //! ```
+//!
+//! Version 2 stores the **raw fixed-point impurity accumulator** (`imp_fp`,
+//! scaled by 2³²) instead of the finished `fpr` float, so a reloaded index
+//! remains exactly mergeable with later [`crate::IndexDelta`]s — the
+//! persist → reload → merge path is bit-for-bit identical to never having
+//! restarted.
 
 use crate::build::PatternIndex;
-use crate::stats::PatternStats;
+use crate::stats::StatsAcc;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::File;
 use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"AVIX";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// Errors from loading a persisted index.
 #[derive(Debug)]
@@ -54,13 +60,13 @@ impl PatternIndex {
         buf.put_u32_le(VERSION);
         buf.put_u64_le(self.num_columns);
         buf.put_u64_le(self.tau as u64);
-        let mut entries: Vec<(u64, PatternStats)> = self.entries().collect();
+        let mut entries: Vec<(u64, StatsAcc)> = self.raw_entries().collect();
         entries.sort_by_key(|(k, _)| *k);
         buf.put_u64_le(entries.len() as u64);
         for (k, s) in &entries {
             buf.put_u64_le(*k);
-            buf.put_f64_le(s.fpr);
-            buf.put_u64_le(s.cov);
+            buf.put_u64_le(s.imp_fp);
+            buf.put_u64_le(s.cols);
             buf.put_u8(s.token_len);
         }
         let strings: Vec<(u64, &str)> = entries
@@ -88,7 +94,9 @@ impl PatternIndex {
         }
         let version = buf.get_u32_le();
         if version != VERSION {
-            return Err(PersistError::Format(format!("unsupported version {version}")));
+            return Err(PersistError::Format(format!(
+                "unsupported version {version}"
+            )));
         }
         let num_columns = buf.get_u64_le();
         let tau = buf.get_u64_le() as usize;
@@ -99,10 +107,10 @@ impl PatternIndex {
                 return Err(err("truncated entries"));
             }
             let k = buf.get_u64_le();
-            let fpr = buf.get_f64_le();
-            let cov = buf.get_u64_le();
+            let imp_fp = buf.get_u64_le();
+            let cols = buf.get_u64_le();
             let token_len = buf.get_u8();
-            index.insert_raw(k, PatternStats { fpr, cov, token_len });
+            index.insert_raw(k, StatsAcc::from_raw(imp_fp, cols, token_len));
         }
         if buf.remaining() < 8 {
             return Err(err("missing string section"));
@@ -143,7 +151,7 @@ impl PatternIndex {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::build::{IndexConfig, PatternIndex};
     use av_corpus::{generate_lake, Column, LakeProfile};
 

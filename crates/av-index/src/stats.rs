@@ -1,4 +1,20 @@
 //! Per-pattern summary statistics stored in the offline index.
+//!
+//! Impurity is accumulated in **fixed-point integer** form (scaled by
+//! 2³²) rather than floating point. Integer addition is exactly
+//! associative and commutative, which buys two properties the service
+//! layer depends on:
+//!
+//! * shard-parallel builds are bit-for-bit deterministic regardless of
+//!   thread count or shard boundaries, and
+//! * an incremental [`crate::IndexDelta`] merge produces **identical**
+//!   statistics to a from-scratch rebuild on the union corpus.
+//!
+//! The quantization error is at most 2⁻³³ per covering column — orders of
+//! magnitude below the 1e-9 resolution any consumer of `FPR_T` uses.
+
+/// Fixed-point scale for impurity sums: 32 fractional bits.
+pub(crate) const IMP_SCALE: f64 = (1u64 << 32) as f64;
 
 /// Pre-computed statistics for one pattern `p ∈ P(T)` (§2.4): the estimated
 /// false-positive rate `FPR_T(p)` (Def. 3) and the coverage `Cov_T(p)`.
@@ -12,11 +28,12 @@ pub struct PatternStats {
     pub token_len: u8,
 }
 
-/// Mutable accumulator used during the map/reduce build.
-#[derive(Debug, Clone, Copy, Default)]
+/// Mergeable accumulator used during the map/reduce build and kept inside
+/// the index so later deltas can fold in exactly.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub(crate) struct StatsAcc {
-    /// Sum of per-column impurities.
-    pub imp_sum: f64,
+    /// Sum of per-column impurities, fixed-point scaled by [`IMP_SCALE`].
+    pub imp_fp: u64,
     /// Number of covering columns.
     pub cols: u64,
     /// Token length (constant per pattern).
@@ -24,8 +41,24 @@ pub(crate) struct StatsAcc {
 }
 
 impl StatsAcc {
+    /// Fold one covering column's impurity (`1 − matched_frac ∈ [0, 1]`).
+    pub(crate) fn add_impurity(&mut self, impurity: f64, token_len: u8) {
+        self.imp_fp += (impurity.clamp(0.0, 1.0) * IMP_SCALE).round() as u64;
+        self.cols += 1;
+        self.token_len = token_len;
+    }
+
+    /// Raw accumulator (deserialization).
+    pub(crate) fn from_raw(imp_fp: u64, cols: u64, token_len: u8) -> StatsAcc {
+        StatsAcc {
+            imp_fp,
+            cols,
+            token_len,
+        }
+    }
+
     pub(crate) fn merge(&mut self, other: &StatsAcc) {
-        self.imp_sum += other.imp_sum;
+        self.imp_fp += other.imp_fp;
         self.cols += other.cols;
         self.token_len = self.token_len.max(other.token_len);
     }
@@ -35,7 +68,7 @@ impl StatsAcc {
             fpr: if self.cols == 0 {
                 0.0
             } else {
-                self.imp_sum / self.cols as f64
+                (self.imp_fp as f64 / IMP_SCALE) / self.cols as f64
             },
             cov: self.cols,
             token_len: self.token_len,
@@ -51,20 +84,36 @@ mod tests {
     fn acc_merge_and_finish() {
         // Example 5 of the paper: 5000 covering columns, 4800 with impurity
         // 0 and 200 with impurity 1% → FPR 0.04%.
-        let mut a = StatsAcc {
-            imp_sum: 0.0,
-            cols: 4800,
-            token_len: 4,
-        };
-        let b = StatsAcc {
-            imp_sum: 200.0 * 0.01,
-            cols: 200,
-            token_len: 4,
-        };
+        let mut a = StatsAcc::default();
+        for _ in 0..4800 {
+            a.add_impurity(0.0, 4);
+        }
+        let mut b = StatsAcc::default();
+        for _ in 0..200 {
+            b.add_impurity(0.01, 4);
+        }
         a.merge(&b);
         let s = a.finish();
         assert_eq!(s.cov, 5000);
-        assert!((s.fpr - 0.0004).abs() < 1e-12);
+        assert!((s.fpr - 0.0004).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_is_order_independent_bitwise() {
+        let impurities = [0.1, 0.0, 0.37, 0.004, 1.0, 0.25];
+        let mut forward = StatsAcc::default();
+        for &i in &impurities {
+            forward.add_impurity(i, 3);
+        }
+        let mut backward = StatsAcc::default();
+        for &i in impurities.iter().rev() {
+            backward.add_impurity(i, 3);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(
+            forward.finish().fpr.to_bits(),
+            backward.finish().fpr.to_bits()
+        );
     }
 
     #[test]

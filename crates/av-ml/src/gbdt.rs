@@ -92,15 +92,15 @@ impl Gbdt {
         let mut trees = Vec::with_capacity(config.n_trees);
         let mut gradients = vec![0.0f64; n];
         for _ in 0..config.n_trees {
-            for i in 0..n {
-                gradients[i] = match config.objective {
-                    Objective::Regression => labels[i] - raw[i],
-                    Objective::BinaryLogistic => labels[i] - sigmoid(raw[i]),
+            for (g, (&l, &r)) in gradients.iter_mut().zip(labels.iter().zip(raw.iter())) {
+                *g = match config.objective {
+                    Objective::Regression => l - r,
+                    Objective::BinaryLogistic => l - sigmoid(r),
                 };
             }
             let tree = Tree::fit(features, &gradients, &rows, params);
-            for i in 0..n {
-                raw[i] += config.learning_rate * tree.predict_indexed(features, i);
+            for (i, r) in raw.iter_mut().enumerate() {
+                *r += config.learning_rate * tree.predict_indexed(features, i);
             }
             trees.push(tree);
         }
@@ -154,7 +154,7 @@ mod tests {
         let n = 400;
         let x: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
         let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
-        let model = Gbdt::train(&[x.clone()], &y, GbdtConfig::default());
+        let model = Gbdt::train(std::slice::from_ref(&x), &y, GbdtConfig::default());
         let preds = model.predict(&[x]);
         let mse: f64 = preds
             .iter()

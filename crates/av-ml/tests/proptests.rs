@@ -52,8 +52,8 @@ proptest! {
         let y: Vec<f64> = x.iter().map(|v| if *v > 0.2 { 2.0 } else { -1.0 }).collect();
         let mse = |k: usize| {
             let cfg = GbdtConfig { n_trees: k, ..Default::default() };
-            let m = Gbdt::train(&[x.clone()], &y, cfg);
-            let p = m.predict(&[x.clone()]);
+            let m = Gbdt::train(std::slice::from_ref(&x), &y, cfg);
+            let p = m.predict(std::slice::from_ref(&x));
             p.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>() / n as f64
         };
         prop_assert!(mse(30) <= mse(1) + 1e-9);

@@ -233,7 +233,10 @@ impl CoarseGroup {
         min_support: usize,
         cfg: &PatternConfig,
     ) -> Vec<SupportedPattern> {
-        assert!(start <= end && end <= self.positions.len(), "segment bounds");
+        assert!(
+            start <= end && end <= self.positions.len(),
+            "segment bounds"
+        );
         if start == end {
             return vec![SupportedPattern {
                 pattern: Pattern::empty(),
@@ -270,7 +273,14 @@ impl CoarseGroup {
         };
         let mut out: Vec<SupportedPattern> = Vec::new();
         let mut stack: Vec<Token> = Vec::with_capacity(positions.len());
-        enumerate_rec(&positions, 0, &full, min_support.max(1), &mut stack, &mut out);
+        enumerate_rec(
+            &positions,
+            0,
+            &full,
+            min_support.max(1),
+            &mut stack,
+            &mut out,
+        );
         out.retain(|sp| !sp.pattern.is_trivial());
         out
     }
@@ -574,10 +584,8 @@ mod tests {
         let h = hypothesis_space(&values, &cfg);
         assert!(!h.is_empty());
         // The canonical GUID pattern must be among the hypotheses.
-        let want = crate::parser::parse(
-            "<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-<alnum>{12}",
-        )
-        .unwrap();
+        let want = crate::parser::parse("<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-<alnum>{12}")
+            .unwrap();
         assert!(h.contains(&want), "H(C) missing {want}");
         for p in &h {
             for v in &values {

@@ -175,7 +175,12 @@ mod tests {
         let sym_opts = run_options(&runs[0], &cfg);
         assert_eq!(
             sym_opts,
-            vec![Token::lit("---"), Token::Sym(3), Token::SymPlus, Token::AnyPlus]
+            vec![
+                Token::lit("---"),
+                Token::Sym(3),
+                Token::SymPlus,
+                Token::AnyPlus
+            ]
         );
         let space_opts = run_options(&runs[1], &cfg);
         assert_eq!(

@@ -39,8 +39,7 @@ mod tokenize;
 
 pub use analyze::{
     analyze_column, column_pattern_profile, hypothesis_space, merged_key, merged_token_count,
-    patterns_of_value,
-    BitSet, CoarseGroup, ColumnAnalysis, PositionOptions, SupportedPattern,
+    patterns_of_value, BitSet, CoarseGroup, ColumnAnalysis, PositionOptions, SupportedPattern,
 };
 pub use generalize::{coarse_pattern, PatternConfig};
 pub use matcher::matches;

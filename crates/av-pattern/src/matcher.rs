@@ -124,7 +124,9 @@ fn match_num(tokens: &[Token], chars: &[char], ti: usize, pos: usize, failed: &m
         }
         candidates.push(ie);
     }
-    candidates.into_iter().any(|end| match_at(tokens, chars, ti + 1, end, failed))
+    candidates
+        .into_iter()
+        .any(|end| match_at(tokens, chars, ti + 1, end, failed))
 }
 
 #[cfg(test)]
@@ -228,14 +230,20 @@ mod tests {
     fn case_tokens() {
         assert!(matches(&pat(vec![Token::UpperPlus]), "ABC"));
         assert!(!matches(&pat(vec![Token::UpperPlus]), "AbC"));
-        assert!(matches(&pat(vec![Token::Upper(1), Token::LowerPlus]), "Mar"));
+        assert!(matches(
+            &pat(vec![Token::Upper(1), Token::LowerPlus]),
+            "Mar"
+        ));
     }
 
     #[test]
     fn sym_and_space() {
         assert!(matches(&pat(vec![Token::Sym(2)]), "--"));
         assert!(!matches(&pat(vec![Token::Sym(2)]), "-a"));
-        assert!(matches(&pat(vec![Token::lit("a"), Token::SpacePlus, Token::lit("b")]), "a  \tb"));
+        assert!(matches(
+            &pat(vec![Token::lit("a"), Token::SpacePlus, Token::lit("b")]),
+            "a  \tb"
+        ));
     }
 
     #[test]
@@ -245,8 +253,7 @@ mod tests {
         let long = "x".repeat(200);
         assert!(matches(&p, &long));
         let p2 = Pattern::new(
-            std::iter::repeat(Token::AnyPlus)
-                .take(12)
+            std::iter::repeat_n(Token::AnyPlus, 12)
                 .chain([Token::lit("!")])
                 .collect::<Vec<_>>(),
         );

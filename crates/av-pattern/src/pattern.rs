@@ -261,7 +261,12 @@ mod tests {
     #[test]
     fn adjacent_literals_canonicalize() {
         let a = p(vec![Token::lit("/m"), Token::lit("/"), Token::AlnumPlus]);
-        let b = p(vec![Token::lit("/"), Token::lit("m"), Token::lit("/"), Token::AlnumPlus]);
+        let b = p(vec![
+            Token::lit("/"),
+            Token::lit("m"),
+            Token::lit("/"),
+            Token::AlnumPlus,
+        ]);
         assert_eq!(a, b);
         assert_eq!(a.len(), 2);
         assert_eq!(a.fingerprint(), b.fingerprint());

@@ -128,7 +128,12 @@ mod tests {
 
     #[test]
     fn concatenation_reconstructs_value() {
-        for v in ["Mar 01 2019", "0.1|02/18/2015 00:00:00|OnBooking", "", "  a1!"] {
+        for v in [
+            "Mar 01 2019",
+            "0.1|02/18/2015 00:00:00|OnBooking",
+            "",
+            "  a1!",
+        ] {
             let runs = tokenize(v);
             let joined: String = runs.iter().map(|r| r.text).collect();
             assert_eq!(joined, v);

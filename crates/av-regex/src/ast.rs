@@ -46,7 +46,13 @@ impl CharSet {
     /// Perl-style `\s` (ASCII whitespace).
     pub fn space() -> CharSet {
         CharSet {
-            ranges: vec![(' ', ' '), ('\t', '\t'), ('\n', '\n'), ('\r', '\r'), ('\x0b', '\x0c')],
+            ranges: vec![
+                (' ', ' '),
+                ('\t', '\t'),
+                ('\n', '\n'),
+                ('\r', '\r'),
+                ('\x0b', '\x0c'),
+            ],
             negated: false,
         }
     }

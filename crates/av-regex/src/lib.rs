@@ -67,11 +67,26 @@ mod tests {
     #[test]
     fn grok_style_patterns() {
         let cases = [
-            (r"(25[0-5]|2[0-4]\d|[01]?\d?\d)(\.(25[0-5]|2[0-4]\d|[01]?\d?\d)){3}", "192.168.0.1", true),
-            (r"(25[0-5]|2[0-4]\d|[01]?\d?\d)(\.(25[0-5]|2[0-4]\d|[01]?\d?\d)){3}", "999.1.1.1", false),
-            (r"[0-9A-Fa-f]{8}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{12}",
-             "550e8400-e29b-41d4-a716-446655440000", true),
-            (r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}", "2021-04-13T09:00:00", true),
+            (
+                r"(25[0-5]|2[0-4]\d|[01]?\d?\d)(\.(25[0-5]|2[0-4]\d|[01]?\d?\d)){3}",
+                "192.168.0.1",
+                true,
+            ),
+            (
+                r"(25[0-5]|2[0-4]\d|[01]?\d?\d)(\.(25[0-5]|2[0-4]\d|[01]?\d?\d)){3}",
+                "999.1.1.1",
+                false,
+            ),
+            (
+                r"[0-9A-Fa-f]{8}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{4}-[0-9A-Fa-f]{12}",
+                "550e8400-e29b-41d4-a716-446655440000",
+                true,
+            ),
+            (
+                r"\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}",
+                "2021-04-13T09:00:00",
+                true,
+            ),
         ];
         for (pat, input, want) in cases {
             let re = Regex::new(pat).unwrap();

@@ -1,0 +1,267 @@
+//! The persistent rule catalog: named validation rules inferred once,
+//! serialized to disk, reloaded on restart — so a recurring pipeline's
+//! rules survive service restarts and are never re-inferred per run.
+//!
+//! On-disk format: a text file, first line `AVCAT 1`, then one line per
+//! rule combining catalog metadata with the rule's `av-core` wire form:
+//!
+//! ```text
+//! name=<pct>;variant=<pct>;created=<unix secs>;kind=pattern;...
+//! ```
+//!
+//! Saves are atomic (write to a sibling temp file, then rename), so a
+//! crash mid-save never corrupts the previous catalog.
+
+use av_core::{pct_decode, pct_encode, AnyRule};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A named rule plus provenance metadata.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// Unique rule name (pipeline feed id, column path, ...).
+    pub name: String,
+    /// The inferred rule.
+    pub rule: AnyRule,
+    /// Label of the inference variant that produced it ("FMDV-VH", "auto").
+    pub variant: String,
+    /// Unix seconds at inference time.
+    pub created_unix: u64,
+}
+
+/// Errors from loading or saving a catalog.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed catalog content.
+    Format(String),
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::Io(e) => write!(f, "catalog io error: {e}"),
+            CatalogError::Format(m) => write!(f, "catalog format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+impl From<std::io::Error> for CatalogError {
+    fn from(e: std::io::Error) -> Self {
+        CatalogError::Io(e)
+    }
+}
+
+const HEADER: &str = "AVCAT 1";
+
+/// An in-memory collection of named rules with disk persistence.
+#[derive(Debug, Clone, Default)]
+pub struct RuleCatalog {
+    entries: BTreeMap<String, CatalogEntry>,
+}
+
+impl RuleCatalog {
+    /// An empty catalog.
+    pub fn new() -> RuleCatalog {
+        RuleCatalog::default()
+    }
+
+    /// Insert (or replace) a rule; returns the previous entry if any.
+    pub fn insert(&mut self, entry: CatalogEntry) -> Option<CatalogEntry> {
+        self.entries.insert(entry.name.clone(), entry)
+    }
+
+    /// Look up a rule by name.
+    pub fn get(&self, name: &str) -> Option<&CatalogEntry> {
+        self.entries.get(name)
+    }
+
+    /// Remove a rule by name.
+    pub fn remove(&mut self, name: &str) -> Option<CatalogEntry> {
+        self.entries.remove(name)
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no rules are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in name order.
+    pub fn iter(&self) -> impl Iterator<Item = &CatalogEntry> {
+        self.entries.values()
+    }
+
+    /// Serialize the whole catalog to its text form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::from(HEADER);
+        out.push('\n');
+        for e in self.entries.values() {
+            out.push_str(&format!(
+                "name={};variant={};created={};{}\n",
+                pct_encode(&e.name),
+                pct_encode(&e.variant),
+                e.created_unix,
+                e.rule.to_wire(),
+            ));
+        }
+        out
+    }
+
+    /// Parse a catalog from its text form.
+    pub fn from_text(text: &str) -> Result<RuleCatalog, CatalogError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h.trim() == HEADER => {}
+            other => {
+                return Err(CatalogError::Format(format!(
+                    "bad header {other:?}, expected {HEADER:?}"
+                )))
+            }
+        }
+        let mut catalog = RuleCatalog::new();
+        for (i, line) in lines.enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let entry = parse_entry(line)
+                .map_err(|m| CatalogError::Format(format!("line {}: {m}", i + 2)))?;
+            catalog.insert(entry);
+        }
+        Ok(catalog)
+    }
+
+    /// Atomically write the catalog to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CatalogError> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_text())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Load a catalog from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<RuleCatalog, CatalogError> {
+        let text = std::fs::read_to_string(path)?;
+        RuleCatalog::from_text(&text)
+    }
+}
+
+fn parse_entry(line: &str) -> Result<CatalogEntry, String> {
+    let decode = |v: &str| pct_decode(v).map_err(|e| e.to_string());
+    let mut name = None;
+    let mut variant = None;
+    let mut created = None;
+    for part in line.split(';') {
+        match part.split_once('=') {
+            Some(("name", v)) => name = Some(decode(v)?),
+            Some(("variant", v)) => variant = Some(decode(v)?),
+            Some(("created", v)) => {
+                created = Some(v.parse::<u64>().map_err(|_| "bad created field")?)
+            }
+            _ => {}
+        }
+    }
+    let rule = AnyRule::from_wire(line).map_err(|e| e.to_string())?;
+    Ok(CatalogEntry {
+        name: name.ok_or("missing name")?,
+        rule,
+        variant: variant.unwrap_or_else(|| "unknown".to_string()),
+        created_unix: created.unwrap_or(0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_core::{DictionaryRule, FmdvConfig, ValidationRule};
+    use av_pattern::parse as parse_pattern;
+    use av_stats::HomogeneityTest;
+
+    fn entry(name: &str, pattern: &str) -> CatalogEntry {
+        CatalogEntry {
+            name: name.to_string(),
+            rule: AnyRule::Pattern(ValidationRule {
+                pattern: parse_pattern(pattern).unwrap(),
+                train_nonconforming: 0.0125,
+                train_size: 400,
+                expected_fpr: 0.003,
+                coverage: 77,
+                test: HomogeneityTest::FisherExact,
+                alpha: 0.01,
+            }),
+            variant: "FMDV-VH".to_string(),
+            created_unix: 1_753_600_000,
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_entries() {
+        let mut cat = RuleCatalog::new();
+        cat.insert(entry(
+            "feeds/sales.date",
+            "<digit>{4}-<digit>{2}-<digit>{2}",
+        ));
+        cat.insert(entry("weird name; with=delims,", "<digit>+"));
+        let dict_train: Vec<String> = (0..60).map(|i| ["a", "b", "c"][i % 3].into()).collect();
+        cat.insert(CatalogEntry {
+            name: "statuses".into(),
+            rule: AnyRule::Dictionary(
+                DictionaryRule::infer(&dict_train, &FmdvConfig::default(), 0.2).unwrap(),
+            ),
+            variant: "auto".into(),
+            created_unix: 7,
+        });
+
+        let reloaded = RuleCatalog::from_text(&cat.to_text()).unwrap();
+        assert_eq!(reloaded.len(), 3);
+        let e = reloaded.get("feeds/sales.date").unwrap();
+        assert_eq!(e.variant, "FMDV-VH");
+        assert_eq!(e.created_unix, 1_753_600_000);
+        assert!(e.rule.conforms("2026-07-27"));
+        assert!(!e.rule.conforms("27/07/2026"));
+        assert!(reloaded.get("weird name; with=delims,").is_some());
+        assert!(reloaded.get("statuses").unwrap().rule.conforms("b"));
+    }
+
+    #[test]
+    fn save_load_via_file() {
+        let dir = std::env::temp_dir().join("av_catalog_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rules.avcat");
+        let mut cat = RuleCatalog::new();
+        cat.insert(entry("r1", "<num>"));
+        cat.save(&path).unwrap();
+        let loaded = RuleCatalog::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert!(loaded.get("r1").unwrap().rule.conforms("42"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        assert!(RuleCatalog::from_text("").is_err());
+        assert!(RuleCatalog::from_text("NOT A CATALOG\n").is_err());
+        assert!(RuleCatalog::from_text("AVCAT 1\ngarbage line\n").is_err());
+        // Header alone is a valid empty catalog.
+        assert!(RuleCatalog::from_text("AVCAT 1\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn replace_and_remove() {
+        let mut cat = RuleCatalog::new();
+        assert!(cat.insert(entry("r", "<digit>+")).is_none());
+        assert!(cat.insert(entry("r", "<letter>+")).is_some());
+        assert_eq!(cat.len(), 1);
+        assert!(cat.remove("r").is_some());
+        assert!(cat.is_empty());
+    }
+}

@@ -1,0 +1,586 @@
+//! The long-running validation engine: a shared pattern index behind
+//! copy-on-write snapshots, a persistent rule catalog, a concurrent batch
+//! validation API, and incremental corpus ingestion.
+//!
+//! Concurrency model:
+//!
+//! * **Readers never block.** Every inference/validation takes an
+//!   `Arc<PatternIndex>` snapshot (one `RwLock` read to clone the `Arc`).
+//! * **Ingestion is copy-on-write.** New columns are profiled into an
+//!   [`IndexDelta`] with no lock held (the expensive part), then a clone
+//!   of the live index absorbs the delta and the `Arc` is swapped in one
+//!   short write-lock. In-flight readers keep their old snapshot; there is
+//!   no stop-the-world rebuild and no rescan of old columns.
+//! * **Ingests serialize among themselves** (a dedicated mutex), so no
+//!   delta can be lost to a concurrent clone-swap race.
+
+use crate::catalog::{CatalogEntry, CatalogError, RuleCatalog};
+use av_core::{AnyRule, AutoValidate, FmdvConfig, InferError, ValidationReport, Variant};
+use av_corpus::Column;
+use av_index::{DeltaError, IndexConfig, IndexDelta, PatternIndex, PersistError};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// On-disk index file name inside the service data directory.
+pub const INDEX_FILE: &str = "index.avix";
+/// On-disk catalog file name inside the service data directory.
+pub const CATALOG_FILE: &str = "rules.avcat";
+
+/// Service configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceConfig {
+    /// Index build/profile knobs (τ, per-column pattern caps, threads).
+    pub index: IndexConfig,
+    /// FMDV knobs. `None` re-scales the coverage floor `m` to the live
+    /// corpus size at each inference ([`FmdvConfig::scaled_for_corpus`]).
+    pub fmdv: Option<FmdvConfig>,
+    /// Worker threads for batch validation (0 → available parallelism).
+    pub workers: usize,
+    /// Directory holding `index.avix` + `rules.avcat`; `None` disables
+    /// persistence.
+    pub data_dir: Option<PathBuf>,
+}
+
+impl ServiceConfig {
+    /// Config persisting under `dir`.
+    pub fn with_data_dir(dir: impl Into<PathBuf>) -> ServiceConfig {
+        ServiceConfig {
+            data_dir: Some(dir.into()),
+            ..Default::default()
+        }
+    }
+}
+
+/// Errors surfaced by service operations.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// No rule with that name in the catalog.
+    UnknownRule(String),
+    /// Rule inference failed.
+    Infer(InferError),
+    /// An ingested delta could not merge (τ mismatch).
+    Delta(DeltaError),
+    /// Index (de)serialization failed.
+    Index(PersistError),
+    /// Catalog (de)serialization failed.
+    Catalog(CatalogError),
+    /// Persistence requested but the service has no data directory.
+    NoDataDir,
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownRule(n) => write!(f, "unknown rule {n:?}"),
+            ServiceError::Infer(e) => write!(f, "inference failed: {e}"),
+            ServiceError::Delta(e) => write!(f, "delta merge failed: {e}"),
+            ServiceError::Index(e) => write!(f, "index persistence failed: {e}"),
+            ServiceError::Catalog(e) => write!(f, "catalog persistence failed: {e}"),
+            ServiceError::NoDataDir => write!(f, "service has no data directory configured"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<InferError> for ServiceError {
+    fn from(e: InferError) -> Self {
+        ServiceError::Infer(e)
+    }
+}
+
+impl From<DeltaError> for ServiceError {
+    fn from(e: DeltaError) -> Self {
+        ServiceError::Delta(e)
+    }
+}
+
+impl From<PersistError> for ServiceError {
+    fn from(e: PersistError) -> Self {
+        ServiceError::Index(e)
+    }
+}
+
+impl From<CatalogError> for ServiceError {
+    fn from(e: CatalogError) -> Self {
+        ServiceError::Catalog(e)
+    }
+}
+
+/// What one ingest call changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Columns profiled in this batch.
+    pub columns_added: u64,
+    /// Distinct patterns contributed by the batch (pre-merge).
+    pub delta_patterns: usize,
+    /// Live corpus size after the merge.
+    pub total_columns: u64,
+    /// Live distinct-pattern count after the merge.
+    pub total_patterns: usize,
+}
+
+/// One item of a validation batch: a catalog rule name plus the column
+/// values to validate against it.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Catalog rule name.
+    pub rule: String,
+    /// Values of the incoming column.
+    pub values: Vec<String>,
+}
+
+/// Monotonic operation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Corpus columns ingested over the service lifetime.
+    pub columns_ingested: u64,
+    /// Ingest batches merged.
+    pub ingest_batches: u64,
+    /// Rules inferred.
+    pub rules_inferred: u64,
+    /// Columns validated.
+    pub validations: u64,
+    /// Validations that raised a flag.
+    pub flagged: u64,
+}
+
+/// The shared, long-running validation service. All methods take `&self`;
+/// wrap in an [`Arc`] and hand clones to as many threads as you like.
+pub struct ValidationService {
+    config: ServiceConfig,
+    index: RwLock<Arc<PatternIndex>>,
+    ingest_lock: Mutex<()>,
+    catalog: RwLock<RuleCatalog>,
+    shutdown: AtomicBool,
+    columns_ingested: AtomicU64,
+    ingest_batches: AtomicU64,
+    rules_inferred: AtomicU64,
+    validations: AtomicU64,
+    flagged: AtomicU64,
+}
+
+impl ValidationService {
+    /// A fresh service with an empty index and catalog.
+    pub fn new(config: ServiceConfig) -> ValidationService {
+        let empty = PatternIndex::build(&[], &config.index);
+        ValidationService {
+            index: RwLock::new(Arc::new(empty)),
+            ingest_lock: Mutex::new(()),
+            catalog: RwLock::new(RuleCatalog::new()),
+            shutdown: AtomicBool::new(false),
+            columns_ingested: AtomicU64::new(0),
+            ingest_batches: AtomicU64::new(0),
+            rules_inferred: AtomicU64::new(0),
+            validations: AtomicU64::new(0),
+            flagged: AtomicU64::new(0),
+            config,
+        }
+    }
+
+    /// Open a service, reloading any persisted index and catalog from the
+    /// configured data directory. Missing files mean a cold start — not an
+    /// error.
+    pub fn open(config: ServiceConfig) -> Result<ValidationService, ServiceError> {
+        let service = ValidationService::new(config);
+        if let Some(dir) = service.config.data_dir.clone() {
+            let index_path = dir.join(INDEX_FILE);
+            if index_path.exists() {
+                let loaded = PatternIndex::load(&index_path)?;
+                service
+                    .columns_ingested
+                    .store(loaded.num_columns, Ordering::Relaxed);
+                *service.index.write().expect("index lock poisoned") = Arc::new(loaded);
+            }
+            let catalog_path = dir.join(CATALOG_FILE);
+            if catalog_path.exists() {
+                *service.catalog.write().expect("catalog lock poisoned") =
+                    RuleCatalog::load(&catalog_path)?;
+            }
+        }
+        Ok(service)
+    }
+
+    /// The service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// A wait-free snapshot of the live index. Snapshots are immutable;
+    /// later ingests swap in a new index without disturbing holders.
+    pub fn snapshot(&self) -> Arc<PatternIndex> {
+        Arc::clone(&self.index.read().expect("index lock poisoned"))
+    }
+
+    /// Profile `columns` and merge them into the live index (§2.4's
+    /// offline scan, applied incrementally). Returns what changed.
+    pub fn ingest(&self, columns: &[Column]) -> Result<IngestReport, ServiceError> {
+        let refs: Vec<&Column> = columns.iter().collect();
+        // Expensive profiling happens with no lock held.
+        let delta = IndexDelta::profile(&refs, &self.config.index);
+        let delta_patterns = delta.len();
+
+        let _guard = self.ingest_lock.lock().expect("ingest lock poisoned");
+        let mut next: PatternIndex = (*self.snapshot()).clone();
+        next.merge_delta(delta)?;
+        let report = IngestReport {
+            columns_added: columns.len() as u64,
+            delta_patterns,
+            total_columns: next.num_columns,
+            total_patterns: next.len(),
+        };
+        *self.index.write().expect("index lock poisoned") = Arc::new(next);
+        self.columns_ingested
+            .fetch_add(columns.len() as u64, Ordering::Relaxed);
+        self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        Ok(report)
+    }
+
+    fn fmdv_config(&self, index: &PatternIndex) -> FmdvConfig {
+        self.config
+            .fmdv
+            .clone()
+            .unwrap_or_else(|| FmdvConfig::scaled_for_corpus(index.num_columns))
+    }
+
+    /// Infer a rule from training values and store it in the catalog under
+    /// `name`. `variant: None` uses the automatic fallback chain
+    /// (pattern → numeric → dictionary); `Some(v)` forces one FMDV
+    /// variant. Returns the stored entry.
+    pub fn infer_rule(
+        &self,
+        name: &str,
+        train: &[String],
+        variant: Option<Variant>,
+    ) -> Result<CatalogEntry, ServiceError> {
+        let snapshot = self.snapshot();
+        let engine = AutoValidate::new(&snapshot, self.fmdv_config(&snapshot));
+        let (rule, label) = match variant {
+            None => (engine.infer_auto(train)?, "auto".to_string()),
+            Some(v) => (
+                AnyRule::Pattern(engine.infer(train, v)?),
+                v.label().to_string(),
+            ),
+        };
+        let entry = CatalogEntry {
+            name: name.to_string(),
+            rule,
+            variant: label,
+            created_unix: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+        };
+        self.catalog
+            .write()
+            .expect("catalog lock poisoned")
+            .insert(entry.clone());
+        self.rules_inferred.fetch_add(1, Ordering::Relaxed);
+        Ok(entry)
+    }
+
+    /// Fetch a catalog entry by name.
+    pub fn rule(&self, name: &str) -> Result<CatalogEntry, ServiceError> {
+        self.catalog
+            .read()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownRule(name.to_string()))
+    }
+
+    /// Remove a rule from the catalog.
+    pub fn delete_rule(&self, name: &str) -> Result<(), ServiceError> {
+        self.catalog
+            .write()
+            .expect("catalog lock poisoned")
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| ServiceError::UnknownRule(name.to_string()))
+    }
+
+    /// Names and descriptions of all cataloged rules.
+    pub fn catalog_entries(&self) -> Vec<CatalogEntry> {
+        self.catalog
+            .read()
+            .expect("catalog lock poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Validate one column against a named rule (§4's recurring check).
+    /// Runs under the catalog read lock (shared, so batch workers still
+    /// overlap) instead of cloning the entry — a dictionary rule's whole
+    /// vocabulary would otherwise be copied per validation.
+    pub fn validate(
+        &self,
+        rule: &str,
+        values: &[String],
+    ) -> Result<ValidationReport, ServiceError> {
+        let report = {
+            let catalog = self.catalog.read().expect("catalog lock poisoned");
+            let entry = catalog
+                .get(rule)
+                .ok_or_else(|| ServiceError::UnknownRule(rule.to_string()))?;
+            entry.rule.validate(values)
+        };
+        self.validations.fetch_add(1, Ordering::Relaxed);
+        if report.flagged {
+            self.flagged.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(report)
+    }
+
+    /// Validate a batch of columns concurrently across the worker pool.
+    ///
+    /// Results come back in input order, and each equals exactly what the
+    /// sequential [`ValidationService::validate`] would produce: items are
+    /// independent and rules are immutable snapshots, so fan-out changes
+    /// only wall-clock time, never reports.
+    pub fn validate_batch(
+        &self,
+        items: &[BatchItem],
+    ) -> Vec<Result<ValidationReport, ServiceError>> {
+        let workers = if self.config.workers > 0 {
+            self.config.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        }
+        .min(items.len().max(1));
+
+        if workers <= 1 {
+            return items
+                .iter()
+                .map(|item| self.validate(&item.rule, &item.values))
+                .collect();
+        }
+
+        // Dynamic work-stealing over an atomic cursor: workers drain items
+        // at their own pace, then results are restitched in input order.
+        let cursor = AtomicU64::new(0);
+        let mut indexed: Vec<(usize, Result<ValidationReport, ServiceError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
+                                if i >= items.len() {
+                                    break;
+                                }
+                                local.push((i, self.validate(&items[i].rule, &items[i].values)));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("validation worker panicked"))
+                    .collect()
+            });
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// Persist the live index and catalog to the data directory.
+    pub fn persist(&self) -> Result<(), ServiceError> {
+        let dir = self
+            .config
+            .data_dir
+            .as_ref()
+            .ok_or(ServiceError::NoDataDir)?;
+        std::fs::create_dir_all(dir).map_err(|e| ServiceError::Catalog(CatalogError::Io(e)))?;
+        self.snapshot().save(dir.join(INDEX_FILE))?;
+        self.catalog
+            .read()
+            .expect("catalog lock poisoned")
+            .save(dir.join(CATALOG_FILE))?;
+        Ok(())
+    }
+
+    /// Path of the persisted index, when a data directory is configured.
+    pub fn index_path(&self) -> Option<PathBuf> {
+        self.config.data_dir.as_ref().map(|d| d.join(INDEX_FILE))
+    }
+
+    /// Current operation counters.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            columns_ingested: self.columns_ingested.load(Ordering::Relaxed),
+            ingest_batches: self.ingest_batches.load(Ordering::Relaxed),
+            rules_inferred: self.rules_inferred.load(Ordering::Relaxed),
+            validations: self.validations.load(Ordering::Relaxed),
+            flagged: self.flagged.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Ask every serve loop to wind down.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Has shutdown been requested?
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// Helper for tests and examples: make an owned [`Column`] out of a name
+/// and values.
+pub fn owned_column(name: &str, values: Vec<String>) -> Column {
+    Column {
+        name: name.to_string(),
+        values,
+        meta: av_corpus::ColumnMeta::machine("service-ingest", None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use av_corpus::{generate_lake, LakeProfile};
+
+    fn lake_columns(seed: u64) -> Vec<Column> {
+        let lake = generate_lake(&LakeProfile::tiny(), seed);
+        lake.columns().cloned().collect()
+    }
+
+    fn date_values(month: u32) -> Vec<String> {
+        (1..=28)
+            .map(|d| format!("2019-{month:02}-{d:02}"))
+            .collect()
+    }
+
+    #[test]
+    fn ingest_then_infer_then_validate() {
+        let service = ValidationService::new(ServiceConfig::default());
+        let report = service.ingest(&lake_columns(11)).unwrap();
+        assert!(report.total_patterns > 100);
+        assert_eq!(report.columns_added, report.total_columns);
+
+        let entry = service.infer_rule("dates", &date_values(3), None).unwrap();
+        assert!(entry.rule.conforms("2019-04-01"));
+        let ok = service.validate("dates", &date_values(4)).unwrap();
+        assert!(!ok.flagged);
+        let drifted: Vec<String> = (0..50).map(|i| format!("user-{i}")).collect();
+        let bad = service.validate("dates", &drifted).unwrap();
+        assert!(bad.flagged);
+
+        let stats = service.stats();
+        assert_eq!(stats.validations, 2);
+        assert_eq!(stats.flagged, 1);
+        assert_eq!(stats.rules_inferred, 1);
+    }
+
+    #[test]
+    fn incremental_ingest_equals_bulk_ingest() {
+        let all = lake_columns(23);
+        let (a, b) = all.split_at(all.len() / 2);
+
+        let bulk = ValidationService::new(ServiceConfig::default());
+        bulk.ingest(&all).unwrap();
+        let incremental = ValidationService::new(ServiceConfig::default());
+        incremental.ingest(a).unwrap();
+        incremental.ingest(b).unwrap();
+
+        let bi = bulk.snapshot();
+        let ii = incremental.snapshot();
+        assert_eq!(bi.num_columns, ii.num_columns);
+        assert_eq!(bi.len(), ii.len());
+        let imap: std::collections::HashMap<u64, av_index::PatternStats> = ii.entries().collect();
+        for (k, s) in bi.entries() {
+            let t = imap.get(&k).expect("same pattern set");
+            assert_eq!(s.fpr.to_bits(), t.fpr.to_bits());
+            assert_eq!(s.cov, t.cov);
+        }
+    }
+
+    #[test]
+    fn snapshots_survive_later_ingests() {
+        let service = ValidationService::new(ServiceConfig::default());
+        service.ingest(&lake_columns(3)).unwrap();
+        let old = service.snapshot();
+        let old_columns = old.num_columns;
+        service.ingest(&lake_columns(4)).unwrap();
+        assert_eq!(old.num_columns, old_columns, "old snapshot is immutable");
+        assert!(service.snapshot().num_columns > old_columns);
+    }
+
+    #[test]
+    fn unknown_rule_errors() {
+        let service = ValidationService::new(ServiceConfig::default());
+        assert!(matches!(
+            service.validate("nope", &[]),
+            Err(ServiceError::UnknownRule(_))
+        ));
+        assert!(matches!(
+            service.delete_rule("nope"),
+            Err(ServiceError::UnknownRule(_))
+        ));
+    }
+
+    #[test]
+    fn batch_matches_sequential() {
+        let service = ValidationService::new(ServiceConfig::default());
+        service.ingest(&lake_columns(7)).unwrap();
+        service.infer_rule("dates", &date_values(3), None).unwrap();
+        let items: Vec<BatchItem> = (0..32)
+            .map(|i| BatchItem {
+                rule: if i % 5 == 4 {
+                    "missing".into()
+                } else {
+                    "dates".into()
+                },
+                values: if i % 2 == 0 {
+                    date_values(1 + (i as u32 % 12))
+                } else {
+                    (0..40).map(|j| format!("drift-{i}-{j}")).collect()
+                },
+            })
+            .collect();
+        let sequential: Vec<_> = items
+            .iter()
+            .map(|it| service.validate(&it.rule, &it.values))
+            .collect();
+        let batched = service.validate_batch(&items);
+        assert_eq!(batched.len(), sequential.len());
+        for (b, s) in batched.iter().zip(&sequential) {
+            match (b, s) {
+                (Ok(br), Ok(sr)) => assert_eq!(br, sr),
+                (Err(ServiceError::UnknownRule(x)), Err(ServiceError::UnknownRule(y))) => {
+                    assert_eq!(x, y)
+                }
+                other => panic!("mismatched outcomes: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn persist_and_reopen_restores_rules_and_index() {
+        let dir =
+            std::env::temp_dir().join(format!("av_service_engine_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = ServiceConfig::with_data_dir(&dir);
+
+        let service = ValidationService::new(config.clone());
+        service.ingest(&lake_columns(5)).unwrap();
+        service.infer_rule("dates", &date_values(6), None).unwrap();
+        let before = service.snapshot();
+        service.persist().unwrap();
+
+        let reopened = ValidationService::open(config).unwrap();
+        let after = reopened.snapshot();
+        assert_eq!(after.num_columns, before.num_columns);
+        assert_eq!(after.len(), before.len());
+        assert!(reopened.rule("dates").is_ok());
+        let report = reopened.validate("dates", &date_values(7)).unwrap();
+        assert!(!report.flagged);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,69 @@
+//! # av-service — the long-running Auto-Validate service
+//!
+//! The paper deploys Auto-Validate as a production service: patterns are
+//! mined offline from the data lake, and recurring pipeline feeds are
+//! validated against cataloged rules on every run. This crate is that
+//! deployment shape for the rest of the workspace:
+//!
+//! * **Shared live index** — readers take wait-free `Arc<PatternIndex>`
+//!   snapshots; nothing blocks while rules are inferred or columns are
+//!   validated.
+//! * **Incremental ingestion** — new corpus columns are profiled into an
+//!   [`av_index::IndexDelta`] and merged copy-on-write into the live
+//!   index: bit-for-bit identical statistics to a full rebuild, without a
+//!   stop-the-world rescan (`av-index`'s fixed-point accumulators make the
+//!   merge exact).
+//! * **Persistent rule catalog** — rules are inferred once (FMDV and its
+//!   fallbacks), named, serialized to `rules.avcat`, and reloaded on
+//!   restart, so a service restart never re-infers or loses a rule.
+//! * **Concurrent batch validation** — a worker pool fans a batch of
+//!   columns across threads; reports are deterministic and identical to
+//!   sequential runs.
+//! * **JSONL protocol** — `av-serve` (in the root crate's `src/bin`)
+//!   drives all of this over stdin/stdout or TCP; see [`protocol`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use av_service::{ServiceConfig, ValidationService};
+//! use av_corpus::{generate_lake, LakeProfile};
+//!
+//! let service = ValidationService::new(ServiceConfig::default());
+//! // Ingest an initial corpus (here synthetic; in production, your lake).
+//! let lake = generate_lake(&LakeProfile::tiny(), 42);
+//! let columns: Vec<av_corpus::Column> = lake.columns().cloned().collect();
+//! service.ingest(&columns).unwrap();
+//!
+//! // Infer and catalog a named rule, then validate a future feed.
+//! let march: Vec<String> = (1..=28).map(|d| format!("2019-03-{d:02}")).collect();
+//! service.infer_rule("feeds/date", &march, None).unwrap();
+//! let april: Vec<String> = (1..=28).map(|d| format!("2019-04-{d:02}")).collect();
+//! assert!(!service.validate("feeds/date", &april).unwrap().flagged);
+//! let drifted: Vec<String> = (0..28).map(|i| format!("user-{i}")).collect();
+//! assert!(service.validate("feeds/date", &drifted).unwrap().flagged);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod engine;
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use catalog::{CatalogEntry, CatalogError, RuleCatalog};
+pub use engine::{
+    owned_column, BatchItem, IngestReport, ServiceConfig, ServiceError, ServiceStats,
+    ValidationService, CATALOG_FILE, INDEX_FILE,
+};
+pub use protocol::{handle_line, response_ok, Handled};
+pub use server::{serve_lines, serve_stdin, serve_tcp};
+
+/// The service is shared across threads by construction; keep it that way.
+#[allow(dead_code)]
+fn assert_service_is_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ValidationService>();
+    assert_send_sync::<CatalogEntry>();
+    assert_send_sync::<RuleCatalog>();
+}

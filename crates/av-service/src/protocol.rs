@@ -1,0 +1,422 @@
+//! The JSONL request/response protocol spoken by `av-serve`.
+//!
+//! One request per line, one response per line. Every request is an object
+//! with an `"op"` field; every response carries `"ok"` (and `"error"` on
+//! failure), so clients never have to guess. Example session:
+//!
+//! ```text
+//! → {"op":"ingest","columns":[{"name":"c1","values":["10.0.0.1","10.0.0.2"]}]}
+//! ← {"ok":true,"columns_added":1,"total_columns":1,...}
+//! → {"op":"infer","rule":"ips","values":["10.0.0.1","192.168.0.9"]}
+//! ← {"ok":true,"rule":"ips","describe":"pattern <digit>+.<digit>+...",...}
+//! → {"op":"validate","rule":"ips","values":["not-an-ip"]}
+//! ← {"ok":true,"flagged":true,"nonconforming":1,...}
+//! ```
+
+use crate::engine::{BatchItem, ValidationService};
+use crate::json::{parse, Json};
+use av_core::{AnyRule, ValidationReport, Variant};
+
+/// Outcome of handling one request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Handled {
+    /// The JSON response line (no trailing newline).
+    pub response: String,
+    /// True when the request asked the service to shut down.
+    pub shutdown: bool,
+}
+
+fn ok(fields: Vec<(&'static str, Json)>) -> Handled {
+    let mut all = vec![("ok", Json::Bool(true))];
+    all.extend(fields);
+    Handled {
+        response: Json::obj(all).dump(),
+        shutdown: false,
+    }
+}
+
+fn fail(message: impl Into<String>) -> Handled {
+    Handled {
+        response: Json::obj([
+            ("ok", Json::Bool(false)),
+            ("error", Json::str(message.into())),
+        ])
+        .dump(),
+        shutdown: false,
+    }
+}
+
+fn report_json(r: &ValidationReport) -> Vec<(&'static str, Json)> {
+    vec![
+        ("checked", Json::Num(r.checked as f64)),
+        ("nonconforming", Json::Num(r.nonconforming as f64)),
+        ("nonconforming_frac", Json::Num(r.nonconforming_frac)),
+        ("p_value", Json::Num(r.p_value)),
+        ("flagged", Json::Bool(r.flagged)),
+    ]
+}
+
+fn string_array(v: &Json, field: &str) -> Result<Vec<String>, String> {
+    v.get(field)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array field {field:?}"))?
+        .iter()
+        .map(|item| {
+            item.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| format!("{field:?} must contain only strings"))
+        })
+        .collect()
+}
+
+fn parse_variant(v: &Json) -> Result<Option<Variant>, String> {
+    match v.get("variant").and_then(Json::as_str) {
+        None => Ok(None),
+        Some("auto") => Ok(None),
+        Some("fmdv") => Ok(Some(Variant::Fmdv)),
+        Some("v") | Some("fmdv-v") => Ok(Some(Variant::FmdvV)),
+        Some("h") | Some("fmdv-h") => Ok(Some(Variant::FmdvH)),
+        Some("vh") | Some("fmdv-vh") => Ok(Some(Variant::FmdvVH)),
+        Some("cmdv") => Ok(Some(Variant::Cmdv)),
+        Some(other) => Err(format!("unknown variant {other:?}")),
+    }
+}
+
+fn rule_kind(rule: &AnyRule) -> &'static str {
+    match rule {
+        AnyRule::Pattern(_) => "pattern",
+        AnyRule::Numeric(_) => "numeric",
+        AnyRule::Dictionary(_) => "dictionary",
+    }
+}
+
+/// Handle one JSONL request line against the service.
+pub fn handle_line(service: &ValidationService, line: &str) -> Handled {
+    let req = match parse(line) {
+        Ok(v) => v,
+        Err(e) => return fail(format!("bad request json: {e}")),
+    };
+    let op = match req.get("op").and_then(Json::as_str) {
+        Some(op) => op,
+        None => return fail("missing \"op\" field"),
+    };
+    match op {
+        "ping" => ok(vec![("pong", Json::Bool(true))]),
+        "ingest" => handle_ingest(service, &req),
+        "infer" => handle_infer(service, &req),
+        "validate" => handle_validate(service, &req),
+        "validate_batch" => handle_validate_batch(service, &req),
+        "catalog" => handle_catalog(service),
+        "rule" => handle_rule(service, &req),
+        "delete_rule" => handle_delete(service, &req),
+        "persist" => match service.persist() {
+            Ok(()) => ok(vec![("persisted", Json::Bool(true))]),
+            Err(e) => fail(e.to_string()),
+        },
+        "stats" => handle_stats(service),
+        "shutdown" => {
+            service.request_shutdown();
+            let mut h = ok(vec![("bye", Json::Bool(true))]);
+            h.shutdown = true;
+            h
+        }
+        other => fail(format!("unknown op {other:?}")),
+    }
+}
+
+fn handle_ingest(service: &ValidationService, req: &Json) -> Handled {
+    let cols = match req.get("columns").and_then(Json::as_arr) {
+        Some(c) => c,
+        None => return fail("missing array field \"columns\""),
+    };
+    let mut columns = Vec::with_capacity(cols.len());
+    for (i, c) in cols.iter().enumerate() {
+        let name = c
+            .get("name")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("ingest-{i}"));
+        match string_array(c, "values") {
+            Ok(values) => columns.push(crate::engine::owned_column(&name, values)),
+            Err(e) => return fail(format!("column {i}: {e}")),
+        }
+    }
+    match service.ingest(&columns) {
+        Ok(r) => ok(vec![
+            ("columns_added", Json::Num(r.columns_added as f64)),
+            ("delta_patterns", Json::Num(r.delta_patterns as f64)),
+            ("total_columns", Json::Num(r.total_columns as f64)),
+            ("total_patterns", Json::Num(r.total_patterns as f64)),
+        ]),
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn handle_infer(service: &ValidationService, req: &Json) -> Handled {
+    let name = match req.get("rule").and_then(Json::as_str) {
+        Some(n) => n,
+        None => return fail("missing string field \"rule\""),
+    };
+    let values = match string_array(req, "values") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    let variant = match parse_variant(req) {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    match service.infer_rule(name, &values, variant) {
+        Ok(entry) => ok(vec![
+            ("rule", Json::str(entry.name)),
+            ("kind", Json::str(rule_kind(&entry.rule))),
+            ("variant", Json::str(entry.variant)),
+            ("describe", Json::str(entry.rule.describe())),
+            ("wire", Json::str(entry.rule.to_wire())),
+        ]),
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn handle_validate(service: &ValidationService, req: &Json) -> Handled {
+    let name = match req.get("rule").and_then(Json::as_str) {
+        Some(n) => n,
+        None => return fail("missing string field \"rule\""),
+    };
+    let values = match string_array(req, "values") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    match service.validate(name, &values) {
+        Ok(report) => ok(report_json(&report)),
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn handle_validate_batch(service: &ValidationService, req: &Json) -> Handled {
+    let raw = match req.get("items").and_then(Json::as_arr) {
+        Some(items) => items,
+        None => return fail("missing array field \"items\""),
+    };
+    let mut items = Vec::with_capacity(raw.len());
+    for (i, item) in raw.iter().enumerate() {
+        let rule = match item.get("rule").and_then(Json::as_str) {
+            Some(r) => r.to_string(),
+            None => return fail(format!("item {i}: missing string field \"rule\"")),
+        };
+        match string_array(item, "values") {
+            Ok(values) => items.push(BatchItem { rule, values }),
+            Err(e) => return fail(format!("item {i}: {e}")),
+        }
+    }
+    let results: Vec<Json> = service
+        .validate_batch(&items)
+        .into_iter()
+        .map(|r| match r {
+            Ok(report) => {
+                let mut fields = vec![("ok", Json::Bool(true))];
+                fields.extend(report_json(&report));
+                Json::obj(fields)
+            }
+            Err(e) => Json::obj([
+                ("ok", Json::Bool(false)),
+                ("error", Json::str(e.to_string())),
+            ]),
+        })
+        .collect();
+    ok(vec![("results", Json::Arr(results))])
+}
+
+fn handle_catalog(service: &ValidationService) -> Handled {
+    let rules: Vec<Json> = service
+        .catalog_entries()
+        .into_iter()
+        .map(|e| {
+            Json::obj([
+                ("rule", Json::str(e.name)),
+                ("kind", Json::str(rule_kind(&e.rule))),
+                ("variant", Json::str(e.variant)),
+                ("created_unix", Json::Num(e.created_unix as f64)),
+                ("describe", Json::str(e.rule.describe())),
+            ])
+        })
+        .collect();
+    ok(vec![
+        ("count", Json::Num(rules.len() as f64)),
+        ("rules", Json::Arr(rules)),
+    ])
+}
+
+fn handle_rule(service: &ValidationService, req: &Json) -> Handled {
+    let name = match req.get("name").and_then(Json::as_str) {
+        Some(n) => n,
+        None => return fail("missing string field \"name\""),
+    };
+    match service.rule(name) {
+        Ok(e) => ok(vec![
+            ("rule", Json::str(e.name)),
+            ("kind", Json::str(rule_kind(&e.rule))),
+            ("variant", Json::str(e.variant)),
+            ("created_unix", Json::Num(e.created_unix as f64)),
+            ("describe", Json::str(e.rule.describe())),
+            ("wire", Json::str(e.rule.to_wire())),
+        ]),
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn handle_delete(service: &ValidationService, req: &Json) -> Handled {
+    let name = match req.get("name").and_then(Json::as_str) {
+        Some(n) => n,
+        None => return fail("missing string field \"name\""),
+    };
+    match service.delete_rule(name) {
+        Ok(()) => ok(vec![("deleted", Json::str(name))]),
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn handle_stats(service: &ValidationService) -> Handled {
+    let s = service.stats();
+    let index = service.snapshot();
+    ok(vec![
+        ("columns_ingested", Json::Num(s.columns_ingested as f64)),
+        ("ingest_batches", Json::Num(s.ingest_batches as f64)),
+        ("rules_inferred", Json::Num(s.rules_inferred as f64)),
+        ("validations", Json::Num(s.validations as f64)),
+        ("flagged", Json::Num(s.flagged as f64)),
+        ("index_patterns", Json::Num(index.len() as f64)),
+        ("index_columns", Json::Num(index.num_columns as f64)),
+        (
+            "catalog_rules",
+            Json::Num(service.catalog_entries().len() as f64),
+        ),
+    ])
+}
+
+/// Did a response line report success? (Convenience for clients/tests.)
+pub fn response_ok(line: &str) -> bool {
+    parse(line)
+        .ok()
+        .and_then(|v| v.get("ok").and_then(Json::as_bool))
+        .unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServiceConfig;
+
+    fn service_with_corpus() -> ValidationService {
+        let service = ValidationService::new(ServiceConfig::default());
+        let lake = av_corpus::generate_lake(&av_corpus::LakeProfile::tiny(), 19);
+        let columns: Vec<av_corpus::Column> = lake.columns().cloned().collect();
+        service.ingest(&columns).unwrap();
+        service
+    }
+
+    fn dates(month: u32) -> String {
+        let values: Vec<String> = (1..=28)
+            .map(|d| format!("\"2019-{month:02}-{d:02}\""))
+            .collect();
+        format!("[{}]", values.join(","))
+    }
+
+    #[test]
+    fn full_protocol_session() {
+        let service = service_with_corpus();
+        let h = handle_line(&service, r#"{"op":"ping"}"#);
+        assert!(response_ok(&h.response));
+
+        let h = handle_line(
+            &service,
+            &format!(r#"{{"op":"infer","rule":"dates","values":{}}}"#, dates(3)),
+        );
+        assert!(response_ok(&h.response), "{}", h.response);
+
+        let h = handle_line(
+            &service,
+            &format!(
+                r#"{{"op":"validate","rule":"dates","values":{}}}"#,
+                dates(4)
+            ),
+        );
+        assert!(response_ok(&h.response));
+        let v = parse(&h.response).unwrap();
+        assert_eq!(v.get("flagged").unwrap().as_bool(), Some(false));
+
+        let h = handle_line(
+            &service,
+            r#"{"op":"validate","rule":"dates","values":["x","y","z"]}"#,
+        );
+        let v = parse(&h.response).unwrap();
+        assert_eq!(v.get("flagged").unwrap().as_bool(), Some(true));
+
+        let h = handle_line(&service, r#"{"op":"catalog"}"#);
+        let v = parse(&h.response).unwrap();
+        assert_eq!(v.get("count").unwrap().as_usize(), Some(1));
+
+        let h = handle_line(&service, r#"{"op":"stats"}"#);
+        let v = parse(&h.response).unwrap();
+        assert_eq!(v.get("validations").unwrap().as_usize(), Some(2));
+        assert_eq!(v.get("flagged").unwrap().as_usize(), Some(1));
+
+        let h = handle_line(&service, r#"{"op":"shutdown"}"#);
+        assert!(h.shutdown);
+        assert!(service.is_shutdown());
+    }
+
+    #[test]
+    fn batch_op_mixes_ok_and_errors() {
+        let service = service_with_corpus();
+        handle_line(
+            &service,
+            &format!(r#"{{"op":"infer","rule":"d","values":{}}}"#, dates(2)),
+        );
+        let h = handle_line(
+            &service,
+            &format!(
+                r#"{{"op":"validate_batch","items":[{{"rule":"d","values":{}}},{{"rule":"missing","values":[]}}]}}"#,
+                dates(5)
+            ),
+        );
+        assert!(response_ok(&h.response));
+        let v = parse(&h.response).unwrap();
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(results[1].get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn malformed_requests_fail_cleanly() {
+        let service = ValidationService::new(ServiceConfig::default());
+        for bad in [
+            "not json",
+            "{}",
+            r#"{"op":"nope"}"#,
+            r#"{"op":"validate"}"#,
+            r#"{"op":"validate","rule":"r"}"#,
+            r#"{"op":"validate","rule":"r","values":[1,2]}"#,
+            r#"{"op":"infer","rule":"r","values":["a"],"variant":"banana"}"#,
+            r#"{"op":"ingest"}"#,
+        ] {
+            let h = handle_line(&service, bad);
+            assert!(!response_ok(&h.response), "{bad} should fail");
+            assert!(!h.shutdown);
+        }
+    }
+
+    #[test]
+    fn ingest_via_protocol_grows_the_index() {
+        let service = ValidationService::new(ServiceConfig::default());
+        let h = handle_line(
+            &service,
+            r#"{"op":"ingest","columns":[{"name":"ips","values":["10.0.0.1","10.0.0.2","172.16.9.1"]},{"values":["a-1","b-2"]}]}"#,
+        );
+        assert!(response_ok(&h.response), "{}", h.response);
+        let v = parse(&h.response).unwrap();
+        assert_eq!(v.get("columns_added").unwrap().as_usize(), Some(2));
+        assert_eq!(v.get("total_columns").unwrap().as_usize(), Some(2));
+        assert!(v.get("total_patterns").unwrap().as_usize().unwrap() > 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Serve loops: drive a [`ValidationService`] over any line-oriented
+//! transport — stdin/stdout for pipes and tests, TCP for network clients.
+//! Every transport speaks the same JSONL protocol (see
+//! [`crate::protocol`]).
+
+use crate::engine::ValidationService;
+use crate::protocol::handle_line;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Serve JSONL requests from `input`, writing responses to `output`.
+/// Returns when the input ends, a `shutdown` op arrives, or the service
+/// was asked to shut down elsewhere.
+pub fn serve_lines<R: BufRead, W: Write>(
+    service: &ValidationService,
+    input: R,
+    mut output: W,
+) -> std::io::Result<()> {
+    for line in input.lines() {
+        if service.is_shutdown() {
+            break;
+        }
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let handled = handle_line(service, &line);
+        output.write_all(handled.response.as_bytes())?;
+        output.write_all(b"\n")?;
+        output.flush()?;
+        if handled.shutdown {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serve the process's stdin/stdout until EOF or shutdown.
+pub fn serve_stdin(service: &ValidationService) -> std::io::Result<()> {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve_lines(service, stdin.lock(), stdout.lock())
+}
+
+/// Serve one TCP connection: like [`serve_lines`], but reads with a
+/// timeout so an idle client never keeps the thread from observing a
+/// shutdown requested elsewhere.
+fn serve_tcp_connection(
+    service: &ValidationService,
+    mut stream: std::net::TcpStream,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    while !service.is_shutdown() {
+        match reader.read_line(&mut line) {
+            Ok(0) => break, // client closed
+            Ok(_) => {
+                if !line.trim().is_empty() {
+                    let handled = handle_line(service, &line);
+                    stream.write_all(handled.response.as_bytes())?;
+                    stream.write_all(b"\n")?;
+                    stream.flush()?;
+                    if handled.shutdown {
+                        break;
+                    }
+                }
+                line.clear();
+            }
+            // Timeout while idle: re-check shutdown and keep reading. A
+            // timeout mid-line leaves the partial bytes in `line`, which
+            // the next read_line call extends — so no clear here.
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Listen on `addr` and serve each connection on its own thread, all
+/// sharing one service. Returns the bound local address via the callback
+/// (useful with port 0), and runs until a client sends `shutdown` — idle
+/// connections cannot delay the exit (reads poll the shutdown flag).
+pub fn serve_tcp<A: ToSocketAddrs>(
+    service: Arc<ValidationService>,
+    addr: A,
+    mut on_bound: impl FnMut(std::net::SocketAddr),
+) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    on_bound(listener.local_addr()?);
+    // Non-blocking accept so the loop can observe shutdown requests made
+    // from other connections.
+    listener.set_nonblocking(true)?;
+    let mut workers: Vec<std::thread::JoinHandle<std::io::Result<()>>> = Vec::new();
+    while !service.is_shutdown() {
+        // Reap finished connection threads so a long-lived server doesn't
+        // accumulate a handle per connection ever served.
+        workers.retain(|w| !w.is_finished());
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let service = Arc::clone(&service);
+                workers.push(std::thread::spawn(move || {
+                    serve_tcp_connection(&service, stream)
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    for w in workers {
+        let _ = w.join();
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ServiceConfig;
+    use crate::protocol::response_ok;
+    use std::io::Cursor;
+
+    #[test]
+    fn serve_lines_round_trips_a_session() {
+        let service = ValidationService::new(ServiceConfig::default());
+        let input = concat!(
+            r#"{"op":"ping"}"#,
+            "\n",
+            "\n", // blank lines are skipped
+            r#"{"op":"ingest","columns":[{"name":"c","values":["00:01:02","03:04:05","06:07:08"]}]}"#,
+            "\n",
+            r#"{"op":"stats"}"#,
+            "\n",
+            r#"{"op":"shutdown"}"#,
+            "\n",
+            r#"{"op":"ping"}"#, // never reached: shutdown broke the loop
+            "\n",
+        );
+        let mut out = Vec::new();
+        serve_lines(&service, Cursor::new(input), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "{text}");
+        assert!(lines.iter().all(|l| response_ok(l)), "{text}");
+        assert!(service.is_shutdown());
+    }
+
+    #[test]
+    fn tcp_serves_concurrent_clients() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+
+        let service = Arc::new(ValidationService::new(ServiceConfig::default()));
+        let lake = av_corpus::generate_lake(&av_corpus::LakeProfile::tiny(), 31);
+        let columns: Vec<av_corpus::Column> = lake.columns().cloned().collect();
+        service.ingest(&columns).unwrap();
+        let train: Vec<String> = (1..=28).map(|d| format!("2020-01-{d:02}")).collect();
+        service.infer_rule("dates", &train, None).unwrap();
+
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+        let server = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                serve_tcp(service, ("127.0.0.1", 0), move |a| {
+                    addr_tx.send(a).unwrap();
+                })
+            })
+        };
+        let addr = addr_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+
+        let clients: Vec<_> = (0..4)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    let req = format!(
+                        r#"{{"op":"validate","rule":"dates","values":["2020-02-{:02}"]}}"#,
+                        i + 1
+                    );
+                    stream.write_all(req.as_bytes()).unwrap();
+                    stream.write_all(b"\n").unwrap();
+                    let mut line = String::new();
+                    BufReader::new(stream).read_line(&mut line).unwrap();
+                    assert!(response_ok(&line), "{line}");
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+
+        // An idle client that never sends anything must not be able to
+        // delay shutdown (its serve thread polls the shutdown flag).
+        let idle = TcpStream::connect(addr).unwrap();
+
+        // One more client shuts the server down.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        assert!(response_ok(&line));
+        server.join().unwrap().unwrap();
+        drop(idle);
+        assert_eq!(service.stats().validations, 4);
+    }
+}

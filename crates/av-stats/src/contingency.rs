@@ -142,7 +142,12 @@ mod tests {
     #[test]
     fn fisher_classic_tea_tasting() {
         // Fisher's lady-tasting-tea table: [[3,1],[1,3]], two-tailed p ≈ 0.4857.
-        let t = Table2x2 { a: 3, b: 1, c: 1, d: 3 };
+        let t = Table2x2 {
+            a: 3,
+            b: 1,
+            c: 1,
+            d: 3,
+        };
         let p = fisher_exact(&t);
         assert!((p - 0.485714).abs() < 1e-4, "p={p}");
     }
@@ -150,7 +155,12 @@ mod tests {
     #[test]
     fn fisher_extreme_table_is_significant() {
         // [[10,0],[0,10]] — maximally heterogeneous.
-        let t = Table2x2 { a: 10, b: 0, c: 0, d: 10 };
+        let t = Table2x2 {
+            a: 10,
+            b: 0,
+            c: 0,
+            d: 10,
+        };
         let p = fisher_exact(&t);
         assert!(p < 2e-4, "p={p}");
     }
@@ -205,8 +215,24 @@ mod tests {
 
     #[test]
     fn degenerate_tables() {
-        assert_eq!(fisher_exact(&Table2x2 { a: 0, b: 0, c: 0, d: 0 }), 1.0);
-        assert_eq!(chi2_yates(&Table2x2 { a: 5, b: 0, c: 7, d: 0 }), 1.0);
+        assert_eq!(
+            fisher_exact(&Table2x2 {
+                a: 0,
+                b: 0,
+                c: 0,
+                d: 0
+            }),
+            1.0
+        );
+        assert_eq!(
+            chi2_yates(&Table2x2 {
+                a: 5,
+                b: 0,
+                c: 7,
+                d: 0
+            }),
+            1.0
+        );
         // One empty sample: margins still defined, must not panic.
         let t = Table2x2::from_counts(0, 0, 5, 10);
         let _ = fisher_exact(&t);

@@ -7,14 +7,14 @@
 /// Lanczos coefficients (g = 7, n = 9), double precision.
 const LANCZOS_G: f64 = 7.0;
 const LANCZOS: [f64; 9] = [
-    0.99999999999980993,
+    0.999_999_999_999_809_9,
     676.5203681218851,
     -1259.1392167224028,
-    771.32342877765313,
-    -176.61502916214059,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
     12.507343278686905,
     -0.13857109526572012,
-    9.9843695780195716e-6,
+    9.984_369_578_019_572e-6,
     1.5056327351493116e-7,
 ];
 
@@ -167,7 +167,11 @@ mod tests {
     #[test]
     fn ln_gamma_half_integer() {
         // Γ(1/2) = sqrt(pi)
-        assert!(close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12));
+        assert!(close(
+            ln_gamma(0.5),
+            std::f64::consts::PI.sqrt().ln(),
+            1e-12
+        ));
         // Γ(3/2) = sqrt(pi)/2
         assert!(close(
             ln_gamma(1.5),

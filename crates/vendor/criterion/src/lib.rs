@@ -1,0 +1,208 @@
+//! Vendored, dependency-free subset of the
+//! [`criterion`](https://docs.rs/criterion) benchmarking API. The container
+//! build has no registry access, so this shim implements just enough —
+//! `Criterion`, `benchmark_group`, `Bencher::iter`, `Throughput`, and the
+//! two macros — to compile and run the workspace's benches with simple
+//! wall-clock timing (median of samples) instead of criterion's full
+//! statistical machinery.
+
+use std::time::Instant;
+
+/// Per-sample timing handle passed to bench closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time `f`, running it `iters` times back-to-back.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 30 }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_samples<F: FnMut(&mut Bencher)>(
+    label: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Calibrate iteration count so one sample takes ≳1 ms.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0,
+        };
+        f(&mut b);
+        if b.elapsed_ns >= 1_000_000 || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut per_iter: Vec<f64> = (0..sample_size.max(1))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0,
+            };
+            f(&mut b);
+            b.elapsed_ns as f64 / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+    let mut line = format!(
+        "{label:<40} [{} {} {}]",
+        fmt_ns(lo),
+        fmt_ns(median),
+        fmt_ns(hi)
+    );
+    if let Some(tp) = throughput {
+        let (n, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem/s"),
+            Throughput::Bytes(n) => (n, "B/s"),
+        };
+        if median > 0.0 {
+            line.push_str(&format!(
+                "  {:.0} {unit}",
+                n as f64 / (median / 1_000_000_000.0)
+            ));
+        }
+    }
+    println!("{line}");
+}
+
+impl Criterion {
+    /// Set the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Criterion {
+        run_samples(&name.to_string(), self.sample_size, None, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<N: std::fmt::Display>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            throughput: None,
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample-size/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<N: std::fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: N,
+        f: F,
+    ) -> &mut Self {
+        run_samples(
+            &format!("{}/{}", self.name, name),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the benchmark `main` entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,750 @@
+//! Vendored, dependency-free subset of the
+//! [`proptest`](https://docs.rs/proptest) API. The container build has no
+//! registry access, so this shim reimplements the pieces the workspace's
+//! property tests use: the [`Strategy`] trait with `prop_map`/`boxed`,
+//! range / `Just` / union / collection / `string_regex` strategies, the
+//! `proptest!` / `prop_assert*` / `prop_assume!` / `prop_oneof!` macros,
+//! and [`ProptestConfig`].
+//!
+//! Differences from upstream, by design: no shrinking (failing inputs are
+//! reported verbatim), a fixed deterministic seed per test derived from the
+//! test's module path (override case count with `PROPTEST_CASES`), and a
+//! default of 64 cases instead of 256 to keep CI latency sane.
+
+pub use rand;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Outcome of one generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure — the property does not hold for this input.
+    Fail(String),
+    /// `prop_assume!` rejection — the input is outside the property's
+    /// precondition and must not count as a pass or a failure.
+    Reject(String),
+}
+
+/// Runner configuration (only `cases` is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of passing cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// FNV-1a hash of a string, used to derive a per-test deterministic seed.
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        i += 1;
+    }
+    hash
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike upstream there is no shrink tree; a strategy is just a sampler.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values passing `f` (bounded retries, then panic).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            f,
+        }
+    }
+
+    /// Type-erase the strategy so heterogeneous strategies can be unioned.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn sample_value(&self, rng: &mut StdRng) -> V {
+        (**self).sample_value(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample_value(&self, rng: &mut StdRng) -> S::Value {
+        (**self).sample_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample_value(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample_value(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.sample_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter {:?}: 1000 rejections in a row", self.whence);
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample_value(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among boxed alternatives — the engine behind
+/// [`prop_oneof!`].
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Union over `options` with equal weight.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! of zero strategies");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample_value(&self, rng: &mut StdRng) -> V {
+        self.options
+            .choose(rng)
+            .expect("non-empty union")
+            .sample_value(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A string literal is shorthand for [`string::string_regex`].
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample_value(&self, rng: &mut StdRng) -> String {
+        string::string_regex(self)
+            .expect("invalid regex strategy literal")
+            .sample_value(rng)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.sample_value(rng), self.1.sample_value(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample_value(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.sample_value(rng),
+            self.1.sample_value(rng),
+            self.2.sample_value(rng),
+        )
+    }
+}
+
+/// Types with a canonical "arbitrary" strategy, for [`any`].
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> char {
+        // Half printable ASCII (the interesting regime for this codebase),
+        // half arbitrary scalar values including astral planes.
+        if rng.random_bool(0.5) {
+            rng.random_range(0x20u32..0x7F) as u8 as char
+        } else {
+            loop {
+                if let Some(c) = char::from_u32(rng.random_range(0u32..0x11_0000)) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.random_bool(0.5)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rng.random::<$t>()
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `A` — `any::<char>()` etc.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct AnyStrategy<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+    fn sample_value(&self, rng: &mut StdRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// Size bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        assert!(r.end > r.start, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::*;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+
+    /// Vectors of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.sample_value(rng)).collect()
+        }
+    }
+
+    /// Hash sets of `size` distinct elements drawn from `element`.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`hash_set`].
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample_value(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let n = rng.random_range(self.size.lo..=self.size.hi_inclusive);
+            let mut out = HashSet::with_capacity(n);
+            let mut attempts = 0usize;
+            while out.len() < n && attempts < 100 + 20 * n {
+                out.insert(self.element.sample_value(rng));
+                attempts += 1;
+            }
+            assert!(
+                out.len() >= self.size.lo,
+                "hash_set: element strategy too narrow for requested size"
+            );
+            out
+        }
+    }
+}
+
+/// String strategies.
+pub mod string {
+    use super::*;
+
+    /// Error from [`string_regex`].
+    #[derive(Debug)]
+    pub struct Error(pub String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One regex atom: a set of candidate chars plus a repetition range.
+    #[derive(Debug, Clone)]
+    struct Piece {
+        chars: Vec<char>,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Generates strings matching a restricted regex: literal characters
+    /// and `[...]` classes (with ranges), each optionally quantified by
+    /// `{n}`, `{m,n}`, `?`, `*`, or `+` (unbounded repeats capped at 8).
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn sample_value(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for p in &self.pieces {
+                let n = rng.random_range(p.lo..=p.hi);
+                for _ in 0..n {
+                    out.push(*p.chars.choose(rng).expect("non-empty class"));
+                }
+            }
+            out
+        }
+    }
+
+    /// Build a generator for `pattern` (restricted syntax; see
+    /// [`RegexGeneratorStrategy`]).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let err = |m: &str| Error(format!("{m} in {pattern:?}"));
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let class: Vec<char> = match c {
+                '[' => {
+                    let mut body = Vec::new();
+                    loop {
+                        match chars.next() {
+                            None => return Err(err("unterminated class")),
+                            Some(']') => break,
+                            Some(x) => body.push(x),
+                        }
+                    }
+                    let mut set = Vec::new();
+                    let mut i = 0;
+                    while i < body.len() {
+                        if i + 2 < body.len() && body[i + 1] == '-' {
+                            let (lo, hi) = (body[i] as u32, body[i + 2] as u32);
+                            if lo > hi {
+                                return Err(err("reversed class range"));
+                            }
+                            set.extend((lo..=hi).filter_map(char::from_u32));
+                            i += 3;
+                        } else {
+                            set.push(body[i]);
+                            i += 1;
+                        }
+                    }
+                    if set.is_empty() {
+                        return Err(err("empty class"));
+                    }
+                    set
+                }
+                '\\' => vec![chars.next().ok_or_else(|| err("dangling escape"))?],
+                '.' | '|' | '(' | ')' | '^' | '$' => {
+                    return Err(err("unsupported regex construct"))
+                }
+                other => vec![other],
+            };
+            let (lo, hi) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    loop {
+                        match chars.next() {
+                            None => return Err(err("unterminated repetition")),
+                            Some('}') => break,
+                            Some(x) => spec.push(x),
+                        }
+                    }
+                    let parse = |s: &str| s.trim().parse::<usize>().map_err(|_| err("bad repeat"));
+                    match spec.split_once(',') {
+                        Some((a, b)) => (parse(a)?, parse(b)?),
+                        None => {
+                            let n = parse(&spec)?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            if lo > hi {
+                return Err(err("reversed repetition"));
+            }
+            pieces.push(Piece {
+                chars: class,
+                lo,
+                hi,
+            });
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+}
+
+/// The glob import every property test starts with.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+/// Assert a boolean property; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                if !(*left_val == *right_val) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                        stringify!($left), stringify!($right), left_val, right_val
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                if !(*left_val == *right_val) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "{}\n  left: {:?}\n right: {:?}",
+                        format!($($fmt)+), left_val, right_val
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Assert two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                if *left_val == *right_val {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "assertion failed: {} != {}\n  both: {:?}",
+                        stringify!($left), stringify!($right), left_val
+                    )));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left_val, right_val) => {
+                if *left_val == *right_val {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                        "{}\n  both: {:?}",
+                        format!($($fmt)+), left_val
+                    )));
+                }
+            }
+        }
+    };
+}
+
+/// Reject this case (doesn't count as pass or fail) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define property tests: `fn name(arg in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                $crate::fnv1a(concat!(module_path!(), "::", stringify!($name))),
+            );
+            let mut passed: u32 = 0;
+            let mut rejected: u32 = 0;
+            while passed < config.cases {
+                $(let $arg = $crate::Strategy::sample_value(&($strategy), &mut rng);)+
+                let inputs = {
+                    let mut s = ::std::string::String::new();
+                    $(
+                        s.push_str(concat!(stringify!($arg), " = "));
+                        s.push_str(&format!("{:?}; ", &$arg));
+                    )+
+                    s
+                };
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(()) => passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(why)) => {
+                        rejected += 1;
+                        if rejected > 16 * config.cases + 1024 {
+                            panic!(
+                                "prop_assume rejected too many cases ({rejected}); last: {why}"
+                            );
+                        }
+                    }
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest property {} failed after {} passing case(s)\n{}\n  inputs: {}",
+                            stringify!($name), passed, msg, inputs
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn string_regex_respects_class_and_bounds() {
+        let s = crate::string::string_regex("[A-Za-z0-9 :/._-]{0,24}").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let v = s.sample_value(&mut rng);
+            assert!(v.len() <= 24);
+            assert!(v
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || " :/._-".contains(c)));
+        }
+    }
+
+    #[test]
+    fn literal_and_space_range_classes() {
+        let s = crate::string::string_regex("ab[ -~]{1,3}c").unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let v = s.sample_value(&mut rng);
+            assert!(v.starts_with("ab") && v.ends_with('c'));
+            assert!((4..=6).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn vec_sizes_in_range(v in crate::collection::vec(0u8..10, 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn oneof_and_map_compose(x in prop_oneof![
+            (0u32..5).prop_map(|v| v * 10),
+            Just(99u32),
+        ]) {
+            prop_assert!(x == 99 || x % 10 == 0, "x = {x}");
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+}

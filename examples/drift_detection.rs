@@ -12,7 +12,11 @@ use av_baselines::{ColumnValidator, PottersWheel, Tfdv};
 
 fn check(name: &str, passes: bool, should_pass: bool) {
     let verdict = if passes { "pass " } else { "ALARM" };
-    let ok = if passes == should_pass { "✓" } else { "✗ (wrong!)" };
+    let ok = if passes == should_pass {
+        "✓"
+    } else {
+        "✗ (wrong!)"
+    };
     println!("    {name:<28} {verdict}  {ok}");
 }
 
@@ -40,7 +44,11 @@ fn main() {
     println!("\nscenario 1: April refresh (same domain — should PASS)");
     check("TFDV (dictionary)", tfdv.passes(&april), true);
     check("PWheel (profiling pattern)", pwheel.passes(&april), true);
-    check("FMDV-VH (domain pattern)", !fmdv.validate(&april).flagged, true);
+    check(
+        "FMDV-VH (domain pattern)",
+        !fmdv.validate(&april).flagged,
+        true,
+    );
 
     // Scenario 2: genuine drift — the upstream column moved.
     let drifted: Vec<String> = (0..30).map(|i| format!("session-{i:04}")).collect();
@@ -62,9 +70,15 @@ fn main() {
         false,
     );
 
-    assert!(!fmdv.validate(&april).flagged, "FMDV must not false-alarm on April");
+    assert!(
+        !fmdv.validate(&april).flagged,
+        "FMDV must not false-alarm on April"
+    );
     assert!(fmdv.validate(&drifted).flagged, "FMDV must catch drift");
-    assert!(!tfdv.passes(&april), "the dictionary false-alarm is the paper's point");
+    assert!(
+        !tfdv.passes(&april),
+        "the dictionary false-alarm is the paper's point"
+    );
     println!(
         "\nsummary: the dictionary false-alarms on the April refresh; the corpus-driven \
          pattern passes it and still catches both real incidents."

@@ -82,7 +82,7 @@ fn main() {
     println!("\nreplaying 30 daily runs:");
     let mut alerts = 0;
     for day in 2..=30u32 {
-        let (mut ids, mut ts, mut st) = feed.day(day, 400);
+        let (ids, mut ts, mut st) = feed.day(day, 400);
         let mut incident = "";
         match day {
             12 => {

@@ -15,7 +15,11 @@ fn main() {
     println!("generating a synthetic data lake…");
     let corpus = generate_lake(&LakeProfile::tiny().scaled(2000), 7);
     let columns: Vec<&Column> = corpus.columns().collect();
-    println!("  {} tables, {} columns", corpus.tables.len(), columns.len());
+    println!(
+        "  {} tables, {} columns",
+        corpus.tables.len(),
+        columns.len()
+    );
 
     // ── 2. Offline indexing (§2.4) ─────────────────────────────────────
     // One scan of T pre-computes FPR_T(p) and Cov_T(p) for every candidate

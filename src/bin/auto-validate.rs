@@ -91,7 +91,11 @@ fn cmd_index(args: &[String]) -> Result<(), String> {
             continue;
         }
         columns.push(Column {
-            name: path.file_name().unwrap_or_default().to_string_lossy().into_owned(),
+            name: path
+                .file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned(),
             values,
             meta: av_corpus::ColumnMeta::machine("file", None),
         });
@@ -144,14 +148,21 @@ fn cmd_infer(args: &[String]) -> Result<(), String> {
         Ok(rule) => {
             println!("rule     : {rule}");
             println!("regex    : /{}/", rule.to_regex());
-            println!("inferred : {:.1?} over {} training values", t0.elapsed(), train.len());
+            println!(
+                "inferred : {:.1?} over {} training values",
+                t0.elapsed(),
+                train.len()
+            );
             Ok(())
         }
         Err(e) => {
             // Fall back like infer_auto and report which family applied.
             match engine.infer_auto(&train) {
                 Ok(rule) => {
-                    println!("no syntactic pattern ({e}); fallback rule: {}", rule.describe());
+                    println!(
+                        "no syntactic pattern ({e}); fallback rule: {}",
+                        rule.describe()
+                    );
                     Ok(())
                 }
                 Err(_) => Err(format!("no rule inferable: {e}")),
@@ -173,9 +184,16 @@ fn cmd_validate(args: &[String]) -> Result<bool, String> {
     let report = rule.validate(&test);
     println!("rule          : {}", rule.describe());
     println!("checked       : {}", report.checked);
-    println!("nonconforming : {} ({:.2}%)", report.nonconforming, report.nonconforming_frac * 100.0);
+    println!(
+        "nonconforming : {} ({:.2}%)",
+        report.nonconforming,
+        report.nonconforming_frac * 100.0
+    );
     println!("p-value       : {:.3e}", report.p_value);
-    println!("verdict       : {}", if report.flagged { "FLAGGED" } else { "ok" });
+    println!(
+        "verdict       : {}",
+        if report.flagged { "FLAGGED" } else { "ok" }
+    );
     Ok(report.flagged)
 }
 
@@ -184,16 +202,26 @@ fn cmd_demo() -> Result<(), String> {
     let corpus = generate_lake(&LakeProfile::tiny().scaled(2000), 7);
     let columns: Vec<&Column> = corpus.columns().collect();
     let index = PatternIndex::build(&columns, &IndexConfig::default());
-    println!("indexed {} patterns from {} columns", index.len(), index.num_columns);
+    println!(
+        "indexed {} patterns from {} columns",
+        index.len(),
+        index.num_columns
+    );
     let engine = AutoValidate::new(&index, FmdvConfig::scaled_for_corpus(index.num_columns));
     let march: Vec<String> = (1..=28).map(|d| format!("Mar {d:02} 2019")).collect();
     let rule = engine.infer_default(&march).map_err(|e| e.to_string())?;
     println!("training column: Mar 01 2019 … Mar 28 2019");
     println!("inferred rule  : {rule}");
     let april: Vec<String> = (1..=30).map(|d| format!("Apr {d:02} 2019")).collect();
-    println!("April feed     : flagged = {}", rule.validate(&april).flagged);
+    println!(
+        "April feed     : flagged = {}",
+        rule.validate(&april).flagged
+    );
     let drift: Vec<String> = (0..30).map(|i| format!("user-{i}")).collect();
-    println!("drifted feed   : flagged = {}", rule.validate(&drift).flagged);
+    println!(
+        "drifted feed   : flagged = {}",
+        rule.validate(&drift).flagged
+    );
     Ok(())
 }
 

@@ -1,0 +1,109 @@
+//! `av-serve` — the Auto-Validate validation service.
+//!
+//! Speaks the JSONL protocol (one request per line, one response per
+//! line) over stdin/stdout or TCP, against a persistent service state
+//! directory holding the pattern index and the rule catalog.
+//!
+//! ```sh
+//! # pipe mode: one session over stdin/stdout
+//! printf '%s\n' \
+//!   '{"op":"ingest","columns":[{"name":"c","values":["10.0.0.1","10.0.0.2"]}]}' \
+//!   '{"op":"infer","rule":"ips","values":["10.0.0.7","192.168.0.9"]}' \
+//!   '{"op":"persist"}' \
+//!   | av-serve --data state/
+//!
+//! # server mode: shared service, many concurrent clients
+//! av-serve --data state/ --tcp 127.0.0.1:7171
+//! ```
+//!
+//! On startup the service reloads `state/index.avix` and
+//! `state/rules.avcat` when present; `{"op":"persist"}` writes them back.
+
+use av_service::{ServiceConfig, ValidationService};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  av-serve [--data DIR] [--workers N]             serve stdin/stdout (JSONL)
+  av-serve [--data DIR] [--workers N] --tcp ADDR  serve TCP clients (JSONL)
+
+options:
+  --data DIR     state directory (index.avix + rules.avcat); reloaded on
+                 start when present, written by the \"persist\" op
+  --workers N    worker threads for validate_batch (default: all cores)
+  --tcp ADDR     listen address, e.g. 127.0.0.1:7171 (port 0 picks a free
+                 port and prints it)
+
+protocol ops: ping, ingest, infer, validate, validate_batch, catalog,
+rule, delete_rule, persist, stats, shutdown"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = ServiceConfig::default();
+    let mut tcp: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--data" => {
+                let Some(dir) = args.get(i + 1) else {
+                    return usage();
+                };
+                config.data_dir = Some(dir.into());
+                i += 2;
+            }
+            "--workers" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                config.workers = n;
+                i += 2;
+            }
+            "--tcp" => {
+                let Some(addr) = args.get(i + 1) else {
+                    return usage();
+                };
+                tcp = Some(addr.clone());
+                i += 2;
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let service = match ValidationService::open(config) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("av-serve: failed to open service state: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    {
+        let index = service.snapshot();
+        eprintln!(
+            "av-serve: ready ({} corpus columns, {} patterns, {} cataloged rules)",
+            index.num_columns,
+            index.len(),
+            service.catalog_entries().len()
+        );
+    }
+
+    let result = match tcp {
+        Some(addr) => av_service::serve_tcp(Arc::clone(&service), addr.as_str(), |bound| {
+            eprintln!("av-serve: listening on {bound}");
+        }),
+        None => av_service::serve_stdin(&service),
+    };
+    if let Err(e) = result {
+        eprintln!("av-serve: transport error: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -48,6 +48,40 @@
 //! | [`av_eval`] | the §5.1 evaluation methodology |
 //! | [`av_ml`] | GBDT + encoders for the Fig. 15 case study |
 //! | [`av_regex`] | small regex engine (NFA/Pike VM) used by baselines |
+//! | [`av_service`] | long-running validation service: shared live index, persistent rule catalog, concurrent batch validation, incremental ingestion |
+//!
+//! ## Running as a service
+//!
+//! The paper deploys Auto-Validate as a long-running production service;
+//! [`av_service`] is that shape. Rules are inferred once, named, persisted
+//! in a catalog, and survive restarts; new corpus columns merge into the
+//! live index incrementally (no rebuild):
+//!
+//! ```
+//! use av_service::{ServiceConfig, ValidationService};
+//! use auto_validate::prelude::*;
+//!
+//! let dir = std::env::temp_dir().join(format!("av_doc_{}", std::process::id()));
+//! let corpus = generate_lake(&LakeProfile::tiny(), 42);
+//! let columns: Vec<Column> = corpus.columns().cloned().collect();
+//!
+//! // First run: ingest, infer a named rule, persist.
+//! let service = ValidationService::new(ServiceConfig::with_data_dir(&dir));
+//! service.ingest(&columns).unwrap();
+//! let march: Vec<String> = (1..=30).map(|d| format!("2019-03-{d:02}")).collect();
+//! service.infer_rule("feeds/date", &march, None).unwrap();
+//! service.persist().unwrap();
+//! drop(service);
+//!
+//! // Restart: catalog and index reload from disk; validation just works.
+//! let service = ValidationService::open(ServiceConfig::with_data_dir(&dir)).unwrap();
+//! let drifted: Vec<String> = (0..30).map(|i| format!("user-{i}")).collect();
+//! assert!(service.validate("feeds/date", &drifted).unwrap().flagged);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+//!
+//! The `av-serve` binary exposes the same engine over a JSONL protocol on
+//! stdin/stdout or TCP (see `av_service::protocol`).
 
 #![warn(missing_docs)]
 
@@ -59,15 +93,17 @@ pub use av_index;
 pub use av_ml;
 pub use av_pattern;
 pub use av_regex;
+pub use av_service;
 pub use av_stats;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use av_core::{
-        AnyRule, AutoValidate, DictionaryRule, FmdvConfig, InferError, TagRule,
-        ValidationReport, ValidationRule, Variant,
+        AnyRule, AutoValidate, DictionaryRule, FmdvConfig, InferError, TagRule, ValidationReport,
+        ValidationRule, Variant,
     };
     pub use av_corpus::{generate_lake, Benchmark, Column, Corpus, LakeProfile, Table};
-    pub use av_index::{IndexConfig, PatternIndex};
+    pub use av_index::{IndexConfig, IndexDelta, PatternIndex};
     pub use av_pattern::{matches, parse, Pattern, PatternConfig, Token};
+    pub use av_service::{RuleCatalog, ServiceConfig, ValidationService};
 }

@@ -67,10 +67,15 @@ fn index_persistence_preserves_inference() {
     let bytes = index.to_bytes();
     let restored = PatternIndex::from_bytes(&bytes).expect("roundtrip");
     let config = FmdvConfig::scaled_for_corpus(index.num_columns);
-    let train: Vec<String> = (1..=40).map(|d| format!("2019-03-{:02}", (d % 28) + 1)).collect();
+    let train: Vec<String> = (1..=40)
+        .map(|d| format!("2019-03-{:02}", (d % 28) + 1))
+        .collect();
     let engine_a = AutoValidate::new(index, config.clone());
     let engine_b = AutoValidate::new(&restored, config);
-    match (engine_a.infer_default(&train), engine_b.infer_default(&train)) {
+    match (
+        engine_a.infer_default(&train),
+        engine_b.infer_default(&train),
+    ) {
         (Ok(a), Ok(b)) => {
             assert_eq!(a.pattern, b.pattern);
             assert_eq!(a.coverage, b.coverage);

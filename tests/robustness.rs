@@ -22,22 +22,25 @@ fn engine() -> AutoValidate<'static> {
 fn adversarial_training_columns_never_panic() {
     let e = engine();
     let adversarial: Vec<Vec<String>> = vec![
-        vec![],                                          // empty column
-        vec!["".into()],                                 // single empty string
-        vec!["".into(); 50],                             // all empty
-        vec!["a".into()],                                // single char
-        vec!["x".repeat(5000)],                          // very long value
-        vec!["日本語".into(), "中文".into()],            // non-ASCII
-        vec!["\u{0}\u{1}\u{2}".into()],                  // control chars
-        (0..100).map(|i| format!("{i}")).collect(),      // plain ints
-        vec!["a b c d e f g h i j k l m n o p".into(); 10], // many tokens
+        vec![],                                                 // empty column
+        vec!["".into()],                                        // single empty string
+        vec!["".into(); 50],                                    // all empty
+        vec!["a".into()],                                       // single char
+        vec!["x".repeat(5000)],                                 // very long value
+        vec!["日本語".into(), "中文".into()],                   // non-ASCII
+        vec!["\u{0}\u{1}\u{2}".into()],                         // control chars
+        (0..100).map(|i| format!("{i}")).collect(),             // plain ints
+        vec!["a b c d e f g h i j k l m n o p".into(); 10],     // many tokens
         vec!["-".into(), "?".into(), "".into(), "NULL".into()], // all specials
-        (0..50)
-            .map(|i| "abc".repeat(i % 20 + 1))
-            .collect(),                                  // wildly varying widths
+        (0..50).map(|i| "abc".repeat(i % 20 + 1)).collect(),    // wildly varying widths
     ];
     for (i, train) in adversarial.iter().enumerate() {
-        for variant in [Variant::Fmdv, Variant::FmdvV, Variant::FmdvH, Variant::FmdvVH] {
+        for variant in [
+            Variant::Fmdv,
+            Variant::FmdvV,
+            Variant::FmdvH,
+            Variant::FmdvVH,
+        ] {
             let _ = e.infer(train, variant); // Ok or Err, never panic
         }
         let _ = e.infer_auto(train);
@@ -69,15 +72,27 @@ fn adversarial_validation_inputs_never_panic() {
 #[test]
 fn extreme_configs_are_handled() {
     let idx = index();
-    let train: Vec<String> = (0..30).map(|i| format!("{:02}:{:02}", i % 24, i % 60)).collect();
+    let train: Vec<String> = (0..30)
+        .map(|i| format!("{:02}:{:02}", i % 24, i % 60))
+        .collect();
     // r = 0 (strictest), m = huge (nothing feasible), θ = 1 (everything cut).
-    for (r, m, theta) in [(0.0, 1, 0.1), (0.1, u64::MAX, 0.1), (0.1, 1, 1.0), (1.0, 0, 0.0)] {
+    for (r, m, theta) in [
+        (0.0, 1, 0.1),
+        (0.1, u64::MAX, 0.1),
+        (0.1, 1, 1.0),
+        (1.0, 0, 0.0),
+    ] {
         let mut config = FmdvConfig::scaled_for_corpus(idx.num_columns);
         config.r = r;
         config.m = m;
         config.theta = theta;
         let e = AutoValidate::new(idx, config);
-        for variant in [Variant::Fmdv, Variant::FmdvV, Variant::FmdvH, Variant::FmdvVH] {
+        for variant in [
+            Variant::Fmdv,
+            Variant::FmdvV,
+            Variant::FmdvH,
+            Variant::FmdvVH,
+        ] {
             let _ = e.infer(&train, variant);
         }
     }
@@ -111,8 +126,16 @@ fn corrupted_index_bytes_are_rejected_not_trusted() {
 #[test]
 fn pattern_parser_rejects_garbage_without_panic() {
     for garbage in [
-        "<", ">", "<digit>{", "<digit>{999999999999}", "<nope>+", "\\", "<any>{3}",
-        "<<>>", "<digit>{-1}", "a<b>c",
+        "<",
+        ">",
+        "<digit>{",
+        "<digit>{999999999999}",
+        "<nope>+",
+        "\\",
+        "<any>{3}",
+        "<<>>",
+        "<digit>{-1}",
+        "a<b>c",
     ] {
         let _ = parse(garbage); // Err is fine; panic is not
     }
@@ -126,7 +149,10 @@ fn unicode_values_roundtrip_through_the_whole_stack() {
     if let Ok(rule) = e.infer_auto(&train) {
         assert!(rule.conforms("№-9999") || !rule.conforms("№-9999")); // no panic
         let report = rule.validate(&train);
-        assert!(!report.flagged, "training data must conform to its own rule");
+        assert!(
+            !report.flagged,
+            "training data must conform to its own rule"
+        );
     }
 }
 
