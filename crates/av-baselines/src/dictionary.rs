@@ -11,8 +11,8 @@
 use crate::validator::{ColumnValidator, InferredRule};
 use std::collections::HashSet;
 
-fn dictionary(train: &[String]) -> HashSet<String> {
-    train.iter().cloned().collect()
+fn dictionary(train: &[&str]) -> HashSet<String> {
+    train.iter().map(|v| v.to_string()).collect()
 }
 
 /// Google TensorFlow Data Validation: unconditional dictionary rule.
@@ -24,14 +24,14 @@ impl ColumnValidator for Tfdv {
         "TFDV"
     }
 
-    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+    fn infer(&self, train: &[&str]) -> Option<InferredRule> {
         if train.is_empty() {
             return None;
         }
         let dict = dictionary(train);
-        Some(InferredRule::new(
+        Some(InferredRule::all_match(
             format!("dictionary({} values)", dict.len()),
-            move |col: &[String]| col.iter().all(|v| dict.contains(v)),
+            move |v: &str| dict.contains(v),
         ))
     }
 }
@@ -57,7 +57,7 @@ impl ColumnValidator for DeequCat {
         "Deequ-Cat"
     }
 
-    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+    fn infer(&self, train: &[&str]) -> Option<InferredRule> {
         if train.is_empty() {
             return None;
         }
@@ -66,9 +66,9 @@ impl ColumnValidator for DeequCat {
         if ratio > self.max_distinct_ratio {
             return None; // not categorical enough; Deequ stays silent
         }
-        Some(InferredRule::new(
+        Some(InferredRule::all_match(
             format!("categorical-range({} values)", dict.len()),
-            move |col: &[String]| col.iter().all(|v| dict.contains(v)),
+            move |v: &str| dict.contains(v),
         ))
     }
 }
@@ -92,21 +92,15 @@ impl ColumnValidator for DeequFra {
         "Deequ-Fra"
     }
 
-    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+    fn infer(&self, train: &[&str]) -> Option<InferredRule> {
         if train.is_empty() {
             return None;
         }
         let dict = dictionary(train);
-        let min_fraction = self.min_fraction;
-        Some(InferredRule::new(
+        Some(InferredRule::tolerant(
             format!("fractional-categorical({} values)", dict.len()),
-            move |col: &[String]| {
-                if col.is_empty() {
-                    return true;
-                }
-                let hits = col.iter().filter(|v| dict.contains(*v)).count();
-                hits as f64 / col.len() as f64 >= min_fraction
-            },
+            1.0 - self.min_fraction,
+            move |v: &str| dict.contains(v),
         ))
     }
 }
@@ -115,18 +109,14 @@ impl ColumnValidator for DeequFra {
 mod tests {
     use super::*;
 
-    fn col(vals: &[&str]) -> Vec<String> {
-        vals.iter().map(|s| s.to_string()).collect()
-    }
-
     #[test]
     fn tfdv_false_alarms_on_unseen_dates() {
         // The §1 example: March dictionary, April arrivals.
-        let train = col(&["Mar 01 2019", "Mar 02 2019", "Mar 30 2019"]);
+        let train = ["Mar 01 2019", "Mar 02 2019", "Mar 30 2019"];
         let rule = Tfdv.infer(&train).unwrap();
-        assert!(rule.passes(&col(&["Mar 01 2019", "Mar 02 2019"])));
+        assert!(rule.passes(["Mar 01 2019", "Mar 02 2019"]));
         assert!(
-            !rule.passes(&col(&["Apr 01 2019"])),
+            !rule.passes(["Apr 01 2019"]),
             "dictionary rules false-alarm"
         );
     }
@@ -134,15 +124,17 @@ mod tests {
     #[test]
     fn deequ_cat_declines_high_cardinality_columns() {
         let unique: Vec<String> = (0..100).map(|i| format!("id-{i}")).collect();
-        assert!(DeequCat::default().infer(&unique).is_none());
-        let categorical = col(&["US", "UK", "US", "DE", "US", "UK", "DE", "US", "UK", "DE"]);
+        let refs: Vec<&str> = unique.iter().map(String::as_str).collect();
+        assert!(DeequCat::default().infer(&refs).is_none());
+        let categorical = ["US", "UK", "US", "DE", "US", "UK", "DE", "US", "UK", "DE"];
         assert!(DeequCat::default().infer(&categorical).is_some());
     }
 
     #[test]
     fn deequ_fra_tolerates_small_novelty() {
         let train: Vec<String> = (0..50).map(|i| format!("c{}", i % 5)).collect();
-        let rule = DeequFra::default().infer(&train).unwrap();
+        let refs: Vec<&str> = train.iter().map(String::as_str).collect();
+        let rule = DeequFra::default().infer(&refs).unwrap();
         // 5% novel values: passes.
         let mut future: Vec<String> = (0..95).map(|i| format!("c{}", i % 5)).collect();
         future.extend((0..5).map(|i| format!("new{i}")));

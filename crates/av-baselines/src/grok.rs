@@ -95,7 +95,7 @@ impl ColumnValidator for Grok {
         "Grok"
     }
 
-    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+    fn infer(&self, train: &[&str]) -> Option<InferredRule> {
         if train.is_empty() {
             return None;
         }
@@ -109,16 +109,10 @@ impl ColumnValidator for Grok {
             .filter(|(name, _)| *name != "WORD" && *name != "INT" && *name != "HTTPDATE_YEAR")
             .find(|(_, re)| train.iter().filter(|v| re.is_full_match(v)).count() >= need)?;
         let re = regex.clone();
-        let frac = self.min_match_frac;
-        Some(InferredRule::new(
+        Some(InferredRule::tolerant(
             format!("grok:{name}"),
-            move |col: &[String]| {
-                if col.is_empty() {
-                    return true;
-                }
-                let hits = col.iter().filter(|v| re.is_full_match(v)).count();
-                hits as f64 / col.len() as f64 >= frac
-            },
+            1.0 - self.min_match_frac,
+            move |v: &str| re.is_full_match(v),
         ))
     }
 }
@@ -127,8 +121,8 @@ impl ColumnValidator for Grok {
 mod tests {
     use super::*;
 
-    fn col(vals: &[&str]) -> Vec<String> {
-        vals.iter().map(|s| s.to_string()).collect()
+    fn col<'a>(vals: &[&'a str]) -> Vec<&'a str> {
+        vals.to_vec()
     }
 
     #[test]

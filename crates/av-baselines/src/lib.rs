@@ -29,4 +29,4 @@ pub use grok::{Grok, GROK_PATTERNS};
 pub use profilers::{FlashProfile, PottersWheel, Ssis, XSystem};
 pub use programmer::{study_panel, SimulatedProgrammer, Skill};
 pub use schema_matching::{SchemaMatchCorpus, SmInstance, SmPattern};
-pub use validator::{ColumnValidator, InferredRule};
+pub use validator::{baseline_by_name, baseline_names, ColumnValidator, InferredRule};

@@ -19,7 +19,7 @@ pub(crate) struct StrictGroup<'a> {
 }
 
 /// Group values by their strict run-class signature.
-pub(crate) fn strict_groups(values: &[String]) -> Vec<StrictGroup<'_>> {
+pub(crate) fn strict_groups<'a>(values: &[&'a str]) -> Vec<StrictGroup<'a>> {
     use std::collections::HashMap;
     let mut map: HashMap<Vec<CharClass>, Vec<Vec<&str>>> = HashMap::new();
     for v in values {
@@ -206,8 +206,8 @@ mod tests {
     use super::*;
     use av_pattern::matches;
 
-    fn col(vals: &[&str]) -> Vec<String> {
-        vals.iter().map(|s| s.to_string()).collect()
+    fn col<'a>(vals: &[&'a str]) -> Vec<&'a str> {
+        vals.to_vec()
     }
 
     #[test]

@@ -9,7 +9,7 @@ use av_pattern::{matches, Pattern};
 /// Does the column look like natural language (many multi-word letter/space
 /// values)? Profilers produce only the trivial pattern there; following the
 /// paper, they decline instead.
-fn looks_natural_language(train: &[String]) -> bool {
+fn looks_natural_language(train: &[&str]) -> bool {
     if train.is_empty() {
         return true;
     }
@@ -47,7 +47,7 @@ impl ColumnValidator for PottersWheel {
         "PWheel"
     }
 
-    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+    fn infer(&self, train: &[&str]) -> Option<InferredRule> {
         if looks_natural_language(train) {
             return None;
         }
@@ -58,9 +58,9 @@ impl ColumnValidator for PottersWheel {
             return None;
         }
         let p = pattern.clone();
-        Some(InferredRule::new(
+        Some(InferredRule::all_match(
             pattern.to_string(),
-            move |col: &[String]| col.iter().all(|v| matches(&p, v)),
+            move |v: &str| matches(&p, v),
         ))
     }
 }
@@ -75,7 +75,7 @@ impl ColumnValidator for Ssis {
         "SSIS"
     }
 
-    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+    fn infer(&self, train: &[&str]) -> Option<InferredRule> {
         if looks_natural_language(train) {
             return None;
         }
@@ -86,9 +86,9 @@ impl ColumnValidator for Ssis {
             return None;
         }
         let p = pattern.clone();
-        Some(InferredRule::new(
+        Some(InferredRule::all_match(
             pattern.to_regex(),
-            move |col: &[String]| col.iter().all(|v| matches(&p, v)),
+            move |v: &str| matches(&p, v),
         ))
     }
 }
@@ -114,7 +114,7 @@ impl ColumnValidator for XSystem {
         "XSystem"
     }
 
-    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+    fn infer(&self, train: &[&str]) -> Option<InferredRule> {
         if looks_natural_language(train) {
             return None;
         }
@@ -134,8 +134,8 @@ impl ColumnValidator for XSystem {
             .map(|p| p.to_string())
             .collect::<Vec<_>>()
             .join(" | ");
-        Some(InferredRule::new(desc, move |col: &[String]| {
-            col.iter().all(|v| branches.iter().any(|p| matches(p, v)))
+        Some(InferredRule::all_match(desc, move |v: &str| {
+            branches.iter().any(|p| matches(p, v))
         }))
     }
 }
@@ -161,7 +161,7 @@ impl ColumnValidator for FlashProfile {
         "FlashProfile"
     }
 
-    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+    fn infer(&self, train: &[&str]) -> Option<InferredRule> {
         if looks_natural_language(train) {
             return None;
         }
@@ -169,13 +169,13 @@ impl ColumnValidator for FlashProfile {
         // clusters FlashProfile's dissimilarity function converges to on
         // machine-generated data.
         use std::collections::HashMap;
-        let mut clusters: HashMap<String, Vec<String>> = HashMap::new();
+        let mut clusters: HashMap<String, Vec<&str>> = HashMap::new();
         for v in train {
             let sig: String = av_pattern::tokenize(v)
                 .iter()
                 .map(|r| format!("{:?}{}", r.class, r.len()))
                 .collect();
-            clusters.entry(sig).or_default().push(v.clone());
+            clusters.entry(sig).or_default().push(v);
         }
         let min_count = ((self.min_cluster_frac * train.len() as f64).ceil() as usize).max(1);
         let mut patterns: Vec<Pattern> = Vec::new();
@@ -201,8 +201,8 @@ impl ColumnValidator for FlashProfile {
         patterns.sort();
         patterns.dedup();
         let desc = format!("{} cluster patterns", patterns.len());
-        Some(InferredRule::new(desc, move |col: &[String]| {
-            col.iter().all(|v| patterns.iter().any(|p| matches(p, v)))
+        Some(InferredRule::all_match(desc, move |v: &str| {
+            patterns.iter().any(|p| matches(p, v))
         }))
     }
 }
@@ -211,8 +211,8 @@ impl ColumnValidator for FlashProfile {
 mod tests {
     use super::*;
 
-    fn col(vals: &[&str]) -> Vec<String> {
-        vals.iter().map(|s| s.to_string()).collect()
+    fn col<'a>(vals: &[&'a str]) -> Vec<&'a str> {
+        vals.to_vec()
     }
 
     #[test]

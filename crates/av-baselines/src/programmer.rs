@@ -86,8 +86,8 @@ impl ColumnValidator for SimulatedProgrammer {
         &self.label
     }
 
-    fn infer(&self, train: &[String]) -> Option<InferredRule> {
-        let first = train.first()?;
+    fn infer(&self, train: &[&str]) -> Option<InferredRule> {
+        let first = *train.first()?;
         // Deterministic per-column randomness: seed ⊕ column content hash.
         let mut h: u64 = self.seed;
         for v in train.iter().take(4) {
@@ -100,14 +100,14 @@ impl ColumnValidator for SimulatedProgrammer {
             // Ships a regex that cannot even match the sample: model as a
             // rule that fails everything (it would alarm daily and be
             // discarded; precision/recall are scored as written).
-            return Some(InferredRule::new(
+            return Some(InferredRule::all_match(
                 format!("{}: broken regex", self.label),
-                |_: &[String]| false,
+                |_: &str| false,
             ));
         }
         // Author the regex by looking at (at most) the first 10 values,
         // like a human skimming a sample.
-        let sample: Vec<&String> = train.iter().take(10).collect();
+        let sample: Vec<&str> = train.iter().take(10).copied().collect();
         let runs = tokenize(first);
         let mut regex = String::new();
         for (i, run) in runs.iter().enumerate() {
@@ -172,9 +172,9 @@ impl ColumnValidator for SimulatedProgrammer {
             }
         }
         let compiled = Regex::new(&regex).ok()?;
-        Some(InferredRule::new(
+        Some(InferredRule::all_match(
             format!("{}: /{}/", self.label, regex),
-            move |col: &[String]| col.iter().all(|v| compiled.is_full_match(v)),
+            move |v: &str| compiled.is_full_match(v),
         ))
     }
 }
@@ -193,8 +193,8 @@ pub fn study_panel(seed: u64) -> Vec<SimulatedProgrammer> {
 mod tests {
     use super::*;
 
-    fn col(vals: &[&str]) -> Vec<String> {
-        vals.iter().map(|s| s.to_string()).collect()
+    fn col<'a>(vals: &[&'a str]) -> Vec<&'a str> {
+        vals.to_vec()
     }
 
     #[test]
@@ -223,13 +223,14 @@ mod tests {
             let train: Vec<String> = (0..8)
                 .map(|i| format!("{}-{:02}-{:02}", 2010 + ((s + i) % 9), (i % 12) + 1, i + 1))
                 .collect();
+            let train_refs: Vec<&str> = train.iter().map(String::as_str).collect();
             let future: Vec<String> = vec![format!("{}-{:02}-{:02}", 2024, 7, 15)];
-            if let Some(r) = novice.infer(&train) {
+            if let Some(r) = novice.infer(&train_refs) {
                 if r.passes(&future) {
                     novice_ok += 1;
                 }
             }
-            if let Some(r) = expert.infer(&train) {
+            if let Some(r) = expert.infer(&train_refs) {
                 if r.passes(&future) {
                     expert_ok += 1;
                 }

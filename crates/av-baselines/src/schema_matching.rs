@@ -81,21 +81,23 @@ impl SchemaMatchCorpus {
         })
     }
 
-    fn augment(&self, train: &[String], matched: Vec<u32>) -> Vec<String> {
-        let mut out: Vec<String> = train.to_vec();
+    /// Borrowed augmentation: the training refs plus sampled refs into the
+    /// preprocessed corpus — no value is copied.
+    fn augment<'a>(&'a self, train: &[&'a str], matched: Vec<u32>) -> Vec<&'a str> {
+        let mut out: Vec<&'a str> = train.to_vec();
         for id in matched.into_iter().take(MAX_MATCHES) {
-            out.extend(self.columns[id as usize].iter().cloned());
+            out.extend(self.columns[id as usize].iter().map(String::as_str));
         }
         out
     }
 
-    fn instance_matches(&self, train: &[String], k: usize) -> Vec<u32> {
+    fn instance_matches(&self, train: &[&str], k: usize) -> Vec<u32> {
         let mut overlap: HashMap<u32, usize> = HashMap::new();
-        let mut distinct: Vec<&String> = train.iter().collect();
-        distinct.sort();
+        let mut distinct: Vec<&str> = train.to_vec();
+        distinct.sort_unstable();
         distinct.dedup();
         for v in distinct {
-            if let Some(ids) = self.value_index.get(v.as_str()) {
+            if let Some(ids) = self.value_index.get(v) {
                 for id in ids {
                     *overlap.entry(*id).or_insert(0) += 1;
                 }
@@ -110,7 +112,7 @@ impl SchemaMatchCorpus {
         ids
     }
 
-    fn pattern_matches(&self, train: &[String], majority: bool) -> Vec<u32> {
+    fn pattern_matches(&self, train: &[&str], majority: bool) -> Vec<u32> {
         let mut census: HashMap<Pattern, usize> = HashMap::new();
         for v in train {
             *census.entry(coarse_pattern(v)).or_insert(0) += 1;
@@ -157,7 +159,7 @@ impl ColumnValidator for SmInstance {
         &self.name
     }
 
-    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+    fn infer(&self, train: &[&str]) -> Option<InferredRule> {
         let matched = self.corpus.instance_matches(train, self.k);
         let augmented = self.corpus.augment(train, matched);
         PottersWheel.infer(&augmented)
@@ -196,7 +198,7 @@ impl ColumnValidator for SmPattern {
         self.name
     }
 
-    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+    fn infer(&self, train: &[&str]) -> Option<InferredRule> {
         let matched = self.corpus.pattern_matches(train, self.majority);
         let augmented = self.corpus.augment(train, matched);
         PottersWheel.infer(&augmented)
@@ -221,14 +223,11 @@ mod tests {
         // corpus shares instances. Use the pattern-based variant which only
         // needs structural agreement.
         let train: Vec<String> = (1..=9).map(|d| format!("Mar {d:02} 2019")).collect();
+        let refs: Vec<&str> = train.iter().map(String::as_str).collect();
         let validator = SmPattern::plurality(sm);
-        let rule = validator.infer(&train).expect("rule");
+        let rule = validator.infer(&refs).expect("rule");
         // The augmented training data covers other months, so April passes.
-        assert!(
-            rule.passes(&["Apr 03 2021".to_string()]),
-            "{}",
-            rule.description
-        );
+        assert!(rule.passes(["Apr 03 2021"]), "{}", rule.description);
     }
 
     #[test]
@@ -237,9 +236,10 @@ mod tests {
         let v1 = SmInstance::new(sm.clone(), 1);
         // A synthetic vocabulary that cannot overlap with the corpus.
         let train: Vec<String> = (0..20).map(|i| format!("zq{i}zq")).collect();
-        let rule = v1.infer(&train).expect("falls back to plain PWheel");
+        let refs: Vec<&str> = train.iter().map(String::as_str).collect();
+        let rule = v1.infer(&refs).expect("falls back to plain PWheel");
         // Without matches, augmentation is a no-op: behaves like PWheel.
-        let pw = PottersWheel.infer(&train).unwrap();
+        let pw = PottersWheel.infer(&refs).unwrap();
         assert_eq!(rule.description, pw.description);
     }
 

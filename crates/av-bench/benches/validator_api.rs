@@ -1,0 +1,97 @@
+//! Micro-benchmarks for the unified `Validator` API: single-value `check()`
+//! latency and batch `validate_batch` throughput, FMDV-VH vs the grok
+//! baseline, both dispatched statically and through `dyn Validator` (the
+//! service's dispatch mode).
+//!
+//! Measured numbers are recorded as the perf trajectory in
+//! `crates/av-bench/PERF.md`.
+
+use av_baselines::{baseline_by_name, InferredRule};
+use av_core::{AutoValidate, FmdvConfig, ValidationRule, Validator, Variant};
+use av_corpus::{generate_lake, Column, LakeProfile};
+use av_index::{IndexConfig, PatternIndex};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn train_column() -> Vec<String> {
+    (0..100)
+        .map(|i| format!("{:02}:{:02}:{:02}", i % 24, (i * 7) % 60, (i * 13) % 60))
+        .collect()
+}
+
+/// A 1000-value future batch: mostly conforming, ~5% drift.
+fn future_batch() -> Vec<String> {
+    (0..1000)
+        .map(|i| {
+            if i % 20 == 19 {
+                format!("drift-{i}")
+            } else {
+                format!("{:02}:{:02}:{:02}", i % 24, (i * 11) % 60, (i * 3) % 60)
+            }
+        })
+        .collect()
+}
+
+fn rules() -> (ValidationRule, InferredRule) {
+    let corpus = generate_lake(&LakeProfile::tiny().scaled(1200), 7);
+    let cols: Vec<&Column> = corpus.columns().collect();
+    let index = PatternIndex::build(&cols, &IndexConfig::default());
+    let engine = AutoValidate::new(&index, FmdvConfig::scaled_for_corpus(index.num_columns));
+    let train = train_column();
+    let fmdv = engine
+        .infer(&train, Variant::FmdvVH)
+        .expect("FMDV-VH rule for the time column");
+    let refs: Vec<&str> = train.iter().map(String::as_str).collect();
+    let grok = baseline_by_name("grok")
+        .expect("grok baseline")
+        .infer(&refs)
+        .expect("grok adopts the TIME type");
+    (fmdv, grok)
+}
+
+fn bench_check_latency(c: &mut Criterion) {
+    let (fmdv, grok) = rules();
+    let mut group = c.benchmark_group("check");
+    group.bench_function("FMDV-VH conforming", |b| {
+        b.iter(|| black_box(fmdv.check(black_box("09:07:32"))))
+    });
+    group.bench_function("FMDV-VH drifted", |b| {
+        b.iter(|| black_box(fmdv.check(black_box("drift-42"))))
+    });
+    group.bench_function("grok conforming", |b| {
+        b.iter(|| black_box(grok.check(black_box("09:07:32"))))
+    });
+    group.bench_function("grok drifted", |b| {
+        b.iter(|| black_box(grok.check(black_box("drift-42"))))
+    });
+    // Dyn dispatch, as the validation service performs it.
+    let dyn_fmdv: &dyn Validator = &fmdv;
+    group.bench_function("FMDV-VH via dyn Validator", |b| {
+        b.iter(|| black_box(dyn_fmdv.check(black_box("09:07:32"))))
+    });
+    group.finish();
+}
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let (fmdv, grok) = rules();
+    let batch = future_batch();
+    let mut group = c.benchmark_group("validate_batch 1000 values");
+    group.bench_function("FMDV-VH", |b| {
+        b.iter(|| black_box(fmdv.validate_batch(batch.iter().map(String::as_str))))
+    });
+    group.bench_function("grok", |b| {
+        b.iter(|| black_box(grok.validate_batch(batch.iter().map(String::as_str))))
+    });
+    let dyn_fmdv: &dyn Validator = &fmdv;
+    group.bench_function("FMDV-VH via dyn Validator", |b| {
+        b.iter(|| black_box((&dyn_fmdv).validate_batch(batch.iter().map(String::as_str))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_check_latency, bench_batch_throughput
+}
+criterion_main!(benches);

@@ -1,0 +1,506 @@
+//! The unified zero-copy validation API.
+//!
+//! Every rule this workspace can infer — the four FMDV variants (which all
+//! produce a [`ValidationRule`]), the numeric and dictionary fallbacks, and
+//! each baseline in `av-baselines` — validates through one trait:
+//!
+//! * [`Validator::check`] judges a single borrowed `&str`;
+//! * [`Validator::validate_batch`] consumes any `&str` iterator and returns
+//!   a [`Report`], allocating nothing per value;
+//! * [`ValidationSession`] is the streaming form: feed values one at a time
+//!   in O(1) memory, then [`ValidationSession::finish`] produces a report
+//!   **bit-identical** to batch validation of the same values.
+//!
+//! The bit-identity is by construction, not by convention: `validate_batch`
+//! *is* a session driven by a loop, and [`Validator::finish`] is required
+//! to be a pure function of the final [`Tally`] plus the validator's frozen
+//! training state.
+//!
+//! [`AutoValidateBuilder`] is the fluent entry point that consolidates the
+//! index, pattern-generation, and FMDV knobs which previously had to be
+//! threaded through three separate config structs.
+
+use crate::config::{FmdvConfig, Variant};
+use crate::AutoValidate;
+use av_index::{IndexConfig, PatternIndex};
+use av_stats::HomogeneityTest;
+
+/// The column-level outcome of validation — one struct for every validator.
+///
+/// (An alias of [`crate::ValidationReport`]; the name `Report` is the one
+/// the trait-level API uses.)
+pub type Report = crate::rule::ValidationReport;
+
+/// Outcome of checking one value against a validator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Verdict {
+    /// The value conforms to the learned rule.
+    Conform,
+    /// The value does not conform.
+    Nonconform,
+}
+
+impl Verdict {
+    /// `true` → [`Verdict::Conform`], `false` → [`Verdict::Nonconform`].
+    #[inline]
+    pub fn conforming(ok: bool) -> Verdict {
+        if ok {
+            Verdict::Conform
+        } else {
+            Verdict::Nonconform
+        }
+    }
+
+    /// Is this the conforming verdict?
+    #[inline]
+    pub fn is_conform(self) -> bool {
+        matches!(self, Verdict::Conform)
+    }
+}
+
+/// Streaming counters: everything a validator may use to conclude a column.
+///
+/// Deliberately tiny — a session carries no values, only these two counts,
+/// which is what makes streaming O(1) and bit-identical to batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Tally {
+    /// Values checked so far.
+    pub checked: usize,
+    /// Values that did not conform.
+    pub nonconforming: usize,
+}
+
+impl Tally {
+    /// Record one verdict.
+    #[inline]
+    pub fn record(&mut self, verdict: Verdict) {
+        self.checked += 1;
+        if !verdict.is_conform() {
+            self.nonconforming += 1;
+        }
+    }
+
+    /// Non-conforming fraction (0.0 on an empty tally).
+    #[inline]
+    pub fn fraction(&self) -> f64 {
+        if self.checked == 0 {
+            0.0
+        } else {
+            self.nonconforming as f64 / self.checked as f64
+        }
+    }
+}
+
+/// A learned validation rule, usable one value at a time or over batches.
+///
+/// Object-safe core: [`Validator::describe`], [`Validator::check`] and
+/// [`Validator::finish`] make up the vtable, so heterogeneous rules dispatch
+/// behind `Box<dyn Validator>` / `Arc<dyn Validator>` (the trait requires
+/// `Send + Sync`, so boxed validators cross threads freely). The provided
+/// [`Validator::validate_batch`] and [`Validator::session`] build on that
+/// core and never allocate per value.
+pub trait Validator: Send + Sync {
+    /// Human-readable description of the learned rule.
+    fn describe(&self) -> String;
+
+    /// Check a single borrowed value.
+    fn check(&self, value: &str) -> Verdict;
+
+    /// Conclude a column from its streamed [`Tally`].
+    ///
+    /// Must be a pure function of `tally` and the validator's frozen
+    /// training-time state — this is what guarantees that a
+    /// [`ValidationSession`] fed value-by-value finishes with a report
+    /// bit-identical to [`Validator::validate_batch`] over the same values.
+    fn finish(&self, tally: Tally) -> Report;
+
+    /// Validate a batch of borrowed values.
+    ///
+    /// Implemented as a [`ValidationSession`] driven by a loop, so batch and
+    /// streaming cannot diverge.
+    fn validate_batch<'a, I>(&self, values: I) -> Report
+    where
+        Self: Sized,
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut session = ValidationSession::new(self);
+        for value in values {
+            session.push(value);
+        }
+        session.finish()
+    }
+
+    /// Start a streaming validation session borrowing this validator.
+    fn session(&self) -> ValidationSession<'_, Self>
+    where
+        Self: Sized,
+    {
+        ValidationSession::new(self)
+    }
+}
+
+impl<V: Validator + ?Sized> Validator for &V {
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+    fn check(&self, value: &str) -> Verdict {
+        (**self).check(value)
+    }
+    fn finish(&self, tally: Tally) -> Report {
+        (**self).finish(tally)
+    }
+}
+
+impl<V: Validator + ?Sized> Validator for Box<V> {
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+    fn check(&self, value: &str) -> Verdict {
+        (**self).check(value)
+    }
+    fn finish(&self, tally: Tally) -> Report {
+        (**self).finish(tally)
+    }
+}
+
+impl<V: Validator + ?Sized> Validator for std::sync::Arc<V> {
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+    fn check(&self, value: &str) -> Verdict {
+        (**self).check(value)
+    }
+    fn finish(&self, tally: Tally) -> Report {
+        (**self).finish(tally)
+    }
+}
+
+/// A streaming validation pass: values go in one at a time, O(1) memory,
+/// and [`ValidationSession::finish`] yields a [`Report`] bit-identical to
+/// batch validation of the same values in the same order.
+///
+/// ```
+/// use av_core::{ValidationSession, Validator, Verdict, Tally, Report};
+///
+/// struct DigitsOnly;
+/// impl Validator for DigitsOnly {
+///     fn describe(&self) -> String { "digits".into() }
+///     fn check(&self, value: &str) -> Verdict {
+///         Verdict::conforming(!value.is_empty() && value.bytes().all(|b| b.is_ascii_digit()))
+///     }
+///     fn finish(&self, tally: Tally) -> Report {
+///         let flagged = tally.nonconforming > 0;
+///         Report {
+///             checked: tally.checked,
+///             nonconforming: tally.nonconforming,
+///             nonconforming_frac: tally.fraction(),
+///             p_value: if flagged { 0.0 } else { 1.0 },
+///             flagged,
+///         }
+///     }
+/// }
+///
+/// let v = DigitsOnly;
+/// let mut session = v.session();
+/// for value in ["12", "34", "x"] {
+///     session.push(value);
+/// }
+/// let streamed = session.finish();
+/// assert_eq!(streamed, v.validate_batch(["12", "34", "x"]));
+/// assert!(streamed.flagged);
+/// ```
+#[derive(Debug)]
+pub struct ValidationSession<'v, V = dyn Validator + 'v>
+where
+    V: Validator + ?Sized,
+{
+    validator: &'v V,
+    tally: Tally,
+}
+
+impl<'v, V: Validator + ?Sized> ValidationSession<'v, V> {
+    /// Begin a session over `validator` (works for unsized `dyn Validator`).
+    pub fn new(validator: &'v V) -> ValidationSession<'v, V> {
+        ValidationSession {
+            validator,
+            tally: Tally::default(),
+        }
+    }
+
+    /// Feed one value; returns its verdict.
+    pub fn push(&mut self, value: &str) -> Verdict {
+        let verdict = self.validator.check(value);
+        self.tally.record(verdict);
+        verdict
+    }
+
+    /// Feed many values.
+    pub fn extend<'a, I: IntoIterator<Item = &'a str>>(&mut self, values: I) {
+        for value in values {
+            self.push(value);
+        }
+    }
+
+    /// Counters so far.
+    pub fn tally(&self) -> Tally {
+        self.tally
+    }
+
+    /// Conclude the column.
+    pub fn finish(self) -> Report {
+        self.validator.finish(self.tally)
+    }
+}
+
+/// Fluent configuration for the whole Auto-Validate stack: one builder
+/// covering the offline index (τ, threads), pattern generation (sampling and
+/// enumeration caps), and the FMDV optimization knobs (r, m, θ, α, test).
+///
+/// The builder keeps the paired knobs coherent — [`AutoValidateBuilder::tau`]
+/// sets the indexing τ, the analyzer's token limit, *and* the vertical-cut
+/// segment cap together, which previously required editing three structs in
+/// lockstep.
+///
+/// ```no_run
+/// use av_core::{AutoValidateBuilder, Validator, Variant};
+///
+/// # fn demo(columns: &[&av_corpus::Column]) -> Result<(), av_core::InferError> {
+/// let builder = AutoValidateBuilder::new().fpr_target(0.1).theta(0.05).tau(13);
+/// let index = builder.build_index(columns);
+/// let engine = builder.engine(&index);
+/// let rule = engine.infer(["Mar 01 2019", "Mar 02 2019"], Variant::FmdvVH)?;
+/// assert!(!rule.validate_batch(["Apr 01 2019"]).flagged);
+/// # Ok(()) }
+/// ```
+#[derive(Debug, Clone)]
+pub struct AutoValidateBuilder {
+    fmdv: FmdvConfig,
+    index: IndexConfig,
+    scale_coverage: bool,
+}
+
+impl Default for AutoValidateBuilder {
+    fn default() -> Self {
+        AutoValidateBuilder {
+            fmdv: FmdvConfig::default(),
+            index: IndexConfig::default(),
+            scale_coverage: true,
+        }
+    }
+}
+
+impl AutoValidateBuilder {
+    /// A builder with the paper's defaults and corpus-scaled coverage.
+    pub fn new() -> AutoValidateBuilder {
+        AutoValidateBuilder::default()
+    }
+
+    /// Target FPR threshold `r` (Eq. 6).
+    pub fn fpr_target(mut self, r: f64) -> Self {
+        self.fmdv.r = r;
+        self
+    }
+
+    /// Fixed minimum coverage `m` (Eq. 7). Disables the default behavior of
+    /// scaling `m` to the live corpus size at [`AutoValidateBuilder::engine`]
+    /// time.
+    pub fn coverage_floor(mut self, m: u64) -> Self {
+        self.fmdv.m = m;
+        self.scale_coverage = false;
+        self
+    }
+
+    /// Re-enable corpus-proportional coverage scaling
+    /// ([`FmdvConfig::scaled_for_corpus`], the default).
+    pub fn coverage_scaled(mut self) -> Self {
+        self.scale_coverage = true;
+        self
+    }
+
+    /// Non-conforming tolerance θ (Eq. 16) for the horizontal variants.
+    pub fn theta(mut self, theta: f64) -> Self {
+        self.fmdv.theta = theta;
+        self
+    }
+
+    /// Significance level of the validation-time homogeneity test.
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.fmdv.alpha = alpha;
+        self
+    }
+
+    /// Which two-sample homogeneity test to run at validation time.
+    pub fn test(mut self, test: HomogeneityTest) -> Self {
+        self.fmdv.test = test;
+        self
+    }
+
+    /// Token limit τ (§2.4), applied consistently to offline indexing, the
+    /// analyzer's per-value limit, and the vertical-cut segment cap.
+    pub fn tau(mut self, tau: usize) -> Self {
+        self.index.tau = tau;
+        self.index.pattern.max_tokens = tau;
+        self.fmdv.pattern.max_tokens = tau;
+        self.fmdv.max_segment_tokens = tau;
+        self
+    }
+
+    /// Values sampled per coarse group during analysis.
+    pub fn sample_values(mut self, n: usize) -> Self {
+        self.fmdv.pattern.sample_values = n;
+        self.index.pattern.sample_values = n;
+        self
+    }
+
+    /// Cap on fine-grained patterns enumerated per coarse group at query
+    /// time (the offline indexing cap is configured independently and
+    /// defaults to a tighter value).
+    pub fn max_patterns(mut self, n: usize) -> Self {
+        self.fmdv.pattern.max_patterns = n;
+        self
+    }
+
+    /// Worker threads for the offline index build.
+    pub fn index_threads(mut self, n: usize) -> Self {
+        self.index.num_threads = n;
+        self
+    }
+
+    /// The FMDV configuration assembled so far (coverage still unscaled).
+    pub fn fmdv_config(&self) -> &FmdvConfig {
+        &self.fmdv
+    }
+
+    /// The index configuration assembled so far.
+    pub fn index_config(&self) -> &IndexConfig {
+        &self.index
+    }
+
+    /// Run the offline scan (§2.4) over corpus columns.
+    pub fn build_index(&self, columns: &[&av_corpus::Column]) -> PatternIndex {
+        PatternIndex::build(columns, &self.index)
+    }
+
+    /// An inference engine over a built (or loaded) index, resolving the
+    /// coverage floor against the index's corpus size when scaling is on.
+    pub fn engine<'a>(&self, index: &'a PatternIndex) -> AutoValidate<'a> {
+        let mut config = self.fmdv.clone();
+        if self.scale_coverage {
+            config.m = FmdvConfig::scaled_for_corpus(index.num_columns).m;
+        }
+        AutoValidate::new(index, config)
+    }
+
+    /// Infer with the paper's best variant in one call:
+    /// `builder.engine(&index).infer(train, Variant::FmdvVH)`.
+    pub fn infer_default<I>(
+        &self,
+        index: &PatternIndex,
+        train: I,
+    ) -> Result<crate::ValidationRule, crate::InferError>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        self.engine(index).infer(train, Variant::FmdvVH)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::ValidationRule;
+    use av_pattern::parse;
+
+    fn rule() -> ValidationRule {
+        ValidationRule {
+            pattern: parse("<digit>{2}:<digit>{2}").unwrap(),
+            train_nonconforming: 0.0,
+            train_size: 100,
+            expected_fpr: 0.001,
+            coverage: 40,
+            test: HomogeneityTest::FisherExact,
+            alpha: 0.01,
+        }
+    }
+
+    #[test]
+    fn verdict_and_tally_bookkeeping() {
+        let mut tally = Tally::default();
+        tally.record(Verdict::Conform);
+        tally.record(Verdict::Nonconform);
+        tally.record(Verdict::conforming(true));
+        assert_eq!(tally.checked, 3);
+        assert_eq!(tally.nonconforming, 1);
+        assert!((tally.fraction() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(Tally::default().fraction(), 0.0);
+    }
+
+    #[test]
+    fn session_matches_batch_exactly() {
+        let r = rule();
+        let values = ["09:30", "10:45", "bad", "23:59"];
+        let mut session = r.session();
+        for v in values {
+            session.push(v);
+        }
+        let streamed = session.finish();
+        let batch = r.validate_batch(values);
+        assert_eq!(streamed, batch);
+        assert_eq!(
+            streamed.p_value.to_bits(),
+            batch.p_value.to_bits(),
+            "finish must be bitwise deterministic"
+        );
+    }
+
+    #[test]
+    fn dyn_dispatch_works_through_boxes_and_arcs() {
+        let boxed: Box<dyn Validator> = Box::new(rule());
+        assert!(boxed.check("12:34").is_conform());
+        assert!(!boxed.check("x").is_conform());
+        // Box<dyn Validator> is itself a Validator, so batch works on it.
+        let report = boxed.validate_batch(["12:34", "09:00"]);
+        assert!(!report.flagged);
+        // And a bare &dyn can stream through an explicit session.
+        let mut session = ValidationSession::new(&*boxed);
+        session.extend(["12:34", "nope"]);
+        assert_eq!(session.tally().nonconforming, 1);
+        let arc: std::sync::Arc<dyn Validator> = std::sync::Arc::new(rule());
+        assert_eq!(arc.describe(), rule().describe());
+    }
+
+    #[test]
+    fn builder_knobs_propagate() {
+        let b = AutoValidateBuilder::new()
+            .fpr_target(0.05)
+            .theta(0.2)
+            .alpha(0.001)
+            .tau(9)
+            .sample_values(64)
+            .max_patterns(1024)
+            .index_threads(2)
+            .coverage_floor(17);
+        assert_eq!(b.fmdv_config().r, 0.05);
+        assert_eq!(b.fmdv_config().theta, 0.2);
+        assert_eq!(b.fmdv_config().alpha, 0.001);
+        assert_eq!(b.fmdv_config().max_segment_tokens, 9);
+        assert_eq!(b.fmdv_config().pattern.max_tokens, 9);
+        assert_eq!(b.index_config().tau, 9);
+        assert_eq!(b.index_config().pattern.max_tokens, 9);
+        assert_eq!(b.fmdv_config().pattern.sample_values, 64);
+        assert_eq!(b.fmdv_config().pattern.max_patterns, 1024);
+        assert_eq!(b.index_config().num_threads, 2);
+        assert_eq!(b.fmdv_config().m, 17);
+    }
+
+    #[test]
+    fn builder_scales_coverage_to_corpus_by_default() {
+        let b = AutoValidateBuilder::new();
+        let index = PatternIndex::build(&[], &IndexConfig::default());
+        // Empty corpus → the scaled floor of 3, not the paper's 100.
+        assert_eq!(b.engine(&index).config.m, 3);
+        let fixed = AutoValidateBuilder::new().coverage_floor(250);
+        assert_eq!(fixed.engine(&index).config.m, 250);
+    }
+}

@@ -39,11 +39,28 @@ impl TagRule {
 
 /// Infer a tagging pattern: minimize `Cov_T(h)` subject to the pattern
 /// matching at least `(1 - fnr_budget)` of the training values and having
-/// non-trivial corpus support.
-pub fn infer_tag<S: AsRef<str>>(
+/// non-trivial corpus support. Accepts any iterator of string-likes; values
+/// are borrowed throughout.
+pub fn infer_tag<I>(
     index: &PatternIndex,
     cfg: &FmdvConfig,
-    train: &[S],
+    train: I,
+    fnr_budget: f64,
+) -> Result<TagRule, InferError>
+where
+    I: IntoIterator,
+    I::Item: AsRef<str>,
+{
+    let held: Vec<I::Item> = train.into_iter().collect();
+    let train: Vec<&str> = held.iter().map(|v| v.as_ref()).collect();
+    infer_tag_borrowed(index, cfg, &train, fnr_budget)
+}
+
+/// Monomorphic core of [`infer_tag`].
+pub(crate) fn infer_tag_borrowed(
+    index: &PatternIndex,
+    cfg: &FmdvConfig,
+    train: &[&str],
     fnr_budget: f64,
 ) -> Result<TagRule, InferError> {
     if train.is_empty() {
@@ -71,10 +88,7 @@ pub fn infer_tag<S: AsRef<str>>(
         .min_by(|a, b| a.cov.cmp(&b.cov).then_with(|| a.pattern.cmp(&b.pattern)))
         .cloned()
         .ok_or(InferError::NoFeasible)?;
-    let miss = train
-        .iter()
-        .filter(|v| !matches(&best.pattern, v.as_ref()))
-        .count();
+    let miss = train.iter().filter(|v| !matches(&best.pattern, v)).count();
     Ok(TagRule {
         pattern: best.pattern,
         coverage: best.cov,
@@ -102,7 +116,8 @@ mod tests {
             .map(|i| format!("{:02}:{:02}:{:02}", i % 24, (i * 7) % 60, (i * 13) % 60))
             .collect();
         let tag = infer_tag(&index, &cfg, &train, 0.0).expect("tag inference");
-        let rule = crate::fmdv::infer_fmdv(&index, &cfg, &train, false).expect("fmdv");
+        let train_refs: Vec<&str> = train.iter().map(String::as_str).collect();
+        let rule = crate::fmdv::infer_fmdv(&index, &cfg, &train_refs, false).expect("fmdv");
         assert!(
             tag.coverage <= rule.cov,
             "tag cov {} should be ≤ validation cov {}",
@@ -131,7 +146,7 @@ mod tests {
         let index = test_index();
         let cfg = FmdvConfig::default();
         assert!(matches!(
-            infer_tag(&index, &cfg, &Vec::<String>::new(), 0.1),
+            infer_tag(&index, &cfg, Vec::<String>::new(), 0.1),
             Err(InferError::EmptyColumn)
         ));
     }

@@ -8,11 +8,12 @@
 //! training-time out-of-vocabulary rate and raises an alarm only when the
 //! rate shifts significantly under a two-sample homogeneity test.
 
-use av_stats::{HomogeneityTest, Table2x2};
+use av_stats::HomogeneityTest;
 use std::collections::BTreeSet;
 
+use crate::api::{Tally, ValidationSession, Validator, Verdict};
 use crate::config::{FmdvConfig, InferError};
-use crate::rule::ValidationReport;
+use crate::rule::{distributional_report, ValidationReport};
 
 /// A learned vocabulary rule.
 #[derive(Debug, Clone)]
@@ -63,30 +64,38 @@ impl DictionaryRule {
     }
 
     /// Validate a future column: flag when the out-of-vocabulary rate
-    /// increased significantly versus training time.
-    pub fn validate<S: AsRef<str>>(&self, values: &[S]) -> ValidationReport {
-        let checked = values.len();
-        let nonconforming = values.iter().filter(|v| !self.conforms(v.as_ref())).count();
-        let frac = if checked == 0 {
-            0.0
-        } else {
-            nonconforming as f64 / checked as f64
-        };
-        let train_conform = ((1.0 - self.train_oov) * self.train_size as f64).round() as u64;
-        let table = Table2x2::from_counts(
-            train_conform.min(self.train_size as u64),
-            self.train_size as u64,
-            (checked - nonconforming) as u64,
-            checked as u64,
-        );
-        let p_value = self.test.p_value(&table);
-        ValidationReport {
-            checked,
-            nonconforming,
-            nonconforming_frac: frac,
-            p_value,
-            flagged: checked > 0 && frac > self.train_oov && p_value < self.alpha,
+    /// increased significantly versus training time. Streams any borrowed
+    /// iterator without copying values.
+    pub fn validate<I>(&self, values: I) -> ValidationReport
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let mut session = ValidationSession::new(self);
+        for v in values {
+            session.push(v.as_ref());
         }
+        session.finish()
+    }
+}
+
+impl Validator for DictionaryRule {
+    fn describe(&self) -> String {
+        format!("dictionary of {} values", self.dictionary.len())
+    }
+
+    fn check(&self, value: &str) -> Verdict {
+        Verdict::conforming(self.conforms(value))
+    }
+
+    fn finish(&self, tally: Tally) -> ValidationReport {
+        distributional_report(
+            tally,
+            self.train_oov,
+            self.train_size,
+            self.test,
+            self.alpha,
+        )
     }
 }
 
@@ -149,6 +158,6 @@ mod tests {
         ));
         let rule =
             DictionaryRule::infer(&categorical_train(), &FmdvConfig::default(), 0.1).unwrap();
-        assert!(!rule.validate(&Vec::<String>::new()).flagged);
+        assert!(!rule.validate(Vec::<String>::new()).flagged);
     }
 }

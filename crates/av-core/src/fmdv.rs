@@ -103,11 +103,11 @@ pub(crate) fn select_min_cov(candidates: &[Candidate], r: f64, m: u64) -> Option
 }
 
 /// Basic FMDV (§2.3): enumerate `H(C)`, look up pre-computed stats, pick the
-/// feasible minimizer.
-pub(crate) fn infer_fmdv<S: AsRef<str>>(
+/// feasible minimizer. Training values are borrowed end to end.
+pub(crate) fn infer_fmdv(
     index: &PatternIndex,
     cfg: &FmdvConfig,
-    train: &[S],
+    train: &[&str],
     minimize_coverage: bool,
 ) -> Result<Candidate, InferError> {
     if train.is_empty() {

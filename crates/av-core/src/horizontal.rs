@@ -40,10 +40,10 @@ fn group_min_support(group: &CoarseGroup, total: usize, theta: f64) -> usize {
 }
 
 /// FMDV-H (Eq. 12–16): single-pattern inference tolerating θ outliers.
-pub(crate) fn infer_fmdv_h<S: AsRef<str>>(
+pub(crate) fn infer_fmdv_h(
     index: &PatternIndex,
     cfg: &FmdvConfig,
-    train: &[S],
+    train: &[&str],
 ) -> Result<Candidate, InferError> {
     if train.is_empty() {
         return Err(InferError::EmptyColumn);
@@ -58,10 +58,10 @@ pub(crate) fn infer_fmdv_h<S: AsRef<str>>(
 
 /// FMDV-VH: horizontal cut to the dominant group, then the vertical DP with
 /// the relaxed support floor.
-pub(crate) fn infer_fmdv_vh<S: AsRef<str>>(
+pub(crate) fn infer_fmdv_vh(
     index: &PatternIndex,
     cfg: &FmdvConfig,
-    train: &[S],
+    train: &[&str],
 ) -> Result<VerticalSolution, InferError> {
     if train.is_empty() {
         return Err(InferError::EmptyColumn);
@@ -85,6 +85,10 @@ mod tests {
         PatternIndex::build(&cols, &IndexConfig::default())
     }
 
+    fn refs(v: &[String]) -> Vec<&str> {
+        v.iter().map(String::as_str).collect()
+    }
+
     /// Fig. 9-style column: a corpus-popular domain (24h times) with one
     /// ad-hoc "-" outlier.
     fn dirty_column() -> Vec<String> {
@@ -101,10 +105,10 @@ mod tests {
         let mut cfg = FmdvConfig::scaled_for_corpus(index.num_columns);
         cfg.theta = 0.05;
         let train = dirty_column();
-        let result = infer_fmdv_h(&index, &cfg, &train);
+        let result = infer_fmdv_h(&index, &cfg, &refs(&train));
         // Basic FMDV fails on this column (no common hypothesis)…
         assert!(matches!(
-            crate::fmdv::infer_fmdv(&index, &cfg, &train, false),
+            crate::fmdv::infer_fmdv(&index, &cfg, &refs(&train), false),
             Err(InferError::NoHypothesis)
         ));
         // …but FMDV-H finds the digit-group pattern of Example 9.
@@ -124,7 +128,7 @@ mod tests {
         cfg.theta = 0.0;
         let train = dirty_column();
         assert!(matches!(
-            infer_fmdv_h(&index, &cfg, &train),
+            infer_fmdv_h(&index, &cfg, &refs(&train)),
             Err(InferError::NoHypothesis)
         ));
     }
@@ -138,7 +142,7 @@ mod tests {
         let mut train: Vec<String> = (0..80).map(|i| format!("{:05}", i)).collect();
         train.extend((0..20).map(|_| "-".to_string()));
         assert!(matches!(
-            infer_fmdv_h(&index, &cfg, &train),
+            infer_fmdv_h(&index, &cfg, &refs(&train)),
             Err(InferError::NoHypothesis)
         ));
     }
@@ -164,7 +168,7 @@ mod tests {
             })
             .collect();
         train.push("NULL".to_string());
-        let sol = infer_fmdv_vh(&index, &cfg, &train).expect("VH should succeed");
+        let sol = infer_fmdv_vh(&index, &cfg, &refs(&train)).expect("VH should succeed");
         let full = sol.full_pattern();
         let conforming = train.iter().filter(|v| matches(&full, v)).count();
         assert_eq!(conforming, 99, "{full}");

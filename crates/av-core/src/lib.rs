@@ -13,22 +13,39 @@
 //! * **FMDV-VH**: both, the paper's best variant;
 //! * plus the **CMDV** ablation and the **Auto-Tag** dual (§2.3).
 //!
+//! Every inferred rule — pattern, numeric, or dictionary — implements the
+//! unified [`Validator`] trait: `check(&str)` for single
+//! values, `validate_batch` for borrowed batches, and a streaming
+//! [`ValidationSession`] whose `finish()` is bit-identical to batch
+//! validation. Configuration flows through one fluent
+//! [`AutoValidateBuilder`]:
+//!
 //! ```no_run
-//! use av_core::{AutoValidate, FmdvConfig, Variant};
-//! use av_index::{IndexConfig, PatternIndex};
+//! use av_core::{AutoValidateBuilder, Validator, Variant};
 //!
 //! # fn demo(columns: &[&av_corpus::Column]) -> Result<(), Box<dyn std::error::Error>> {
-//! let index = PatternIndex::build(columns, &IndexConfig::default());
-//! let av = AutoValidate::new(&index, FmdvConfig::scaled_for_corpus(index.num_columns));
-//! let train = vec!["Mar 01 2019".to_string(), "Mar 02 2019".to_string()];
-//! let rule = av.infer(&train, Variant::FmdvVH)?;
-//! let report = rule.validate(&["Apr 01 2019".to_string()]);
-//! assert!(!report.flagged);
+//! // One builder configures indexing, pattern generation, and FMDV.
+//! let builder = AutoValidateBuilder::new().fpr_target(0.1).tau(13);
+//! let index = builder.build_index(columns);
+//! let engine = builder.engine(&index);
+//!
+//! // Inference borrows its inputs — no owned Vec<String> required.
+//! let rule = engine.infer(["Mar 01 2019", "Mar 02 2019"], Variant::FmdvVH)?;
+//!
+//! // Validate in batch… (any &str iterator)
+//! assert!(!rule.validate_batch(["Apr 01 2019"]).flagged);
+//!
+//! // …or stream values one at a time in O(1) memory.
+//! let mut session = rule.session();
+//! session.push("Apr 02 2019");
+//! session.push("Apr 03 2019");
+//! assert!(!session.finish().flagged);
 //! # Ok(()) }
 //! ```
 
 #![warn(missing_docs)]
 
+mod api;
 mod autotag;
 mod config;
 mod dictionary;
@@ -40,6 +57,7 @@ mod rule;
 mod vertical;
 mod wire;
 
+pub use api::{AutoValidateBuilder, Report, Tally, ValidationSession, Validator, Verdict};
 pub use autotag::{infer_tag, TagRule};
 pub use config::{FmdvConfig, InferError, Variant};
 pub use dictionary::DictionaryRule;
@@ -69,21 +87,48 @@ impl AnyRule {
         }
     }
 
-    /// Validate a future column with the §4 distributional test.
-    pub fn validate<S: AsRef<str>>(&self, values: &[S]) -> ValidationReport {
-        match self {
-            AnyRule::Pattern(r) => r.validate(values),
-            AnyRule::Numeric(r) => r.validate(values),
-            AnyRule::Dictionary(r) => r.validate(values),
+    /// Validate a future column with the §4 distributional test, streaming
+    /// any borrowed iterator.
+    pub fn validate<I>(&self, values: I) -> ValidationReport
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let mut session = ValidationSession::new(self);
+        for v in values {
+            session.push(v.as_ref());
         }
+        session.finish()
     }
 
     /// Short human-readable description.
     pub fn describe(&self) -> String {
         match self {
             AnyRule::Pattern(r) => format!("pattern {}", r.pattern),
-            AnyRule::Numeric(r) => format!("numeric range [{:.4}, {:.4}]", r.lo, r.hi),
-            AnyRule::Dictionary(r) => format!("dictionary of {} values", r.dictionary.len()),
+            AnyRule::Numeric(r) => Validator::describe(r),
+            AnyRule::Dictionary(r) => Validator::describe(r),
+        }
+    }
+}
+
+impl Validator for AnyRule {
+    fn describe(&self) -> String {
+        AnyRule::describe(self)
+    }
+
+    fn check(&self, value: &str) -> Verdict {
+        match self {
+            AnyRule::Pattern(r) => r.check(value),
+            AnyRule::Numeric(r) => r.check(value),
+            AnyRule::Dictionary(r) => r.check(value),
+        }
+    }
+
+    fn finish(&self, tally: Tally) -> Report {
+        match self {
+            AnyRule::Pattern(r) => r.finish(tally),
+            AnyRule::Numeric(r) => r.finish(tally),
+            AnyRule::Dictionary(r) => r.finish(tally),
         }
     }
 }
@@ -104,15 +149,35 @@ impl<'a> AutoValidate<'a> {
         AutoValidate { index, config }
     }
 
+    /// Start configuring a full stack fluently (index + engine knobs).
+    pub fn builder() -> AutoValidateBuilder {
+        AutoValidateBuilder::new()
+    }
+
     /// The underlying index.
     pub fn index(&self) -> &PatternIndex {
         self.index
     }
 
     /// Infer a validation rule from training values with the given variant.
-    pub fn infer<S: AsRef<str>>(
+    ///
+    /// Accepts any iterator of string-likes (`&Vec<String>`, `&[&str]`,
+    /// `["a", "b"]`, a decoder stream, …); values are borrowed throughout
+    /// inference — tokenization, hypothesis enumeration, and the training
+    /// θ count all run on `&str` with no intermediate `Vec<String>`.
+    pub fn infer<I>(&self, train: I, variant: Variant) -> Result<ValidationRule, InferError>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let held: Vec<I::Item> = train.into_iter().collect();
+        let train: Vec<&str> = held.iter().map(|v| v.as_ref()).collect();
+        self.infer_borrowed(&train, variant)
+    }
+
+    fn infer_borrowed(
         &self,
-        train: &[S],
+        train: &[&str],
         variant: Variant,
     ) -> Result<ValidationRule, InferError> {
         let cfg = &self.config;
@@ -141,10 +206,7 @@ impl<'a> AutoValidate<'a> {
             }
         };
         // Exact training-time non-conforming fraction θ_C(h) (§4).
-        let miss = train
-            .iter()
-            .filter(|v| !matches(&pattern, v.as_ref()))
-            .count();
+        let miss = train.iter().filter(|v| !matches(&pattern, v)).count();
         Ok(ValidationRule {
             pattern,
             train_nonconforming: miss as f64 / train.len().max(1) as f64,
@@ -157,35 +219,47 @@ impl<'a> AutoValidate<'a> {
     }
 
     /// Infer with the paper's best variant (FMDV-VH).
-    pub fn infer_default<S: AsRef<str>>(&self, train: &[S]) -> Result<ValidationRule, InferError> {
+    pub fn infer_default<I>(&self, train: I) -> Result<ValidationRule, InferError>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
         self.infer(train, Variant::FmdvVH)
     }
 
     /// Infer an Auto-Tag pattern (the dual problem, §2.3).
-    pub fn infer_tag<S: AsRef<str>>(
-        &self,
-        train: &[S],
-        fnr_budget: f64,
-    ) -> Result<TagRule, InferError> {
-        autotag::infer_tag(self.index, &self.config, train, fnr_budget)
+    pub fn infer_tag<I>(&self, train: I, fnr_budget: f64) -> Result<TagRule, InferError>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let held: Vec<I::Item> = train.into_iter().collect();
+        let train: Vec<&str> = held.iter().map(|v| v.as_ref()).collect();
+        autotag::infer_tag_borrowed(self.index, &self.config, &train, fnr_budget)
     }
 
     /// Infer a rule with automatic fallback: try the pattern engine
     /// (FMDV-VH), and when no syntactic domain exists — fixed-vocabulary
     /// columns like statuses or country names (§6) — fall back to a
     /// [`DictionaryRule`] with the same distributional test.
-    pub fn infer_auto<S: AsRef<str>>(&self, train: &[S]) -> Result<AnyRule, InferError> {
-        match self.infer(train, Variant::FmdvVH) {
+    pub fn infer_auto<I>(&self, train: I) -> Result<AnyRule, InferError>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let held: Vec<I::Item> = train.into_iter().collect();
+        let train: Vec<&str> = held.iter().map(|v| v.as_ref()).collect();
+        match self.infer_borrowed(&train, Variant::FmdvVH) {
             Ok(rule) => Ok(AnyRule::Pattern(rule)),
             Err(InferError::EmptyColumn) => Err(InferError::EmptyColumn),
             Err(first) => {
                 // No syntactic domain: numeric columns with heterogeneous
                 // formats (ints mixed with floats) get a range rule (§7);
                 // fixed vocabularies get a dictionary (§6).
-                if let Ok(rule) = NumericRule::infer_default(train, &self.config) {
+                if let Ok(rule) = NumericRule::infer_default(&train, &self.config) {
                     return Ok(AnyRule::Numeric(rule));
                 }
-                DictionaryRule::infer(train, &self.config, 0.1)
+                DictionaryRule::infer(&train, &self.config, 0.1)
                     .map(AnyRule::Dictionary)
                     .map_err(|_| first)
             }

@@ -8,10 +8,11 @@
 //! §4: alarm only when the out-of-range rate at test time increased
 //! significantly over its training value.
 
-use av_stats::{HomogeneityTest, Table2x2};
+use av_stats::HomogeneityTest;
 
+use crate::api::{Tally, ValidationSession, Validator, Verdict};
 use crate::config::{FmdvConfig, InferError};
-use crate::rule::ValidationReport;
+use crate::rule::{distributional_report, ValidationReport};
 
 /// A numeric range rule with a distributional alarm.
 #[derive(Debug, Clone)]
@@ -108,30 +109,38 @@ impl NumericRule {
     }
 
     /// Validate a future column: alarm when the out-of-range rate rose
-    /// significantly versus training time.
-    pub fn validate<S: AsRef<str>>(&self, values: &[S]) -> ValidationReport {
-        let checked = values.len();
-        let nonconforming = values.iter().filter(|v| !self.conforms(v.as_ref())).count();
-        let frac = if checked == 0 {
-            0.0
-        } else {
-            nonconforming as f64 / checked as f64
-        };
-        let train_conform = ((1.0 - self.train_oor) * self.train_size as f64).round() as u64;
-        let table = Table2x2::from_counts(
-            train_conform.min(self.train_size as u64),
-            self.train_size as u64,
-            (checked - nonconforming) as u64,
-            checked as u64,
-        );
-        let p_value = self.test.p_value(&table);
-        ValidationReport {
-            checked,
-            nonconforming,
-            nonconforming_frac: frac,
-            p_value,
-            flagged: checked > 0 && frac > self.train_oor && p_value < self.alpha,
+    /// significantly versus training time. Streams any borrowed iterator
+    /// without copying values.
+    pub fn validate<I>(&self, values: I) -> ValidationReport
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let mut session = ValidationSession::new(self);
+        for v in values {
+            session.push(v.as_ref());
         }
+        session.finish()
+    }
+}
+
+impl Validator for NumericRule {
+    fn describe(&self) -> String {
+        format!("numeric range [{:.4}, {:.4}]", self.lo, self.hi)
+    }
+
+    fn check(&self, value: &str) -> Verdict {
+        Verdict::conforming(self.conforms(value))
+    }
+
+    fn finish(&self, tally: Tally) -> ValidationReport {
+        distributional_report(
+            tally,
+            self.train_oor,
+            self.train_size,
+            self.test,
+            self.alpha,
+        )
     }
 }
 
@@ -153,7 +162,7 @@ mod tests {
     fn stable_distribution_passes() {
         let rule =
             NumericRule::infer_default(&uniform(200, 0.0, 100.0), &FmdvConfig::default()).unwrap();
-        let report = rule.validate(&uniform(200, 2.0, 98.0));
+        let report = rule.validate(uniform(200, 2.0, 98.0));
         assert!(!report.flagged);
     }
 
@@ -162,7 +171,7 @@ mod tests {
         let rule =
             NumericRule::infer_default(&uniform(200, 0.0, 100.0), &FmdvConfig::default()).unwrap();
         // Values 100× out of range — a unit change (cents vs dollars).
-        let report = rule.validate(&uniform(200, 5000.0, 10000.0));
+        let report = rule.validate(uniform(200, 5000.0, 10000.0));
         assert!(report.flagged);
         assert!(report.nonconforming > 150);
     }

@@ -1,7 +1,44 @@
 //! Validation rules and the test-time distributional check (§4).
 
+use crate::api::{Tally, ValidationSession, Validator, Verdict};
 use av_pattern::{matches, Pattern};
 use av_stats::{HomogeneityTest, Table2x2};
+
+/// The §4 two-sample conclusion shared by every distributional rule kind
+/// (pattern, dictionary, numeric): compare the streamed non-conforming
+/// tally against the training-time rate and flag only a significant
+/// *increase*. Pure in `tally` + the frozen training stats, so streaming
+/// and batch validation conclude bit-identically.
+pub(crate) fn distributional_report(
+    tally: Tally,
+    train_frac: f64,
+    train_size: usize,
+    test: HomogeneityTest,
+    alpha: f64,
+) -> ValidationReport {
+    let Tally {
+        checked,
+        nonconforming,
+    } = tally;
+    let frac = tally.fraction();
+    // Conforming counts as "success" in the 2×2 table.
+    let train_conform = ((1.0 - train_frac) * train_size as f64).round() as u64;
+    let table = Table2x2::from_counts(
+        train_conform.min(train_size as u64),
+        train_size as u64,
+        (checked - nonconforming) as u64,
+        checked as u64,
+    );
+    let p_value = test.p_value(&table);
+    let flagged = checked > 0 && frac > train_frac && p_value < alpha;
+    ValidationReport {
+        checked,
+        nonconforming,
+        nonconforming_frac: frac,
+        p_value,
+        flagged,
+    }
+}
 
 /// An inferred data-validation rule: a pattern plus the training-time
 /// non-conforming rate and the statistical test configuration.
@@ -49,37 +86,46 @@ impl ValidationRule {
     /// fraction, run the two-sample homogeneity test against the training
     /// fraction, and flag only when the fraction *increased* significantly
     /// (a significant decrease is not a data-quality issue).
-    pub fn validate<S: AsRef<str>>(&self, values: &[S]) -> ValidationReport {
-        let checked = values.len();
-        let nonconforming = values.iter().filter(|v| !self.conforms(v.as_ref())).count();
-        let frac = if checked == 0 {
-            0.0
-        } else {
-            nonconforming as f64 / checked as f64
-        };
-        // Conforming counts as "success" in the 2×2 table.
-        let train_conform =
-            ((1.0 - self.train_nonconforming) * self.train_size as f64).round() as u64;
-        let table = Table2x2::from_counts(
-            train_conform.min(self.train_size as u64),
-            self.train_size as u64,
-            (checked - nonconforming) as u64,
-            checked as u64,
-        );
-        let p_value = self.test.p_value(&table);
-        let flagged = checked > 0 && frac > self.train_nonconforming && p_value < self.alpha;
-        ValidationReport {
-            checked,
-            nonconforming,
-            nonconforming_frac: frac,
-            p_value,
-            flagged,
+    ///
+    /// Takes any iterator of borrowed (or `AsRef<str>`) values — a
+    /// `&Vec<String>`, a `&[&str]`, or a stream being decoded on the fly —
+    /// and never materializes them: this is a [`ValidationSession`] driven
+    /// by a loop.
+    pub fn validate<I>(&self, values: I) -> ValidationReport
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        let mut session = ValidationSession::new(self);
+        for v in values {
+            session.push(v.as_ref());
         }
+        session.finish()
     }
 
     /// Export the rule as a standard regex (usable outside this crate).
     pub fn to_regex(&self) -> String {
         self.pattern.to_regex()
+    }
+}
+
+impl Validator for ValidationRule {
+    fn describe(&self) -> String {
+        self.to_string()
+    }
+
+    fn check(&self, value: &str) -> Verdict {
+        Verdict::conforming(self.conforms(value))
+    }
+
+    fn finish(&self, tally: Tally) -> ValidationReport {
+        distributional_report(
+            tally,
+            self.train_nonconforming,
+            self.train_size,
+            self.test,
+            self.alpha,
+        )
     }
 }
 
@@ -171,7 +217,7 @@ mod tests {
     #[test]
     fn empty_future_column_is_not_flagged() {
         let r = rule("<digit>+", 0.0, 100);
-        let report = r.validate(&Vec::<String>::new());
+        let report = r.validate(Vec::<String>::new());
         assert!(!report.flagged);
         assert_eq!(report.checked, 0);
     }

@@ -245,10 +245,10 @@ fn reconstruct(dp: &[Vec<Cell>], s: usize, e: usize, out: &mut Vec<Candidate>) {
 
 /// FMDV-V entry point: requires a homogeneous column (all values share one
 /// coarse structure); heterogeneity is FMDV-H's job (§4).
-pub(crate) fn infer_fmdv_v<S: AsRef<str>>(
+pub(crate) fn infer_fmdv_v(
     index: &PatternIndex,
     cfg: &FmdvConfig,
-    train: &[S],
+    train: &[&str],
 ) -> Result<VerticalSolution, InferError> {
     if train.is_empty() {
         return Err(InferError::EmptyColumn);
@@ -297,13 +297,17 @@ mod tests {
             .collect()
     }
 
+    fn refs(v: &[String]) -> Vec<&str> {
+        v.iter().map(String::as_str).collect()
+    }
+
     #[test]
     fn vertical_cut_handles_wide_composite_columns() {
         let index = test_index();
         let mut cfg = FmdvConfig::scaled_for_corpus(index.num_columns);
         cfg.max_segment_tokens = index.tau;
         let train = composite_column(60, 5);
-        let solution = infer_fmdv_v(&index, &cfg, &train);
+        let solution = infer_fmdv_v(&index, &cfg, &refs(&train));
         // The composite column is ~19 tokens wide — too wide for any single
         // indexed pattern — yet the DP must find a feasible segmentation.
         let solution = solution.expect("vertical cut should find a solution");
@@ -321,7 +325,7 @@ mod tests {
         let cfg = FmdvConfig::scaled_for_corpus(index.num_columns);
         let train = vec!["123".to_string(), "abc-def".to_string()];
         assert_eq!(
-            infer_fmdv_v(&index, &cfg, &train).err(),
+            infer_fmdv_v(&index, &cfg, &refs(&train)).err(),
             Some(InferError::NoHypothesis)
         );
     }
@@ -332,7 +336,7 @@ mod tests {
         let cfg = FmdvConfig::default();
         let train: Vec<String> = vec![];
         assert!(matches!(
-            infer_fmdv_v(&index, &cfg, &train),
+            infer_fmdv_v(&index, &cfg, &refs(&train)),
             Err(InferError::EmptyColumn)
         ));
     }
@@ -343,7 +347,7 @@ mod tests {
         let mut cfg = FmdvConfig::scaled_for_corpus(index.num_columns);
         cfg.max_segment_tokens = index.tau;
         let train = composite_column(40, 9);
-        if let Ok(sol) = infer_fmdv_v(&index, &cfg, &train) {
+        if let Ok(sol) = infer_fmdv_v(&index, &cfg, &refs(&train)) {
             assert!(sol.min_coverage() >= cfg.m);
         }
     }
@@ -359,8 +363,8 @@ mod tests {
         let mut opt = pess.clone();
         opt.optimistic_vertical = true;
         let train = composite_column(40, 11);
-        let a = infer_fmdv_v(&index, &pess, &train).expect("pessimistic solves");
-        let b = infer_fmdv_v(&index, &opt, &train).expect("optimistic solves");
+        let a = infer_fmdv_v(&index, &pess, &refs(&train)).expect("pessimistic solves");
+        let b = infer_fmdv_v(&index, &opt, &refs(&train)).expect("optimistic solves");
         assert!(a.total_fpr <= pess.r);
         assert!(b.total_fpr <= opt.r);
         for v in &train {

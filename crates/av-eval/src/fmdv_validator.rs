@@ -1,6 +1,11 @@
 //! Adapters exposing the Auto-Validate engine (and its no-index ablation)
 //! through the baseline [`ColumnValidator`] interface, so every method runs
 //! under the same §5.1 harness.
+//!
+//! There is no bespoke wrapper logic here anymore: an FMDV rule *is* an
+//! [`av_core::Validator`], so adapting it to the harness is one
+//! [`InferredRule::from_validator`] call — the rule's own streaming
+//! validation (including the §4 homogeneity test) is what the harness runs.
 
 use av_baselines::{ColumnValidator, InferredRule};
 use av_core::{AutoValidate, FmdvConfig, Variant};
@@ -40,13 +45,10 @@ impl ColumnValidator for FmdvValidator {
         &self.label
     }
 
-    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+    fn infer(&self, train: &[&str]) -> Option<InferredRule> {
         let engine = AutoValidate::new(&self.index, self.config.clone());
-        let rule = engine.infer(train, self.variant).ok()?;
-        Some(InferredRule::new(
-            rule.to_string(),
-            move |col: &[String]| !rule.validate(col).flagged,
-        ))
+        let rule = engine.infer(train.iter().copied(), self.variant).ok()?;
+        Some(InferredRule::from_validator(rule))
     }
 }
 
@@ -82,7 +84,7 @@ impl ColumnValidator for NoIndexFmdv {
         "FMDV (no-index)"
     }
 
-    fn infer(&self, train: &[String]) -> Option<InferredRule> {
+    fn infer(&self, train: &[&str]) -> Option<InferredRule> {
         let hypotheses = hypothesis_space(train, &self.config.pattern);
         if hypotheses.is_empty() {
             return None;
@@ -103,10 +105,9 @@ impl ColumnValidator for NoIndexFmdv {
                     .then_with(|| a.0.cmp(b.0))
             })
             .map(|(p, _)| p.clone())?;
-        Some(InferredRule::new(
-            best.to_string(),
-            move |col: &[String]| col.iter().all(|v| av_pattern::matches(&best, v)),
-        ))
+        Some(InferredRule::all_match(best.to_string(), move |v: &str| {
+            av_pattern::matches(&best, v)
+        }))
     }
 }
 
@@ -114,6 +115,10 @@ impl ColumnValidator for NoIndexFmdv {
 mod tests {
     use super::*;
     use av_corpus::{generate_lake, LakeProfile};
+
+    fn refs(v: &[String]) -> Vec<&str> {
+        v.iter().map(String::as_str).collect()
+    }
 
     #[test]
     fn fmdv_validator_round_trips() {
@@ -126,7 +131,7 @@ mod tests {
         let train: Vec<String> = (0..40)
             .map(|i| format!("{:02}:{:02}:{:02}", i % 24, (i * 7) % 60, (i * 13) % 60))
             .collect();
-        let rule = v.infer(&train).expect("rule inferred");
+        let rule = v.infer(&refs(&train)).expect("rule inferred");
         let same: Vec<String> = (0..40)
             .map(|i| format!("{:02}:{:02}:{:02}", (i * 5) % 24, (i * 11) % 60, i % 60))
             .collect();
@@ -139,16 +144,16 @@ mod tests {
     fn no_index_agrees_with_indexed_on_clean_columns() {
         let corpus = generate_lake(&LakeProfile::tiny().scaled(300), 13);
         let columns: Arc<Vec<Column>> = Arc::new(corpus.columns().cloned().collect());
-        let refs: Vec<&Column> = columns.iter().collect();
-        let index = Arc::new(PatternIndex::build(&refs, &IndexConfig::default()));
+        let col_refs: Vec<&Column> = columns.iter().collect();
+        let index = Arc::new(PatternIndex::build(&col_refs, &IndexConfig::default()));
         let config = FmdvConfig::scaled_for_corpus(index.num_columns);
         let indexed = FmdvValidator::new(index, config.clone(), Variant::Fmdv);
         let scanning = NoIndexFmdv::new(columns.clone(), config);
         let train: Vec<String> = (0..30)
             .map(|i| format!("{:02}:{:02}:{:02}", i % 24, (i * 7) % 60, (i * 13) % 60))
             .collect();
-        let a = indexed.infer(&train).map(|r| r.description);
-        let b = scanning.infer(&train).map(|r| r.description);
+        let a = indexed.infer(&refs(&train)).map(|r| r.description);
+        let b = scanning.infer(&refs(&train)).map(|r| r.description);
         match (a, b) {
             (Some(da), Some(db)) => {
                 // The indexed rule's description embeds FPR/coverage; just

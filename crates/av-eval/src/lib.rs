@@ -10,6 +10,9 @@
 //! [`FmdvValidator`] and [`NoIndexFmdv`] adapt the `av-core` engine to the
 //! same [`av_baselines::ColumnValidator`] interface all baselines use, so
 //! one harness ([`evaluate_method`]) produces every number in Fig. 10–14.
+//! The harness runs exclusively through the [`av_core::Validator`] trait:
+//! FMDV rules go in via `InferredRule::from_validator` (no bespoke wrapper
+//! closures), and every pass/fail decision streams borrowed `&str` values.
 
 #![warn(missing_docs)]
 

@@ -158,8 +158,9 @@ fn evaluate_case(
     all: &[&BenchmarkCase],
     cfg: &EvalConfig,
 ) -> CaseResult {
+    let train: Vec<&str> = case.train.iter().map(String::as_str).collect();
     let start = Instant::now();
-    let rule = validator.infer(&case.train);
+    let rule = validator.infer(&train);
     let infer_micros = start.elapsed().as_micros() as u64;
     let Some(rule) = rule else {
         // Declined: passes everything — perfect precision, zero recall.
@@ -174,19 +175,30 @@ fn evaluate_case(
             infer_micros,
         };
     };
-    let test: Vec<String> = case.test.iter().take(cfg.test_value_cap).cloned().collect();
-    let precision = if rule.passes(&test) { 1.0 } else { 0.0 };
+    // Everything downstream borrows the case's values — the harness never
+    // copies a test value.
+    let test: Vec<&str> = case
+        .test
+        .iter()
+        .take(cfg.test_value_cap)
+        .map(String::as_str)
+        .collect();
+    let precision = if rule.passes(test.iter().copied()) {
+        1.0
+    } else {
+        0.0
+    };
     // Ground-truth precision: keep only test values that genuinely belong
     // to the domain (removes injected dirt, like the paper's manual
     // cleaning pass).
     let precision_gt = match &case.column.meta.ground_truth {
         Some(gt) => {
-            let clean: Vec<String> = test
+            let clean: Vec<&str> = test
                 .iter()
+                .copied()
                 .filter(|v| av_pattern::matches(gt, v))
-                .cloned()
                 .collect();
-            if clean.is_empty() || rule.passes(&clean) {
+            if clean.is_empty() || rule.passes(clean) {
                 1.0
             } else {
                 0.0
@@ -210,13 +222,8 @@ fn evaluate_case(
     let mut flagged_gt = 0usize;
     let mut total_gt = 0usize;
     for other in &others {
-        let other_vals: Vec<String> = other
-            .test
-            .iter()
-            .take(cfg.test_value_cap)
-            .cloned()
-            .collect();
-        let caught = !rule.passes(&other_vals);
+        let other_vals = other.test.iter().take(cfg.test_value_cap);
+        let caught = !rule.passes(other_vals);
         if caught {
             flagged += 1;
         }
@@ -307,18 +314,14 @@ mod tests {
             fn name(&self) -> &str {
                 "oracle"
             }
-            fn infer(&self, train: &[String]) -> Option<InferredRule> {
+            fn infer(&self, train: &[&str]) -> Option<InferredRule> {
                 let sig: std::collections::HashSet<String> = train
                     .iter()
                     .map(|v| av_pattern::coarse_pattern(v).to_string())
                     .collect();
-                Some(InferredRule::new("oracle", move |col: &[String]| {
-                    col.iter()
-                        .take(20)
-                        .filter(|v| sig.contains(&av_pattern::coarse_pattern(v).to_string()))
-                        .count()
-                        * 2
-                        > col.len().min(20)
+                // Pass while a majority of values carry a seen coarse shape.
+                Some(InferredRule::tolerant("oracle", 0.5, move |v: &str| {
+                    sig.contains(&av_pattern::coarse_pattern(v).to_string())
                 }))
             }
         }
@@ -340,8 +343,8 @@ mod tests {
             fn name(&self) -> &str {
                 "always-flag"
             }
-            fn infer(&self, _: &[String]) -> Option<InferredRule> {
-                Some(InferredRule::new("flag-all", |_: &[String]| false))
+            fn infer(&self, _: &[&str]) -> Option<InferredRule> {
+                Some(InferredRule::all_match("flag-all", |_: &str| false))
             }
         }
         let b = bench();

@@ -24,7 +24,10 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"AVIX";
-const VERSION: u32 = 2;
+// v3: CharClass::of now treats all ASCII whitespace (\r, \n, VT, FF) as
+// Space; indexes built by earlier versions tokenized those bytes as
+// symbols and their statistics are not comparable — refuse to load them.
+const VERSION: u32 = 3;
 
 /// Errors from loading a persisted index.
 #[derive(Debug)]

@@ -8,17 +8,26 @@
 //! class tokens like `<digit>{2}`, `<letter>+`, `<num>` above them, and the
 //! root `<any>+`. The crate provides:
 //!
-//! * [`tokenize`] — the coarse lexer splitting values into same-class runs;
+//! * [`tokenize`] — the coarse lexer splitting values into same-class runs
+//!   ([`Run`]s are slices of the input — tokenization allocates no text);
 //! * [`matches()`](fn@matches) — full-string pattern matching (`h ∈ P(v)` at test time);
 //! * [`analyze_column`] / [`hypothesis_space`] / [`patterns_of_value`] —
 //!   Algorithm 1: coarse grouping plus per-position drill-down, producing
 //!   `P(v)`, `P(D)` and `H(C)`;
 //! * [`parse`] — the inverse of `Display`, for persisting patterns.
 //!
-//! ```
-//! use av_pattern::{hypothesis_space, matches, PatternConfig};
+//! This crate is the zero-copy foundation of the workspace-wide `Validator`
+//! API (`av_core`): every entry point takes borrowed `&str`-likes, so the
+//! whole tokenize → hypothesis space → infer → validate pipeline runs
+//! without an intermediate `Vec<String>`.
 //!
+//! ```
+//! use av_pattern::{hypothesis_space, matches, tokenize, PatternConfig};
+//!
+//! // Borrowed values in; runs borrow straight back out of them.
 //! let column = ["Mar 01 2019", "Mar 04 2019", "Mar 30 2019"];
+//! assert_eq!(tokenize(column[0])[0].text, "Mar");
+//!
 //! let h = hypothesis_space(&column, &PatternConfig::default());
 //! // Every hypothesis is consistent with every observed value…
 //! assert!(h.iter().all(|p| column.iter().all(|v| matches(p, v))));

@@ -172,9 +172,9 @@ impl Pattern {
                 Token::LetterPlus => out.push_str("[A-Za-z]+"),
                 Token::Alnum(n) => out.push_str(&format!("[A-Za-z0-9]{{{n}}}")),
                 Token::AlnumPlus => out.push_str("[A-Za-z0-9]+"),
-                Token::Sym(n) => out.push_str(&format!("[^A-Za-z0-9 \\t]{{{n}}}")),
-                Token::SymPlus => out.push_str("[^A-Za-z0-9 \\t]+"),
-                Token::SpacePlus => out.push_str("[ \\t]+"),
+                Token::Sym(n) => out.push_str(&format!("[^A-Za-z0-9\\s]{{{n}}}")),
+                Token::SymPlus => out.push_str("[^A-Za-z0-9\\s]+"),
+                Token::SpacePlus => out.push_str("\\s+"),
                 Token::AnyPlus => out.push_str("(.|\\n)+"),
             }
         }

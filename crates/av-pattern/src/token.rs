@@ -14,7 +14,7 @@ pub enum CharClass {
     Digit,
     /// ASCII letter `a-z` / `A-Z`.
     Letter,
-    /// Whitespace (space or tab).
+    /// ASCII whitespace (space, tab, CR, LF, vertical tab, form feed).
     Space,
     /// Anything else (punctuation, unicode, ...).
     Symbol,
@@ -22,13 +22,19 @@ pub enum CharClass {
 
 impl CharClass {
     /// Classify one character.
+    ///
+    /// All six ASCII whitespace characters are [`CharClass::Space`] — values
+    /// arriving from real feeds carry CRLF remnants and embedded newlines,
+    /// and classifying `\r`/`\n` as symbols would split `"a\r\n"` into a
+    /// spurious symbol run and make CRLF-bearing columns structurally
+    /// different from their clean counterparts.
     #[inline]
     pub fn of(c: char) -> CharClass {
         if c.is_ascii_digit() {
             CharClass::Digit
         } else if c.is_ascii_alphabetic() {
             CharClass::Letter
-        } else if c == ' ' || c == '\t' {
+        } else if matches!(c, ' ' | '\t' | '\r' | '\n' | '\x0B' | '\x0C') {
             CharClass::Space
         } else {
             CharClass::Symbol
@@ -123,7 +129,7 @@ impl Token {
             Token::Letter(_) | Token::LetterPlus => c.is_ascii_alphabetic(),
             Token::Alnum(_) | Token::AlnumPlus => c.is_ascii_alphanumeric(),
             Token::Sym(_) | Token::SymPlus => CharClass::of(c) == CharClass::Symbol,
-            Token::SpacePlus => c == ' ' || c == '\t',
+            Token::SpacePlus => CharClass::of(c) == CharClass::Space,
             Token::AnyPlus => true,
         }
     }
@@ -212,6 +218,16 @@ mod tests {
         assert_eq!(CharClass::of('\t'), CharClass::Space);
         assert_eq!(CharClass::of('/'), CharClass::Symbol);
         assert_eq!(CharClass::of('é'), CharClass::Symbol);
+    }
+
+    #[test]
+    fn all_ascii_whitespace_is_space_class() {
+        for c in ['\r', '\n', '\x0B', '\x0C'] {
+            assert_eq!(CharClass::of(c), CharClass::Space, "{c:?}");
+            assert!(Token::SpacePlus.class_contains(c), "{c:?}");
+        }
+        // Unicode whitespace stays in the symbol bucket (ASCII classifier).
+        assert_eq!(CharClass::of('\u{00A0}'), CharClass::Symbol);
     }
 
     #[test]

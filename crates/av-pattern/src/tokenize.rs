@@ -154,4 +154,27 @@ mod tests {
         assert_eq!(runs.len(), 3);
         assert_eq!(runs[1].class, CharClass::Symbol);
     }
+
+    #[test]
+    fn crlf_bearing_values_tokenize_as_whitespace() {
+        // A CRLF remnant from a Windows-exported feed: the "\r\n" must be
+        // one Space run, not a symbol run that would split the domain.
+        let runs = tokenize("Mar 01\r\n2019");
+        let classes: Vec<CharClass> = runs.iter().map(|r| r.class).collect();
+        assert_eq!(
+            classes,
+            vec![
+                CharClass::Letter,
+                CharClass::Space,
+                CharClass::Digit,
+                CharClass::Space,
+                CharClass::Digit,
+            ]
+        );
+        assert_eq!(runs[3].text, "\r\n");
+        // Mixed whitespace coalesces into a single run.
+        assert_eq!(tokenize("a \t\r\n\x0B\x0Cb").len(), 3);
+        // And the token count agrees with the run structure.
+        assert_eq!(token_count("Mar 01\r\n2019"), 5);
+    }
 }

@@ -55,7 +55,10 @@ impl From<std::io::Error> for CatalogError {
     }
 }
 
-const HEADER: &str = "AVCAT 1";
+// v2: rules serialized before the whitespace-tokenization change (CR/LF as
+// symbol runs) would silently change meaning if reloaded; the header bump
+// turns that into a clean load error instead.
+const HEADER: &str = "AVCAT 2";
 
 /// An in-memory collection of named rules with disk persistence.
 #[derive(Debug, Clone, Default)]
@@ -250,9 +253,11 @@ mod tests {
     fn bad_input_is_rejected() {
         assert!(RuleCatalog::from_text("").is_err());
         assert!(RuleCatalog::from_text("NOT A CATALOG\n").is_err());
-        assert!(RuleCatalog::from_text("AVCAT 1\ngarbage line\n").is_err());
+        assert!(RuleCatalog::from_text("AVCAT 2\ngarbage line\n").is_err());
         // Header alone is a valid empty catalog.
-        assert!(RuleCatalog::from_text("AVCAT 1\n").unwrap().is_empty());
+        assert!(RuleCatalog::from_text("AVCAT 2\n").unwrap().is_empty());
+        // Pre-whitespace-change catalogs are refused, not reinterpreted.
+        assert!(RuleCatalog::from_text("AVCAT 1\n").is_err());
     }
 
     #[test]

@@ -15,9 +15,14 @@
 //!   delta can be lost to a concurrent clone-swap race.
 
 use crate::catalog::{CatalogEntry, CatalogError, RuleCatalog};
-use av_core::{AnyRule, AutoValidate, FmdvConfig, InferError, ValidationReport, Variant};
+use av_baselines::baseline_by_name;
+use av_core::{
+    AnyRule, AutoValidate, FmdvConfig, InferError, ValidationReport, ValidationSession, Validator,
+    Variant,
+};
 use av_corpus::Column;
 use av_index::{DeltaError, IndexConfig, IndexDelta, PatternIndex, PersistError};
+use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -67,6 +72,12 @@ pub enum ServiceError {
     Catalog(CatalogError),
     /// Persistence requested but the service has no data directory.
     NoDataDir,
+    /// No baseline method with that name ([`av_baselines::baseline_by_name`]).
+    UnknownMethod(String),
+    /// The baseline method declined to produce a rule for this column.
+    MethodDeclined(String),
+    /// A baseline rule may not take a name held by a catalog rule.
+    NameTaken(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -78,6 +89,13 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Index(e) => write!(f, "index persistence failed: {e}"),
             ServiceError::Catalog(e) => write!(f, "catalog persistence failed: {e}"),
             ServiceError::NoDataDir => write!(f, "service has no data directory configured"),
+            ServiceError::UnknownMethod(m) => write!(f, "unknown baseline method {m:?}"),
+            ServiceError::MethodDeclined(m) => {
+                write!(f, "baseline {m:?} declined to infer a rule for this column")
+            }
+            ServiceError::NameTaken(n) => {
+                write!(f, "rule name {n:?} is already held by a catalog rule")
+            }
         }
     }
 }
@@ -121,14 +139,15 @@ pub struct IngestReport {
     pub total_patterns: usize,
 }
 
-/// One item of a validation batch: a catalog rule name plus the column
-/// values to validate against it.
+/// One item of a validation batch: a rule name plus the column values to
+/// validate against it. Fully borrowed — a protocol frame's parsed strings
+/// (or any other buffer) are referenced, never copied per item.
 #[derive(Debug, Clone)]
-pub struct BatchItem {
-    /// Catalog rule name.
-    pub rule: String,
+pub struct BatchItem<'a> {
+    /// Catalog (or baseline) rule name.
+    pub rule: &'a str,
     /// Values of the incoming column.
-    pub values: Vec<String>,
+    pub values: Vec<&'a str>,
 }
 
 /// Monotonic operation counters.
@@ -153,6 +172,10 @@ pub struct ValidationService {
     index: RwLock<Arc<PatternIndex>>,
     ingest_lock: Mutex<()>,
     catalog: RwLock<RuleCatalog>,
+    /// Baseline rules served behind `dyn Validator`. Session-scoped: the
+    /// underlying predicates are closures and have no wire form, so they
+    /// are not persisted with the catalog.
+    baselines: RwLock<HashMap<String, Arc<dyn Validator>>>,
     shutdown: AtomicBool,
     columns_ingested: AtomicU64,
     ingest_batches: AtomicU64,
@@ -169,6 +192,7 @@ impl ValidationService {
             index: RwLock::new(Arc::new(empty)),
             ingest_lock: Mutex::new(()),
             catalog: RwLock::new(RuleCatalog::new()),
+            baselines: RwLock::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
             columns_ingested: AtomicU64::new(0),
             ingest_batches: AtomicU64::new(0),
@@ -248,10 +272,15 @@ impl ValidationService {
     /// `name`. `variant: None` uses the automatic fallback chain
     /// (pattern → numeric → dictionary); `Some(v)` forces one FMDV
     /// variant. Returns the stored entry.
-    pub fn infer_rule(
+    ///
+    /// Rule names are one namespace: cataloging a name also evicts any
+    /// session-scoped baseline rule under it (the catalog resolves first,
+    /// so a left-behind baseline would be unreachable until `delete_rule`
+    /// resurrected it unannounced).
+    pub fn infer_rule<S: AsRef<str>>(
         &self,
         name: &str,
-        train: &[String],
+        train: &[S],
         variant: Option<Variant>,
     ) -> Result<CatalogEntry, ServiceError> {
         let snapshot = self.snapshot();
@@ -276,6 +305,10 @@ impl ValidationService {
             .write()
             .expect("catalog lock poisoned")
             .insert(entry.clone());
+        self.baselines
+            .write()
+            .expect("baselines lock poisoned")
+            .remove(name);
         self.rules_inferred.fetch_add(1, Ordering::Relaxed);
         Ok(entry)
     }
@@ -290,11 +323,20 @@ impl ValidationService {
             .ok_or_else(|| ServiceError::UnknownRule(name.to_string()))
     }
 
-    /// Remove a rule from the catalog.
+    /// Remove a rule (catalog first, then session-scoped baselines).
     pub fn delete_rule(&self, name: &str) -> Result<(), ServiceError> {
-        self.catalog
+        if self
+            .catalog
             .write()
             .expect("catalog lock poisoned")
+            .remove(name)
+            .is_some()
+        {
+            return Ok(());
+        }
+        self.baselines
+            .write()
+            .expect("baselines lock poisoned")
             .remove(name)
             .map(|_| ())
             .ok_or_else(|| ServiceError::UnknownRule(name.to_string()))
@@ -310,27 +352,119 @@ impl ValidationService {
             .collect()
     }
 
+    /// Run `f` against the named rule as a `&dyn Validator` — catalog rules
+    /// first, then session-scoped baseline rules. Catalog lookups run under
+    /// the shared read lock (batch workers still overlap) instead of
+    /// cloning the entry — a dictionary rule's whole vocabulary would
+    /// otherwise be copied per validation.
+    fn with_validator<R>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&dyn Validator) -> R,
+    ) -> Result<R, ServiceError> {
+        {
+            let catalog = self.catalog.read().expect("catalog lock poisoned");
+            if let Some(entry) = catalog.get(name) {
+                return Ok(f(&entry.rule));
+            }
+        }
+        let baseline = {
+            let baselines = self.baselines.read().expect("baselines lock poisoned");
+            baselines.get(name).cloned()
+        };
+        match baseline {
+            Some(v) => Ok(f(v.as_ref())),
+            None => Err(ServiceError::UnknownRule(name.to_string())),
+        }
+    }
+
+    /// Infer a rule with a named baseline method (TFDV, Grok, PWheel, …)
+    /// and serve it under `name` behind `dyn Validator`, next to the FMDV
+    /// catalog rules — enabling live A/B comparisons over the protocol.
+    /// Baseline rules are session-scoped (closures have no wire form) and
+    /// are not persisted.
+    ///
+    /// Rule names are one namespace: a name already held by a catalog rule
+    /// is rejected ([`ServiceError::NameTaken`]) — lookups resolve the
+    /// catalog first, so accepting it would create an unreachable shadowed
+    /// rule that silently resurfaced after `delete_rule`.
+    pub fn infer_baseline<S: AsRef<str>>(
+        &self,
+        name: &str,
+        method: &str,
+        train: &[S],
+    ) -> Result<String, ServiceError> {
+        let validator =
+            baseline_by_name(method).ok_or_else(|| ServiceError::UnknownMethod(method.into()))?;
+        let refs: Vec<&str> = train.iter().map(|v| v.as_ref()).collect();
+        let rule = validator
+            .infer(&refs)
+            .ok_or_else(|| ServiceError::MethodDeclined(method.into()))?;
+        let description = rule.description.clone();
+        // Lock order: catalog read inside baselines write is safe — no path
+        // takes these locks in the opposite nesting.
+        let mut baselines = self.baselines.write().expect("baselines lock poisoned");
+        if self
+            .catalog
+            .read()
+            .expect("catalog lock poisoned")
+            .get(name)
+            .is_some()
+        {
+            return Err(ServiceError::NameTaken(name.to_string()));
+        }
+        baselines.insert(name.to_string(), Arc::new(rule));
+        drop(baselines);
+        self.rules_inferred.fetch_add(1, Ordering::Relaxed);
+        Ok(description)
+    }
+
+    /// Names and descriptions of the session-scoped baseline rules.
+    pub fn baseline_rules(&self) -> Vec<(String, String)> {
+        let baselines = self.baselines.read().expect("baselines lock poisoned");
+        let mut out: Vec<(String, String)> = baselines
+            .iter()
+            .map(|(name, v)| (name.clone(), v.describe()))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Validate one column against a named rule (§4's recurring check).
-    /// Runs under the catalog read lock (shared, so batch workers still
-    /// overlap) instead of cloning the entry — a dictionary rule's whole
-    /// vocabulary would otherwise be copied per validation.
-    pub fn validate(
+    /// Dispatches through `dyn Validator` as a streaming session, so FMDV
+    /// rules and baseline rules are indistinguishable here — and no value
+    /// is copied.
+    pub fn validate<S: AsRef<str>>(
         &self,
         rule: &str,
-        values: &[String],
+        values: &[S],
     ) -> Result<ValidationReport, ServiceError> {
-        let report = {
-            let catalog = self.catalog.read().expect("catalog lock poisoned");
-            let entry = catalog
-                .get(rule)
-                .ok_or_else(|| ServiceError::UnknownRule(rule.to_string()))?;
-            entry.rule.validate(values)
-        };
+        let report = self.with_validator(rule, |validator| {
+            let mut session = ValidationSession::new(validator);
+            for v in values {
+                session.push(v.as_ref());
+            }
+            session.finish()
+        })?;
         self.validations.fetch_add(1, Ordering::Relaxed);
         if report.flagged {
             self.flagged.fetch_add(1, Ordering::Relaxed);
         }
         Ok(report)
+    }
+
+    /// A/B-compare two named rules (either side may be an FMDV catalog rule
+    /// or a baseline) on the same column. Both reports count toward the
+    /// validation stats, exactly as two sequential `validate` calls would.
+    pub fn compare<S: AsRef<str>>(
+        &self,
+        left: &str,
+        right: &str,
+        values: &[S],
+    ) -> Result<(ValidationReport, ValidationReport), ServiceError> {
+        let a = self.validate(left, values)?;
+        let b = self.validate(right, values)?;
+        Ok((a, b))
     }
 
     /// Validate a batch of columns concurrently across the worker pool.
@@ -341,7 +475,7 @@ impl ValidationService {
     /// only wall-clock time, never reports.
     pub fn validate_batch(
         &self,
-        items: &[BatchItem],
+        items: &[BatchItem<'_>],
     ) -> Vec<Result<ValidationReport, ServiceError>> {
         let workers = if self.config.workers > 0 {
             self.config.workers
@@ -355,7 +489,7 @@ impl ValidationService {
         if workers <= 1 {
             return items
                 .iter()
-                .map(|item| self.validate(&item.rule, &item.values))
+                .map(|item| self.validate(item.rule, &item.values))
                 .collect();
         }
 
@@ -373,7 +507,7 @@ impl ValidationService {
                                 if i >= items.len() {
                                     break;
                                 }
-                                local.push((i, self.validate(&items[i].rule, &items[i].values)));
+                                local.push((i, self.validate(items[i].rule, &items[i].values)));
                             }
                             local
                         })
@@ -516,7 +650,7 @@ mod tests {
     fn unknown_rule_errors() {
         let service = ValidationService::new(ServiceConfig::default());
         assert!(matches!(
-            service.validate("nope", &[]),
+            service.validate("nope", &[] as &[&str]),
             Err(ServiceError::UnknownRule(_))
         ));
         assert!(matches!(
@@ -530,23 +664,28 @@ mod tests {
         let service = ValidationService::new(ServiceConfig::default());
         service.ingest(&lake_columns(7)).unwrap();
         service.infer_rule("dates", &date_values(3), None).unwrap();
-        let items: Vec<BatchItem> = (0..32)
-            .map(|i| BatchItem {
-                rule: if i % 5 == 4 {
-                    "missing".into()
-                } else {
-                    "dates".into()
-                },
-                values: if i % 2 == 0 {
-                    date_values(1 + (i as u32 % 12))
-                } else {
-                    (0..40).map(|j| format!("drift-{i}-{j}")).collect()
-                },
+        let owned: Vec<(&str, Vec<String>)> = (0..32)
+            .map(|i| {
+                (
+                    if i % 5 == 4 { "missing" } else { "dates" },
+                    if i % 2 == 0 {
+                        date_values(1 + (i as u32 % 12))
+                    } else {
+                        (0..40).map(|j| format!("drift-{i}-{j}")).collect()
+                    },
+                )
+            })
+            .collect();
+        let items: Vec<BatchItem<'_>> = owned
+            .iter()
+            .map(|(rule, values)| BatchItem {
+                rule,
+                values: values.iter().map(String::as_str).collect(),
             })
             .collect();
         let sequential: Vec<_> = items
             .iter()
-            .map(|it| service.validate(&it.rule, &it.values))
+            .map(|it| service.validate(it.rule, &it.values))
             .collect();
         let batched = service.validate_batch(&items);
         assert_eq!(batched.len(), sequential.len());
@@ -559,6 +698,77 @@ mod tests {
                 other => panic!("mismatched outcomes: {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn baseline_rules_dispatch_like_catalog_rules() {
+        let service = ValidationService::new(ServiceConfig::default());
+        service.ingest(&lake_columns(9)).unwrap();
+        service.infer_rule("dates", &date_values(3), None).unwrap();
+        let desc = service
+            .infer_baseline("dates-grok", "grok", &date_values(3))
+            .unwrap();
+        assert!(desc.starts_with("grok:"), "{desc}");
+        // The baseline serves exactly like a catalog rule…
+        assert!(
+            !service
+                .validate("dates-grok", &date_values(4))
+                .unwrap()
+                .flagged
+        );
+        let drifted: Vec<String> = (0..40).map(|i| format!("user-{i}")).collect();
+        assert!(service.validate("dates-grok", &drifted).unwrap().flagged);
+        // …and A/B comparison runs both sides on the same feed.
+        let (a, b) = service
+            .compare("dates", "dates-grok", &date_values(5))
+            .unwrap();
+        assert!(!a.flagged && !b.flagged);
+        assert_eq!(service.baseline_rules().len(), 1);
+        assert_eq!(service.stats().rules_inferred, 2);
+
+        // Unknown methods and declining methods report distinct errors.
+        assert!(matches!(
+            service.infer_baseline("x", "nope", &date_values(1)),
+            Err(ServiceError::UnknownMethod(_))
+        ));
+        let prose: Vec<String> = (0..10)
+            .map(|i| format!("Quarterly Revenue Report {i}"))
+            .collect();
+        assert!(matches!(
+            service.infer_baseline("x", "pwheel", &prose),
+            Err(ServiceError::MethodDeclined(_))
+        ));
+
+        // Deletion covers baselines too.
+        service.delete_rule("dates-grok").unwrap();
+        assert!(matches!(
+            service.validate("dates-grok", &[] as &[&str]),
+            Err(ServiceError::UnknownRule(_))
+        ));
+    }
+
+    #[test]
+    fn rule_names_are_one_namespace() {
+        let service = ValidationService::new(ServiceConfig::default());
+        service.ingest(&lake_columns(9)).unwrap();
+        // A baseline may not shadow under a catalog rule's name…
+        service.infer_rule("dates", &date_values(3), None).unwrap();
+        assert!(matches!(
+            service.infer_baseline("dates", "grok", &date_values(3)),
+            Err(ServiceError::NameTaken(_))
+        ));
+        // …and cataloging a name evicts the baseline that held it, so a
+        // later delete cannot resurrect a forgotten rule.
+        service
+            .infer_baseline("feed", "grok", &date_values(3))
+            .unwrap();
+        service.infer_rule("feed", &date_values(3), None).unwrap();
+        assert!(service.baseline_rules().is_empty());
+        service.delete_rule("feed").unwrap();
+        assert!(matches!(
+            service.validate("feed", &[] as &[&str]),
+            Err(ServiceError::UnknownRule(_))
+        ));
     }
 
     #[test]

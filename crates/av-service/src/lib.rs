@@ -19,6 +19,11 @@
 //! * **Concurrent batch validation** — a worker pool fans a batch of
 //!   columns across threads; reports are deterministic and identical to
 //!   sequential runs.
+//! * **One dispatch path** — the engine validates exclusively through
+//!   `dyn av_core::Validator` streaming sessions over borrowed `&str`
+//!   values, so FMDV catalog rules and session-scoped baseline rules
+//!   (`infer_baseline` op: TFDV, Grok, PWheel, …) serve identically and
+//!   can be A/B-compared live (`compare` op).
 //! * **JSONL protocol** — `av-serve` (in the root crate's `src/bin`)
 //!   drives all of this over stdin/stdout or TCP; see [`protocol`].
 //!

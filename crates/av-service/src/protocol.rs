@@ -56,17 +56,24 @@ fn report_json(r: &ValidationReport) -> Vec<(&'static str, Json)> {
     ]
 }
 
-fn string_array(v: &Json, field: &str) -> Result<Vec<String>, String> {
+/// Borrow a `&str` array straight out of the parsed request — validation
+/// paths never copy values (the satellite fix for the old per-item
+/// `to_string()` churn in `validate_batch`).
+fn str_array<'a>(v: &'a Json, field: &str) -> Result<Vec<&'a str>, String> {
     v.get(field)
         .and_then(Json::as_arr)
         .ok_or_else(|| format!("missing array field {field:?}"))?
         .iter()
         .map(|item| {
             item.as_str()
-                .map(str::to_string)
                 .ok_or_else(|| format!("{field:?} must contain only strings"))
         })
         .collect()
+}
+
+/// Owned variant for ingestion, where columns must outlive the request.
+fn string_array(v: &Json, field: &str) -> Result<Vec<String>, String> {
+    str_array(v, field).map(|vals| vals.into_iter().map(str::to_string).collect())
 }
 
 fn parse_variant(v: &Json) -> Result<Option<Variant>, String> {
@@ -104,8 +111,10 @@ pub fn handle_line(service: &ValidationService, line: &str) -> Handled {
         "ping" => ok(vec![("pong", Json::Bool(true))]),
         "ingest" => handle_ingest(service, &req),
         "infer" => handle_infer(service, &req),
+        "infer_baseline" => handle_infer_baseline(service, &req),
         "validate" => handle_validate(service, &req),
         "validate_batch" => handle_validate_batch(service, &req),
+        "compare" => handle_compare(service, &req),
         "catalog" => handle_catalog(service),
         "rule" => handle_rule(service, &req),
         "delete_rule" => handle_delete(service, &req),
@@ -157,7 +166,7 @@ fn handle_infer(service: &ValidationService, req: &Json) -> Handled {
         Some(n) => n,
         None => return fail("missing string field \"rule\""),
     };
-    let values = match string_array(req, "values") {
+    let values = match str_array(req, "values") {
         Ok(v) => v,
         Err(e) => return fail(e),
     };
@@ -182,12 +191,58 @@ fn handle_validate(service: &ValidationService, req: &Json) -> Handled {
         Some(n) => n,
         None => return fail("missing string field \"rule\""),
     };
-    let values = match string_array(req, "values") {
+    let values = match str_array(req, "values") {
         Ok(v) => v,
         Err(e) => return fail(e),
     };
     match service.validate(name, &values) {
         Ok(report) => ok(report_json(&report)),
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn handle_infer_baseline(service: &ValidationService, req: &Json) -> Handled {
+    let name = match req.get("rule").and_then(Json::as_str) {
+        Some(n) => n,
+        None => return fail("missing string field \"rule\""),
+    };
+    let method = match req.get("method").and_then(Json::as_str) {
+        Some(m) => m,
+        None => return fail("missing string field \"method\""),
+    };
+    let values = match str_array(req, "values") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    match service.infer_baseline(name, method, &values) {
+        Ok(describe) => ok(vec![
+            ("rule", Json::str(name)),
+            ("method", Json::str(method)),
+            ("describe", Json::str(describe)),
+        ]),
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn handle_compare(service: &ValidationService, req: &Json) -> Handled {
+    let left = match req.get("a").and_then(Json::as_str) {
+        Some(n) => n,
+        None => return fail("missing string field \"a\""),
+    };
+    let right = match req.get("b").and_then(Json::as_str) {
+        Some(n) => n,
+        None => return fail("missing string field \"b\""),
+    };
+    let values = match str_array(req, "values") {
+        Ok(v) => v,
+        Err(e) => return fail(e),
+    };
+    match service.compare(left, right, &values) {
+        Ok((ra, rb)) => ok(vec![
+            ("a", Json::obj(report_json(&ra))),
+            ("b", Json::obj(report_json(&rb))),
+            ("agree", Json::Bool(ra.flagged == rb.flagged)),
+        ]),
         Err(e) => fail(e.to_string()),
     }
 }
@@ -200,10 +255,10 @@ fn handle_validate_batch(service: &ValidationService, req: &Json) -> Handled {
     let mut items = Vec::with_capacity(raw.len());
     for (i, item) in raw.iter().enumerate() {
         let rule = match item.get("rule").and_then(Json::as_str) {
-            Some(r) => r.to_string(),
+            Some(r) => r,
             None => return fail(format!("item {i}: missing string field \"rule\"")),
         };
-        match string_array(item, "values") {
+        match str_array(item, "values") {
             Ok(values) => items.push(BatchItem { rule, values }),
             Err(e) => return fail(format!("item {i}: {e}")),
         }
@@ -240,9 +295,17 @@ fn handle_catalog(service: &ValidationService) -> Handled {
             ])
         })
         .collect();
+    let baselines: Vec<Json> = service
+        .baseline_rules()
+        .into_iter()
+        .map(|(name, describe)| {
+            Json::obj([("rule", Json::str(name)), ("describe", Json::str(describe))])
+        })
+        .collect();
     ok(vec![
         ("count", Json::Num(rules.len() as f64)),
         ("rules", Json::Arr(rules)),
+        ("baselines", Json::Arr(baselines)),
     ])
 }
 
@@ -385,6 +448,60 @@ mod tests {
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(results[1].get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn baseline_and_compare_ops() {
+        let service = service_with_corpus();
+        let h = handle_line(
+            &service,
+            &format!(r#"{{"op":"infer","rule":"d","values":{}}}"#, dates(3)),
+        );
+        assert!(response_ok(&h.response), "{}", h.response);
+
+        let h = handle_line(
+            &service,
+            &format!(
+                r#"{{"op":"infer_baseline","rule":"g","method":"grok","values":{}}}"#,
+                dates(3)
+            ),
+        );
+        assert!(response_ok(&h.response), "{}", h.response);
+        let v = parse(&h.response).unwrap();
+        assert!(v
+            .get("describe")
+            .and_then(Json::as_str)
+            .unwrap()
+            .starts_with("grok:"));
+
+        // Both rules (FMDV catalog + grok baseline) validate and agree.
+        let h = handle_line(
+            &service,
+            &format!(
+                r#"{{"op":"compare","a":"d","b":"g","values":{}}}"#,
+                dates(4)
+            ),
+        );
+        assert!(response_ok(&h.response), "{}", h.response);
+        let v = parse(&h.response).unwrap();
+        assert_eq!(v.get("agree").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            v.get("a").unwrap().get("flagged").unwrap().as_bool(),
+            Some(false)
+        );
+
+        // The catalog op lists session baselines separately.
+        let h = handle_line(&service, r#"{"op":"catalog"}"#);
+        let v = parse(&h.response).unwrap();
+        assert_eq!(v.get("count").unwrap().as_usize(), Some(1));
+        assert_eq!(v.get("baselines").unwrap().as_arr().unwrap().len(), 1);
+
+        // Unknown methods fail cleanly.
+        let h = handle_line(
+            &service,
+            r#"{"op":"infer_baseline","rule":"x","method":"banana","values":["1"]}"#,
+        );
+        assert!(!response_ok(&h.response));
     }
 
     #[test]

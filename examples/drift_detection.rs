@@ -31,8 +31,9 @@ fn main() {
     let march: Vec<String> = (1..=28).map(|d| format!("Mar {d:02} 2019")).collect();
     println!("\ntraining data (C1): {:?} … {:?}", march[0], march[27]);
 
-    let tfdv = Tfdv.infer(&march).expect("tfdv rule");
-    let pwheel = PottersWheel.infer(&march).expect("pwheel rule");
+    let march_refs: Vec<&str> = march.iter().map(String::as_str).collect();
+    let tfdv = Tfdv.infer(&march_refs).expect("tfdv rule");
+    let pwheel = PottersWheel.infer(&march_refs).expect("pwheel rule");
     let fmdv = engine.infer_default(&march).expect("fmdv rule");
     println!("\ninferred rules:");
     println!("  TFDV   : {}", tfdv.description);

@@ -72,7 +72,7 @@ fn main() {
     // the fixed status dictionary (§6).
     let rules: Vec<AnyRule> = [&ids, &ts, &st]
         .iter()
-        .map(|col| engine.infer_auto(col).expect("rule"))
+        .map(|col| engine.infer_auto(col.iter()).expect("rule"))
         .collect();
     println!("\nrules learned from day 1:");
     for (name, rule) in col_names.iter().zip(&rules) {

@@ -44,12 +44,12 @@ fn main() {
     let drifted: Vec<String> = (0..30).map(|i| format!("user-{i}")).collect();
     let results = service.validate_batch(&[
         BatchItem {
-            rule: "feeds/sales.date".into(),
-            values: april,
+            rule: "feeds/sales.date",
+            values: april.iter().map(String::as_str).collect(),
         },
         BatchItem {
-            rule: "feeds/sales.date".into(),
-            values: drifted,
+            rule: "feeds/sales.date",
+            values: drifted.iter().map(String::as_str).collect(),
         },
     ]);
     let ok = results[0].as_ref().unwrap();

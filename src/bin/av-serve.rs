@@ -36,8 +36,9 @@ options:
   --tcp ADDR     listen address, e.g. 127.0.0.1:7171 (port 0 picks a free
                  port and prints it)
 
-protocol ops: ping, ingest, infer, validate, validate_batch, catalog,
-rule, delete_rule, persist, stats, shutdown"
+protocol ops: ping, ingest, infer, infer_baseline, validate,
+validate_batch, compare, catalog, rule, delete_rule, persist, stats,
+shutdown"
     );
     ExitCode::FAILURE
 }

@@ -13,6 +13,10 @@
 //!
 //! ## Quick start
 //!
+//! One fluent builder configures the whole stack, and every inferred rule
+//! is a [`prelude::Validator`]: borrowed `&str` inputs end to end, batch or
+//! streaming, with identical results.
+//!
 //! ```
 //! use auto_validate::prelude::*;
 //!
@@ -20,19 +24,28 @@
 //! let corpus = generate_lake(&LakeProfile::tiny(), 42);
 //! let columns: Vec<&Column> = corpus.columns().collect();
 //!
-//! // 2. Offline: one scan of T builds the pattern index (§2.4).
-//! let index = PatternIndex::build(&columns, &IndexConfig::default());
+//! // 2. One builder covers indexing, pattern generation, and FMDV knobs.
+//! let builder = AutoValidateBuilder::new().fpr_target(0.1).tau(13);
+//! let index = builder.build_index(&columns); // offline: one scan (§2.4)
+//! let engine = builder.engine(&index); //        online: milliseconds/rule
 //!
-//! // 3. Online: infer a validation rule for a query column in milliseconds.
-//! let engine = AutoValidate::new(&index, FmdvConfig::scaled_for_corpus(index.num_columns));
+//! // 3. Infer a validation rule — training values are borrowed, never
+//! //    copied (any &str iterator works).
 //! let train: Vec<String> = (1..=30).map(|d| format!("2019-03-{d:02}")).collect();
 //! let rule = engine.infer_default(&train).expect("rule");
 //!
-//! // 4. Validate future data: same domain passes, drifted data is flagged.
+//! // 4. Validate future data through the unified Validator trait: same
+//! //    domain passes, drifted data is flagged.
 //! let april: Vec<String> = (1..=30).map(|d| format!("2019-04-{d:02}")).collect();
-//! assert!(!rule.validate(&april).flagged);
-//! let drifted: Vec<String> = (1..=30).map(|d| format!("user-{d}")).collect();
-//! assert!(rule.validate(&drifted).flagged);
+//! assert!(!rule.validate_batch(april.iter().map(String::as_str)).flagged);
+//!
+//! // …or stream values one at a time in O(1) memory; `finish()` is
+//! // bit-identical to the batch report.
+//! let mut session = rule.session();
+//! for d in 1..=30 {
+//!     session.push(&format!("user-{d}"));
+//! }
+//! assert!(session.finish().flagged);
 //! ```
 //!
 //! ## Crate map
@@ -41,14 +54,14 @@
 //! |---|---|
 //! | [`av_pattern`] | pattern language, tokenizer, `P(v)`/`H(C)` enumeration, matcher |
 //! | [`av_index`] | offline corpus index: pattern → (FPR, coverage) |
-//! | [`av_core`] | FMDV, FMDV-V, FMDV-H, FMDV-VH, CMDV, Auto-Tag |
+//! | [`av_core`] | FMDV, FMDV-V, FMDV-H, FMDV-VH, CMDV, Auto-Tag; the unified `Validator` trait, streaming `ValidationSession`, `AutoValidateBuilder` |
 //! | [`av_stats`] | Fisher's exact test, χ² with Yates, special functions |
 //! | [`av_corpus`] | synthetic data lakes, domain generators, benchmarks |
 //! | [`av_baselines`] | TFDV, Deequ, Potter's Wheel, Grok, schema matching, … |
 //! | [`av_eval`] | the §5.1 evaluation methodology |
 //! | [`av_ml`] | GBDT + encoders for the Fig. 15 case study |
 //! | [`av_regex`] | small regex engine (NFA/Pike VM) used by baselines |
-//! | [`av_service`] | long-running validation service: shared live index, persistent rule catalog, concurrent batch validation, incremental ingestion |
+//! | [`av_service`] | long-running validation service: shared live index, persistent rule catalog, concurrent batch validation, incremental ingestion, `dyn Validator` dispatch of FMDV + baseline rules |
 //!
 //! ## Running as a service
 //!
@@ -99,8 +112,9 @@ pub use av_stats;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use av_core::{
-        AnyRule, AutoValidate, DictionaryRule, FmdvConfig, InferError, TagRule, ValidationReport,
-        ValidationRule, Variant,
+        AnyRule, AutoValidate, AutoValidateBuilder, DictionaryRule, FmdvConfig, InferError, Report,
+        TagRule, Tally, ValidationReport, ValidationRule, ValidationSession, Validator, Variant,
+        Verdict,
     };
     pub use av_corpus::{generate_lake, Benchmark, Column, Corpus, LakeProfile, Table};
     pub use av_index::{IndexConfig, IndexDelta, PatternIndex};

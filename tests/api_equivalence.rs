@@ -1,0 +1,155 @@
+//! Streaming ⇔ batch equivalence for the unified `Validator` API.
+//!
+//! The contract: a [`ValidationSession`] fed values one at a time must
+//! `finish()` into a [`Report`] **bit-identical** to `validate_batch` over
+//! the same slice — for every FMDV [`Variant`], the auto-fallback rule
+//! kinds, and the baseline validators. "Bit-identical" is checked on the
+//! raw f64 bits of `p_value`/`nonconforming_frac`, not with an epsilon.
+
+use auto_validate::prelude::*;
+use av_baselines::{baseline_by_name, InferredRule};
+use av_core::{Report, ValidationSession, Validator};
+use proptest::prelude::*;
+use std::sync::{Arc, OnceLock};
+
+fn shared_index() -> &'static Arc<PatternIndex> {
+    static INDEX: OnceLock<Arc<PatternIndex>> = OnceLock::new();
+    INDEX.get_or_init(|| {
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(700), 41);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        Arc::new(PatternIndex::build(&cols, &IndexConfig::default()))
+    })
+}
+
+/// One rule per FMDV variant, inferred from a clean time-of-day column.
+fn fmdv_rules() -> &'static Vec<(Variant, ValidationRule)> {
+    static RULES: OnceLock<Vec<(Variant, ValidationRule)>> = OnceLock::new();
+    RULES.get_or_init(|| {
+        let index = shared_index();
+        let engine = AutoValidate::new(index, FmdvConfig::scaled_for_corpus(index.num_columns));
+        let train: Vec<String> = (0..60)
+            .map(|i| format!("{:02}:{:02}:{:02}", i % 24, (i * 7) % 60, (i * 13) % 60))
+            .collect();
+        [
+            Variant::Fmdv,
+            Variant::FmdvV,
+            Variant::FmdvH,
+            Variant::FmdvVH,
+            Variant::Cmdv,
+        ]
+        .into_iter()
+        .filter_map(|v| engine.infer(&train, v).ok().map(|r| (v, r)))
+        .collect()
+    })
+}
+
+/// Baselines under test (satellite requirement: at least two).
+fn baseline_rules() -> &'static Vec<(String, InferredRule)> {
+    static RULES: OnceLock<Vec<(String, InferredRule)>> = OnceLock::new();
+    RULES.get_or_init(|| {
+        let train: Vec<String> = (0..60)
+            .map(|i| format!("{:02}:{:02}:{:02}", i % 24, (i * 7) % 60, (i * 13) % 60))
+            .collect();
+        let refs: Vec<&str> = train.iter().map(String::as_str).collect();
+        ["tfdv", "grok", "pwheel", "deequ-fra"]
+            .iter()
+            .filter_map(|name| {
+                baseline_by_name(name)
+                    .and_then(|m| m.infer(&refs))
+                    .map(|rule| (name.to_string(), rule))
+            })
+            .collect()
+    })
+}
+
+/// Drive the validator both ways and require raw-bit equality.
+fn assert_stream_equals_batch(validator: &dyn Validator, values: &[String], label: &str) {
+    let batch: Report = (&validator).validate_batch(values.iter().map(String::as_str));
+    let mut session = ValidationSession::new(validator);
+    for v in values {
+        session.push(v);
+    }
+    let streamed = session.finish();
+    assert_eq!(streamed.checked, batch.checked, "{label}: checked");
+    assert_eq!(
+        streamed.nonconforming, batch.nonconforming,
+        "{label}: nonconforming"
+    );
+    assert_eq!(streamed.flagged, batch.flagged, "{label}: flagged");
+    assert_eq!(
+        streamed.nonconforming_frac.to_bits(),
+        batch.nonconforming_frac.to_bits(),
+        "{label}: frac bits"
+    );
+    assert_eq!(
+        streamed.p_value.to_bits(),
+        batch.p_value.to_bits(),
+        "{label}: p-value bits"
+    );
+}
+
+/// A mixed future column: conforming times, near-misses, and junk.
+fn value_strategy() -> impl Strategy<Value = Vec<String>> {
+    let one = prop_oneof![
+        (0u8..24, 0u8..60, 0u8..60).prop_map(|(h, m, s)| format!("{h:02}:{m:02}:{s:02}")),
+        (0u8..24, 0u8..60).prop_map(|(h, m)| format!("{h}:{m:02}")),
+        "[a-z]{1,6}-[0-9]{1,4}".prop_map(|s| s),
+        Just(String::new()),
+        Just("NULL".to_string()),
+        Just("09:07:32\r\n".to_string()),
+    ];
+    proptest::collection::vec(one, 0..40)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every FMDV variant's rule: streaming == batch, bit for bit.
+    #[test]
+    fn fmdv_variants_stream_equals_batch(values in value_strategy()) {
+        let rules = fmdv_rules();
+        prop_assert!(rules.len() >= 4, "expected rules for ≥4 variants");
+        for (variant, rule) in rules {
+            assert_stream_equals_batch(rule, &values, variant.label());
+        }
+    }
+
+    /// Baseline validators (≥2 required; we run four): streaming == batch.
+    #[test]
+    fn baselines_stream_equals_batch(values in value_strategy()) {
+        let rules = baseline_rules();
+        prop_assert!(rules.len() >= 2, "expected ≥2 baseline rules, got {}", rules.len());
+        for (name, rule) in rules {
+            assert_stream_equals_batch(rule.validator(), &values, name);
+        }
+    }
+
+    /// The auto-fallback kinds (numeric + dictionary) obey the same law.
+    #[test]
+    fn fallback_rule_kinds_stream_equals_batch(values in value_strategy()) {
+        let index = shared_index();
+        let engine = AutoValidate::new(index, FmdvConfig::scaled_for_corpus(index.num_columns));
+        let numbers: Vec<String> = (0..80).map(|i| format!("{}.{:02}", i, i % 100)).collect();
+        let statuses: Vec<String> = (0..80).map(|i| ["OK", "RETRY", "FAIL"][i % 3].into()).collect();
+        for train in [&numbers, &statuses] {
+            let rule = engine.infer_auto(train).expect("fallback rule");
+            assert_stream_equals_batch(&rule, &values, &rule.describe());
+        }
+    }
+}
+
+/// Interleaved sessions don't share state: two concurrent sessions over the
+/// same rule tally independently.
+#[test]
+fn sessions_are_independent() {
+    let (_, rule) = &fmdv_rules()[0];
+    let mut a = rule.session();
+    let mut b = rule.session();
+    a.push("09:07:32");
+    b.push("junk");
+    b.push("junk");
+    assert_eq!(a.tally().checked, 1);
+    assert_eq!(a.tally().nonconforming, 0);
+    assert_eq!(b.tally().checked, 2);
+    assert_eq!(b.tally().nonconforming, 2);
+}

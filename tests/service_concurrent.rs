@@ -31,10 +31,12 @@ fn service_with_rules() -> ValidationService {
     service
 }
 
-fn workload(n: usize) -> Vec<BatchItem> {
+/// Deterministic owned workload; borrowed `BatchItem`s are built per use
+/// (the service API is zero-copy and only sees `&str`).
+fn workload(n: usize) -> Vec<(&'static str, Vec<String>)> {
     (0..n)
         .map(|i| {
-            let rule = ["dates", "times", "statuses", "missing"][i % 4].to_string();
+            let rule = ["dates", "times", "statuses", "missing"][i % 4];
             let values: Vec<String> = match i % 3 {
                 0 => (1..=25).map(|d| format!("2022-06-{d:02}")).collect(),
                 1 => (0..25)
@@ -42,20 +44,30 @@ fn workload(n: usize) -> Vec<BatchItem> {
                     .collect(),
                 _ => (0..25).map(|j| format!("drift-{i}-{j}")).collect(),
             };
-            BatchItem { rule, values }
+            (rule, values)
+        })
+        .collect()
+}
+
+fn borrow<'a>(owned: &'a [(&'static str, Vec<String>)]) -> Vec<BatchItem<'a>> {
+    owned
+        .iter()
+        .map(|(rule, values)| BatchItem {
+            rule,
+            values: values.iter().map(String::as_str).collect(),
         })
         .collect()
 }
 
 fn run_sequential(
     service: &ValidationService,
-    items: &[BatchItem],
+    items: &[BatchItem<'_>],
 ) -> Vec<Result<ValidationReport, String>> {
     items
         .iter()
         .map(|it| {
             service
-                .validate(&it.rule, &it.values)
+                .validate(it.rule, &it.values)
                 .map_err(|e| e.to_string())
         })
         .collect()
@@ -66,7 +78,8 @@ fn run_sequential(
 #[test]
 fn threads_sharing_one_engine_match_sequential() {
     let service = Arc::new(service_with_rules());
-    let items = workload(64);
+    let owned = workload(64);
+    let items = borrow(&owned);
     let expected = run_sequential(&service, &items);
 
     for threads in [2usize, 4, 8] {
@@ -81,7 +94,7 @@ fn threads_sharing_one_engine_match_sequential() {
                             .iter()
                             .map(|it| {
                                 service
-                                    .validate(&it.rule, &it.values)
+                                    .validate(it.rule, &it.values)
                                     .map_err(|e| e.to_string())
                             })
                             .collect::<Vec<_>>()
@@ -104,7 +117,8 @@ fn threads_sharing_one_engine_match_sequential() {
 #[test]
 fn worker_pool_batch_matches_sequential() {
     let service = service_with_rules();
-    let items = workload(48);
+    let owned = workload(48);
+    let items = borrow(&owned);
     let expected = run_sequential(&service, &items);
     let batched: Vec<Result<ValidationReport, String>> = service
         .validate_batch(&items)
@@ -120,8 +134,8 @@ fn worker_pool_batch_matches_sequential() {
 #[test]
 fn validation_is_stable_under_concurrent_ingest() {
     let service = Arc::new(service_with_rules());
-    let items = workload(24);
-    let expected = run_sequential(&service, &items);
+    let owned = workload(24);
+    let expected = run_sequential(&service, &borrow(&owned));
 
     let ingester = {
         let service = Arc::clone(&service);
@@ -134,8 +148,12 @@ fn validation_is_stable_under_concurrent_ingest() {
     let validators: Vec<_> = (0..4)
         .map(|_| {
             let service = Arc::clone(&service);
-            let items = items.clone();
-            std::thread::spawn(move || run_sequential(&service, &items))
+            // The workload is deterministic: each thread regenerates and
+            // borrows its own copy (items are non-'static by design).
+            std::thread::spawn(move || {
+                let owned = workload(24);
+                run_sequential(&service, &borrow(&owned))
+            })
         })
         .collect();
     for v in validators {
@@ -150,12 +168,12 @@ fn validation_is_stable_under_concurrent_ingest() {
 fn unknown_rule_is_an_error_not_a_panic() {
     let service = service_with_rules();
     assert!(matches!(
-        service.validate("missing", &["x".to_string()]),
+        service.validate("missing", &["x"]),
         Err(ServiceError::UnknownRule(_))
     ));
     let batch = service.validate_batch(&[BatchItem {
-        rule: "missing".into(),
-        values: vec!["x".into()],
+        rule: "missing",
+        values: vec!["x"],
     }]);
     assert!(matches!(&batch[0], Err(ServiceError::UnknownRule(_))));
 }
