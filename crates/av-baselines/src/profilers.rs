@@ -4,7 +4,7 @@
 
 use crate::profile::{profile_group, strict_groups, TokenChoice};
 use crate::validator::{ColumnValidator, InferredRule};
-use av_pattern::{matches, Pattern};
+use av_pattern::{CompiledPattern, Pattern};
 
 /// Does the column look like natural language (many multi-word letter/space
 /// values)? Profilers produce only the trivial pattern there; following the
@@ -57,10 +57,10 @@ impl ColumnValidator for PottersWheel {
         if pattern.is_trivial() {
             return None;
         }
-        let p = pattern.clone();
+        let compiled = pattern.compile();
         Some(InferredRule::all_match(
             pattern.to_string(),
-            move |v: &str| matches(&p, v),
+            move |v: &str| compiled.matches(v),
         ))
     }
 }
@@ -85,10 +85,10 @@ impl ColumnValidator for Ssis {
         if pattern.is_trivial() {
             return None;
         }
-        let p = pattern.clone();
+        let compiled = pattern.compile();
         Some(InferredRule::all_match(
             pattern.to_regex(),
-            move |v: &str| matches(&p, v),
+            move |v: &str| compiled.matches(v),
         ))
     }
 }
@@ -134,8 +134,9 @@ impl ColumnValidator for XSystem {
             .map(|p| p.to_string())
             .collect::<Vec<_>>()
             .join(" | ");
+        let compiled: Vec<CompiledPattern> = branches.iter().map(Pattern::compile).collect();
         Some(InferredRule::all_match(desc, move |v: &str| {
-            branches.iter().any(|p| matches(p, v))
+            compiled.iter().any(|p| p.matches(v))
         }))
     }
 }
@@ -201,8 +202,9 @@ impl ColumnValidator for FlashProfile {
         patterns.sort();
         patterns.dedup();
         let desc = format!("{} cluster patterns", patterns.len());
+        let compiled: Vec<CompiledPattern> = patterns.iter().map(Pattern::compile).collect();
         Some(InferredRule::all_match(desc, move |v: &str| {
-            patterns.iter().any(|p| matches(p, v))
+            compiled.iter().any(|p| p.matches(v))
         }))
     }
 }

@@ -10,6 +10,7 @@ use av_baselines::{baseline_by_name, InferredRule};
 use av_core::{AutoValidate, FmdvConfig, ValidationRule, Validator, Variant};
 use av_corpus::{generate_lake, Column, LakeProfile};
 use av_index::{IndexConfig, PatternIndex};
+use av_pattern::{matches, parse, CompiledPattern, MatchScratch};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -89,9 +90,70 @@ fn bench_batch_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Compiled vs interpreted matching on the same patterns: the fixed-width
+/// FMDV-VH shape (deterministic program) and a variadic date-time shape
+/// (backtracking program), each on a conforming and a drifted value.
+fn bench_matcher_compiled_vs_reference(c: &mut Criterion) {
+    let fixed = parse("<digit>{2}:<digit>{2}:<digit>{2}").expect("fixed pattern");
+    let variadic =
+        parse("<digit>+/<digit>{2}/<digit>{4} <digit>+:<digit>{2}:<digit>{2} <letter>{2}")
+            .expect("variadic pattern");
+    let fixed_c = CompiledPattern::compile(&fixed);
+    let variadic_c = CompiledPattern::compile(&variadic);
+    let mut group = c.benchmark_group("matcher");
+    group.bench_function("reference fixed conforming", |b| {
+        b.iter(|| black_box(matches(black_box(&fixed), black_box("09:07:32"))))
+    });
+    group.bench_function("compiled fixed conforming", |b| {
+        b.iter(|| black_box(fixed_c.matches(black_box("09:07:32"))))
+    });
+    group.bench_function("reference fixed drifted", |b| {
+        b.iter(|| black_box(matches(black_box(&fixed), black_box("drift-42"))))
+    });
+    group.bench_function("compiled fixed drifted", |b| {
+        b.iter(|| black_box(fixed_c.matches(black_box("drift-42"))))
+    });
+    group.bench_function("reference variadic conforming", |b| {
+        b.iter(|| {
+            black_box(matches(
+                black_box(&variadic),
+                black_box("9/07/2019 12:01:32 PM"),
+            ))
+        })
+    });
+    group.bench_function("compiled variadic conforming", |b| {
+        b.iter(|| black_box(variadic_c.matches(black_box("9/07/2019 12:01:32 PM"))))
+    });
+    let mut scratch = MatchScratch::default();
+    group.bench_function("compiled variadic conforming (scratch)", |b| {
+        b.iter(|| {
+            black_box(variadic_c.matches_with(black_box("9/07/2019 12:01:32 PM"), &mut scratch))
+        })
+    });
+    group.finish();
+}
+
+/// One-time compile cost — the price paid at inference/load time to make
+/// every later check allocation-free.
+fn bench_compile_cost(c: &mut Criterion) {
+    let fixed = parse("<digit>{2}:<digit>{2}:<digit>{2}").expect("fixed pattern");
+    let variadic =
+        parse("<digit>+/<digit>{2}/<digit>{4} <digit>+:<digit>{2}:<digit>{2} <letter>{2}")
+            .expect("variadic pattern");
+    let mut group = c.benchmark_group("compile");
+    group.bench_function("fixed 5-token pattern", |b| {
+        b.iter(|| black_box(CompiledPattern::compile(black_box(&fixed))))
+    });
+    group.bench_function("variadic 13-token pattern", |b| {
+        b.iter(|| black_box(CompiledPattern::compile(black_box(&variadic))))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_check_latency, bench_batch_throughput
+    targets = bench_check_latency, bench_batch_throughput,
+        bench_matcher_compiled_vs_reference, bench_compile_cost
 }
 criterion_main!(benches);

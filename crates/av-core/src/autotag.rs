@@ -10,20 +10,45 @@
 use crate::config::{FmdvConfig, InferError};
 use crate::fmdv::lookup_candidates;
 use av_index::PatternIndex;
-use av_pattern::{analyze_column, matches, Pattern};
+use av_pattern::{analyze_column, CompiledPattern, Pattern};
 
 /// An inferred tagging pattern.
 #[derive(Debug, Clone)]
 pub struct TagRule {
-    /// The most restrictive pattern meeting the FNR budget.
-    pub pattern: Pattern,
+    /// The most restrictive pattern meeting the FNR budget. Private so it
+    /// can never drift from the compiled program — read via
+    /// [`TagRule::pattern`].
+    pattern: Pattern,
     /// Number of corpus columns the pattern covers (the "tag reach").
     pub coverage: u64,
     /// Fraction of training values *not* matched (observed FNR proxy).
     pub train_fnr: f64,
+    /// The pattern lowered to a byte-matching program.
+    compiled: CompiledPattern,
 }
 
 impl TagRule {
+    /// Build a tag rule, compiling the pattern once for all later checks.
+    pub fn new(pattern: Pattern, coverage: u64, train_fnr: f64) -> TagRule {
+        let compiled = pattern.compile();
+        TagRule {
+            pattern,
+            coverage,
+            train_fnr,
+            compiled,
+        }
+    }
+
+    /// The tagging pattern.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// Does a single value match the tag pattern?
+    pub fn tags_value(&self, value: &str) -> bool {
+        self.compiled.matches(value)
+    }
+
     /// Would this tag apply to a column (majority of values match)?
     pub fn tags<S: AsRef<str>>(&self, values: &[S]) -> bool {
         if values.is_empty() {
@@ -31,7 +56,7 @@ impl TagRule {
         }
         let hits = values
             .iter()
-            .filter(|v| matches(&self.pattern, v.as_ref()))
+            .filter(|v| self.compiled.matches(v.as_ref()))
             .count();
         hits * 2 > values.len()
     }
@@ -88,11 +113,11 @@ pub(crate) fn infer_tag_borrowed(
         .min_by(|a, b| a.cov.cmp(&b.cov).then_with(|| a.pattern.cmp(&b.pattern)))
         .cloned()
         .ok_or(InferError::NoFeasible)?;
-    let miss = train.iter().filter(|v| !matches(&best.pattern, v)).count();
+    let rule = TagRule::new(best.pattern, best.cov, 0.0);
+    let miss = train.iter().filter(|v| !rule.tags_value(v)).count();
     Ok(TagRule {
-        pattern: best.pattern,
-        coverage: best.cov,
         train_fnr: miss as f64 / train.len() as f64,
+        ..rule
     })
 }
 

@@ -57,7 +57,9 @@ mod rule;
 mod vertical;
 mod wire;
 
-pub use api::{AutoValidateBuilder, Report, Tally, ValidationSession, Validator, Verdict};
+pub use api::{
+    AutoValidateBuilder, CheckScratch, Report, Tally, ValidationSession, Validator, Verdict,
+};
 pub use autotag::{infer_tag, TagRule};
 pub use config::{FmdvConfig, InferError, Variant};
 pub use dictionary::DictionaryRule;
@@ -104,7 +106,7 @@ impl AnyRule {
     /// Short human-readable description.
     pub fn describe(&self) -> String {
         match self {
-            AnyRule::Pattern(r) => format!("pattern {}", r.pattern),
+            AnyRule::Pattern(r) => format!("pattern {}", r.pattern()),
             AnyRule::Numeric(r) => Validator::describe(r),
             AnyRule::Dictionary(r) => Validator::describe(r),
         }
@@ -124,6 +126,14 @@ impl Validator for AnyRule {
         }
     }
 
+    fn check_with(&self, value: &str, scratch: &mut CheckScratch) -> Verdict {
+        match self {
+            AnyRule::Pattern(r) => r.check_with(value, scratch),
+            AnyRule::Numeric(r) => r.check_with(value, scratch),
+            AnyRule::Dictionary(r) => r.check_with(value, scratch),
+        }
+    }
+
     fn finish(&self, tally: Tally) -> Report {
         match self {
             AnyRule::Pattern(r) => r.finish(tally),
@@ -134,7 +144,6 @@ impl Validator for AnyRule {
 }
 
 use av_index::PatternIndex;
-use av_pattern::matches;
 
 /// The Auto-Validate inference engine: an offline index plus configuration.
 pub struct AutoValidate<'a> {
@@ -205,17 +214,14 @@ impl<'a> AutoValidate<'a> {
                 (sol.full_pattern(), sol.total_fpr, cov)
             }
         };
-        // Exact training-time non-conforming fraction θ_C(h) (§4).
-        let miss = train.iter().filter(|v| !matches(&pattern, v)).count();
-        Ok(ValidationRule {
-            pattern,
-            train_nonconforming: miss as f64 / train.len().max(1) as f64,
-            train_size: train.len(),
-            expected_fpr: fpr,
-            coverage: cov,
-            test: cfg.test,
-            alpha: cfg.alpha,
-        })
+        // Building the rule compiles the pattern; the exact training-time
+        // non-conforming fraction θ_C(h) (§4) is then counted through the
+        // compiled program rather than the reference matcher.
+        let mut rule =
+            ValidationRule::new(pattern, 0.0, train.len(), fpr, cov, cfg.test, cfg.alpha);
+        let miss = train.iter().filter(|v| !rule.conforms(v)).count();
+        rule.train_nonconforming = miss as f64 / train.len().max(1) as f64;
+        Ok(rule)
     }
 
     /// Infer with the paper's best variant (FMDV-VH).

@@ -1,7 +1,7 @@
 //! Validation rules and the test-time distributional check (§4).
 
-use crate::api::{Tally, ValidationSession, Validator, Verdict};
-use av_pattern::{matches, Pattern};
+use crate::api::{CheckScratch, Tally, ValidationSession, Validator, Verdict};
+use av_pattern::{CompiledPattern, Pattern};
 use av_stats::{HomogeneityTest, Table2x2};
 
 /// The §4 two-sample conclusion shared by every distributional rule kind
@@ -42,10 +42,17 @@ pub(crate) fn distributional_report(
 
 /// An inferred data-validation rule: a pattern plus the training-time
 /// non-conforming rate and the statistical test configuration.
+///
+/// Construct with [`ValidationRule::new`], which lowers the pattern into a
+/// [`CompiledPattern`] once — every later [`ValidationRule::conforms`] /
+/// [`Validator::check`] call runs the compiled byte-level program with no
+/// per-call allocation.
 #[derive(Debug, Clone)]
 pub struct ValidationRule {
-    /// The data-domain pattern `h` chosen by FMDV.
-    pub pattern: Pattern,
+    /// The data-domain pattern `h` chosen by FMDV. Private so it can never
+    /// drift from the compiled program — read via
+    /// [`ValidationRule::pattern`]; a different pattern means a new rule.
+    pattern: Pattern,
     /// Fraction of training values not matching `h` — `θ_C(h)` in §4
     /// (0.0 for the non-horizontal variants).
     pub train_nonconforming: f64,
@@ -59,6 +66,9 @@ pub struct ValidationRule {
     pub test: HomogeneityTest,
     /// Significance level for raising an alarm.
     pub alpha: f64,
+    /// The pattern lowered to a byte-matching program, cached at
+    /// construction.
+    compiled: CompiledPattern,
 }
 
 /// Outcome of validating a future column `C'` against a rule.
@@ -77,9 +87,44 @@ pub struct ValidationReport {
 }
 
 impl ValidationRule {
+    /// Build a rule, compiling the pattern once for all later checks.
+    /// Fields are in struct order: θ_C(h), |C|, `FPR_T(h)`, `Cov_T(h)`,
+    /// the homogeneity test, and its significance level.
+    pub fn new(
+        pattern: Pattern,
+        train_nonconforming: f64,
+        train_size: usize,
+        expected_fpr: f64,
+        coverage: u64,
+        test: HomogeneityTest,
+        alpha: f64,
+    ) -> ValidationRule {
+        let compiled = pattern.compile();
+        ValidationRule {
+            pattern,
+            train_nonconforming,
+            train_size,
+            expected_fpr,
+            coverage,
+            test,
+            alpha,
+            compiled,
+        }
+    }
+
     /// Does a single value conform to the rule's pattern?
     pub fn conforms(&self, value: &str) -> bool {
-        matches(&self.pattern, value)
+        self.compiled.matches(value)
+    }
+
+    /// The data-domain pattern `h` this rule validates with.
+    pub fn pattern(&self) -> &Pattern {
+        &self.pattern
+    }
+
+    /// The compiled matching program backing this rule.
+    pub fn compiled(&self) -> &CompiledPattern {
+        &self.compiled
     }
 
     /// Validate a future column `C'` (§4): compute the non-conforming
@@ -118,6 +163,10 @@ impl Validator for ValidationRule {
         Verdict::conforming(self.conforms(value))
     }
 
+    fn check_with(&self, value: &str, scratch: &mut CheckScratch) -> Verdict {
+        Verdict::conforming(self.compiled.matches_with(value, scratch.pattern_scratch()))
+    }
+
     fn finish(&self, tally: Tally) -> ValidationReport {
         distributional_report(
             tally,
@@ -148,15 +197,15 @@ mod tests {
     use av_pattern::parse;
 
     fn rule(pattern: &str, theta: f64, train_size: usize) -> ValidationRule {
-        ValidationRule {
-            pattern: parse(pattern).unwrap(),
-            train_nonconforming: theta,
+        ValidationRule::new(
+            parse(pattern).unwrap(),
+            theta,
             train_size,
-            expected_fpr: 0.001,
-            coverage: 500,
-            test: HomogeneityTest::FisherExact,
-            alpha: 0.01,
-        }
+            0.001,
+            500,
+            HomogeneityTest::FisherExact,
+            0.01,
+        )
     }
 
     #[test]

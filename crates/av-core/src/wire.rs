@@ -120,7 +120,7 @@ impl ValidationRule {
     pub fn to_wire(&self) -> String {
         format!(
             "kind=pattern;pattern={};theta={};n={};fpr={};cov={};test={};alpha={}",
-            pct_encode(&self.pattern.to_string()),
+            pct_encode(&self.pattern().to_string()),
             self.train_nonconforming,
             self.train_size,
             self.expected_fpr,
@@ -139,15 +139,15 @@ impl ValidationRule {
         let printed = pct_decode(lookup(&fs, "pattern")?)?;
         let pattern = av_pattern::parse(&printed)
             .map_err(|e| err(format!("unparseable pattern {printed:?}: {e}")))?;
-        Ok(ValidationRule {
+        Ok(ValidationRule::new(
             pattern,
-            train_nonconforming: parse_f64(&fs, "theta")?,
-            train_size: parse_usize(&fs, "n")?,
-            expected_fpr: parse_f64(&fs, "fpr")?,
-            coverage: parse_u64(&fs, "cov")?,
-            test: parse_test(lookup(&fs, "test")?)?,
-            alpha: parse_f64(&fs, "alpha")?,
-        })
+            parse_f64(&fs, "theta")?,
+            parse_usize(&fs, "n")?,
+            parse_f64(&fs, "fpr")?,
+            parse_u64(&fs, "cov")?,
+            parse_test(lookup(&fs, "test")?)?,
+            parse_f64(&fs, "alpha")?,
+        ))
     }
 }
 
@@ -273,22 +273,22 @@ mod tests {
     use av_pattern::parse;
 
     fn pattern_rule() -> ValidationRule {
-        ValidationRule {
-            pattern: parse("<digit>{2}:<digit>{2}:<digit>{2}").unwrap(),
-            train_nonconforming: 1.0 / 3.0,
-            train_size: 300,
-            expected_fpr: 0.0123456789,
-            coverage: 542,
-            test: HomogeneityTest::FisherExact,
-            alpha: 0.01,
-        }
+        ValidationRule::new(
+            parse("<digit>{2}:<digit>{2}:<digit>{2}").unwrap(),
+            1.0 / 3.0,
+            300,
+            0.0123456789,
+            542,
+            HomogeneityTest::FisherExact,
+            0.01,
+        )
     }
 
     #[test]
     fn pattern_rule_roundtrips_exactly() {
         let r = pattern_rule();
         let back = ValidationRule::from_wire(&r.to_wire()).unwrap();
-        assert_eq!(back.pattern.to_string(), r.pattern.to_string());
+        assert_eq!(back.pattern().to_string(), r.pattern().to_string());
         assert_eq!(
             back.train_nonconforming.to_bits(),
             r.train_nonconforming.to_bits()
@@ -302,10 +302,17 @@ mod tests {
 
     #[test]
     fn pattern_with_literal_delimiters_roundtrips() {
-        let mut r = pattern_rule();
-        r.pattern = parse("<digit>+;=,%<letter>+").unwrap();
+        let r = ValidationRule::new(
+            parse("<digit>+;=,%<letter>+").unwrap(),
+            0.0,
+            10,
+            0.001,
+            5,
+            HomogeneityTest::FisherExact,
+            0.01,
+        );
         let back = ValidationRule::from_wire(&r.to_wire()).unwrap();
-        assert_eq!(back.pattern.to_string(), r.pattern.to_string());
+        assert_eq!(back.pattern().to_string(), r.pattern().to_string());
         assert!(back.conforms("12;=,%ab"));
     }
 

@@ -105,8 +105,11 @@ impl ColumnValidator for NoIndexFmdv {
                     .then_with(|| a.0.cmp(b.0))
             })
             .map(|(p, _)| p.clone())?;
+        // Compile once at inference; the rule's closure runs the byte-level
+        // program on every check instead of the reference matcher.
+        let compiled = best.compile();
         Some(InferredRule::all_match(best.to_string(), move |v: &str| {
-            av_pattern::matches(&best, v)
+            compiled.matches(v)
         }))
     }
 }

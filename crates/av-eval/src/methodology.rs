@@ -193,10 +193,11 @@ fn evaluate_case(
     // cleaning pass).
     let precision_gt = match &case.column.meta.ground_truth {
         Some(gt) => {
+            let gt_compiled = gt.compile();
             let clean: Vec<&str> = test
                 .iter()
                 .copied()
-                .filter(|v| av_pattern::matches(gt, v))
+                .filter(|v| gt_compiled.matches(v))
                 .collect();
             if clean.is_empty() || rule.passes(clean) {
                 1.0

@@ -77,4 +77,45 @@ proptest! {
             prop_assert!((s2.fpr - s1.fpr).abs() < 1e-9, "fpr invariant");
         }
     }
+
+    /// The patterns the offline build indexes agree with the compiled
+    /// matcher the online path runs: for every indexed pattern, lowering it
+    /// to a [`av_pattern::CompiledPattern`] and matching the corpus values
+    /// byte-level returns exactly the reference matcher's verdicts (and the
+    /// compiled round-trip preserves the index key). This pins the index's
+    /// pattern population to the production matcher — a lookup hit means
+    /// the compiled rule really accepts what the index thinks it accepts.
+    #[test]
+    fn indexed_patterns_agree_with_compiled_matcher(
+        cols in proptest::collection::vec(
+            proptest::collection::vec(value(), 1..10),
+            1..6,
+        )
+    ) {
+        let columns: Vec<Column> = cols
+            .into_iter()
+            .enumerate()
+            .map(|(i, vals)| column(i, vals))
+            .collect();
+        let refs: Vec<&Column> = columns.iter().collect();
+        let config = IndexConfig { keep_patterns: true, ..Default::default() };
+        let index = PatternIndex::build(&refs, &config);
+        let values: Vec<&str> = columns
+            .iter()
+            .flat_map(|c| c.values.iter().map(String::as_str))
+            .collect();
+        for (fp, _) in index.entries() {
+            let printed = index.pattern_string(fp).expect("keep_patterns build");
+            let pattern = av_pattern::parse(printed).expect("indexed patterns parse");
+            prop_assert_eq!(pattern.fingerprint(), fp, "fingerprint round-trip: {}", printed);
+            let compiled = pattern.compile();
+            for v in &values {
+                prop_assert_eq!(
+                    compiled.matches(v),
+                    av_pattern::matches(&pattern, v),
+                    "compiled vs reference: {} ~ {:?}", printed, v
+                );
+            }
+        }
+    }
 }

@@ -1,0 +1,732 @@
+//! Compiled pattern programs: byte-level, allocation-free matching.
+//!
+//! [`crate::matches`] is the *reference* matcher — character-level memoized
+//! backtracking, kept deliberately close to the paper's Def. 1 so it can
+//! serve as the oracle in equivalence tests. It is also slow in the way
+//! reference implementations are allowed to be: every call collects the
+//! value into a `Vec<char>`, allocates a fresh memo table, and recurses one
+//! Rust stack frame per token.
+//!
+//! [`CompiledPattern`] is the production matcher. A [`crate::Pattern`] is
+//! *lowered once* into a flat instruction program:
+//!
+//! * adjacent same-class tokens are **fused** — `<digit>{2}<digit>{4}`
+//!   becomes one bounded 6-char scan, `<digit>{2}<digit>+` one "6-or-more"
+//!   run — so the program is usually shorter than the token list;
+//! * literals are stored as pre-encoded byte slices (UTF-8 equality on
+//!   `char` sequences is byte equality, so literal matching is `memcmp`);
+//! * every instruction carries the **minimum bytes** the remaining program
+//!   can accept, so hopeless positions are pruned before any scanning;
+//! * matching runs directly over the value's UTF-8 bytes — no `Vec<char>`.
+//!   The ASCII classes (`<digit>`, `<upper>`, …) test single bytes;
+//!   `<sym>`/`<any>`, whose alphabets include multi-byte characters, step
+//!   by encoded length, so positions always stay on `char` boundaries;
+//! * backtracking over variadic tokens uses an **explicit heap stack** (one
+//!   frame per suspended variadic, not one call frame per token — a
+//!   10 000-token pattern is fine), with the failure memo of the reference
+//!   matcher kept only when the program has two or more branch points
+//!   (below that, no state can be reached twice, so the memo would be pure
+//!   overhead — variadic-free patterns run a single deterministic scan).
+//!
+//! Verdicts are exactly those of the reference matcher; the equivalence is
+//! property-tested in `tests/matcher_oracle.rs`.
+
+use crate::pattern::Pattern;
+use crate::token::Token;
+use std::cell::RefCell;
+
+/// Character class an instruction scans. Mirrors [`Token::class_contains`]:
+/// the first six are pure-ASCII alphabets, `Sym` and `Any` also accept
+/// multi-byte characters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Digit,
+    Upper,
+    Lower,
+    Letter,
+    Alnum,
+    Space,
+    Sym,
+    Any,
+}
+
+impl Class {
+    /// Membership test for an ASCII byte (callers route non-ASCII
+    /// separately via [`Class::accepts_multibyte`]).
+    #[inline]
+    fn contains_ascii(self, b: u8) -> bool {
+        const fn is_ascii_space(b: u8) -> bool {
+            matches!(b, b' ' | b'\t' | b'\r' | b'\n' | 0x0B | 0x0C)
+        }
+        match self {
+            Class::Digit => b.is_ascii_digit(),
+            Class::Upper => b.is_ascii_uppercase(),
+            Class::Lower => b.is_ascii_lowercase(),
+            Class::Letter => b.is_ascii_alphabetic(),
+            Class::Alnum => b.is_ascii_alphanumeric(),
+            Class::Space => is_ascii_space(b),
+            // Same set as `CharClass::of(c) == Symbol` restricted to ASCII.
+            Class::Sym => !b.is_ascii_alphanumeric() && !is_ascii_space(b),
+            Class::Any => true,
+        }
+    }
+
+    /// Does the class accept non-ASCII characters? (`CharClass::of` sends
+    /// every non-ASCII `char` to `Symbol`, so `<sym>` and `<any>` do.)
+    #[inline]
+    fn accepts_multibyte(self) -> bool {
+        matches!(self, Class::Sym | Class::Any)
+    }
+}
+
+/// Encoded length of the character starting with lead byte `lead`
+/// (callers guarantee `lead >= 0x80` came from a valid `&str` boundary).
+#[inline]
+fn utf8_len(lead: u8) -> usize {
+    if lead < 0xE0 {
+        2
+    } else if lead < 0xF0 {
+        3
+    } else {
+        4
+    }
+}
+
+/// Consume one character of `class` at byte `pos`; returns the byte
+/// position after it, or `None` when the position holds no such character.
+#[inline]
+fn eat_char(bytes: &[u8], pos: usize, class: Class) -> Option<usize> {
+    let b = *bytes.get(pos)?;
+    if b < 0x80 {
+        if class.contains_ascii(b) {
+            Some(pos + 1)
+        } else {
+            None
+        }
+    } else if class.accepts_multibyte() {
+        Some(pos + utf8_len(b))
+    } else {
+        None
+    }
+}
+
+/// One instruction of a compiled program.
+#[derive(Debug, Clone)]
+enum Inst {
+    /// Match these exact bytes.
+    Lit(Box<[u8]>),
+    /// Exactly `chars` characters of `class` (fused fixed-width tokens).
+    Fixed { class: Class, chars: u32 },
+    /// `min_chars` or more characters of `class` (fused variadic runs;
+    /// adjacent fixed widths of the same class fold into the minimum).
+    Var { class: Class, min_chars: u32 },
+    /// `<num>` = `\d+(\.\d+)?`, with full backtracking over end positions.
+    Num,
+}
+
+impl Inst {
+    /// Minimum bytes this instruction can accept (chars are ≥ 1 byte each,
+    /// so a char count is a valid byte lower bound).
+    fn min_bytes(&self) -> usize {
+        match self {
+            Inst::Lit(b) => b.len(),
+            Inst::Fixed { chars, .. } => *chars as usize,
+            Inst::Var { min_chars, .. } => *min_chars as usize,
+            Inst::Num => 1,
+        }
+    }
+
+    /// Is this a branch point (a choice of end positions)?
+    fn is_branch(&self) -> bool {
+        matches!(self, Inst::Var { .. } | Inst::Num)
+    }
+}
+
+/// Reusable working memory for [`CompiledPattern::matches_with`].
+///
+/// Holds the backtracking stack and the failure memo. Both retain their
+/// capacity across calls, so a scratch reused over a stream of values makes
+/// steady-state matching allocation-free. A fresh `MatchScratch` is two
+/// empty `Vec`s — creating one does not allocate.
+#[derive(Debug, Default, Clone)]
+pub struct MatchScratch {
+    stack: Vec<Frame>,
+    memo: Vec<u64>,
+}
+
+/// A suspended branch instruction: which candidate end positions remain.
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    /// Instruction index.
+    inst: usize,
+    /// Byte position the instruction started at.
+    pos: usize,
+    /// `Var`: next candidate end, stepping down by one char per retry.
+    /// `Num`: current integer-end candidate `ie`.
+    a: usize,
+    /// `Var`: smallest legal end (after `min_chars` chars); exhausted when
+    /// `a < b`. `Num`: next fraction-end candidate for `ie`, 0 when none.
+    b: usize,
+}
+
+/// Outcome of running the deterministic prefix from a state.
+enum Step {
+    /// The whole value was consumed by the whole program.
+    Accept,
+    /// Dead end.
+    Reject,
+    /// Reached a branch instruction at this state.
+    Branch { inst: usize, pos: usize },
+}
+
+/// A [`Pattern`] lowered to a flat byte-matching program.
+///
+/// Compile once at inference time, then [`CompiledPattern::matches`] (or
+/// [`CompiledPattern::matches_with`] with a caller-owned scratch) answers
+/// `h ∈ P(v)` with no per-call allocation and no recursion.
+///
+/// ```
+/// use av_pattern::{parse, CompiledPattern, MatchScratch};
+///
+/// let pattern = parse("<letter>{3} <digit>{2} <digit>{4}").unwrap();
+/// let compiled = CompiledPattern::compile(&pattern);
+/// assert!(compiled.matches("Mar 01 2019"));
+/// assert!(!compiled.matches("Mar 1 2019"));
+///
+/// // Hot loops reuse one scratch across values.
+/// let mut scratch = MatchScratch::default();
+/// assert!(compiled.matches_with("Apr 30 2020", &mut scratch));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CompiledPattern {
+    insts: Box<[Inst]>,
+    /// `min_tail[i]`: minimum bytes `insts[i..]` can accept (`min_tail[n]`
+    /// = 0). Checked before running instruction `i` — the early prune.
+    min_tail: Box<[usize]>,
+    /// Branch ordinal per instruction (`usize::MAX` for deterministic
+    /// instructions); memo rows exist only for branch instructions.
+    branch_ord: Box<[usize]>,
+    /// Number of branch instructions.
+    nbranch: usize,
+}
+
+impl CompiledPattern {
+    /// Lower `pattern` into a matching program.
+    pub fn compile(pattern: &Pattern) -> CompiledPattern {
+        let mut insts: Vec<Inst> = Vec::with_capacity(pattern.len());
+        for t in pattern.tokens() {
+            match t {
+                Token::Lit(s) => insts.push(Inst::Lit(s.as_bytes().into())),
+                Token::Num => insts.push(Inst::Num),
+                Token::Digit(n) => push_class(&mut insts, Class::Digit, *n as u32, false),
+                Token::Upper(n) => push_class(&mut insts, Class::Upper, *n as u32, false),
+                Token::Lower(n) => push_class(&mut insts, Class::Lower, *n as u32, false),
+                Token::Letter(n) => push_class(&mut insts, Class::Letter, *n as u32, false),
+                Token::Alnum(n) => push_class(&mut insts, Class::Alnum, *n as u32, false),
+                Token::Sym(n) => push_class(&mut insts, Class::Sym, *n as u32, false),
+                Token::DigitPlus => push_class(&mut insts, Class::Digit, 1, true),
+                Token::UpperPlus => push_class(&mut insts, Class::Upper, 1, true),
+                Token::LowerPlus => push_class(&mut insts, Class::Lower, 1, true),
+                Token::LetterPlus => push_class(&mut insts, Class::Letter, 1, true),
+                Token::AlnumPlus => push_class(&mut insts, Class::Alnum, 1, true),
+                Token::SymPlus => push_class(&mut insts, Class::Sym, 1, true),
+                Token::SpacePlus => push_class(&mut insts, Class::Space, 1, true),
+                Token::AnyPlus => push_class(&mut insts, Class::Any, 1, true),
+            }
+        }
+        let mut min_tail = vec![0usize; insts.len() + 1];
+        for i in (0..insts.len()).rev() {
+            min_tail[i] = min_tail[i + 1] + insts[i].min_bytes();
+        }
+        let mut nbranch = 0usize;
+        let branch_ord: Vec<usize> = insts
+            .iter()
+            .map(|inst| {
+                if inst.is_branch() {
+                    nbranch += 1;
+                    nbranch - 1
+                } else {
+                    usize::MAX
+                }
+            })
+            .collect();
+        CompiledPattern {
+            insts: insts.into_boxed_slice(),
+            min_tail: min_tail.into_boxed_slice(),
+            branch_ord: branch_ord.into_boxed_slice(),
+            nbranch,
+        }
+    }
+
+    /// Number of instructions in the program (≤ the pattern's token count;
+    /// fusion shortens it).
+    pub fn num_instructions(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// True when matching runs a single deterministic scan — no variadic
+    /// or `<num>` instruction, hence no backtracking, memo, or stack.
+    pub fn is_deterministic(&self) -> bool {
+        self.nbranch == 0
+    }
+
+    /// Does the program accept the *entire* `value`?
+    ///
+    /// Deterministic programs match with no working memory at all; for
+    /// backtracking programs a thread-local [`MatchScratch`] is reused, so
+    /// steady-state calls are allocation-free either way. Hot loops that
+    /// want the scratch under their own control use
+    /// [`CompiledPattern::matches_with`].
+    pub fn matches(&self, value: &str) -> bool {
+        if self.nbranch == 0 {
+            // The scratch is untouched on this path, and a fresh one does
+            // not allocate.
+            return self.matches_with(value, &mut MatchScratch::default());
+        }
+        thread_local! {
+            static SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::default());
+        }
+        SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.matches_with(value, &mut scratch),
+            // Unreachable in practice (matching never re-enters), but a
+            // fallback beats a panic.
+            Err(_) => self.matches_with(value, &mut MatchScratch::default()),
+        })
+    }
+
+    /// [`CompiledPattern::matches`] with caller-owned working memory.
+    ///
+    /// The scratch keeps its buffers between calls; reusing one across a
+    /// stream of values makes every call after the first allocation-free.
+    pub fn matches_with(&self, value: &str, scratch: &mut MatchScratch) -> bool {
+        let bytes = value.as_bytes();
+        if bytes.len() < self.min_tail[0] {
+            return false;
+        }
+        // Entry: run the deterministic prefix.
+        let (inst, pos) = match self.advance(bytes, 0, 0) {
+            Step::Accept => return true,
+            Step::Reject => return false,
+            Step::Branch { inst, pos } => (inst, pos),
+        };
+        // With a single branch instruction no (inst, pos) state can be
+        // reached twice, so the failure memo would be pure overhead.
+        let use_memo = self.nbranch > 1;
+        if use_memo {
+            let states = self.nbranch * (bytes.len() + 1);
+            scratch.memo.clear();
+            scratch.memo.resize(states.div_ceil(64), 0);
+        }
+        scratch.stack.clear();
+        scratch.stack.push(self.init_frame(bytes, inst, pos));
+
+        while let Some(mut frame) = scratch.stack.pop() {
+            let Some(end) = self.next_candidate(bytes, &mut frame) else {
+                // Every split of this branch state failed.
+                if use_memo {
+                    let key = self.branch_ord[frame.inst] * (bytes.len() + 1) + frame.pos;
+                    scratch.memo[key / 64] |= 1 << (key % 64);
+                }
+                continue;
+            };
+            scratch.stack.push(frame); // updated cursor, back on the stack
+            match self.advance(bytes, frame.inst + 1, end) {
+                Step::Accept => return true,
+                Step::Reject => {}
+                Step::Branch { inst, pos } => {
+                    let failed = use_memo && {
+                        let key = self.branch_ord[inst] * (bytes.len() + 1) + pos;
+                        scratch.memo[key / 64] & (1 << (key % 64)) != 0
+                    };
+                    if !failed {
+                        scratch.stack.push(self.init_frame(bytes, inst, pos));
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Run deterministic instructions from `(inst, pos)` until the program
+    /// ends, a dead end, or a branch instruction.
+    fn advance(&self, bytes: &[u8], mut inst: usize, mut pos: usize) -> Step {
+        loop {
+            if inst == self.insts.len() {
+                return if pos == bytes.len() {
+                    Step::Accept
+                } else {
+                    Step::Reject
+                };
+            }
+            if bytes.len() - pos < self.min_tail[inst] {
+                return Step::Reject;
+            }
+            match &self.insts[inst] {
+                Inst::Lit(lit) => {
+                    if bytes[pos..].starts_with(lit) {
+                        pos += lit.len();
+                    } else {
+                        return Step::Reject;
+                    }
+                }
+                Inst::Fixed { class, chars } => {
+                    for _ in 0..*chars {
+                        match eat_char(bytes, pos, *class) {
+                            Some(next) => pos = next,
+                            None => return Step::Reject,
+                        }
+                    }
+                }
+                Inst::Var { .. } | Inst::Num => return Step::Branch { inst, pos },
+            }
+            inst += 1;
+        }
+    }
+
+    /// Build the candidate-end cursor for a branch instruction at `pos`.
+    fn init_frame(&self, bytes: &[u8], inst: usize, pos: usize) -> Frame {
+        match &self.insts[inst] {
+            Inst::Var { class, min_chars } => {
+                // Greedy scan of the maximal run, remembering the byte end
+                // after the first `min_chars` characters.
+                let mut count = 0u32;
+                let mut p = pos;
+                let mut min_end = pos;
+                while let Some(next) = eat_char(bytes, p, *class) {
+                    count += 1;
+                    p = next;
+                    if count == *min_chars {
+                        min_end = p;
+                    }
+                }
+                if count < *min_chars {
+                    Frame {
+                        inst,
+                        pos,
+                        a: 0,
+                        b: 1,
+                    } // a < b: no candidates
+                } else {
+                    Frame {
+                        inst,
+                        pos,
+                        a: p,
+                        b: min_end,
+                    }
+                }
+            }
+            Inst::Num => {
+                let mut ie = pos;
+                while ie < bytes.len() && bytes[ie].is_ascii_digit() {
+                    ie += 1;
+                }
+                if ie == pos {
+                    // `a <= pos`: no candidates.
+                    Frame {
+                        inst,
+                        pos,
+                        a: pos,
+                        b: 0,
+                    }
+                } else {
+                    Frame {
+                        inst,
+                        pos,
+                        a: ie,
+                        b: frac_end(bytes, ie),
+                    }
+                }
+            }
+            _ => unreachable!("init_frame on a deterministic instruction"),
+        }
+    }
+
+    /// Next candidate end position for a suspended branch, longest first
+    /// (same exploration semantics as the reference matcher; the accepted
+    /// language does not depend on the order).
+    fn next_candidate(&self, bytes: &[u8], frame: &mut Frame) -> Option<usize> {
+        match &self.insts[frame.inst] {
+            Inst::Var { .. } => {
+                if frame.a < frame.b {
+                    return None;
+                }
+                let end = frame.a;
+                // Step back to the previous char boundary; `end >= b >= 1`
+                // and the run starts at a boundary, so this never
+                // underflows below `frame.pos`.
+                let mut p = end - 1;
+                while bytes[p] & 0xC0 == 0x80 {
+                    p -= 1;
+                }
+                frame.a = p;
+                Some(end)
+            }
+            Inst::Num => {
+                // Candidates per integer end `ie` (descending): fraction
+                // ends `fe ..= ie+2` first, then `ie` itself.
+                if frame.a <= frame.pos {
+                    return None;
+                }
+                if frame.b != 0 {
+                    let end = frame.b;
+                    frame.b = if frame.b > frame.a + 2 {
+                        frame.b - 1
+                    } else {
+                        0
+                    };
+                    return Some(end);
+                }
+                let end = frame.a;
+                frame.a -= 1;
+                if frame.a > frame.pos {
+                    frame.b = frac_end(bytes, frame.a);
+                }
+                Some(end)
+            }
+            _ => unreachable!("next_candidate on a deterministic instruction"),
+        }
+    }
+}
+
+/// Longest fraction end after integer end `ie` (`'.'` plus ≥ 1 digit), or
+/// 0 when the position has no legal fraction.
+fn frac_end(bytes: &[u8], ie: usize) -> usize {
+    if ie < bytes.len() && bytes[ie] == b'.' {
+        let mut fe = ie + 1;
+        while fe < bytes.len() && bytes[fe].is_ascii_digit() {
+            fe += 1;
+        }
+        if fe >= ie + 2 {
+            return fe;
+        }
+    }
+    0
+}
+
+/// Push a class token, fusing with a trailing instruction of the same
+/// class: fixed+fixed adds widths, fixed+variadic (either order) and
+/// variadic+variadic fold into one `Var` with the summed minimum — the
+/// concatenation of same-class tokens accepts exactly "total width" (or
+/// "total minimum or more") characters of that class.
+fn push_class(insts: &mut Vec<Inst>, class: Class, n: u32, variadic: bool) {
+    enum Fused {
+        No,
+        Done,
+        ToVar(u32),
+    }
+    let fused = match insts.last_mut() {
+        Some(Inst::Fixed { class: c, chars }) if *c == class => {
+            if variadic {
+                Fused::ToVar(*chars + n)
+            } else {
+                *chars += n;
+                Fused::Done
+            }
+        }
+        Some(Inst::Var {
+            class: c,
+            min_chars,
+        }) if *c == class => {
+            *min_chars += n;
+            Fused::Done
+        }
+        _ => Fused::No,
+    };
+    match fused {
+        Fused::Done => {}
+        Fused::ToVar(min_chars) => {
+            *insts.last_mut().expect("fused with last") = Inst::Var { class, min_chars };
+        }
+        Fused::No => insts.push(if variadic {
+            Inst::Var {
+                class,
+                min_chars: n,
+            }
+        } else {
+            Inst::Fixed { class, chars: n }
+        }),
+    }
+}
+
+impl Pattern {
+    /// Lower this pattern into a [`CompiledPattern`] program.
+    pub fn compile(&self) -> CompiledPattern {
+        CompiledPattern::compile(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::matches;
+    use crate::parser::parse;
+
+    fn check_both(pattern: &Pattern, value: &str) -> bool {
+        let compiled = CompiledPattern::compile(pattern);
+        let byte_verdict = compiled.matches(value);
+        let mut scratch = MatchScratch::default();
+        assert_eq!(
+            byte_verdict,
+            compiled.matches_with(value, &mut scratch),
+            "scratch path diverged on {pattern} vs {value:?}"
+        );
+        assert_eq!(
+            byte_verdict,
+            matches(pattern, value),
+            "compiled diverged from reference on {pattern} vs {value:?}"
+        );
+        byte_verdict
+    }
+
+    #[test]
+    fn empty_pattern_matches_only_empty_string() {
+        assert!(check_both(&Pattern::empty(), ""));
+        assert!(!check_both(&Pattern::empty(), "x"));
+    }
+
+    #[test]
+    fn paper_validation_patterns() {
+        let p = parse("<letter>{3} <digit>{2} <digit>{4}").unwrap();
+        for v in ["Mar 01 2019", "Oct 11 2020"] {
+            assert!(check_both(&p, v), "{v}");
+        }
+        assert!(!check_both(&p, "March 01 2019"));
+        assert!(!check_both(&p, "Mar 1 2019"));
+        assert!(!check_both(&p, "Mar 01 2019 "));
+
+        let p2 = parse("<digit>+/<digit>{2}/<digit>{4} <digit>+:<digit>{2}:<digit>{2} <letter>{2}")
+            .unwrap();
+        assert!(check_both(&p2, "9/07/2019 12:01:32 PM"));
+        assert!(!check_both(&p2, "9/07/2019 12:01:32"));
+    }
+
+    #[test]
+    fn num_backtracking() {
+        let p = parse("<num>").unwrap();
+        for (v, want) in [
+            ("9", true),
+            ("0.1", true),
+            ("12345.6789", true),
+            (".5", false),
+            ("5.", false),
+            ("1.2.3", false),
+            ("", false),
+        ] {
+            assert_eq!(check_both(&p, v), want, "{v:?}");
+        }
+        // <num> must give characters back to the rest of the pattern.
+        assert!(check_both(&parse("<num>:<digit>+").unwrap(), "9:07"));
+        assert!(check_both(&parse("<num>.<digit>{2}").unwrap(), "3.14"));
+        assert!(check_both(&parse("<num>.<digit>{2}").unwrap(), "1.5.99"));
+    }
+
+    #[test]
+    fn same_class_tokens_fuse() {
+        let p = Pattern::new(vec![Token::Digit(2), Token::Digit(3)]);
+        let c = CompiledPattern::compile(&p);
+        assert_eq!(c.num_instructions(), 1);
+        assert!(c.is_deterministic());
+        assert!(check_both(&p, "12345"));
+        assert!(!check_both(&p, "1234"));
+
+        let p = Pattern::new(vec![Token::Digit(2), Token::DigitPlus, Token::DigitPlus]);
+        let c = CompiledPattern::compile(&p);
+        assert_eq!(c.num_instructions(), 1);
+        assert!(!check_both(&p, "123"));
+        assert!(check_both(&p, "1234"));
+        assert!(check_both(&p, "123456789"));
+
+        // Different classes do not fuse: <digit>{2}<alnum>+ ≠ <alnum>{3+}.
+        let p = Pattern::new(vec![Token::Digit(2), Token::AlnumPlus]);
+        assert_eq!(CompiledPattern::compile(&p).num_instructions(), 2);
+        assert!(check_both(&p, "12ab"));
+        assert!(!check_both(&p, "ab12"));
+    }
+
+    #[test]
+    fn variadic_splits_match_reference() {
+        let p = Pattern::new(vec![Token::AlnumPlus, Token::lit("-"), Token::AlnumPlus]);
+        assert!(check_both(&p, "a1-b2"));
+        assert!(!check_both(&p, "a-b-c")); // the trailing "-c" has no home
+        assert!(!check_both(&p, "-ab"));
+        let sym = Pattern::new(vec![Token::SymPlus, Token::lit("-"), Token::AlnumPlus]);
+        assert!(check_both(&sym, "--a")); // <sym>+ must give back the "-"
+        assert!(!check_both(&sym, "-a"));
+        let p2 = Pattern::new(vec![Token::AnyPlus, Token::lit("!")]);
+        assert!(check_both(&p2, "anything!"));
+        assert!(!check_both(&p2, "anything"));
+        assert!(!check_both(&p2, "!"));
+    }
+
+    #[test]
+    fn unicode_values_stay_on_char_boundaries() {
+        // Non-ASCII characters are symbols (CharClass::of), multi-byte in
+        // UTF-8; <sym> widths count characters, not bytes.
+        let sym2 = Pattern::new(vec![Token::Sym(2)]);
+        assert!(check_both(&sym2, "é°"));
+        assert!(!check_both(&sym2, "é"));
+        assert!(!check_both(&sym2, "éa"));
+        let p = Pattern::new(vec![Token::SymPlus, Token::lit("x"), Token::SymPlus]);
+        assert!(check_both(&p, "éx✓"));
+        assert!(check_both(&p, "…x—"));
+        assert!(!check_both(&p, "…x"));
+        // ASCII classes reject multi-byte characters outright.
+        assert!(!check_both(&Pattern::new(vec![Token::LetterPlus]), "ré"));
+        // <any>+ splits across multi-byte characters without slicing them.
+        let any2 = Pattern::new(vec![Token::AnyPlus, Token::AnyPlus]);
+        assert!(check_both(&any2, "é✓"));
+        assert!(!check_both(&any2, "é"));
+    }
+
+    #[test]
+    fn min_width_pruning_rejects_short_values_early() {
+        let p = parse("<digit>{4}-<digit>{2}-<digit>{2}").unwrap();
+        let c = CompiledPattern::compile(&p);
+        assert!(c.is_deterministic());
+        assert!(!c.matches("2019-"));
+        assert!(c.matches("2019-07-27"));
+        assert!(!c.matches("2019-07-271"));
+    }
+
+    #[test]
+    fn pathological_adjacent_variadics_fuse_flat() {
+        // The reference matcher needs its memo for this; fusion makes it a
+        // single bounded scan here.
+        let p = Pattern::new(vec![Token::AnyPlus; 12]);
+        let c = CompiledPattern::compile(&p);
+        assert_eq!(c.num_instructions(), 1);
+        let long = "x".repeat(200);
+        assert!(check_both(&p, &long));
+        let p2 = Pattern::new(
+            std::iter::repeat_n(Token::AnyPlus, 12)
+                .chain([Token::lit("!")])
+                .collect::<Vec<_>>(),
+        );
+        assert!(!check_both(&p2, &long));
+    }
+
+    #[test]
+    fn memo_engages_on_multi_branch_programs() {
+        // Two <num> tokens with a separator: both branch, memo on.
+        let p = parse("<num>,<num>").unwrap();
+        let c = CompiledPattern::compile(&p);
+        assert_eq!(c.num_instructions(), 3);
+        assert!(!c.is_deterministic());
+        assert!(check_both(&p, "1.5,2.25"));
+        assert!(check_both(&p, "1,2"));
+        assert!(!check_both(&p, "1,2,"));
+        assert!(!check_both(&p, "1.,2"));
+    }
+
+    #[test]
+    fn scratch_reuse_across_values() {
+        let p = parse("<digit>+:<digit>{2}").unwrap();
+        let c = CompiledPattern::compile(&p);
+        let mut scratch = MatchScratch::default();
+        for i in 0..50 {
+            let good = format!("{}:{:02}", i, i % 60);
+            assert!(c.matches_with(&good, &mut scratch), "{good}");
+            assert!(!c.matches_with("drift", &mut scratch));
+        }
+    }
+}

@@ -10,7 +10,13 @@
 //!
 //! * [`tokenize`] — the coarse lexer splitting values into same-class runs
 //!   ([`Run`]s are slices of the input — tokenization allocates no text);
-//! * [`matches()`](fn@matches) — full-string pattern matching (`h ∈ P(v)` at test time);
+//! * [`matches()`](fn@matches) — full-string pattern matching (`h ∈ P(v)` at
+//!   test time), the character-level reference matcher used as the oracle;
+//! * [`CompiledPattern`] — patterns lowered once into flat byte-level
+//!   matching programs (fused scans, pre-encoded literals, explicit-stack
+//!   backtracking) whose steady-state [`CompiledPattern::matches`] /
+//!   [`CompiledPattern::matches_with`] calls allocate nothing — the matcher
+//!   every hot validation path in the workspace runs on;
 //! * [`analyze_column`] / [`hypothesis_space`] / [`patterns_of_value`] —
 //!   Algorithm 1: coarse grouping plus per-position drill-down, producing
 //!   `P(v)`, `P(D)` and `H(C)`;
@@ -39,6 +45,7 @@
 #![warn(missing_docs)]
 
 mod analyze;
+mod compile;
 mod generalize;
 mod matcher;
 mod parser;
@@ -50,6 +57,7 @@ pub use analyze::{
     analyze_column, column_pattern_profile, hypothesis_space, merged_key, merged_token_count,
     patterns_of_value, BitSet, CoarseGroup, ColumnAnalysis, PositionOptions, SupportedPattern,
 };
+pub use compile::{CompiledPattern, MatchScratch};
 pub use generalize::{coarse_pattern, PatternConfig};
 pub use matcher::matches;
 pub use parser::{parse, ParseError};

@@ -23,13 +23,30 @@ pub fn matches(pattern: &Pattern, value: &str) -> bool {
     if tokens.is_empty() {
         return chars.is_empty();
     }
+    // Decode each literal once per match — backtracking revisits Lit arms
+    // many times, and re-collecting the chars on every visit dominated the
+    // profile of variadic-heavy patterns.
+    let lits: Vec<Vec<char>> = tokens
+        .iter()
+        .map(|t| match t {
+            Token::Lit(s) => s.chars().collect(),
+            _ => Vec::new(),
+        })
+        .collect();
     // memo[ti * (n+1) + pos] = true if (ti, pos) is known to fail.
     let n = chars.len();
     let mut failed = vec![false; tokens.len() * (n + 1)];
-    match_at(tokens, &chars, 0, 0, &mut failed)
+    match_at(tokens, &lits, &chars, 0, 0, &mut failed)
 }
 
-fn match_at(tokens: &[Token], chars: &[char], ti: usize, pos: usize, failed: &mut [bool]) -> bool {
+fn match_at(
+    tokens: &[Token],
+    lits: &[Vec<char>],
+    chars: &[char],
+    ti: usize,
+    pos: usize,
+    failed: &mut [bool],
+) -> bool {
     if ti == tokens.len() {
         return pos == chars.len();
     }
@@ -39,10 +56,10 @@ fn match_at(tokens: &[Token], chars: &[char], ti: usize, pos: usize, failed: &mu
         return false;
     }
     let ok = match &tokens[ti] {
-        Token::Lit(s) => {
-            let lit: Vec<char> = s.chars().collect();
+        Token::Lit(_) => {
+            let lit = &lits[ti];
             if pos + lit.len() <= n && chars[pos..pos + lit.len()] == lit[..] {
-                match_at(tokens, chars, ti + 1, pos + lit.len(), failed)
+                match_at(tokens, lits, chars, ti + 1, pos + lit.len(), failed)
             } else {
                 false
             }
@@ -55,12 +72,12 @@ fn match_at(tokens: &[Token], chars: &[char], ti: usize, pos: usize, failed: &mu
         | Token::Sym(_)) => {
             let w = t.fixed_width().expect("fixed token has width");
             if pos + w <= n && chars[pos..pos + w].iter().all(|&c| t.class_contains(c)) {
-                match_at(tokens, chars, ti + 1, pos + w, failed)
+                match_at(tokens, lits, chars, ti + 1, pos + w, failed)
             } else {
                 false
             }
         }
-        Token::Num => match_num(tokens, chars, ti, pos, failed),
+        Token::Num => match_num(tokens, lits, chars, ti, pos, failed),
         t @ (Token::DigitPlus
         | Token::UpperPlus
         | Token::LowerPlus
@@ -78,7 +95,7 @@ fn match_at(tokens: &[Token], chars: &[char], ti: usize, pos: usize, failed: &mu
             let mut found = false;
             let mut end = max_end;
             while end > pos {
-                if match_at(tokens, chars, ti + 1, end, failed) {
+                if match_at(tokens, lits, chars, ti + 1, end, failed) {
                     found = true;
                     break;
                 }
@@ -94,7 +111,14 @@ fn match_at(tokens: &[Token], chars: &[char], ti: usize, pos: usize, failed: &mu
 }
 
 /// `<num>` = `\d+(\.\d+)?`. Try every legal end position, longest first.
-fn match_num(tokens: &[Token], chars: &[char], ti: usize, pos: usize, failed: &mut [bool]) -> bool {
+fn match_num(
+    tokens: &[Token],
+    lits: &[Vec<char>],
+    chars: &[char],
+    ti: usize,
+    pos: usize,
+    failed: &mut [bool],
+) -> bool {
     let n = chars.len();
     // integer part
     let mut int_end = pos;
@@ -126,7 +150,7 @@ fn match_num(tokens: &[Token], chars: &[char], ti: usize, pos: usize, failed: &m
     }
     candidates
         .into_iter()
-        .any(|end| match_at(tokens, chars, ti + 1, end, failed))
+        .any(|end| match_at(tokens, lits, chars, ti + 1, end, failed))
 }
 
 #[cfg(test)]

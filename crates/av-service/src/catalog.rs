@@ -192,15 +192,15 @@ mod tests {
     fn entry(name: &str, pattern: &str) -> CatalogEntry {
         CatalogEntry {
             name: name.to_string(),
-            rule: AnyRule::Pattern(ValidationRule {
-                pattern: parse_pattern(pattern).unwrap(),
-                train_nonconforming: 0.0125,
-                train_size: 400,
-                expected_fpr: 0.003,
-                coverage: 77,
-                test: HomogeneityTest::FisherExact,
-                alpha: 0.01,
-            }),
+            rule: AnyRule::Pattern(ValidationRule::new(
+                parse_pattern(pattern).unwrap(),
+                0.0125,
+                400,
+                0.003,
+                77,
+                HomogeneityTest::FisherExact,
+                0.01,
+            )),
             variant: "FMDV-VH".to_string(),
             created_unix: 1_753_600_000,
         }

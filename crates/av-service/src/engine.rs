@@ -17,8 +17,8 @@
 use crate::catalog::{CatalogEntry, CatalogError, RuleCatalog};
 use av_baselines::baseline_by_name;
 use av_core::{
-    AnyRule, AutoValidate, FmdvConfig, InferError, ValidationReport, ValidationSession, Validator,
-    Variant,
+    AnyRule, AutoValidate, CheckScratch, FmdvConfig, InferError, ValidationReport,
+    ValidationSession, Validator, Variant,
 };
 use av_corpus::Column;
 use av_index::{DeltaError, IndexConfig, IndexDelta, PatternIndex, PersistError};
@@ -439,12 +439,26 @@ impl ValidationService {
         rule: &str,
         values: &[S],
     ) -> Result<ValidationReport, ServiceError> {
+        self.validate_with_scratch(rule, values, &mut CheckScratch::new())
+    }
+
+    /// [`ValidationService::validate`] with caller-owned session scratch:
+    /// the batch path hands each worker one scratch reused across all its
+    /// items, so per-value matching state is never rebuilt.
+    fn validate_with_scratch<S: AsRef<str>>(
+        &self,
+        rule: &str,
+        values: &[S],
+        scratch: &mut CheckScratch,
+    ) -> Result<ValidationReport, ServiceError> {
         let report = self.with_validator(rule, |validator| {
-            let mut session = ValidationSession::new(validator);
+            let mut session = ValidationSession::with_scratch(validator, std::mem::take(scratch));
             for v in values {
                 session.push(v.as_ref());
             }
-            session.finish()
+            let (report, returned) = session.finish_with_scratch();
+            *scratch = returned;
+            report
         })?;
         self.validations.fetch_add(1, Ordering::Relaxed);
         if report.flagged {
@@ -487,14 +501,18 @@ impl ValidationService {
         .min(items.len().max(1));
 
         if workers <= 1 {
+            let mut scratch = CheckScratch::new();
             return items
                 .iter()
-                .map(|item| self.validate(item.rule, &item.values))
+                .map(|item| self.validate_with_scratch(item.rule, &item.values, &mut scratch))
                 .collect();
         }
 
         // Dynamic work-stealing over an atomic cursor: workers drain items
         // at their own pace, then results are restitched in input order.
+        // Each worker owns one session scratch for its whole run — the
+        // compiled matcher's stack and memo grow to steady state once per
+        // worker instead of once per value.
         let cursor = AtomicU64::new(0);
         let mut indexed: Vec<(usize, Result<ValidationReport, ServiceError>)> =
             std::thread::scope(|scope| {
@@ -502,12 +520,20 @@ impl ValidationService {
                     .map(|_| {
                         scope.spawn(|| {
                             let mut local = Vec::new();
+                            let mut scratch = CheckScratch::new();
                             loop {
                                 let i = cursor.fetch_add(1, Ordering::Relaxed) as usize;
                                 if i >= items.len() {
                                     break;
                                 }
-                                local.push((i, self.validate(items[i].rule, &items[i].values)));
+                                local.push((
+                                    i,
+                                    self.validate_with_scratch(
+                                        items[i].rule,
+                                        &items[i].values,
+                                        &mut scratch,
+                                    ),
+                                ));
                             }
                             local
                         })

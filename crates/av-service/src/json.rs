@@ -92,6 +92,14 @@ impl Json {
         out
     }
 
+    /// Serialize into a caller-owned buffer (cleared first). Serve loops
+    /// reuse one buffer across response lines, so steady-state responses
+    /// cost no output allocation.
+    pub fn dump_into(&self, out: &mut String) {
+        out.clear();
+        self.write(out);
+    }
+
     fn write(&self, out: &mut String) {
         match self {
             Json::Null => out.push_str("null"),

@@ -26,22 +26,29 @@ pub struct Handled {
     pub shutdown: bool,
 }
 
-fn ok(fields: Vec<(&'static str, Json)>) -> Handled {
+/// A response before serialization: the JSON tree plus the shutdown flag.
+/// Serve loops render it through [`handle_line_into`] so one output buffer
+/// is reused across every response of a connection.
+struct Reply {
+    json: Json,
+    shutdown: bool,
+}
+
+fn ok(fields: Vec<(&'static str, Json)>) -> Reply {
     let mut all = vec![("ok", Json::Bool(true))];
     all.extend(fields);
-    Handled {
-        response: Json::obj(all).dump(),
+    Reply {
+        json: Json::obj(all),
         shutdown: false,
     }
 }
 
-fn fail(message: impl Into<String>) -> Handled {
-    Handled {
-        response: Json::obj([
+fn fail(message: impl Into<String>) -> Reply {
+    Reply {
+        json: Json::obj([
             ("ok", Json::Bool(false)),
             ("error", Json::str(message.into())),
-        ])
-        .dump(),
+        ]),
         shutdown: false,
     }
 }
@@ -97,8 +104,28 @@ fn rule_kind(rule: &AnyRule) -> &'static str {
     }
 }
 
-/// Handle one JSONL request line against the service.
+/// Handle one JSONL request line against the service, returning an owned
+/// response — the one-shot convenience API for embedded clients and tests.
+/// It is a thin wrapper over [`handle_line_into`], which serve loops call
+/// directly with a per-connection buffer; any framing change lands in one
+/// place.
 pub fn handle_line(service: &ValidationService, line: &str) -> Handled {
+    let mut response = String::new();
+    let shutdown = handle_line_into(service, line, &mut response);
+    Handled { response, shutdown }
+}
+
+/// Handle one JSONL request line, serializing the response into a
+/// caller-owned buffer (cleared first); returns the shutdown flag. Serve
+/// loops call this with one long-lived buffer per connection, so the
+/// response serializer allocates nothing per line at steady state.
+pub fn handle_line_into(service: &ValidationService, line: &str, out: &mut String) -> bool {
+    let reply = dispatch(service, line);
+    reply.json.dump_into(out);
+    reply.shutdown
+}
+
+fn dispatch(service: &ValidationService, line: &str) -> Reply {
     let req = match parse(line) {
         Ok(v) => v,
         Err(e) => return fail(format!("bad request json: {e}")),
@@ -133,7 +160,7 @@ pub fn handle_line(service: &ValidationService, line: &str) -> Handled {
     }
 }
 
-fn handle_ingest(service: &ValidationService, req: &Json) -> Handled {
+fn handle_ingest(service: &ValidationService, req: &Json) -> Reply {
     let cols = match req.get("columns").and_then(Json::as_arr) {
         Some(c) => c,
         None => return fail("missing array field \"columns\""),
@@ -161,7 +188,7 @@ fn handle_ingest(service: &ValidationService, req: &Json) -> Handled {
     }
 }
 
-fn handle_infer(service: &ValidationService, req: &Json) -> Handled {
+fn handle_infer(service: &ValidationService, req: &Json) -> Reply {
     let name = match req.get("rule").and_then(Json::as_str) {
         Some(n) => n,
         None => return fail("missing string field \"rule\""),
@@ -186,7 +213,7 @@ fn handle_infer(service: &ValidationService, req: &Json) -> Handled {
     }
 }
 
-fn handle_validate(service: &ValidationService, req: &Json) -> Handled {
+fn handle_validate(service: &ValidationService, req: &Json) -> Reply {
     let name = match req.get("rule").and_then(Json::as_str) {
         Some(n) => n,
         None => return fail("missing string field \"rule\""),
@@ -201,7 +228,7 @@ fn handle_validate(service: &ValidationService, req: &Json) -> Handled {
     }
 }
 
-fn handle_infer_baseline(service: &ValidationService, req: &Json) -> Handled {
+fn handle_infer_baseline(service: &ValidationService, req: &Json) -> Reply {
     let name = match req.get("rule").and_then(Json::as_str) {
         Some(n) => n,
         None => return fail("missing string field \"rule\""),
@@ -224,7 +251,7 @@ fn handle_infer_baseline(service: &ValidationService, req: &Json) -> Handled {
     }
 }
 
-fn handle_compare(service: &ValidationService, req: &Json) -> Handled {
+fn handle_compare(service: &ValidationService, req: &Json) -> Reply {
     let left = match req.get("a").and_then(Json::as_str) {
         Some(n) => n,
         None => return fail("missing string field \"a\""),
@@ -247,7 +274,7 @@ fn handle_compare(service: &ValidationService, req: &Json) -> Handled {
     }
 }
 
-fn handle_validate_batch(service: &ValidationService, req: &Json) -> Handled {
+fn handle_validate_batch(service: &ValidationService, req: &Json) -> Reply {
     let raw = match req.get("items").and_then(Json::as_arr) {
         Some(items) => items,
         None => return fail("missing array field \"items\""),
@@ -281,7 +308,7 @@ fn handle_validate_batch(service: &ValidationService, req: &Json) -> Handled {
     ok(vec![("results", Json::Arr(results))])
 }
 
-fn handle_catalog(service: &ValidationService) -> Handled {
+fn handle_catalog(service: &ValidationService) -> Reply {
     let rules: Vec<Json> = service
         .catalog_entries()
         .into_iter()
@@ -309,7 +336,7 @@ fn handle_catalog(service: &ValidationService) -> Handled {
     ])
 }
 
-fn handle_rule(service: &ValidationService, req: &Json) -> Handled {
+fn handle_rule(service: &ValidationService, req: &Json) -> Reply {
     let name = match req.get("name").and_then(Json::as_str) {
         Some(n) => n,
         None => return fail("missing string field \"name\""),
@@ -327,7 +354,7 @@ fn handle_rule(service: &ValidationService, req: &Json) -> Handled {
     }
 }
 
-fn handle_delete(service: &ValidationService, req: &Json) -> Handled {
+fn handle_delete(service: &ValidationService, req: &Json) -> Reply {
     let name = match req.get("name").and_then(Json::as_str) {
         Some(n) => n,
         None => return fail("missing string field \"name\""),
@@ -338,7 +365,7 @@ fn handle_delete(service: &ValidationService, req: &Json) -> Handled {
     }
 }
 
-fn handle_stats(service: &ValidationService) -> Handled {
+fn handle_stats(service: &ValidationService) -> Reply {
     let s = service.stats();
     let index = service.snapshot();
     ok(vec![

@@ -4,7 +4,7 @@
 //! [`crate::protocol`]).
 
 use crate::engine::ValidationService;
-use crate::protocol::handle_line;
+use crate::protocol::handle_line_into;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, ToSocketAddrs};
 use std::sync::Arc;
@@ -18,6 +18,9 @@ pub fn serve_lines<R: BufRead, W: Write>(
     input: R,
     mut output: W,
 ) -> std::io::Result<()> {
+    // One response buffer for the whole connection: the serializer reuses
+    // it across lines instead of allocating a String per response.
+    let mut response = String::new();
     for line in input.lines() {
         if service.is_shutdown() {
             break;
@@ -26,11 +29,11 @@ pub fn serve_lines<R: BufRead, W: Write>(
         if line.trim().is_empty() {
             continue;
         }
-        let handled = handle_line(service, &line);
-        output.write_all(handled.response.as_bytes())?;
+        let shutdown = handle_line_into(service, &line, &mut response);
+        output.write_all(response.as_bytes())?;
         output.write_all(b"\n")?;
         output.flush()?;
-        if handled.shutdown {
+        if shutdown {
             break;
         }
     }
@@ -54,16 +57,17 @@ fn serve_tcp_connection(
     stream.set_read_timeout(Some(Duration::from_millis(200)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut line = String::new();
+    let mut response = String::new(); // reused across the connection
     while !service.is_shutdown() {
         match reader.read_line(&mut line) {
             Ok(0) => break, // client closed
             Ok(_) => {
                 if !line.trim().is_empty() {
-                    let handled = handle_line(service, &line);
-                    stream.write_all(handled.response.as_bytes())?;
+                    let shutdown = handle_line_into(service, &line, &mut response);
+                    stream.write_all(response.as_bytes())?;
                     stream.write_all(b"\n")?;
                     stream.flush()?;
-                    if handled.shutdown {
+                    if shutdown {
                         break;
                     }
                 }

@@ -34,7 +34,8 @@ fn main() {
         .expect("tag pattern");
     println!(
         "inferred tag pattern: {}  (reaches {} corpus columns)",
-        tag.pattern, tag.coverage
+        tag.pattern(),
+        tag.coverage
     );
 
     // Sweep the lake.

@@ -38,7 +38,7 @@ fn main() {
     println!("\ninferred rules:");
     println!("  TFDV   : {}", tfdv.description);
     println!("  PWheel : {}", pwheel.description);
-    println!("  FMDV-VH: {}", fmdv.pattern);
+    println!("  FMDV-VH: {}", fmdv.pattern());
 
     // Scenario 1: the feed refreshes in April — same domain, new values.
     let april: Vec<String> = (1..=30).map(|d| format!("Apr {d:02} 2019")).collect();

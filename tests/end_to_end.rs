@@ -57,7 +57,7 @@ fn rules_are_deterministic() {
         .collect();
     let a = engine.infer_default(&train).expect("rule");
     let b = engine.infer_default(&train).expect("rule");
-    assert_eq!(a.pattern, b.pattern);
+    assert_eq!(a.pattern(), b.pattern());
     assert_eq!(a.expected_fpr, b.expected_fpr);
 }
 
@@ -77,7 +77,7 @@ fn index_persistence_preserves_inference() {
         engine_b.infer_default(&train),
     ) {
         (Ok(a), Ok(b)) => {
-            assert_eq!(a.pattern, b.pattern);
+            assert_eq!(a.pattern(), b.pattern());
             assert_eq!(a.coverage, b.coverage);
         }
         (Err(a), Err(b)) => assert_eq!(a, b),
@@ -104,7 +104,7 @@ fn exported_regexes_agree_with_pattern_matching() {
                 rule.conforms(v),
                 re.is_full_match(v),
                 "pattern {} vs regex /{}/ disagree on {v:?}",
-                rule.pattern,
+                rule.pattern(),
                 rule.to_regex()
             );
         }

@@ -25,7 +25,7 @@ fn c1_march_dates_generalize_to_april() {
     let march: Vec<String> = (1..=28).map(|d| format!("Mar {d:02} 2019")).collect();
     let rule = engine().infer_default(&march).expect("rule for C1");
     assert_eq!(
-        rule.pattern.to_string(),
+        rule.pattern().to_string(),
         "<letter>{3} <digit>{2} <digit>{4}",
         "the paper's ideal validation pattern for C1"
     );
@@ -118,7 +118,7 @@ fn fig8_composite_columns_need_vertical_cuts() {
     // …but FMDV-V succeeds and validates every value.
     let rule = e.infer(&composite, Variant::FmdvV).expect("vertical rule");
     for v in &composite {
-        assert!(rule.conforms(v), "{} !~ {v}", rule.pattern);
+        assert!(rule.conforms(v), "{} !~ {v}", rule.pattern());
     }
 }
 
@@ -167,6 +167,6 @@ fn under_generalization_is_pruned_by_corpus_evidence() {
     assert!(
         rule.conforms("23:59:59"),
         "chosen rule {} must generalize the hour width",
-        rule.pattern
+        rule.pattern()
     );
 }
