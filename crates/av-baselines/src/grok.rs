@@ -104,10 +104,21 @@ impl ColumnValidator for Grok {
         // The catch-all WORD pattern is excluded from adoption: it would
         // "validate" any letter column.
         let need = (self.min_match_frac * train.len() as f64).ceil() as usize;
+        // One explicit NFA scratch for the whole library sweep; the check
+        // closure below runs on the engine's thread-local scratch (the
+        // `Fn` closure cannot hold `&mut` state and stay `Sync`), so both
+        // inference and per-value checks are allocation-free.
+        let mut scratch = av_regex::NfaScratch::new();
         let (name, regex) = compiled()
             .iter()
             .filter(|(name, _)| *name != "WORD" && *name != "INT" && *name != "HTTPDATE_YEAR")
-            .find(|(_, re)| train.iter().filter(|v| re.is_full_match(v)).count() >= need)?;
+            .find(|(_, re)| {
+                train
+                    .iter()
+                    .filter(|v| re.is_full_match_with(v, &mut scratch))
+                    .count()
+                    >= need
+            })?;
         let re = regex.clone();
         Some(InferredRule::tolerant(
             format!("grok:{name}"),

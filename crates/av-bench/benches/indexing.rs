@@ -1,30 +1,11 @@
-//! Criterion benchmarks for the offline stage: corpus indexing throughput
-//! (the paper's 7M-column / 3-hour cluster job, at laptop scale) and
-//! per-column pattern profiling.
+//! Criterion benchmarks for per-column pattern profiling: the streaming
+//! fingerprint path the indexer runs versus the materializing wrapper.
+//! (Corpus-level build throughput lives in the `index_build` bench.)
 
-use av_corpus::{generate_lake, Column, LakeProfile};
-use av_index::{IndexConfig, PatternIndex};
-use av_pattern::{column_pattern_profile, PatternConfig};
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use av_corpus::{generate_lake, LakeProfile};
+use av_pattern::{column_pattern_profile, stream_column_profile, EnumScratch, PatternConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-
-fn bench_index_build(c: &mut Criterion) {
-    let corpus = generate_lake(&LakeProfile::tiny().scaled(500), 11);
-    let cols: Vec<&Column> = corpus.columns().collect();
-    let mut group = c.benchmark_group("index_build");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(cols.len() as u64));
-    for tau in [8usize, 13] {
-        let config = IndexConfig {
-            tau,
-            ..Default::default()
-        };
-        group.bench_function(format!("tau{tau}_500cols"), |b| {
-            b.iter(|| black_box(PatternIndex::build(black_box(&cols), &config).len()))
-        });
-    }
-    group.finish();
-}
 
 fn bench_profile_column(c: &mut Criterion) {
     let corpus = generate_lake(&LakeProfile::tiny().scaled(300), 13);
@@ -36,11 +17,29 @@ fn bench_profile_column(c: &mut Criterion) {
     c.bench_function("column_pattern_profile", |b| {
         b.iter(|| black_box(column_pattern_profile(black_box(&col.values), &cfg, 13).len()))
     });
+    let mut scratch = EnumScratch::default();
+    c.bench_function("stream_column_profile", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            let mut sum = 0u64;
+            stream_column_profile(
+                black_box(&col.values),
+                &cfg,
+                13,
+                &mut scratch,
+                |sp, frac| {
+                    n += 1;
+                    sum = sum.wrapping_add(sp.fingerprint ^ frac.to_bits());
+                },
+            );
+            black_box((n, sum))
+        })
+    });
 }
 
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_index_build, bench_profile_column
+    targets = bench_profile_column
 }
 criterion_main!(benches);

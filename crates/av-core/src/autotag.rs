@@ -8,7 +8,6 @@
 //! across the lake.
 
 use crate::config::{FmdvConfig, InferError};
-use crate::fmdv::lookup_candidates;
 use av_index::PatternIndex;
 use av_pattern::{analyze_column, CompiledPattern, Pattern};
 
@@ -100,19 +99,44 @@ pub(crate) fn infer_tag_borrowed(
     let need = ((1.0 - fnr_budget) * analysis.total_values as f64 / group.count as f64
         * group.sample_size as f64)
         .ceil() as usize;
-    let supported = group.enumerate_segment(
+    // Streaming min-coverage selection: rank every emission by its
+    // fingerprint-looked-up coverage, materialize a pattern only when it
+    // wins (or ties on coverage and needs the deterministic pattern
+    // tie-break) — same first-minimal semantics as the old `min_by` over
+    // a collected candidate vector.
+    let mut scratch = av_pattern::EnumScratch::default();
+    let mut best: Option<crate::fmdv::Candidate> = None;
+    group.for_each_pattern(
         0,
         group.positions.len(),
         need.clamp(1, group.sample_size),
         &cfg.pattern,
+        &mut scratch,
+        |sp| {
+            let (fpr, cov) = match index.lookup_fingerprint(sp.fingerprint) {
+                Some(stats) => (stats.fpr, stats.cov),
+                None => (1.0, 0),
+            };
+            if cov < 1 {
+                return;
+            }
+            let pattern = match &best {
+                None => sp.to_pattern(),
+                Some(b) if cov < b.cov => sp.to_pattern(),
+                Some(b) if cov == b.cov => {
+                    let p = sp.to_pattern();
+                    if p < b.pattern {
+                        p
+                    } else {
+                        return;
+                    }
+                }
+                Some(_) => return,
+            };
+            best = Some(crate::fmdv::Candidate { pattern, fpr, cov });
+        },
     );
-    let candidates = lookup_candidates(index, supported.into_iter().map(|sp| sp.pattern));
-    let best = candidates
-        .iter()
-        .filter(|c| c.cov >= 1)
-        .min_by(|a, b| a.cov.cmp(&b.cov).then_with(|| a.pattern.cmp(&b.pattern)))
-        .cloned()
-        .ok_or(InferError::NoFeasible)?;
+    let best = best.ok_or(InferError::NoFeasible)?;
     let rule = TagRule::new(best.pattern, best.cov, 0.0);
     let miss = train.iter().filter(|v| !rule.tags_value(v)).count();
     Ok(TagRule {

@@ -70,21 +70,114 @@ pub(crate) fn select_min_fpr(candidates: &[Candidate], r: f64, m: u64) -> Option
         .cloned()
 }
 
-/// Pure FPR minimization among feasible candidates (the literal Eq. 5
-/// objective), used by the vertical DP's conservative fallback pass when
-/// the specificity-first segmentation exceeds the Eq. 9 budget.
-pub(crate) fn select_lowest_fpr(candidates: &[Candidate], r: f64, m: u64) -> Option<Candidate> {
-    candidates
-        .iter()
-        .filter(|c| c.fpr <= r && c.cov >= m)
-        .min_by(|a, b| {
-            a.fpr
-                .partial_cmp(&b.fpr)
+/// Objective of a [`StreamingSelect`] pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SelectObjective {
+    /// `(specificity, fpr, coverage desc, pattern)` — the
+    /// [`select_min_fpr`] ordering.
+    SpecificFirst,
+    /// `(fpr, specificity, pattern)` — the literal Eq. 5 objective, used
+    /// by the vertical DP's conservative fallback pass when the
+    /// specificity-first segmentation exceeds the Eq. 9 budget.
+    LowestFpr,
+}
+
+/// Streaming candidate selection: folds enumeration emissions one at a
+/// time, keeping only the current winner. Equivalent to collecting every
+/// candidate and running the corresponding `select_*` vector pass (same
+/// ordering, same first-minimal tie behavior), but a [`Pattern`] is
+/// materialized only when an emission actually wins (or fully ties) —
+/// the vertical DP offers thousands of candidates per cell and keeps one.
+#[derive(Debug)]
+pub(crate) struct StreamingSelect {
+    objective: SelectObjective,
+    r: f64,
+    m: u64,
+    best: Option<Candidate>,
+}
+
+impl StreamingSelect {
+    pub(crate) fn new(objective: SelectObjective, r: f64, m: u64) -> StreamingSelect {
+        StreamingSelect {
+            objective,
+            r,
+            m,
+            best: None,
+        }
+    }
+
+    /// Offer one streamed enumeration emission, looked up by fingerprint.
+    pub(crate) fn offer_streamed(
+        &mut self,
+        index: &PatternIndex,
+        sp: &av_pattern::StreamedPattern<'_>,
+    ) {
+        let (fpr, cov) = match index.lookup_fingerprint(sp.fingerprint) {
+            Some(stats) => (stats.fpr, stats.cov),
+            None => (1.0, 0),
+        };
+        self.consider(sp.specificity(), fpr, cov, || sp.to_pattern());
+    }
+
+    /// Offer a pre-built candidate (e.g. a structural-literal segment).
+    pub(crate) fn offer(&mut self, c: Candidate) {
+        let spec = c.specificity();
+        let (fpr, cov) = (c.fpr, c.cov);
+        self.consider(spec, fpr, cov, move || c.pattern);
+    }
+
+    fn consider(&mut self, spec: u32, fpr: f64, cov: u64, pattern: impl FnOnce() -> Pattern) {
+        use std::cmp::Ordering;
+        if !(fpr <= self.r && cov >= self.m) {
+            return;
+        }
+        let Some(best) = &self.best else {
+            self.best = Some(Candidate {
+                pattern: pattern(),
+                fpr,
+                cov,
+            });
+            return;
+        };
+        let scalar = match self.objective {
+            SelectObjective::SpecificFirst => spec
+                .cmp(&best.specificity())
+                .then_with(|| fpr.partial_cmp(&best.fpr).expect("FPRs are finite"))
+                .then_with(|| best.cov.cmp(&cov)),
+            SelectObjective::LowestFpr => fpr
+                .partial_cmp(&best.fpr)
                 .expect("FPRs are finite")
-                .then_with(|| a.specificity().cmp(&b.specificity()))
-                .then_with(|| a.pattern.cmp(&b.pattern))
-        })
-        .cloned()
+                .then_with(|| spec.cmp(&best.specificity())),
+        };
+        match scalar {
+            Ordering::Greater => {}
+            Ordering::Less => {
+                self.best = Some(Candidate {
+                    pattern: pattern(),
+                    fpr,
+                    cov,
+                });
+            }
+            Ordering::Equal => {
+                // Full scalar tie: materialize for the deterministic
+                // pattern tie-break (earlier offers win ties, matching
+                // `min_by`'s first-minimal semantics).
+                let p = pattern();
+                if p < best.pattern {
+                    self.best = Some(Candidate {
+                        pattern: p,
+                        fpr,
+                        cov,
+                    });
+                }
+            }
+        }
+    }
+
+    /// The selected candidate, if any feasible one was offered.
+    pub(crate) fn into_best(self) -> Option<Candidate> {
+        self.best
+    }
 }
 
 /// CMDV selection (§2.3 alternative): minimize coverage instead. The paper
@@ -187,5 +280,64 @@ mod tests {
         let cands = vec![cand("<digit>{4}", 0.0, 200), cand("<digit>+", 0.0, 9000)];
         let best = select_min_cov(&cands, 0.1, 100).unwrap();
         assert_eq!(best.pattern, parse("<digit>{4}").unwrap());
+    }
+
+    /// The streaming selector must agree with the vector pass on every
+    /// candidate set, including scalar ties resolved by pattern order.
+    #[test]
+    fn streaming_select_matches_vector_select() {
+        let sets: Vec<Vec<Candidate>> = vec![
+            vec![],
+            vec![cand("<digit>{7}", 0.5, 5000)],
+            vec![
+                cand("<digit>{1}:<digit>{2}", 0.67, 5000),
+                cand("<digit>+:<digit>{2}", 0.0004, 5000),
+                cand("<digit>+:<digit>+", 0.002, 6000),
+            ],
+            vec![cand("<digit>{4}", 0.001, 200), cand("<digit>+", 0.0, 9000)],
+            // Scalar ties: same specificity, fpr, cov — pattern breaks.
+            vec![
+                cand("<upper>{2}", 0.01, 300),
+                cand("<lower>{2}", 0.01, 300),
+                cand("<digit>{2}", 0.01, 300),
+            ],
+            vec![
+                cand("<digit>{2}", 0.0, 300),
+                cand("<digit>{2}:<digit>{2}", 0.05, 120),
+                cand("<letter>+", 0.02, 40),
+            ],
+        ];
+        for cands in &sets {
+            for (r, m) in [(0.1, 100), (0.001, 100), (1.0, 0), (0.05, 250)] {
+                let vector = select_min_fpr(cands, r, m);
+                let mut sel = StreamingSelect::new(SelectObjective::SpecificFirst, r, m);
+                for c in cands {
+                    sel.offer(c.clone());
+                }
+                let streamed = sel.into_best();
+                assert_eq!(
+                    vector.as_ref().map(|c| (&c.pattern, c.fpr, c.cov)),
+                    streamed.as_ref().map(|c| (&c.pattern, c.fpr, c.cov)),
+                    "r={r} m={m}"
+                );
+            }
+        }
+    }
+
+    /// `LowestFpr` reproduces the literal Eq. 5 ordering the vertical DP's
+    /// fallback pass used: fpr first, then specificity, then pattern.
+    #[test]
+    fn streaming_select_lowest_fpr_ordering() {
+        let cands = vec![
+            cand("<digit>{4}", 0.02, 500),
+            cand("<digit>+", 0.001, 900),
+            cand("<alnum>+", 0.001, 900),
+        ];
+        let mut sel = StreamingSelect::new(SelectObjective::LowestFpr, 0.1, 100);
+        for c in &cands {
+            sel.offer(c.clone());
+        }
+        // <digit>+ and <alnum>+ tie on fpr; <digit>+ is more specific.
+        assert_eq!(sel.into_best().unwrap().pattern, parse("<digit>+").unwrap());
     }
 }

@@ -9,10 +9,10 @@
 //! the conforming subset.
 
 use crate::config::{FmdvConfig, InferError};
-use crate::fmdv::{lookup_candidates, select_min_fpr, Candidate};
+use crate::fmdv::{Candidate, SelectObjective, StreamingSelect};
 use crate::vertical::{solve_vertical, VerticalSolution};
 use av_index::PatternIndex;
-use av_pattern::{analyze_column, CoarseGroup};
+use av_pattern::{analyze_column, CoarseGroup, EnumScratch};
 
 /// Pick the dominant group if it covers at least `(1-θ)` of the column
 /// (Eq. 16's feasibility precondition under the greedy strategy).
@@ -51,9 +51,17 @@ pub(crate) fn infer_fmdv_h(
     let analysis = analyze_column(train, &cfg.pattern);
     let group = dominant_group(&analysis, cfg.theta)?;
     let min_support = group_min_support(group, analysis.total_values, cfg.theta);
-    let supported = group.enumerate_segment(0, group.positions.len(), min_support, &cfg.pattern);
-    let candidates = lookup_candidates(index, supported.into_iter().map(|sp| sp.pattern));
-    select_min_fpr(&candidates, cfg.r, cfg.m).ok_or(InferError::NoFeasible)
+    let mut scratch = EnumScratch::default();
+    let mut sel = StreamingSelect::new(SelectObjective::SpecificFirst, cfg.r, cfg.m);
+    group.for_each_pattern(
+        0,
+        group.positions.len(),
+        min_support,
+        &cfg.pattern,
+        &mut scratch,
+        |sp| sel.offer_streamed(index, sp),
+    );
+    sel.into_best().ok_or(InferError::NoFeasible)
 }
 
 /// FMDV-VH: horizontal cut to the dominant group, then the vertical DP with

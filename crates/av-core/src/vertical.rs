@@ -3,9 +3,9 @@
 //! program (the min-FPR scores have optimal substructure).
 
 use crate::config::{FmdvConfig, InferError};
-use crate::fmdv::{lookup_candidates, select_lowest_fpr, select_min_fpr, Candidate};
+use crate::fmdv::{Candidate, SelectObjective, StreamingSelect};
 use av_index::PatternIndex;
-use av_pattern::{analyze_column, CoarseGroup, Pattern, Token};
+use av_pattern::{analyze_column, CoarseGroup, EnumScratch, Pattern, Token};
 
 /// A "structural" segment candidate: when a segment consists purely of
 /// symbol/whitespace positions whose literal is constant across all
@@ -172,30 +172,36 @@ fn solve_vertical_mode(
     };
     // dp[s][e] for 0 ≤ s < e ≤ n, bottom-up over widths (Eq. 11).
     let mut dp: Vec<Vec<Cell>> = vec![vec![Cell::Infeasible; n + 1]; n + 1];
+    // One enumeration scratch serves every DP cell of this solve.
+    let mut scratch = EnumScratch::default();
     for width in 1..=n {
         for s in 0..=(n - width) {
             let e = s + width;
             // Option 1: no split — treat C[s,e) as one column, solve FMDV.
             let mut best = Cell::Infeasible;
             if width <= cfg.max_segment_tokens {
-                let supported = group.enumerate_segment(s, e, min_support, &cfg.pattern);
-                let mut candidates =
-                    lookup_candidates(index, supported.into_iter().map(|sp| sp.pattern));
+                // Per-segment constraints: coverage (Eq. 10). The FPR budget
+                // (Eq. 9) is enforced on the aggregate at the end, but no
+                // single segment may exceed it either. Selection streams:
+                // each emission is ranked by its fingerprint-looked-up
+                // stats and only winners are materialized — a cell offers
+                // up to `max_patterns` candidates and keeps one.
+                let objective = match mode {
+                    DpMode::SpecificFirst => SelectObjective::SpecificFirst,
+                    DpMode::MinFpr => SelectObjective::LowestFpr,
+                };
+                let mut sel = StreamingSelect::new(objective, cfg.r, cfg.m);
+                group.for_each_pattern(s, e, min_support, &cfg.pattern, &mut scratch, |sp| {
+                    sel.offer_streamed(index, sp);
+                });
                 if let Some(p) = structural_literal(group, s, e, min_support) {
-                    candidates.push(Candidate {
+                    sel.offer(Candidate {
                         pattern: p,
                         fpr: 0.0,
                         cov: u64::MAX,
                     });
                 }
-                // Per-segment constraints: coverage (Eq. 10). The FPR budget
-                // (Eq. 9) is enforced on the aggregate at the end, but no
-                // single segment may exceed it either.
-                let selected = match mode {
-                    DpMode::SpecificFirst => select_min_fpr(&candidates, cfg.r, cfg.m),
-                    DpMode::MinFpr => select_lowest_fpr(&candidates, cfg.r, cfg.m),
-                };
-                if let Some(c) = selected {
+                if let Some(c) = sel.into_best() {
                     let score = Score {
                         spec: c.specificity(),
                         fpr: c.fpr,

@@ -55,7 +55,10 @@ impl ColumnValidator for FmdvValidator {
 /// The "FMDV (no-index)" reference point of Fig. 14: identical selection
 /// logic, but `FPR_T`/`Cov_T` are computed by scanning the corpus at query
 /// time instead of a pre-computed index. Orders of magnitude slower — which
-/// is the point.
+/// is the point. The scan itself rides the fingerprint-streaming
+/// enumeration (`av_index::scan_corpus_fpr` matches probes by streamed
+/// fingerprint, materializing nothing), so the gap it demonstrates is
+/// index-vs-no-index, not matcher overhead.
 pub struct NoIndexFmdv {
     columns: Arc<Vec<Column>>,
     config: FmdvConfig,

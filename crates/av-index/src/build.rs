@@ -8,7 +8,7 @@
 use crate::delta::DeltaError;
 use crate::stats::{PatternStats, StatsAcc};
 use av_corpus::Column;
-use av_pattern::{column_pattern_profile, Pattern, PatternConfig};
+use av_pattern::{stream_column_profile, EnumScratch, Pattern, PatternConfig};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -34,6 +34,16 @@ impl Hasher for IdentityHasher {
 pub(crate) type FastMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
 
 /// Configuration of the offline build.
+///
+/// Threading model: columns are distributed to `num_threads` workers
+/// through a shared atomic cursor (a dynamic work queue), each worker
+/// claiming `queue_batch` columns at a time. Every worker folds into its
+/// own thread-local accumulator map and carries one reusable column
+/// scratch (enumeration bitset pool + per-column fingerprint map), so
+/// steady-state profiling performs no per-column allocation. Because the
+/// fixed-point impurity accumulators merge with exact associativity and
+/// commutativity, the built index is bit-for-bit identical for every
+/// thread count, batch size, and scheduling order.
 #[derive(Debug, Clone)]
 pub struct IndexConfig {
     /// Pattern-generation knobs. For indexing, `max_patterns` bounds the
@@ -43,8 +53,12 @@ pub struct IndexConfig {
     /// Token-limit τ: values with more tokens are skipped (§2.4) — safe
     /// because vertical cuts recompose wide columns at query time (§3).
     pub tau: usize,
-    /// Worker threads for the shard-and-merge build.
+    /// Worker threads for the work-queue build.
     pub num_threads: usize,
+    /// Columns a worker claims per queue pop. `1` (the default) gives the
+    /// best balance under skewed column sizes; raise it only when columns
+    /// are uniformly tiny and cursor contention ever shows up in profiles.
+    pub queue_batch: usize,
     /// Keep pattern display strings (needed only for head-pattern analyses
     /// like Fig. 3 / Fig. 13b labels; costs memory on big corpora).
     pub keep_patterns: bool,
@@ -61,6 +75,7 @@ impl Default for IndexConfig {
             num_threads: std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(4),
+            queue_batch: 1,
             keep_patterns: false,
         }
     }
@@ -156,7 +171,14 @@ impl PatternIndex {
 
     /// Look up pre-computed stats for a pattern.
     pub fn lookup(&self, pattern: &Pattern) -> Option<PatternStats> {
-        self.map.get(&pattern.fingerprint()).map(|a| a.finish())
+        self.lookup_fingerprint(pattern.fingerprint())
+    }
+
+    /// Look up pre-computed stats by pattern fingerprint. Inference callers
+    /// that stream enumeration (`CoarseGroup::for_each_pattern`) already
+    /// hold the fingerprint, so this skips re-hashing the token sequence.
+    pub fn lookup_fingerprint(&self, fingerprint: u64) -> Option<PatternStats> {
+        self.map.get(&fingerprint).map(|a| a.finish())
     }
 
     /// `FPR_T(p)`, or `None` when the pattern never occurred in the corpus.
@@ -234,29 +256,68 @@ impl PatternIndex {
     }
 }
 
-/// Index one column: enumerate `P(D)` with per-pattern matched fractions
-/// and fold into the shard accumulator.
+/// Per-column matched-fraction accumulator: the same pattern can be
+/// emitted by several coarse groups of one column, and a column counts at
+/// most once toward a pattern's coverage, so contributions are merged by
+/// fingerprint before they fold into the [`StatsAcc`] shard map.
+#[derive(Debug, Clone, Copy)]
+struct FracAcc {
+    frac: f64,
+    token_len: u8,
+}
+
+/// Reusable per-worker scratch for column indexing: the enumeration DFS
+/// pool plus the per-column fingerprint → fraction map. Both keep their
+/// capacity across columns, so a worker's steady state allocates nothing.
+#[derive(Debug, Default)]
+pub(crate) struct ColumnScratch {
+    enumeration: EnumScratch,
+    frac: FastMap<FracAcc>,
+}
+
+/// Index one column: stream `P(D)` as `(fingerprint, support, len)`
+/// triples — no `Pattern` is materialized — merge per-column fractions by
+/// fingerprint, and fold into the shard accumulator. Display strings are
+/// rendered only under `keep_patterns`, and only for first-seen
+/// fingerprints.
 pub(crate) fn index_one_column(
     col: &Column,
     config: &IndexConfig,
     acc: &mut FastMap<StatsAcc>,
     names: &mut FastMap<String>,
+    scratch: &mut ColumnScratch,
 ) {
-    for (pattern, matched_frac) in column_pattern_profile(&col.values, &config.pattern, config.tau)
-    {
-        let fp = pattern.fingerprint();
-        acc.entry(fp)
+    let ColumnScratch { enumeration, frac } = scratch;
+    frac.clear();
+    stream_column_profile(
+        &col.values,
+        &config.pattern,
+        config.tau,
+        enumeration,
+        |sp, contribution| {
+            frac.entry(sp.fingerprint)
+                .or_insert(FracAcc {
+                    frac: 0.0,
+                    token_len: sp.token_len.min(255) as u8,
+                })
+                .frac += contribution;
+            if config.keep_patterns {
+                names.entry(sp.fingerprint).or_insert_with(|| sp.display());
+            }
+        },
+    );
+    for (fp, e) in frac.iter() {
+        acc.entry(*fp)
             .or_default()
-            .add_impurity(1.0 - matched_frac, pattern.len().min(255) as u8);
-        if config.keep_patterns {
-            names.entry(fp).or_insert_with(|| pattern.to_string());
-        }
+            .add_impurity(1.0 - e.frac, e.token_len);
     }
 }
 
 /// Scan-based FPR/coverage computation **without** an index — the paper's
 /// "FMDV (no-index)" reference point in Fig. 14. Returns `(fpr, cov)` for
-/// each requested pattern by profiling every corpus column on the fly.
+/// each requested pattern by profiling every corpus column on the fly,
+/// streaming fingerprints against the probe set (no enumerated pattern is
+/// ever materialized).
 pub fn scan_corpus_fpr(
     columns: &[&Column],
     patterns: &[Pattern],
@@ -268,12 +329,32 @@ pub fn scan_corpus_fpr(
         .enumerate()
         .map(|(i, p)| (p.fingerprint(), i))
         .collect();
+    let mut scratch = EnumScratch::default();
+    let mut col_frac: Vec<f64> = vec![0.0; patterns.len()];
+    let mut seen: Vec<bool> = vec![false; patterns.len()];
+    let mut hit: Vec<usize> = Vec::with_capacity(patterns.len());
     for col in columns {
-        for (pattern, frac) in column_pattern_profile(&col.values, &config.pattern, config.tau) {
-            if let Some(&i) = want.get(&pattern.fingerprint()) {
-                accs[i].add_impurity(1.0 - frac, pattern.len().min(255) as u8);
-            }
+        stream_column_profile(
+            &col.values,
+            &config.pattern,
+            config.tau,
+            &mut scratch,
+            |sp, contribution| {
+                if let Some(&i) = want.get(&sp.fingerprint) {
+                    if !seen[i] {
+                        seen[i] = true;
+                        hit.push(i);
+                    }
+                    col_frac[i] += contribution;
+                }
+            },
+        );
+        for &i in &hit {
+            accs[i].add_impurity(1.0 - col_frac[i], patterns[i].len().min(255) as u8);
+            col_frac[i] = 0.0;
+            seen[i] = false;
         }
+        hit.clear();
     }
     accs.iter().map(|a| (a.finish().fpr, a.cols)).collect()
 }
@@ -328,25 +409,73 @@ mod tests {
     }
 
     #[test]
-    fn single_threaded_and_parallel_builds_agree() {
+    fn thread_count_and_batch_size_do_not_change_bytes() {
         let corpus = generate_lake(&LakeProfile::tiny(), 9);
         let cols: Vec<&Column> = corpus.columns().collect();
-        let cfg1 = IndexConfig {
-            num_threads: 1,
-            ..Default::default()
-        };
-        let cfg4 = IndexConfig {
-            num_threads: 4,
-            ..Default::default()
-        };
-        let a = PatternIndex::build(&cols, &cfg1);
-        let b = PatternIndex::build(&cols, &cfg4);
-        assert_eq!(a.len(), b.len());
-        let bmap: std::collections::HashMap<u64, PatternStats> = b.entries().collect();
-        for (k, sa) in a.entries() {
-            let sb = bmap.get(&k).expect("pattern in both");
-            assert!((sa.fpr - sb.fpr).abs() < 1e-12);
-            assert_eq!(sa.cov, sb.cov);
+        let reference = PatternIndex::build(
+            &cols,
+            &IndexConfig {
+                num_threads: 1,
+                ..Default::default()
+            },
+        )
+        .to_bytes();
+        for (threads, batch) in [(4usize, 1usize), (4, 7), (3, 100), (64, 2)] {
+            let built = PatternIndex::build(
+                &cols,
+                &IndexConfig {
+                    num_threads: threads,
+                    queue_batch: batch,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                built.to_bytes(),
+                reference,
+                "threads={threads} batch={batch}"
+            );
+        }
+    }
+
+    /// The fold-direct streaming build must persist to bytes identical to
+    /// the materializing reference: profile each column into
+    /// `(Pattern, matched_frac)` pairs, merge per column by pattern, fold
+    /// with `add_impurity` — the pre-streaming dataflow.
+    #[test]
+    fn fold_direct_build_matches_materializing_reference() {
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(150), 7);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        for keep_patterns in [false, true] {
+            let config = IndexConfig {
+                keep_patterns,
+                ..Default::default()
+            };
+            let built = PatternIndex::build(&cols, &config);
+            let mut reference = PatternIndex::with_capacity(0, 0, config.tau);
+            for col in &cols {
+                for (pattern, frac) in
+                    av_pattern::column_pattern_profile(&col.values, &config.pattern, config.tau)
+                {
+                    let fp = pattern.fingerprint();
+                    reference
+                        .map
+                        .entry(fp)
+                        .or_default()
+                        .add_impurity(1.0 - frac, pattern.len().min(255) as u8);
+                    if keep_patterns {
+                        reference
+                            .patterns
+                            .entry(fp)
+                            .or_insert_with(|| pattern.to_string());
+                    }
+                }
+            }
+            reference.num_columns = cols.len() as u64;
+            assert_eq!(
+                built.to_bytes(),
+                reference.to_bytes(),
+                "keep_patterns={keep_patterns}"
+            );
         }
     }
 

@@ -12,6 +12,7 @@
 use crate::build::{index_one_column, FastMap, IndexConfig};
 use crate::stats::StatsAcc;
 use av_corpus::Column;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 #[cfg(doc)]
 use crate::build::PatternIndex;
@@ -56,20 +57,33 @@ impl std::fmt::Display for DeltaError {
 impl std::error::Error for DeltaError {}
 
 impl IndexDelta {
-    /// Profile `columns` into a delta with the same shard-and-merge
-    /// map/reduce the full build uses.
+    /// Profile `columns` into a delta with the same map/reduce dataflow the
+    /// full build uses: workers pull columns off a shared atomic cursor (a
+    /// dynamic work queue, so a handful of giant columns cannot strand the
+    /// other workers the way static chunking does), fold into thread-local
+    /// accumulators with a per-worker reusable scratch, and merge at the
+    /// end. The fixed-point accumulator merge is order-independent, so the
+    /// result is bit-identical for every thread count and schedule.
     pub fn profile(columns: &[&Column], config: &IndexConfig) -> IndexDelta {
-        let shards = config.num_threads.max(1);
-        let chunk = columns.len().div_ceil(shards).max(1);
+        let workers = config.num_threads.max(1).min(columns.len().max(1));
+        let batch = config.queue_batch.max(1);
+        let cursor = AtomicUsize::new(0);
         let results: Vec<(FastMap<StatsAcc>, FastMap<String>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = columns
-                .chunks(chunk)
-                .map(|shard| {
-                    scope.spawn(move || {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
                         let mut acc: FastMap<StatsAcc> = FastMap::default();
                         let mut names: FastMap<String> = FastMap::default();
-                        for col in shard {
-                            index_one_column(col, config, &mut acc, &mut names);
+                        let mut scratch = crate::build::ColumnScratch::default();
+                        loop {
+                            let start = cursor.fetch_add(batch, Ordering::Relaxed);
+                            if start >= columns.len() {
+                                break;
+                            }
+                            let end = columns.len().min(start + batch);
+                            for col in &columns[start..end] {
+                                index_one_column(col, config, &mut acc, &mut names, &mut scratch);
+                            }
                         }
                         (acc, names)
                     })

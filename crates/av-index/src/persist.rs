@@ -136,6 +136,15 @@ impl PatternIndex {
         Ok(index)
     }
 
+    /// A stable FNV-1a digest of the persisted byte image. Because
+    /// [`PatternIndex::to_bytes`] sorts entries by fingerprint and the
+    /// build is bit-deterministic across thread counts, the digest of an
+    /// index built from a seeded corpus is a constant — CI pins it to
+    /// catch silent format or determinism drift.
+    pub fn content_digest(&self) -> u64 {
+        av_pattern::fnv1a(&self.to_bytes())
+    }
+
     /// Write the index to a file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
         let mut f = File::create(path)?;
@@ -180,6 +189,20 @@ mod tests {
             assert!((r.fpr - s.fpr).abs() < 1e-15);
             assert_eq!(restored.pattern_string(k), index.pattern_string(k));
         }
+    }
+
+    /// The digest of the seeded tiny lake is a constant: lake generation,
+    /// enumeration, the fold-direct build, and the persist layout are all
+    /// deterministic. A mismatch here means the AVIX byte image silently
+    /// drifted — bump the format version (and this value) deliberately
+    /// instead. `examples/index_build.rs` asserts the same constant in CI.
+    #[test]
+    fn tiny_lake_digest_is_pinned() {
+        let corpus = generate_lake(&LakeProfile::tiny(), 42);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let index = PatternIndex::build(&cols, &IndexConfig::default());
+        assert_eq!(index.len(), 45379);
+        assert_eq!(index.content_digest(), 0x8c0a02de1fff1c8d);
     }
 
     #[test]

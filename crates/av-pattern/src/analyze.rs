@@ -13,8 +13,8 @@
 //! values `v` have `p ∈ P(v)` — which is precisely the quantity behind the
 //! impurity `Imp_D(p)` of Definition 1.
 
-use crate::generalize::{run_options, PatternConfig};
-use crate::pattern::Pattern;
+use crate::generalize::{for_each_run_option, PatternConfig, RunOption};
+use crate::pattern::{FingerprintState, Pattern};
 use crate::token::{CharClass, Token};
 use crate::tokenize::{tokenize, Run};
 use std::collections::HashMap;
@@ -69,6 +69,35 @@ impl BitSet {
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
+
+    /// Re-dimension to `len` slots, all clear, reusing the allocation.
+    pub fn reset(&mut self, len: usize) {
+        self.words.clear();
+        self.words.resize(len.div_ceil(64), 0);
+        self.len = len;
+    }
+
+    /// Overwrite with a copy of `other` (capacities must match); returns
+    /// the number of set slots.
+    pub fn copy_and_count(&mut self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.len, other.len);
+        self.words.copy_from_slice(&other.words);
+        other.count()
+    }
+
+    /// Store `a & b` (capacities must match); returns the number of set
+    /// slots — the fused intersect-and-count of the enumeration DFS.
+    pub fn and_count(&mut self, a: &BitSet, b: &BitSet) -> usize {
+        debug_assert_eq!(self.len, a.len);
+        debug_assert_eq!(a.len, b.len);
+        let mut count = 0usize;
+        for (out, (x, y)) in self.words.iter_mut().zip(a.words.iter().zip(&b.words)) {
+            let w = x & y;
+            *out = w;
+            count += w.count_ones() as usize;
+        }
+        count
+    }
 }
 
 /// Class of a merged (alnum-fused) run.
@@ -93,11 +122,7 @@ fn merged_runs(value: &str) -> Vec<MergedRun<'_>> {
     let mut offset = 0usize; // byte offset where the current run starts
     for run in runs {
         let end = offset + run.text.len();
-        let class = match run.class {
-            CharClass::Digit | CharClass::Letter => MergedClass::Alnum,
-            CharClass::Symbol => MergedClass::Sym,
-            CharClass::Space => MergedClass::Space,
-        };
+        let class = merge_class(run.class);
         match out.last_mut() {
             Some(last) if last.class == MergedClass::Alnum && class == MergedClass::Alnum => {
                 let start = end - last.text.len() - run.text.len();
@@ -117,26 +142,59 @@ fn merged_runs(value: &str) -> Vec<MergedRun<'_>> {
     out
 }
 
+/// The class-merge rule: digit/letter fuse into alnum.
+#[inline]
+fn merge_class(class: CharClass) -> MergedClass {
+    match class {
+        CharClass::Digit | CharClass::Letter => MergedClass::Alnum,
+        CharClass::Symbol => MergedClass::Sym,
+        CharClass::Space => MergedClass::Space,
+    }
+}
+
+/// Merged class of a single character.
+#[inline]
+fn merged_class_of(c: char) -> MergedClass {
+    merge_class(CharClass::of(c))
+}
+
 /// Number of merged tokens in a value — the effective position count of
 /// the analyzer (adjacent digit/letter runs count once). This is the width
 /// measure the τ token-limit applies to: hex/GUID-like values alternate
 /// digit and letter runs and would absurdly exceed any strict-run limit
-/// while having few *positions*.
+/// while having few *positions*. Counted by a direct character scan — the
+/// offline indexer calls this for every corpus value, so it must not
+/// materialize run vectors just to take their length.
 pub fn merged_token_count(value: &str) -> usize {
-    merged_runs(value).len()
+    let mut count = 0usize;
+    let mut cur: Option<MergedClass> = None;
+    for c in value.chars() {
+        let class = merged_class_of(c);
+        if cur != Some(class) {
+            count += 1;
+            cur = Some(class);
+        }
+    }
+    count
 }
 
 /// The merged coarse key of a value: one class token per merged run. Values
 /// sharing a key are structurally compatible and analyzed together.
 pub fn merged_key(value: &str) -> Pattern {
-    merged_runs(value)
-        .iter()
-        .map(|m| match m.class {
-            MergedClass::Alnum => Token::AlnumPlus,
-            MergedClass::Sym => Token::SymPlus,
-            MergedClass::Space => Token::SpacePlus,
-        })
-        .collect()
+    let mut tokens: Vec<Token> = Vec::new();
+    let mut cur: Option<MergedClass> = None;
+    for c in value.chars() {
+        let class = merged_class_of(c);
+        if cur != Some(class) {
+            tokens.push(match class {
+                MergedClass::Alnum => Token::AlnumPlus,
+                MergedClass::Sym => Token::SymPlus,
+                MergedClass::Space => Token::SpacePlus,
+            });
+            cur = Some(class);
+        }
+    }
+    Pattern::new(tokens)
 }
 
 /// Candidate tokens with support, for one (flattened) position.
@@ -226,6 +284,10 @@ impl CoarseGroup {
     /// keeping patterns supported by at least `min_support` sampled values.
     /// This is the building block of the vertical-cut DP (§3): each segment
     /// `C[s, e]` is treated "just like a regular column cut from C".
+    ///
+    /// Materializing convenience wrapper over [`CoarseGroup::for_each_pattern`]
+    /// — hot callers (the offline indexer, the vertical DP) should stream
+    /// instead and materialize only the patterns they keep.
     pub fn enumerate_segment(
         &self,
         start: usize,
@@ -233,93 +295,227 @@ impl CoarseGroup {
         min_support: usize,
         cfg: &PatternConfig,
     ) -> Vec<SupportedPattern> {
+        let mut out: Vec<SupportedPattern> = Vec::new();
+        with_enum_scratch(|scratch| {
+            self.for_each_pattern(start, end, min_support, cfg, scratch, |sp| {
+                out.push(SupportedPattern {
+                    pattern: sp.to_pattern(),
+                    support: sp.support,
+                });
+            });
+        });
+        out
+    }
+
+    /// Stream the fine-grained patterns of the position range `[start, end)`
+    /// without materializing them: the DFS threads an incremental FNV-1a
+    /// fingerprint state ([`crate::FingerprintState`]) through every
+    /// push/pop and intersects support bitsets into a depth-indexed scratch
+    /// pool, so each emitted [`StreamedPattern`] costs zero allocations.
+    /// Emission order, pruning, cap-trimming, and the exclusion of the
+    /// trivial all-`<any>+` pattern are identical to
+    /// [`CoarseGroup::enumerate_segment`].
+    pub fn for_each_pattern<F: FnMut(&StreamedPattern<'_>)>(
+        &self,
+        start: usize,
+        end: usize,
+        min_support: usize,
+        cfg: &PatternConfig,
+        scratch: &mut EnumScratch,
+        mut f: F,
+    ) {
         assert!(
             start <= end && end <= self.positions.len(),
             "segment bounds"
         );
         if start == end {
-            return vec![SupportedPattern {
-                pattern: Pattern::empty(),
+            // The empty segment is supported by every sampled value.
+            f(&StreamedPattern {
+                fingerprint: FingerprintState::new().finish(),
                 support: self.sample_size,
-            }];
+                token_len: 0,
+                tokens: &[],
+            });
+            return;
         }
-        // Trim to fit the cap.
-        let mut positions: Vec<Vec<(Token, BitSet)>> = self.positions[start..end]
-            .iter()
-            .map(|p| p.options.clone())
-            .collect();
+        let positions = &self.positions[start..end];
+        let n = positions.len();
+        let EnumScratch { levels, offsets } = scratch;
+        // Trim to fit the cap: drop options from the *front* of the widest
+        // position (options are stored in trim order) by advancing a
+        // per-position offset — no option vector is ever copied.
+        offsets.clear();
+        offsets.resize(n, 0);
         loop {
-            let product: u128 = positions.iter().map(|p| p.len() as u128).product();
+            let product: u128 = positions
+                .iter()
+                .zip(offsets.iter())
+                .map(|(p, off)| (p.options.len() - off) as u128)
+                .product();
             if product <= cfg.max_patterns as u128 {
                 break;
             }
-            let widest = positions
-                .iter()
-                .enumerate()
-                .max_by_key(|(_, p)| p.len())
-                .map(|(i, _)| i)
+            let widest = (0..n)
+                .max_by_key(|&i| positions[i].options.len() - offsets[i])
                 .expect("positions non-empty");
-            if positions[widest].len() <= 1 {
+            if positions[widest].options.len() - offsets[widest] <= 1 {
                 break;
             }
-            positions[widest].remove(0);
+            offsets[widest] += 1;
         }
-        let full = {
-            let mut b = BitSet::new(self.sample_size);
-            for i in 0..self.sample_size {
-                b.set(i);
-            }
-            b
-        };
-        let mut out: Vec<SupportedPattern> = Vec::new();
-        let mut stack: Vec<Token> = Vec::with_capacity(positions.len());
-        enumerate_rec(
-            &positions,
-            0,
-            &full,
-            min_support.max(1),
+        // One support bitset per depth, reused across the whole group.
+        if levels.len() < n {
+            levels.resize_with(n, || BitSet::new(0));
+        }
+        for level in &mut levels[..n] {
+            level.reset(self.sample_size);
+        }
+        let mut stack: Vec<&Token> = Vec::with_capacity(n);
+        stream_rec(
+            positions,
+            offsets,
+            &mut levels[..n],
             &mut stack,
-            &mut out,
+            0,
+            self.sample_size,
+            FingerprintState::new(),
+            0,
+            0,
+            min_support.max(1),
+            &mut f,
         );
-        out.retain(|sp| !sp.pattern.is_trivial());
-        out
     }
 
     /// Only the patterns supported by *every* sampled value — the group's
-    /// contribution to `H(C) = ∩ P(v)`.
+    /// contribution to `H(C) = ∩ P(v)`. Enumerated directly with the
+    /// full-support floor, so partially-supported branches are pruned at
+    /// the first position instead of being generated and filtered.
     pub fn full_support_patterns(&self, cfg: &PatternConfig) -> Vec<Pattern> {
-        self.enumerate(cfg)
+        self.enumerate_segment(0, self.positions.len(), self.sample_size, cfg)
             .into_iter()
-            .filter(|sp| sp.support == self.sample_size)
             .map(|sp| sp.pattern)
             .collect()
     }
 }
 
-fn enumerate_rec(
-    positions: &[Vec<(Token, BitSet)>],
+/// One pattern emitted by the streaming enumeration. The fingerprint,
+/// support, and canonical token count are already computed; the raw token
+/// stack is borrowed so display forms and [`Pattern`]s are materialized
+/// only when a consumer actually wants them.
+#[derive(Debug)]
+pub struct StreamedPattern<'a> {
+    /// Canonical FNV-1a fingerprint — identical to
+    /// [`Pattern::fingerprint`] of [`StreamedPattern::to_pattern`].
+    pub fingerprint: u64,
+    /// Number of sampled values supporting the pattern.
+    pub support: usize,
+    /// Canonical token count (adjacent literals count once).
+    pub token_len: usize,
+    tokens: &'a [&'a Token],
+}
+
+impl StreamedPattern<'_> {
+    /// Materialize the canonical [`Pattern`].
+    pub fn to_pattern(&self) -> Pattern {
+        Pattern::new(self.tokens.iter().map(|t| (*t).clone()).collect())
+    }
+
+    /// Sum of per-token specificity ranks, identical to
+    /// [`Pattern::specificity`] of the materialized pattern (literal
+    /// merging cannot change the sum — literals rank 0). Lets selection
+    /// loops rank candidates without materializing them.
+    pub fn specificity(&self) -> u32 {
+        self.tokens.iter().map(|t| t.specificity() as u32).sum()
+    }
+
+    /// Materialize the display form without building a [`Pattern`].
+    /// Adjacent literals render contiguously, so this equals
+    /// `self.to_pattern().to_string()`.
+    pub fn display(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for t in self.tokens {
+            let _ = write!(s, "{t}");
+        }
+        s
+    }
+}
+
+/// Reusable scratch for the streaming enumeration DFS: one support bitset
+/// per depth plus the cap-trim offsets. One instance serves any number of
+/// groups, columns, and segment calls; steady-state enumeration performs no
+/// heap allocation besides one small pointer stack per segment.
+#[derive(Debug, Default)]
+pub struct EnumScratch {
+    levels: Vec<BitSet>,
+    offsets: Vec<usize>,
+}
+
+thread_local! {
+    static ENUM_SCRATCH: std::cell::RefCell<EnumScratch> =
+        std::cell::RefCell::new(EnumScratch::default());
+}
+
+/// Run `f` with the thread-local enumeration scratch (used by the
+/// materializing wrappers; hot loops hold their own [`EnumScratch`]).
+fn with_enum_scratch<R>(f: impl FnOnce(&mut EnumScratch) -> R) -> R {
+    ENUM_SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+#[allow(clippy::too_many_arguments)] // internal DFS: args are the per-depth saved state
+fn stream_rec<'g, F: FnMut(&StreamedPattern<'_>)>(
+    positions: &'g [PositionOptions],
+    offsets: &[usize],
+    levels: &mut [BitSet],
+    stack: &mut Vec<&'g Token>,
     depth: usize,
-    support: &BitSet,
+    support: usize,
+    st: FingerprintState,
+    token_len: usize,
+    any_count: usize,
     min_support: usize,
-    stack: &mut Vec<Token>,
-    out: &mut Vec<SupportedPattern>,
+    f: &mut F,
 ) {
     if depth == positions.len() {
-        out.push(SupportedPattern {
-            pattern: Pattern::new(stack.clone()),
-            support: support.count(),
-        });
+        // The all-`<any>+` pattern is the paper's excluded trivial `.*`.
+        if any_count < depth {
+            f(&StreamedPattern {
+                fingerprint: st.finish(),
+                support,
+                token_len,
+                tokens: stack,
+            });
+        }
         return;
     }
-    for (token, bits) in &positions[depth] {
-        let mut next = support.clone();
-        next.and_assign(bits);
-        // Support only shrinks with depth, so pruning here is exact.
-        if next.count() < min_support {
+    for (token, bits) in &positions[depth].options[offsets[depth]..] {
+        // Support only shrinks with depth, so pruning here is exact. The
+        // child's support set is intersected into this depth's pooled
+        // bitset and counted in the same pass — nothing is cloned and
+        // nothing is recounted at emission.
+        let count = if depth == 0 {
+            levels[0].copy_and_count(bits)
+        } else {
+            let (parents, children) = levels.split_at_mut(depth);
+            children[0].and_count(&parents[depth - 1], bits)
+        };
+        if count < min_support {
             continue;
         }
-        stack.push(token.clone());
-        enumerate_rec(positions, depth + 1, &next, min_support, stack, out);
+        stack.push(token);
+        stream_rec(
+            positions,
+            offsets,
+            levels,
+            stack,
+            depth + 1,
+            count,
+            st.push(token),
+            token_len + usize::from(!st.merges(token)),
+            any_count + usize::from(token.is_any()),
+            min_support,
+            f,
+        );
         stack.pop();
     }
 }
@@ -346,23 +542,37 @@ impl ColumnAnalysis {
 }
 
 /// Merged-level generalization options for one merged run of a value.
-fn merged_options(m: &MergedRun<'_>) -> Vec<Token> {
+fn for_each_merged_option<'a>(m: &MergedRun<'a>, mut f: impl FnMut(RunOption<'a>)) {
     let w = m.text.chars().count() as u16;
+    f(RunOption::Lit(m.text));
     match m.class {
-        MergedClass::Alnum => vec![
-            Token::lit(m.text),
-            Token::Alnum(w),
-            Token::AlnumPlus,
-            Token::AnyPlus,
-        ],
-        MergedClass::Sym => vec![
-            Token::lit(m.text),
-            Token::Sym(w),
-            Token::SymPlus,
-            Token::AnyPlus,
-        ],
-        MergedClass::Space => vec![Token::lit(m.text), Token::SpacePlus, Token::AnyPlus],
+        MergedClass::Alnum => {
+            f(RunOption::Tok(Token::Alnum(w)));
+            f(RunOption::Tok(Token::AlnumPlus));
+        }
+        MergedClass::Sym => {
+            f(RunOption::Tok(Token::Sym(w)));
+            f(RunOption::Tok(Token::SymPlus));
+        }
+        MergedClass::Space => {
+            f(RunOption::Tok(Token::SpacePlus));
+        }
     }
+    f(RunOption::Tok(Token::AnyPlus));
+}
+
+/// Record value `vi` as supporting `opt` at one position. Options are kept
+/// in a small vector probed linearly — positions rarely exceed a dozen
+/// distinct candidates, and this avoids hashing tokens (and boxing literal
+/// text) once per *value* instead of once per *distinct option*.
+fn note_option(options: &mut Vec<(Token, BitSet)>, opt: RunOption<'_>, vi: usize, sample: usize) {
+    if let Some((_, bits)) = options.iter_mut().find(|(t, _)| opt.is_token(t)) {
+        bits.set(vi);
+        return;
+    }
+    let mut bits = BitSet::new(sample);
+    bits.set(vi);
+    options.push((opt.into_token(), bits));
 }
 
 /// Analyze a column: group by merged coarse key, flatten positions (strict
@@ -410,26 +620,22 @@ pub fn analyze_column<S: AsRef<str>>(values: &[S], cfg: &PatternConfig) -> Colum
             });
             if consistent {
                 for s in 0..first_classes.len() {
-                    let mut map: HashMap<Token, BitSet> = HashMap::new();
+                    let mut options: Vec<(Token, BitSet)> = Vec::new();
                     for (vi, mr) in parsed.iter().enumerate() {
-                        for token in run_options(&mr[j].subs[s], cfg) {
-                            map.entry(token)
-                                .or_insert_with(|| BitSet::new(sample_size))
-                                .set(vi);
-                        }
+                        for_each_run_option(&mr[j].subs[s], cfg, |opt| {
+                            note_option(&mut options, opt, vi, sample_size);
+                        });
                     }
-                    positions.push(collect_options(map, min_support, sample_size));
+                    positions.push(collect_options(options, min_support, sample_size));
                 }
             } else {
-                let mut map: HashMap<Token, BitSet> = HashMap::new();
+                let mut options: Vec<(Token, BitSet)> = Vec::new();
                 for (vi, mr) in parsed.iter().enumerate() {
-                    for token in merged_options(&mr[j]) {
-                        map.entry(token)
-                            .or_insert_with(|| BitSet::new(sample_size))
-                            .set(vi);
-                    }
+                    for_each_merged_option(&mr[j], |opt| {
+                        note_option(&mut options, opt, vi, sample_size);
+                    });
                 }
-                positions.push(collect_options(map, min_support, sample_size));
+                positions.push(collect_options(options, min_support, sample_size));
             }
         }
         out.push(CoarseGroup {
@@ -451,23 +657,28 @@ pub fn analyze_column<S: AsRef<str>>(values: &[S], cfg: &PatternConfig) -> Colum
 /// (lowest support earliest), then full-support by expendability rank, with
 /// a deterministic token tie-break.
 fn collect_options(
-    map: HashMap<Token, BitSet>,
+    map: Vec<(Token, BitSet)>,
     min_support: usize,
     sample_size: usize,
 ) -> PositionOptions {
-    let mut options: Vec<(Token, BitSet)> = map
+    // Counts are computed once up front — the sort comparator would
+    // otherwise popcount each side O(n log n) times.
+    let mut options: Vec<(Token, BitSet, usize)> = map
         .into_iter()
-        .filter(|(_, bits)| bits.count() >= min_support)
+        .filter_map(|(t, bits)| {
+            let count = bits.count();
+            (count >= min_support).then_some((t, bits, count))
+        })
         .collect();
-    options.sort_by(|(a, abits), (b, bbits)| {
-        let a_full = abits.count() == sample_size;
-        let b_full = bbits.count() == sample_size;
-        trim_rank(a, a_full)
-            .cmp(&trim_rank(b, b_full))
-            .then_with(|| abits.count().cmp(&bbits.count()))
+    options.sort_by(|(a, _, acount), (b, _, bcount)| {
+        trim_rank(a, *acount == sample_size)
+            .cmp(&trim_rank(b, *bcount == sample_size))
+            .then_with(|| acount.cmp(bcount))
             .then_with(|| a.cmp(b))
     });
-    PositionOptions { options }
+    PositionOptions {
+        options: options.into_iter().map(|(t, bits, _)| (t, bits)).collect(),
+    }
 }
 
 /// The hypothesis space `H(C) = ∩_{v∈C} P(v) \ ".*"` (§2.1): patterns
@@ -505,29 +716,58 @@ pub fn column_pattern_profile<S: AsRef<str>>(
     cfg: &PatternConfig,
     tau: usize,
 ) -> Vec<(Pattern, f64)> {
+    let mut acc: HashMap<Pattern, f64> = HashMap::new();
+    with_enum_scratch(|scratch| {
+        stream_column_profile(values, cfg, tau, scratch, |sp, frac| {
+            *acc.entry(sp.to_pattern()).or_insert(0.0) += frac;
+        });
+    });
+    let mut out: Vec<(Pattern, f64)> = acc.into_iter().collect();
+    out.sort_by(|(a, _), (b, _)| a.cmp(b));
+    out
+}
+
+/// Streaming form of [`column_pattern_profile`]: the offline indexer's hot
+/// loop. For every enumerated pattern of every retained coarse group the
+/// sink receives the [`StreamedPattern`] (fingerprint, support, canonical
+/// length, borrowed tokens) plus the pattern's matched-fraction
+/// *contribution* from that group — `support × (group count / sample) /
+/// |column|`. Summing the contributions per fingerprint over the whole call
+/// yields exactly the fractions [`column_pattern_profile`] reports, but no
+/// `Pattern` is materialized, no token vector is cloned or hashed, and no
+/// intermediate per-pattern map is built here: the caller folds the triples
+/// straight into its own accumulators.
+///
+/// A pattern may be emitted by more than one coarse group of the same
+/// column (e.g. `<alnum>+<any>+` from both an `[alnum sym]` and an
+/// `[alnum space]` group), so per-column consumers must merge by
+/// fingerprint before treating an emission as "the column follows p".
+pub fn stream_column_profile<S: AsRef<str>>(
+    values: &[S],
+    cfg: &PatternConfig,
+    tau: usize,
+    scratch: &mut EnumScratch,
+    mut sink: impl FnMut(&StreamedPattern<'_>, f64),
+) {
     let narrow: Vec<&str> = values
         .iter()
         .map(|v| v.as_ref())
         .filter(|v| merged_token_count(v) <= tau)
         .collect();
     if narrow.is_empty() {
-        return Vec::new();
+        return;
     }
     let total = values.len();
     let analysis = analyze_column(&narrow, cfg);
-    let mut acc: HashMap<Pattern, f64> = HashMap::new();
     for g in &analysis.groups {
         if g.sample_size == 0 {
             continue;
         }
         let scale = (g.count as f64 / g.sample_size as f64) / total as f64;
-        for sp in g.enumerate(cfg) {
-            *acc.entry(sp.pattern).or_insert(0.0) += sp.support as f64 * scale;
-        }
+        g.for_each_pattern(0, g.positions.len(), 1, cfg, scratch, |sp| {
+            sink(sp, sp.support as f64 * scale);
+        });
     }
-    let mut out: Vec<(Pattern, f64)> = acc.into_iter().collect();
-    out.sort_by(|(a, _), (b, _)| a.cmp(b));
-    out
 }
 
 #[cfg(test)]

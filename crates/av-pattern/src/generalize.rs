@@ -66,44 +66,86 @@ pub fn coarse_pattern(value: &str) -> Pattern {
         .collect()
 }
 
+/// One candidate generalization of a run, in borrowed form: literals stay
+/// `&str` slices of the value so option *enumeration* allocates nothing —
+/// a `Token::Lit` box is only built when a position first records the
+/// literal (see `analyze`).
+#[derive(Debug, Clone)]
+pub(crate) enum RunOption<'a> {
+    /// The literal constant (leaf of the hierarchy).
+    Lit(&'a str),
+    /// A class token (never `Token::Lit`).
+    Tok(Token),
+}
+
+impl RunOption<'_> {
+    /// Materialize the owned token.
+    pub(crate) fn into_token(self) -> Token {
+        match self {
+            RunOption::Lit(s) => Token::lit(s),
+            RunOption::Tok(t) => t,
+        }
+    }
+
+    /// Does this option denote the same token as `t`?
+    #[inline]
+    pub(crate) fn is_token(&self, t: &Token) -> bool {
+        match (self, t) {
+            (RunOption::Lit(s), Token::Lit(l)) => *s == &**l,
+            (RunOption::Lit(_), _) => false,
+            (RunOption::Tok(o), t) => o == t,
+        }
+    }
+}
+
 /// Per-position generalization options for one strict run, most specific
 /// first. This is the §1 chain, extended with case-specific letter tokens.
-pub(crate) fn run_options(run: &Run<'_>, cfg: &PatternConfig) -> Vec<Token> {
+pub(crate) fn for_each_run_option<'a>(
+    run: &Run<'a>,
+    cfg: &PatternConfig,
+    mut f: impl FnMut(RunOption<'a>),
+) {
     let k = run.len() as u16;
-    let mut opts = Vec::with_capacity(8);
-    opts.push(Token::lit(run.text));
+    f(RunOption::Lit(run.text));
     match run.class {
         CharClass::Digit => {
-            opts.push(Token::Digit(k));
-            opts.push(Token::DigitPlus);
-            opts.push(Token::Num);
-            opts.push(Token::Alnum(k));
-            opts.push(Token::AlnumPlus);
+            f(RunOption::Tok(Token::Digit(k)));
+            f(RunOption::Tok(Token::DigitPlus));
+            f(RunOption::Tok(Token::Num));
+            f(RunOption::Tok(Token::Alnum(k)));
+            f(RunOption::Tok(Token::AlnumPlus));
         }
         CharClass::Letter => {
             if cfg.case_tokens {
                 if run.text.chars().all(|c| c.is_ascii_uppercase()) {
-                    opts.push(Token::Upper(k));
-                    opts.push(Token::UpperPlus);
+                    f(RunOption::Tok(Token::Upper(k)));
+                    f(RunOption::Tok(Token::UpperPlus));
                 } else if run.text.chars().all(|c| c.is_ascii_lowercase()) {
-                    opts.push(Token::Lower(k));
-                    opts.push(Token::LowerPlus);
+                    f(RunOption::Tok(Token::Lower(k)));
+                    f(RunOption::Tok(Token::LowerPlus));
                 }
             }
-            opts.push(Token::Letter(k));
-            opts.push(Token::LetterPlus);
-            opts.push(Token::Alnum(k));
-            opts.push(Token::AlnumPlus);
+            f(RunOption::Tok(Token::Letter(k)));
+            f(RunOption::Tok(Token::LetterPlus));
+            f(RunOption::Tok(Token::Alnum(k)));
+            f(RunOption::Tok(Token::AlnumPlus));
         }
         CharClass::Space => {
-            opts.push(Token::SpacePlus);
+            f(RunOption::Tok(Token::SpacePlus));
         }
         CharClass::Symbol => {
-            opts.push(Token::Sym(k));
-            opts.push(Token::SymPlus);
+            f(RunOption::Tok(Token::Sym(k)));
+            f(RunOption::Tok(Token::SymPlus));
         }
     }
-    opts.push(Token::AnyPlus);
+    f(RunOption::Tok(Token::AnyPlus));
+}
+
+/// Owned-token form of [`for_each_run_option`] (tests and one-off callers).
+#[cfg(test)]
+pub(crate) fn run_options(run: &Run<'_>, cfg: &PatternConfig) -> Vec<Token> {
+    let mut opts = Vec::with_capacity(8);
+    for_each_run_option(run, cfg, |o| opts.push(o.into_token()));
     opts
 }
 

@@ -55,12 +55,13 @@ mod tokenize;
 
 pub use analyze::{
     analyze_column, column_pattern_profile, hypothesis_space, merged_key, merged_token_count,
-    patterns_of_value, BitSet, CoarseGroup, ColumnAnalysis, PositionOptions, SupportedPattern,
+    patterns_of_value, stream_column_profile, BitSet, CoarseGroup, ColumnAnalysis, EnumScratch,
+    PositionOptions, StreamedPattern, SupportedPattern,
 };
 pub use compile::{CompiledPattern, MatchScratch};
 pub use generalize::{coarse_pattern, PatternConfig};
 pub use matcher::matches;
 pub use parser::{parse, ParseError};
-pub use pattern::Pattern;
+pub use pattern::{fnv1a, FingerprintState, Pattern};
 pub use token::{CharClass, Token};
 pub use tokenize::{token_count, tokenize, Run};

@@ -86,64 +86,10 @@ impl Pattern {
     /// A stable 64-bit fingerprint of the pattern (FNV-1a over the display
     /// form structure). Stable across processes; used as a compact index key.
     pub fn fingerprint(&self) -> u64 {
-        const FNV_OFFSET: u64 = 0xcbf29ce484222325;
-        const FNV_PRIME: u64 = 0x100000001b3;
-        let mut h = FNV_OFFSET;
-        let mut eat = |b: u8| {
-            h ^= b as u64;
-            h = h.wrapping_mul(FNV_PRIME);
-        };
-        for t in &self.tokens {
-            match t {
-                Token::Lit(s) => {
-                    eat(1);
-                    for b in s.as_bytes() {
-                        eat(*b);
-                    }
-                    eat(0);
-                }
-                Token::Digit(n) => {
-                    eat(2);
-                    eat(*n as u8);
-                    eat((*n >> 8) as u8);
-                }
-                Token::DigitPlus => eat(3),
-                Token::Num => eat(4),
-                Token::Upper(n) => {
-                    eat(5);
-                    eat(*n as u8);
-                    eat((*n >> 8) as u8);
-                }
-                Token::UpperPlus => eat(6),
-                Token::Lower(n) => {
-                    eat(7);
-                    eat(*n as u8);
-                    eat((*n >> 8) as u8);
-                }
-                Token::LowerPlus => eat(8),
-                Token::Letter(n) => {
-                    eat(9);
-                    eat(*n as u8);
-                    eat((*n >> 8) as u8);
-                }
-                Token::LetterPlus => eat(10),
-                Token::Alnum(n) => {
-                    eat(11);
-                    eat(*n as u8);
-                    eat((*n >> 8) as u8);
-                }
-                Token::AlnumPlus => eat(12),
-                Token::Sym(n) => {
-                    eat(13);
-                    eat(*n as u8);
-                    eat((*n >> 8) as u8);
-                }
-                Token::SymPlus => eat(14),
-                Token::SpacePlus => eat(15),
-                Token::AnyPlus => eat(16),
-            }
-        }
-        h
+        self.tokens
+            .iter()
+            .fold(FingerprintState::new(), |st, t| st.push(t))
+            .finish()
     }
 
     /// Render the pattern as a regex string usable with `av-regex` or any
@@ -179,6 +125,124 @@ impl Pattern {
             }
         }
         out
+    }
+}
+
+/// Incremental FNV-1a fingerprint over a token sequence.
+///
+/// `Pattern::fingerprint` is defined as a fold of this state over the
+/// pattern's canonical tokens, so the two can never drift apart. The state
+/// is 16 bytes and `Copy`, which is what lets the enumeration DFS thread a
+/// running hash through `push` on descend and restore the parent's saved
+/// state on backtrack — no token vector is ever materialized just to be
+/// hashed.
+///
+/// Canonicalization is handled here too: [`Pattern::new`] fuses adjacent
+/// literal tokens into one, so pushing `Lit("ab")` then `Lit("12")` must
+/// hash exactly like pushing `Lit("ab12")`. The state keeps an "open
+/// literal" flag and defers the literal terminator byte until the next
+/// non-literal token (or [`FingerprintState::finish`]).
+///
+/// ```
+/// use av_pattern::{FingerprintState, Pattern, Token};
+/// let tokens = vec![Token::lit("ab"), Token::lit("12"), Token::DigitPlus];
+/// let streamed = tokens
+///     .iter()
+///     .fold(FingerprintState::new(), |st, t| st.push(t))
+///     .finish();
+/// assert_eq!(streamed, Pattern::new(tokens).fingerprint());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FingerprintState {
+    h: u64,
+    lit_open: bool,
+}
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+#[inline]
+fn fnv(h: u64, b: u8) -> u64 {
+    (h ^ b as u64).wrapping_mul(FNV_PRIME)
+}
+
+/// Plain FNV-1a over a byte slice — the same primitive
+/// [`Pattern::fingerprint`] is built on, exposed so dependants (e.g. the
+/// index's persisted-image digest) don't re-implement the constants.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, b| fnv(h, *b))
+}
+
+impl FingerprintState {
+    /// State over the empty token sequence.
+    #[inline]
+    pub fn new() -> FingerprintState {
+        FingerprintState {
+            h: FNV_OFFSET,
+            lit_open: false,
+        }
+    }
+
+    /// Would pushing `t` merge into the previously pushed token (i.e. both
+    /// are literals, which [`Pattern::new`] canonicalizes into one)? Lets
+    /// callers track the *canonical* token count incrementally.
+    #[inline]
+    pub fn merges(&self, t: &Token) -> bool {
+        self.lit_open && matches!(t, Token::Lit(_))
+    }
+
+    /// The state after appending `t` to the sequence.
+    #[inline]
+    pub fn push(&self, t: &Token) -> FingerprintState {
+        let mut h = self.h;
+        if let Token::Lit(s) = t {
+            if !self.lit_open {
+                h = fnv(h, 1);
+            }
+            for b in s.as_bytes() {
+                h = fnv(h, *b);
+            }
+            return FingerprintState { h, lit_open: true };
+        }
+        if self.lit_open {
+            h = fnv(h, 0); // terminate the merged literal
+        }
+        let tagged = |h: u64, tag: u8, n: u16| fnv(fnv(fnv(h, tag), n as u8), (n >> 8) as u8);
+        h = match t {
+            Token::Lit(_) => unreachable!("handled above"),
+            Token::Digit(n) => tagged(h, 2, *n),
+            Token::DigitPlus => fnv(h, 3),
+            Token::Num => fnv(h, 4),
+            Token::Upper(n) => tagged(h, 5, *n),
+            Token::UpperPlus => fnv(h, 6),
+            Token::Lower(n) => tagged(h, 7, *n),
+            Token::LowerPlus => fnv(h, 8),
+            Token::Letter(n) => tagged(h, 9, *n),
+            Token::LetterPlus => fnv(h, 10),
+            Token::Alnum(n) => tagged(h, 11, *n),
+            Token::AlnumPlus => fnv(h, 12),
+            Token::Sym(n) => tagged(h, 13, *n),
+            Token::SymPlus => fnv(h, 14),
+            Token::SpacePlus => fnv(h, 15),
+            Token::AnyPlus => fnv(h, 16),
+        };
+        FingerprintState { h, lit_open: false }
+    }
+
+    /// The fingerprint of the sequence pushed so far.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        if self.lit_open {
+            fnv(self.h, 0)
+        } else {
+            self.h
+        }
+    }
+}
+
+impl Default for FingerprintState {
+    fn default() -> Self {
+        FingerprintState::new()
     }
 }
 
@@ -276,5 +340,53 @@ mod tests {
     fn regex_rendering() {
         let pat = p(vec![Token::Digit(2), Token::lit("."), Token::LetterPlus]);
         assert_eq!(pat.to_regex(), "[0-9]{2}\\.[A-Za-z]+");
+    }
+
+    #[test]
+    fn incremental_fingerprint_merges_adjacent_literals() {
+        // Raw token sequences that canonicalize to the same pattern must
+        // stream to the same fingerprint — including literal splits around
+        // class tokens and at the end of the sequence.
+        let cases: Vec<Vec<Token>> = vec![
+            vec![Token::lit("ab"), Token::lit("12")],
+            vec![Token::lit("a"), Token::lit("b"), Token::lit("12")],
+            vec![
+                Token::lit("/"),
+                Token::Digit(2),
+                Token::lit("x"),
+                Token::lit("y"),
+            ],
+            vec![Token::lit("x"), Token::AnyPlus, Token::lit("y")],
+            vec![],
+            vec![Token::Num],
+        ];
+        for tokens in cases {
+            let streamed = tokens
+                .iter()
+                .fold(FingerprintState::new(), |st, t| st.push(t))
+                .finish();
+            assert_eq!(
+                streamed,
+                Pattern::new(tokens.clone()).fingerprint(),
+                "{tokens:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn split_and_whole_literals_fingerprint_equal_but_distinct_from_others() {
+        let split = [Token::lit("ab"), Token::lit("12")]
+            .iter()
+            .fold(FingerprintState::new(), |st, t| st.push(t))
+            .finish();
+        assert_eq!(split, p(vec![Token::lit("ab12")]).fingerprint());
+        assert_ne!(
+            split,
+            p(vec![Token::lit("ab"), Token::DigitPlus]).fingerprint()
+        );
+        assert_ne!(
+            split,
+            p(vec![Token::lit("ab1"), Token::lit("3")]).fingerprint()
+        );
     }
 }

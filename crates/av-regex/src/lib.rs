@@ -23,6 +23,7 @@ mod ast;
 mod nfa;
 
 pub use ast::RegexError;
+pub use nfa::NfaScratch;
 
 use ast::parse;
 use nfa::Program;
@@ -50,13 +51,27 @@ impl Regex {
     }
 
     /// Does the regex match the *entire* input?
+    ///
+    /// Uses a thread-local [`NfaScratch`], so repeated calls allocate
+    /// nothing; hot loops that want explicit control can pass their own
+    /// via [`Regex::is_full_match_with`].
     pub fn is_full_match(&self, input: &str) -> bool {
         self.program.is_full_match(input)
+    }
+
+    /// [`Regex::is_full_match`] with caller-provided working memory.
+    pub fn is_full_match_with(&self, input: &str, scratch: &mut NfaScratch) -> bool {
+        self.program.is_full_match_with(input, scratch)
     }
 
     /// Does the regex match anywhere in the input?
     pub fn is_match(&self, input: &str) -> bool {
         self.program.is_match(input)
+    }
+
+    /// [`Regex::is_match`] with caller-provided working memory.
+    pub fn is_match_with(&self, input: &str, scratch: &mut NfaScratch) -> bool {
+        self.program.is_match_with(input, scratch)
     }
 }
 

@@ -24,6 +24,41 @@ pub struct Program {
     pub(crate) insts: Vec<Inst>,
 }
 
+/// Reusable Pike-VM working memory: the two thread lists and their
+/// membership bitmaps. One scratch serves any number of programs and
+/// inputs (lists re-dimension to the program's instruction count), so
+/// steady-state matching — e.g. the grok baseline probing a value against
+/// its whole pattern library — allocates nothing per call.
+#[derive(Debug, Default)]
+pub struct NfaScratch {
+    current: Vec<usize>,
+    next: Vec<usize>,
+    on_current: Vec<bool>,
+    on_next: Vec<bool>,
+}
+
+impl NfaScratch {
+    /// Fresh, empty scratch.
+    pub fn new() -> NfaScratch {
+        NfaScratch::default()
+    }
+
+    /// Clear and re-dimension for a program with `n` instructions.
+    fn prepare(&mut self, n: usize) {
+        self.current.clear();
+        self.next.clear();
+        self.on_current.clear();
+        self.on_current.resize(n, false);
+        self.on_next.clear();
+        self.on_next.resize(n, false);
+    }
+}
+
+thread_local! {
+    static NFA_SCRATCH: std::cell::RefCell<NfaScratch> =
+        std::cell::RefCell::new(NfaScratch::new());
+}
+
 impl Program {
     /// Compile an AST into an NFA program ending in `Match`.
     pub(crate) fn compile(ast: &Ast) -> Program {
@@ -46,78 +81,89 @@ impl Program {
     }
 
     /// Run the Pike VM; returns true when the whole input is accepted.
+    /// Falls back to a thread-local [`NfaScratch`].
     pub fn is_full_match(&self, input: &str) -> bool {
-        let mut current: Vec<usize> = Vec::with_capacity(self.insts.len());
-        let mut next: Vec<usize> = Vec::with_capacity(self.insts.len());
-        let mut on_current = vec![false; self.insts.len()];
-        let mut on_next = vec![false; self.insts.len()];
+        NFA_SCRATCH.with(|s| self.is_full_match_with(input, &mut s.borrow_mut()))
+    }
 
-        add_thread(&self.insts, 0, &mut current, &mut on_current);
+    /// [`Program::is_full_match`] with caller-provided working memory.
+    pub fn is_full_match_with(&self, input: &str, scratch: &mut NfaScratch) -> bool {
+        scratch.prepare(self.insts.len());
+        add_thread(
+            &self.insts,
+            0,
+            &mut scratch.current,
+            &mut scratch.on_current,
+        );
         for c in input.chars() {
-            if current.is_empty() {
+            if scratch.current.is_empty() {
                 return false;
             }
-            next.clear();
-            on_next.iter_mut().for_each(|b| *b = false);
-            for &pc in &current {
-                if let Inst::Char(set) = &self.insts[pc] {
-                    if set.contains(c) {
-                        add_thread(&self.insts, pc + 1, &mut next, &mut on_next);
-                    }
-                }
-            }
-            std::mem::swap(&mut current, &mut next);
-            std::mem::swap(&mut on_current, &mut on_next);
+            self.step(c, scratch);
         }
-        current
+        scratch
+            .current
             .iter()
             .any(|&pc| matches!(self.insts[pc], Inst::Match))
     }
 
     /// Does the pattern match anywhere inside the input (substring search)?
+    /// Falls back to a thread-local [`NfaScratch`].
     pub fn is_match(&self, input: &str) -> bool {
-        // Unanchored search: start a fresh thread set at every position.
-        let chars: Vec<char> = input.chars().collect();
-        let n = chars.len();
-        let mut current: Vec<usize> = Vec::with_capacity(self.insts.len());
-        let mut next: Vec<usize> = Vec::with_capacity(self.insts.len());
-        let mut on_current = vec![false; self.insts.len()];
-        let mut on_next = vec![false; self.insts.len()];
+        NFA_SCRATCH.with(|s| self.is_match_with(input, &mut s.borrow_mut()))
+    }
 
-        for start in 0..=n {
-            current.clear();
-            on_current.iter_mut().for_each(|b| *b = false);
-            add_thread(&self.insts, 0, &mut current, &mut on_current);
-            if current
+    /// [`Program::is_match`] with caller-provided working memory.
+    pub fn is_match_with(&self, input: &str, scratch: &mut NfaScratch) -> bool {
+        // Unanchored search: start a fresh thread set at every char
+        // boundary (including end-of-input for nullable patterns). The
+        // input is walked by `char_indices` — never collected.
+        for (start, _) in input.char_indices().chain([(input.len(), '\0')]) {
+            scratch.prepare(self.insts.len());
+            add_thread(
+                &self.insts,
+                0,
+                &mut scratch.current,
+                &mut scratch.on_current,
+            );
+            if scratch
+                .current
                 .iter()
                 .any(|&pc| matches!(self.insts[pc], Inst::Match))
             {
                 return true;
             }
-            for &c in &chars[start..] {
-                next.clear();
-                on_next.iter_mut().for_each(|b| *b = false);
-                for &pc in &current {
-                    if let Inst::Char(set) = &self.insts[pc] {
-                        if set.contains(c) {
-                            add_thread(&self.insts, pc + 1, &mut next, &mut on_next);
-                        }
-                    }
-                }
-                std::mem::swap(&mut current, &mut next);
-                std::mem::swap(&mut on_current, &mut on_next);
-                if current
+            for c in input[start..].chars() {
+                self.step(c, scratch);
+                if scratch
+                    .current
                     .iter()
                     .any(|&pc| matches!(self.insts[pc], Inst::Match))
                 {
                     return true;
                 }
-                if current.is_empty() {
+                if scratch.current.is_empty() {
                     break;
                 }
             }
         }
         false
+    }
+
+    /// Advance every live thread over `c` (one Pike-VM step).
+    #[inline]
+    fn step(&self, c: char, scratch: &mut NfaScratch) {
+        scratch.next.clear();
+        scratch.on_next.iter_mut().for_each(|b| *b = false);
+        for &pc in &scratch.current {
+            if let Inst::Char(set) = &self.insts[pc] {
+                if set.contains(c) {
+                    add_thread(&self.insts, pc + 1, &mut scratch.next, &mut scratch.on_next);
+                }
+            }
+        }
+        std::mem::swap(&mut scratch.current, &mut scratch.next);
+        std::mem::swap(&mut scratch.on_current, &mut scratch.on_next);
     }
 }
 

@@ -239,6 +239,13 @@ impl ValidationService {
 
     /// Profile `columns` and merge them into the live index (§2.4's
     /// offline scan, applied incrementally). Returns what changed.
+    ///
+    /// Profiling streams `(fingerprint, support, len)` triples straight
+    /// into per-worker accumulators — columns are pulled off a dynamic
+    /// work queue sized by `config.index.num_threads` / `queue_batch`, so
+    /// one giant column cannot strand the other workers — and no pattern
+    /// is materialized unless `keep_patterns` asks for display strings.
+    /// The merged index is bit-identical for every schedule.
     pub fn ingest(&self, columns: &[Column]) -> Result<IngestReport, ServiceError> {
         let refs: Vec<&Column> = columns.iter().collect();
         // Expensive profiling happens with no lock held.
