@@ -1,0 +1,109 @@
+//! The `ingest_delta` group: incremental-merge latency vs shard count.
+//!
+//! The service's ingest path is `clone live index → merge delta → publish`.
+//! With a monolithic index (1 shard) the clone+merge republishes every
+//! entry, so the latency grows with the lake; with fingerprint sharding it
+//! clones only the shards the delta touches — O(delta), not O(index).
+//!
+//! Two batch shapes bracket the behavior:
+//!
+//! * `narrow` — four enum-style feed columns (status/level/env/region, a
+//!   few dozen distinct patterns total): touches a small fraction of the
+//!   shards, so merge latency should drop roughly with the shard count;
+//! * `diverse` — four columns sampled from the synthetic lake (hundreds
+//!   of patterns each): touches nearly every shard, the worst case, and
+//!   must not regress versus the monolithic merge.
+//!
+//! `profile_small_batch` measures the lock-free profiling half for
+//! context. PERF.md Point 4 records the trajectory on a 10k-column lake
+//! (`AV_INGEST_BENCH_COLS=10000`).
+
+use av_corpus::{generate_lake, Column, ColumnMeta, LakeProfile};
+use av_index::{IndexConfig, IndexDelta, PatternIndex};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Lake size (columns); CI smoke keeps it modest, PERF runs override.
+fn lake_cols() -> usize {
+    std::env::var("AV_INGEST_BENCH_COLS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000)
+}
+
+fn enum_column(name: &str, vocab: &[&str], rows: usize) -> Column {
+    Column {
+        name: name.to_string(),
+        values: (0..rows)
+            .map(|i| vocab[i % vocab.len()].to_string())
+            .collect(),
+        meta: ColumnMeta::machine("ingest-bench", None),
+    }
+}
+
+/// A recurring telemetry feed: categorical columns whose handful of
+/// shapes land in a handful of shards.
+fn narrow_batch() -> Vec<Column> {
+    vec![
+        enum_column("status", &["OK", "RETRY", "FAIL"], 90),
+        enum_column("level", &["INFO", "WARN", "ERROR", "DEBUG"], 80),
+        enum_column("env", &["prod", "staging"], 60),
+        enum_column("region", &["useast", "uswest", "eucentral"], 70),
+    ]
+}
+
+fn bench_ingest_delta(c: &mut Criterion) {
+    let corpus = generate_lake(&LakeProfile::tiny().scaled(lake_cols()), 11);
+    let cols: Vec<&Column> = corpus.columns().collect();
+    let narrow = narrow_batch();
+    let diverse = generate_lake(&LakeProfile::tiny().scaled(4), 23);
+    let batches: Vec<(&str, Vec<&Column>)> = vec![
+        ("narrow", narrow.iter().collect()),
+        ("diverse", diverse.columns().collect()),
+    ];
+
+    let mut group = c.benchmark_group("ingest_delta");
+    group.sample_size(10);
+    for shard_bits in [0u32, 4, 6, 8] {
+        let config = IndexConfig {
+            shard_bits,
+            ..Default::default()
+        };
+        let index = PatternIndex::build(&cols, &config);
+        for (label, batch_cols) in &batches {
+            let delta = IndexDelta::profile(batch_cols, &config);
+            let touched = delta.touched_shards(shard_bits);
+            group.bench_function(
+                format!(
+                    "merge_{label}/shards{:04}_touch{touched:04}",
+                    1usize << shard_bits
+                ),
+                |b| {
+                    // The service's post-profiling ingest: COW-clone the
+                    // live epoch, merge (clones touched shards only),
+                    // republish.
+                    b.iter(|| {
+                        let mut next = index.clone();
+                        next.merge_delta(black_box(delta.clone())).unwrap();
+                        black_box(next.num_columns)
+                    })
+                },
+            );
+        }
+    }
+
+    // The lock-free half of ingest for scale: profiling a batch itself.
+    let config = IndexConfig::default();
+    let narrow_refs: Vec<&Column> = narrow.iter().collect();
+    group.bench_function("profile_small_batch", |b| {
+        b.iter(|| black_box(IndexDelta::profile(black_box(&narrow_refs), &config).len()))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_ingest_delta
+}
+criterion_main!(benches);

@@ -428,6 +428,15 @@ impl AutoValidateBuilder {
         self
     }
 
+    /// log₂ of the index's fingerprint shard count (copy-on-write
+    /// granularity for incremental [`av_index::IndexDelta`] merges). The
+    /// indexed statistics are identical for every value; only how much of
+    /// the index an ingest has to clone changes.
+    pub fn shards(mut self, shard_bits: u32) -> Self {
+        self.index.shard_bits = shard_bits;
+        self
+    }
+
     /// The FMDV configuration assembled so far (coverage still unscaled).
     pub fn fmdv_config(&self) -> &FmdvConfig {
         &self.fmdv

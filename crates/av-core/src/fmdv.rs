@@ -107,6 +107,10 @@ impl StreamingSelect {
     }
 
     /// Offer one streamed enumeration emission, looked up by fingerprint.
+    /// The lookup routes straight to the fingerprint's index shard
+    /// ([`PatternIndex::lookup_fingerprint`]), so a concurrent ingest
+    /// republishing *other* shards never contends with this hot path —
+    /// the snapshot's shard `Arc`s are immutable.
     pub(crate) fn offer_streamed(
         &mut self,
         index: &PatternIndex,

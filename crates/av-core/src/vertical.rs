@@ -128,6 +128,11 @@ impl Cell {
 /// `min_support` controls the per-segment hypothesis space: the group's
 /// sample size for pure vertical cuts (every value must conform), or
 /// `⌈(1−θ)·sample⌉` when combined with horizontal cuts.
+///
+/// Each DP cell streams thousands of candidate segments through
+/// [`crate::fmdv::StreamingSelect`]; every probe is one fingerprint-shard
+/// lookup against the immutable index snapshot, so the DP runs untouched
+/// by concurrent shard republishes on the serving side.
 pub(crate) fn solve_vertical(
     index: &PatternIndex,
     cfg: &FmdvConfig,

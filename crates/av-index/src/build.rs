@@ -4,13 +4,19 @@
 //! The paper runs this as a Map-Reduce job on a production cluster; here it
 //! is a shard-and-merge build over OS threads — same dataflow (map: pattern
 //! enumeration per column, reduce: per-pattern aggregation), laptop scale.
+//! The reduce side lands in fingerprint-routed [`IndexShard`]s (see
+//! [`crate::shard`]), which is what later makes incremental ingest
+//! O(touched shards) instead of O(index).
 
 use crate::delta::DeltaError;
+use crate::shard::{shard_of, IndexShard, DEFAULT_SHARD_BITS, MAX_SHARD_BITS};
 use crate::stats::{PatternStats, StatsAcc};
 use av_corpus::Column;
 use av_pattern::{stream_column_profile, EnumScratch, Pattern, PatternConfig};
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Identity hasher: index keys are already 64-bit FNV fingerprints, so
 /// rehashing them would be wasted work.
@@ -32,6 +38,55 @@ impl Hasher for IdentityHasher {
 }
 
 pub(crate) type FastMap<V> = HashMap<u64, V, BuildHasherDefault<IdentityHasher>>;
+
+/// The shared dynamic work queue of the map side: workers claim
+/// `queue_batch`-sized column ranges off one atomic cursor, so a handful
+/// of giant columns cannot strand the other workers the way static
+/// chunking does.
+pub(crate) struct WorkQueue {
+    cursor: AtomicUsize,
+    batch: usize,
+    len: usize,
+}
+
+impl WorkQueue {
+    /// Claim the next range of column indices, or `None` when drained.
+    pub(crate) fn next_range(&self) -> Option<std::ops::Range<usize>> {
+        let start = self.cursor.fetch_add(self.batch, Ordering::Relaxed);
+        if start >= self.len {
+            None
+        } else {
+            Some(start..self.len.min(start + self.batch))
+        }
+    }
+}
+
+/// Run `worker` on `min(num_threads, len)` scoped threads sharing one
+/// [`WorkQueue`] over `len` columns; returns the per-worker results for
+/// an order-independent reduce. Both the offline build/delta profiling
+/// and the no-index corpus scan run on this scaffolding, so their
+/// scheduling semantics can never diverge.
+pub(crate) fn run_work_queue<T, F>(len: usize, config: &IndexConfig, worker: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&WorkQueue) -> T + Sync,
+{
+    let workers = config.num_threads.max(1).min(len.max(1));
+    let queue = WorkQueue {
+        cursor: AtomicUsize::new(0),
+        batch: config.queue_batch.max(1),
+        len,
+    };
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| scope.spawn(|| worker(&queue)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("index worker panicked"))
+            .collect()
+    })
+}
 
 /// Configuration of the offline build.
 ///
@@ -59,6 +114,13 @@ pub struct IndexConfig {
     /// best balance under skewed column sizes; raise it only when columns
     /// are uniformly tiny and cursor contention ever shows up in profiles.
     pub queue_batch: usize,
+    /// log₂ of the shard count the index is partitioned into (clamped to
+    /// 12). More shards mean a finer copy-on-write granularity for
+    /// [`PatternIndex::merge_delta`] — a small delta republishes a smaller
+    /// fraction of the index — at a small per-shard fixed cost. The shard
+    /// a pattern lands in depends only on its fingerprint, so the indexed
+    /// *statistics* are identical for every value of this knob.
+    pub shard_bits: u32,
     /// Keep pattern display strings (needed only for head-pattern analyses
     /// like Fig. 3 / Fig. 13b labels; costs memory on big corpora).
     pub keep_patterns: bool,
@@ -76,6 +138,7 @@ impl Default for IndexConfig {
                 .map(|n| n.get())
                 .unwrap_or(4),
             queue_batch: 1,
+            shard_bits: DEFAULT_SHARD_BITS,
             keep_patterns: false,
         }
     }
@@ -97,18 +160,28 @@ impl IndexConfig {
 /// < 1 GB index); lookups are O(1), which is what turns hours-long corpus
 /// scans into sub-100ms online inference (Fig. 14).
 ///
-/// Internally the index keeps the raw fixed-point accumulators rather than
-/// finished floats, so an [`crate::IndexDelta`] built over new columns can
-/// be [merged](PatternIndex::merge_delta) in with statistics identical to
-/// a from-scratch rebuild over the union corpus.
-#[derive(Debug, Default, Clone)]
+/// Internally the index is partitioned into 2^`shard_bits` fingerprint
+/// shards, each behind an [`Arc`] (see [`crate::shard`]). Cloning an index
+/// is therefore cheap — shard pointers, not shard data — and
+/// [`PatternIndex::merge_delta`] is **copy-on-write at shard granularity**:
+/// only shards the delta touches are cloned and rebuilt, every other shard
+/// stays shared with the pre-merge clone. Statistics are kept as raw
+/// fixed-point accumulators, so an incremental [`crate::IndexDelta`] merge
+/// is bit-for-bit identical to a from-scratch rebuild on the union corpus.
+#[derive(Debug, Clone)]
 pub struct PatternIndex {
-    pub(crate) map: FastMap<StatsAcc>,
-    pub(crate) patterns: FastMap<String>,
+    pub(crate) shards: Box<[Arc<IndexShard>]>,
+    pub(crate) shard_bits: u32,
     /// Number of corpus columns scanned.
     pub num_columns: u64,
     /// The τ used at build time.
     pub tau: usize,
+}
+
+impl Default for PatternIndex {
+    fn default() -> Self {
+        PatternIndex::with_capacity(0, 0, 0, DEFAULT_SHARD_BITS)
+    }
 }
 
 impl PatternIndex {
@@ -118,7 +191,7 @@ impl PatternIndex {
     /// an incremental sequence of delta merges run the exact same
     /// aggregation code.
     pub fn build(columns: &[&Column], config: &IndexConfig) -> PatternIndex {
-        let mut index = PatternIndex::with_capacity(0, 0, config.tau);
+        let mut index = PatternIndex::with_capacity(0, 0, config.tau, config.shard_bits);
         index
             .merge_delta(crate::IndexDelta::profile(columns, config))
             .expect("freshly built delta shares the index tau");
@@ -126,23 +199,83 @@ impl PatternIndex {
     }
 
     /// Pre-sized empty index (used by deserialization).
-    pub(crate) fn with_capacity(n: usize, num_columns: u64, tau: usize) -> PatternIndex {
+    pub(crate) fn with_capacity(
+        n: usize,
+        num_columns: u64,
+        tau: usize,
+        shard_bits: u32,
+    ) -> PatternIndex {
+        let shard_bits = shard_bits.min(MAX_SHARD_BITS);
+        let count = 1usize << shard_bits;
+        let per_shard = n / count;
+        let shards = (0..count)
+            .map(|_| {
+                Arc::new(IndexShard {
+                    map: FastMap::with_capacity_and_hasher(per_shard, Default::default()),
+                    patterns: FastMap::default(),
+                    version: 0,
+                })
+            })
+            .collect();
         PatternIndex {
-            map: FastMap::with_capacity_and_hasher(n, Default::default()),
-            patterns: FastMap::default(),
+            shards,
+            shard_bits,
             num_columns,
             tau,
         }
     }
 
+    /// Assemble an index from already-built shards (the concurrent
+    /// [`crate::ShardedIndex`] publishing a new epoch).
+    pub(crate) fn from_parts(
+        shards: Vec<Arc<IndexShard>>,
+        shard_bits: u32,
+        num_columns: u64,
+        tau: usize,
+    ) -> PatternIndex {
+        debug_assert_eq!(shards.len(), 1usize << shard_bits);
+        PatternIndex {
+            shards: shards.into(),
+            shard_bits,
+            num_columns,
+            tau,
+        }
+    }
+
+    /// Pre-size one shard's map for `n` upcoming inserts (deserialization
+    /// reads each section's entry count before its entries, so the shard
+    /// map can grow once instead of through the doubling sequence).
+    pub(crate) fn reserve_shard(&mut self, shard: usize, n: usize) {
+        Arc::make_mut(&mut self.shards[shard]).map.reserve(n);
+    }
+
     /// Insert a raw accumulator entry (used by deserialization).
     pub(crate) fn insert_raw(&mut self, fingerprint: u64, acc: StatsAcc) {
-        self.map.insert(fingerprint, acc);
+        let i = shard_of(fingerprint, self.shard_bits);
+        Arc::make_mut(&mut self.shards[i])
+            .map
+            .insert(fingerprint, acc);
+    }
+
+    /// Fold one covering column's impurity for a fingerprint (tests'
+    /// materializing reference build).
+    #[cfg(test)]
+    pub(crate) fn fold_impurity(&mut self, fingerprint: u64, impurity: f64, token_len: u8) {
+        let i = shard_of(fingerprint, self.shard_bits);
+        Arc::make_mut(&mut self.shards[i])
+            .map
+            .entry(fingerprint)
+            .or_default()
+            .add_impurity(impurity, token_len);
     }
 
     /// Attach a display string to a fingerprint (used by deserialization).
     pub(crate) fn insert_pattern_string(&mut self, fingerprint: u64, s: String) {
-        self.patterns.insert(fingerprint, s);
+        let i = shard_of(fingerprint, self.shard_bits);
+        Arc::make_mut(&mut self.shards[i])
+            .patterns
+            .entry(fingerprint)
+            .or_insert(s);
     }
 
     /// Merge an incremental delta (profiled over *new* corpus columns)
@@ -150,23 +283,80 @@ impl PatternIndex {
     /// accumulators, the result is bit-for-bit identical to rebuilding
     /// from scratch over the union corpus — no stop-the-world rescan.
     ///
+    /// The delta splits into per-shard sub-deltas and only the touched
+    /// shards are cloned (when shared) and rebuilt: merging a small delta
+    /// into a large index costs O(delta + touched shard data), not
+    /// O(index). Untouched shards keep their `Arc` identity, so clones of
+    /// the pre-merge index keep serving unchanged.
+    ///
     /// Fails when the delta was profiled with a different token-limit τ
     /// (its patterns would be incomparable with the index's population).
     pub fn merge_delta(&mut self, delta: crate::IndexDelta) -> Result<(), DeltaError> {
-        if delta.tau != self.tau {
+        if delta.tau() != self.tau {
             return Err(DeltaError::TauMismatch {
                 index_tau: self.tau,
-                delta_tau: delta.tau,
+                delta_tau: delta.tau(),
             });
         }
-        for (k, acc) in delta.acc {
-            self.map.entry(k).or_default().merge(&acc);
+        let parts = delta.into_shard_parts(self.shard_bits);
+        for (i, part) in parts.parts.into_iter().enumerate() {
+            if let Some(part) = part {
+                Arc::make_mut(&mut self.shards[i]).apply(part);
+            }
         }
-        for (k, name) in delta.names {
-            self.patterns.entry(k).or_insert(name);
-        }
-        self.num_columns += delta.num_columns;
+        self.num_columns += parts.num_columns;
         Ok(())
+    }
+
+    /// Redistribute the index over a different shard count. Statistics are
+    /// unchanged (shard routing is pure fingerprint arithmetic); shard
+    /// versions restart at zero. Used when a persisted image (e.g. a v3
+    /// single-shard AVIX file) is loaded into a differently-sharded
+    /// deployment.
+    pub fn reshard(self, shard_bits: u32) -> PatternIndex {
+        let shard_bits = shard_bits.min(MAX_SHARD_BITS);
+        if shard_bits == self.shard_bits {
+            return self;
+        }
+        let mut next =
+            PatternIndex::with_capacity(self.len(), self.num_columns, self.tau, shard_bits);
+        for shard in self.shards.iter() {
+            for (k, v) in shard.map.iter() {
+                next.insert_raw(*k, *v);
+            }
+            for (k, s) in shard.patterns.iter() {
+                next.insert_pattern_string(*k, s.clone());
+            }
+        }
+        next
+    }
+
+    /// Number of shards the index is partitioned into (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// log₂ of [`PatternIndex::shard_count`].
+    pub fn shard_bits(&self) -> u32 {
+        self.shard_bits
+    }
+
+    /// The shards themselves (inspection/tests; shard data is opaque).
+    pub fn shards(&self) -> &[Arc<IndexShard>] {
+        &self.shards
+    }
+
+    /// Per-shard merge counters: entry `i` is how many delta merges have
+    /// touched shard `i` since this index was built or loaded. An ingest
+    /// that claims O(touched-shards) work must leave every other entry —
+    /// and the underlying shard allocation — unchanged.
+    pub fn shard_versions(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.version).collect()
+    }
+
+    /// Which shard a fingerprint routes to.
+    pub fn shard_of_fingerprint(&self, fingerprint: u64) -> usize {
+        shard_of(fingerprint, self.shard_bits)
     }
 
     /// Look up pre-computed stats for a pattern.
@@ -174,11 +364,16 @@ impl PatternIndex {
         self.lookup_fingerprint(pattern.fingerprint())
     }
 
-    /// Look up pre-computed stats by pattern fingerprint. Inference callers
-    /// that stream enumeration (`CoarseGroup::for_each_pattern`) already
-    /// hold the fingerprint, so this skips re-hashing the token sequence.
+    /// Look up pre-computed stats by pattern fingerprint: route to the
+    /// fingerprint's shard, then one identity-hash probe inside it.
+    /// Inference callers that stream enumeration
+    /// (`CoarseGroup::for_each_pattern`) already hold the fingerprint, so
+    /// this skips re-hashing the token sequence.
     pub fn lookup_fingerprint(&self, fingerprint: u64) -> Option<PatternStats> {
-        self.map.get(&fingerprint).map(|a| a.finish())
+        self.shards[shard_of(fingerprint, self.shard_bits)]
+            .map
+            .get(&fingerprint)
+            .map(|a| a.finish())
     }
 
     /// `FPR_T(p)`, or `None` when the pattern never occurred in the corpus.
@@ -193,34 +388,36 @@ impl PatternIndex {
 
     /// Number of distinct patterns indexed.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.shards.iter().map(|s| s.map.len()).sum()
     }
 
     /// True when nothing was indexed.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.shards.iter().all(|s| s.map.is_empty())
     }
 
-    /// Iterate over `(fingerprint, stats)` pairs.
+    /// Iterate over `(fingerprint, stats)` pairs, shard by shard.
     pub fn entries(&self) -> impl Iterator<Item = (u64, PatternStats)> + '_ {
-        self.map.iter().map(|(k, v)| (*k, v.finish()))
-    }
-
-    /// Iterate over raw accumulator entries (persistence).
-    pub(crate) fn raw_entries(&self) -> impl Iterator<Item = (u64, StatsAcc)> + '_ {
-        self.map.iter().map(|(k, v)| (*k, *v))
+        self.shards
+            .iter()
+            .flat_map(|s| s.map.iter().map(|(k, v)| (*k, v.finish())))
     }
 
     /// Display string for a fingerprint (only in `keep_patterns` builds).
     pub fn pattern_string(&self, fingerprint: u64) -> Option<&str> {
-        self.patterns.get(&fingerprint).map(|s| s.as_str())
+        self.shards[shard_of(fingerprint, self.shard_bits)]
+            .patterns
+            .get(&fingerprint)
+            .map(|s| s.as_str())
     }
 
     /// Histogram of patterns by token length (Fig. 13a).
     pub fn token_length_histogram(&self) -> Vec<(usize, u64)> {
         let mut hist: HashMap<usize, u64> = HashMap::new();
-        for stats in self.map.values() {
-            *hist.entry(stats.token_len as usize).or_insert(0) += 1;
+        for shard in self.shards.iter() {
+            for stats in shard.map.values() {
+                *hist.entry(stats.token_len as usize).or_insert(0) += 1;
+            }
         }
         let mut out: Vec<(usize, u64)> = hist.into_iter().collect();
         out.sort_unstable();
@@ -232,9 +429,11 @@ impl PatternIndex {
     /// the final bucket aggregates everything above.
     pub fn coverage_histogram(&self, max_cov: u64) -> Vec<(u64, u64)> {
         let mut hist: HashMap<u64, u64> = HashMap::new();
-        for stats in self.map.values() {
-            let bucket = stats.cols.min(max_cov);
-            *hist.entry(bucket).or_insert(0) += 1;
+        for shard in self.shards.iter() {
+            for stats in shard.map.values() {
+                let bucket = stats.cols.min(max_cov);
+                *hist.entry(bucket).or_insert(0) += 1;
+            }
         }
         let mut out: Vec<(u64, u64)> = hist.into_iter().collect();
         out.sort_unstable();
@@ -245,11 +444,16 @@ impl PatternIndex {
     /// low FPR, sorted by coverage descending. Requires `keep_patterns`.
     pub fn head_patterns(&self, min_cov: u64, max_fpr: f64) -> Vec<(String, PatternStats)> {
         let mut out: Vec<(String, PatternStats)> = self
-            .map
+            .shards
             .iter()
-            .map(|(k, a)| (k, a.finish()))
-            .filter(|(_, s)| s.cov >= min_cov && s.fpr <= max_fpr)
-            .filter_map(|(k, s)| self.patterns.get(k).map(|p| (p.clone(), s)))
+            .flat_map(|shard| {
+                shard
+                    .map
+                    .iter()
+                    .map(|(k, a)| (k, a.finish()))
+                    .filter(|(_, s)| s.cov >= min_cov && s.fpr <= max_fpr)
+                    .filter_map(|(k, s)| shard.patterns.get(k).map(|p| (p.clone(), s)))
+            })
             .collect();
         out.sort_by(|a, b| b.1.cov.cmp(&a.1.cov).then_with(|| a.0.cmp(&b.0)));
         out
@@ -318,45 +522,61 @@ pub(crate) fn index_one_column(
 /// each requested pattern by profiling every corpus column on the fly,
 /// streaming fingerprints against the probe set (no enumerated pattern is
 /// ever materialized).
+///
+/// The scan fans out over `config.num_threads` workers with the same
+/// dynamic work queue the index build uses; each worker folds per-probe
+/// accumulator shards that merge exactly at the end, so the result is
+/// bit-identical to a sequential scan for every thread count.
 pub fn scan_corpus_fpr(
     columns: &[&Column],
     patterns: &[Pattern],
     config: &IndexConfig,
 ) -> Vec<(f64, u64)> {
-    let mut accs: Vec<StatsAcc> = vec![StatsAcc::default(); patterns.len()];
     let want: HashMap<u64, usize> = patterns
         .iter()
         .enumerate()
         .map(|(i, p)| (p.fingerprint(), i))
         .collect();
-    let mut scratch = EnumScratch::default();
-    let mut col_frac: Vec<f64> = vec![0.0; patterns.len()];
-    let mut seen: Vec<bool> = vec![false; patterns.len()];
-    let mut hit: Vec<usize> = Vec::with_capacity(patterns.len());
-    for col in columns {
-        stream_column_profile(
-            &col.values,
-            &config.pattern,
-            config.tau,
-            &mut scratch,
-            |sp, contribution| {
-                if let Some(&i) = want.get(&sp.fingerprint) {
-                    if !seen[i] {
-                        seen[i] = true;
-                        hit.push(i);
-                    }
-                    col_frac[i] += contribution;
+    let per_worker: Vec<Vec<StatsAcc>> = run_work_queue(columns.len(), config, |queue| {
+        let mut accs: Vec<StatsAcc> = vec![StatsAcc::default(); patterns.len()];
+        let mut scratch = EnumScratch::default();
+        let mut col_frac: Vec<f64> = vec![0.0; patterns.len()];
+        let mut seen: Vec<bool> = vec![false; patterns.len()];
+        let mut hit: Vec<usize> = Vec::with_capacity(patterns.len());
+        while let Some(range) = queue.next_range() {
+            for col in &columns[range] {
+                stream_column_profile(
+                    &col.values,
+                    &config.pattern,
+                    config.tau,
+                    &mut scratch,
+                    |sp, contribution| {
+                        if let Some(&i) = want.get(&sp.fingerprint) {
+                            if !seen[i] {
+                                seen[i] = true;
+                                hit.push(i);
+                            }
+                            col_frac[i] += contribution;
+                        }
+                    },
+                );
+                for &i in &hit {
+                    accs[i].add_impurity(1.0 - col_frac[i], patterns[i].len().min(255) as u8);
+                    col_frac[i] = 0.0;
+                    seen[i] = false;
                 }
-            },
-        );
-        for &i in &hit {
-            accs[i].add_impurity(1.0 - col_frac[i], patterns[i].len().min(255) as u8);
-            col_frac[i] = 0.0;
-            seen[i] = false;
+                hit.clear();
+            }
         }
-        hit.clear();
+        accs
+    });
+    let mut merged: Vec<StatsAcc> = vec![StatsAcc::default(); patterns.len()];
+    for accs in per_worker {
+        for (m, a) in merged.iter_mut().zip(&accs) {
+            m.merge(a);
+        }
     }
-    accs.iter().map(|a| (a.finish().fpr, a.cols)).collect()
+    merged.iter().map(|a| (a.finish().fpr, a.cols)).collect()
 }
 
 #[cfg(test)]
@@ -437,6 +657,44 @@ mod tests {
         }
     }
 
+    /// Shard routing is pure fingerprint arithmetic, so the shard count
+    /// must never change the indexed statistics — only the partitioning.
+    #[test]
+    fn shard_count_does_not_change_statistics() {
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(80), 12);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let reference = PatternIndex::build(
+            &cols,
+            &IndexConfig {
+                shard_bits: 0,
+                ..Default::default()
+            },
+        );
+        let want: std::collections::HashMap<u64, PatternStats> = reference.entries().collect();
+        for shard_bits in [1u32, 4, 6, 10] {
+            let built = PatternIndex::build(
+                &cols,
+                &IndexConfig {
+                    shard_bits,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(built.shard_count(), 1 << shard_bits);
+            assert_eq!(built.len(), reference.len(), "bits={shard_bits}");
+            for (k, s) in built.entries() {
+                let r = want.get(&k).expect("same pattern set");
+                assert_eq!(s.fpr.to_bits(), r.fpr.to_bits(), "bits={shard_bits}");
+                assert_eq!(s.cov, r.cov);
+                // Entry really lives in the shard its fingerprint routes to.
+                assert!(built.shards()[built.shard_of_fingerprint(k)]
+                    .map
+                    .contains_key(&k));
+            }
+            // Resharding back to one shard reproduces the reference bytes.
+            assert_eq!(built.reshard(0).to_bytes(), reference.to_bytes());
+        }
+    }
+
     /// The fold-direct streaming build must persist to bytes identical to
     /// the materializing reference: profile each column into
     /// `(Pattern, matched_frac)` pairs, merge per column by pattern, fold
@@ -451,22 +709,15 @@ mod tests {
                 ..Default::default()
             };
             let built = PatternIndex::build(&cols, &config);
-            let mut reference = PatternIndex::with_capacity(0, 0, config.tau);
+            let mut reference = PatternIndex::with_capacity(0, 0, config.tau, config.shard_bits);
             for col in &cols {
                 for (pattern, frac) in
                     av_pattern::column_pattern_profile(&col.values, &config.pattern, config.tau)
                 {
                     let fp = pattern.fingerprint();
-                    reference
-                        .map
-                        .entry(fp)
-                        .or_default()
-                        .add_impurity(1.0 - frac, pattern.len().min(255) as u8);
+                    reference.fold_impurity(fp, 1.0 - frac, pattern.len().min(255) as u8);
                     if keep_patterns {
-                        reference
-                            .patterns
-                            .entry(fp)
-                            .or_insert_with(|| pattern.to_string());
+                        reference.insert_pattern_string(fp, pattern.to_string());
                     }
                 }
             }
@@ -499,6 +750,40 @@ mod tests {
                     assert_eq!(s.cov, *cov, "{p}");
                 }
                 None => assert_eq!(*cov, 0, "{p}"),
+            }
+        }
+    }
+
+    /// The fanned-out scan must be bit-identical for every worker count.
+    #[test]
+    fn scan_is_thread_count_invariant() {
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(60), 14);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let probes: Vec<Pattern> = vec![
+            parse("<digit>+.<digit>+.<digit>+.<digit>+").unwrap(),
+            parse("<alnum>{8}-<alnum>{4}-<alnum>{4}-<alnum>{4}-<alnum>{12}").unwrap(),
+            parse("<digit>{2}:<digit>{2}:<digit>{2}").unwrap(),
+        ];
+        let reference = scan_corpus_fpr(
+            &cols,
+            &probes,
+            &IndexConfig {
+                num_threads: 1,
+                ..Default::default()
+            },
+        );
+        for threads in [2usize, 4, 16] {
+            let scanned = scan_corpus_fpr(
+                &cols,
+                &probes,
+                &IndexConfig {
+                    num_threads: threads,
+                    ..Default::default()
+                },
+            );
+            for ((f1, c1), (f2, c2)) in reference.iter().zip(&scanned) {
+                assert_eq!(f1.to_bits(), f2.to_bits(), "threads={threads}");
+                assert_eq!(c1, c2, "threads={threads}");
             }
         }
     }

@@ -8,11 +8,17 @@
 //! impurity accumulators (see [`crate::PatternStats`]'s module docs), so
 //! `build(A) ⊕ delta(B)` equals `build(A ∪ B)` bit-for-bit on every
 //! statistic, for any sharding and any merge order.
+//!
+//! At merge time a delta [splits](IndexDelta::into_shard_parts) into
+//! per-shard sub-deltas routed by fingerprint, which is what lets
+//! [`PatternIndex::merge_delta`] (and the concurrent
+//! [`crate::ShardedIndex`]) clone and republish **only the shards the
+//! delta touches** — update cost tracks the delta, not the database.
 
 use crate::build::{index_one_column, FastMap, IndexConfig};
+use crate::shard::shard_of;
 use crate::stats::StatsAcc;
 use av_corpus::Column;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 #[cfg(doc)]
 use crate::build::PatternIndex;
@@ -65,35 +71,18 @@ impl IndexDelta {
     /// end. The fixed-point accumulator merge is order-independent, so the
     /// result is bit-identical for every thread count and schedule.
     pub fn profile(columns: &[&Column], config: &IndexConfig) -> IndexDelta {
-        let workers = config.num_threads.max(1).min(columns.len().max(1));
-        let batch = config.queue_batch.max(1);
-        let cursor = AtomicUsize::new(0);
-        let results: Vec<(FastMap<StatsAcc>, FastMap<String>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut acc: FastMap<StatsAcc> = FastMap::default();
-                        let mut names: FastMap<String> = FastMap::default();
-                        let mut scratch = crate::build::ColumnScratch::default();
-                        loop {
-                            let start = cursor.fetch_add(batch, Ordering::Relaxed);
-                            if start >= columns.len() {
-                                break;
-                            }
-                            let end = columns.len().min(start + batch);
-                            for col in &columns[start..end] {
-                                index_one_column(col, config, &mut acc, &mut names, &mut scratch);
-                            }
-                        }
-                        (acc, names)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("indexing worker panicked"))
-                .collect()
-        });
+        let results: Vec<(FastMap<StatsAcc>, FastMap<String>)> =
+            crate::build::run_work_queue(columns.len(), config, |queue| {
+                let mut acc: FastMap<StatsAcc> = FastMap::default();
+                let mut names: FastMap<String> = FastMap::default();
+                let mut scratch = crate::build::ColumnScratch::default();
+                while let Some(range) = queue.next_range() {
+                    for col in &columns[range] {
+                        index_one_column(col, config, &mut acc, &mut names, &mut scratch);
+                    }
+                }
+                (acc, names)
+            });
         let mut merged: FastMap<StatsAcc> = FastMap::default();
         let mut names: FastMap<String> = FastMap::default();
         for (shard, shard_names) in results {
@@ -129,6 +118,62 @@ impl IndexDelta {
     pub fn tau(&self) -> usize {
         self.tau
     }
+
+    /// How many of `2^shard_bits` fingerprint shards this delta would
+    /// touch if merged into an index sharded that way — the number of
+    /// shards an ingest has to clone and republish.
+    pub fn touched_shards(&self, shard_bits: u32) -> usize {
+        // Clamp once and route with the same value — clamping only the
+        // count while routing with the raw bits would index out of range.
+        let shard_bits = shard_bits.min(crate::shard::MAX_SHARD_BITS);
+        let count = 1usize << shard_bits;
+        let mut touched = vec![false; count];
+        for fp in self.acc.keys() {
+            touched[shard_of(*fp, shard_bits)] = true;
+        }
+        touched.iter().filter(|t| **t).count()
+    }
+
+    /// Split into per-shard sub-deltas: entry `i` of `parts` holds the
+    /// accumulators (and display names) whose fingerprints route to shard
+    /// `i`, or `None` when the delta does not touch that shard.
+    pub(crate) fn into_shard_parts(self, shard_bits: u32) -> ShardParts {
+        let shard_bits = shard_bits.min(crate::shard::MAX_SHARD_BITS);
+        let count = 1usize << shard_bits;
+        let mut parts: Vec<Option<ShardPart>> = (0..count).map(|_| None).collect();
+        for (fp, acc) in self.acc {
+            parts[shard_of(fp, shard_bits)]
+                .get_or_insert_with(ShardPart::default)
+                .acc
+                .push((fp, acc));
+        }
+        for (fp, name) in self.names {
+            parts[shard_of(fp, shard_bits)]
+                .get_or_insert_with(ShardPart::default)
+                .names
+                .push((fp, name));
+        }
+        ShardParts {
+            parts,
+            num_columns: self.num_columns,
+        }
+    }
+}
+
+/// The slice of a delta that routes to one shard.
+#[derive(Debug, Default)]
+pub(crate) struct ShardPart {
+    pub(crate) acc: Vec<(u64, StatsAcc)>,
+    pub(crate) names: Vec<(u64, String)>,
+}
+
+/// A delta split by shard, ready for a touched-shards-only merge.
+#[derive(Debug)]
+pub(crate) struct ShardParts {
+    /// One slot per shard; `None` = the delta does not touch it.
+    pub(crate) parts: Vec<Option<ShardPart>>,
+    /// Columns profiled into the delta (global, not per shard).
+    pub(crate) num_columns: u64,
 }
 
 /// Convenience: an owned-column wrapper for [`IndexDelta::profile`].

@@ -9,23 +9,36 @@
 //!
 //! The build is a shard-and-merge map/reduce over OS threads (the paper
 //! uses a production Map-Reduce cluster — same dataflow). Indexes persist
-//! to a compact binary format and are orders of magnitude smaller than the
-//! corpus they summarize.
+//! to a compact binary format (AVIX v4, a per-shard directory; v3
+//! single-shard images still load) and are orders of magnitude smaller
+//! than the corpus they summarize.
 //!
-//! For long-running deployments the index also supports **incremental
-//! maintenance**: profile new columns into an [`IndexDelta`] and
-//! [`PatternIndex::merge_delta`] it into the live index — bit-for-bit
-//! identical to a from-scratch rebuild on the union corpus, at the cost of
-//! scanning only the new columns.
+//! ## Sharded copy-on-write maintenance
+//!
+//! The index is partitioned into a power-of-two number of fingerprint
+//! [shards](IndexShard), each behind an `Arc`. For long-running
+//! deployments that makes **incremental maintenance O(delta), not
+//! O(index)**: profile new columns into an [`IndexDelta`], and
+//! [`PatternIndex::merge_delta`] splits it into per-shard sub-deltas and
+//! clones/rebuilds *only the shards the delta touches* — bit-for-bit
+//! identical to a from-scratch rebuild on the union corpus, while every
+//! untouched shard is shared by pointer with the pre-merge index.
+//!
+//! Concurrent serving goes through [`ShardedIndex`]: readers take
+//! wait-free, internally consistent `Arc<PatternIndex>` epoch snapshots;
+//! ingests touching disjoint shards run their merge work in parallel and
+//! publish atomically (see [`shard`]).
 
 #![warn(missing_docs)]
 
 mod build;
 mod delta;
 mod persist;
+pub mod shard;
 mod stats;
 
 pub use build::{scan_corpus_fpr, IdentityHasher, IndexConfig, PatternIndex};
 pub use delta::{profile_columns, DeltaError, IndexDelta};
 pub use persist::PersistError;
+pub use shard::{IndexShard, ShardMerge, ShardedIndex};
 pub use stats::PatternStats;

@@ -2,21 +2,33 @@
 //! can be shipped to the online service (§2.4: "the result from the offline
 //! step is an index for lookup").
 //!
-//! Layout (little-endian):
+//! Version 4 layout (little-endian) — a **shard directory**:
 //!
 //! ```text
-//! magic "AVIX" | version u32 | num_columns u64 | tau u64 | n_entries u64
-//! then n_entries × (fingerprint u64, imp_fp u64, cov u64, token_len u8)
-//! then n_strings u64, n_strings × (fingerprint u64, len u32, utf-8 bytes)
+//! magic "AVIX" | version u32 | num_columns u64 | tau u64 | shard_bits u32
+//! then, for each of the 2^shard_bits shards in order:
+//!   n_entries u64, n_entries × (fingerprint u64, imp_fp u64, cov u64, token_len u8)
+//!   n_strings u64, n_strings × (fingerprint u64, len u32, utf-8 bytes)
 //! ```
 //!
-//! Version 2 stores the **raw fixed-point impurity accumulator** (`imp_fp`,
-//! scaled by 2³²) instead of the finished `fpr` float, so a reloaded index
-//! remains exactly mergeable with later [`crate::IndexDelta`]s — the
-//! persist → reload → merge path is bit-for-bit identical to never having
-//! restarted.
+//! Entries are sorted by fingerprint within each shard; because shard
+//! routing uses the fingerprint's *top* bits, the concatenation of the
+//! shard sections is still globally fingerprint-sorted — a 1-shard v4
+//! image is byte-identical to the old single-section v3 body, differing
+//! only in the header. Version 3 images (no `shard_bits` field, one
+//! global entry/string section) still load, landing in a single shard
+//! that callers [reshard](PatternIndex::reshard) as needed.
+//!
+//! Both versions store the **raw fixed-point impurity accumulator**
+//! (`imp_fp`, scaled by 2³²) instead of the finished `fpr` float, so a
+//! reloaded index remains exactly mergeable with later
+//! [`crate::IndexDelta`]s — the persist → reload → merge path is
+//! bit-for-bit identical to never having restarted. Shard versions are
+//! runtime merge counters, not statistics, and are deliberately not
+//! persisted: a freshly loaded index starts every shard at version 0.
 
 use crate::build::PatternIndex;
+use crate::shard::MAX_SHARD_BITS;
 use crate::stats::StatsAcc;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::File;
@@ -24,10 +36,11 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"AVIX";
-// v3: CharClass::of now treats all ASCII whitespace (\r, \n, VT, FF) as
-// Space; indexes built by earlier versions tokenized those bytes as
-// symbols and their statistics are not comparable — refuse to load them.
-const VERSION: u32 = 3;
+// v4: sharded directory layout (see module docs). v3 (single-shard) still
+// loads; v2 and earlier predate the CharClass whitespace change — their
+// statistics are not comparable and they are refused.
+const VERSION: u32 = 4;
+const OLD_SINGLE_SHARD_VERSION: u32 = 3;
 
 /// Errors from loading a persisted index.
 #[derive(Debug)]
@@ -56,91 +69,122 @@ impl From<std::io::Error> for PersistError {
 }
 
 impl PatternIndex {
-    /// Serialize to bytes.
+    /// Serialize to bytes (AVIX v4).
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(32 + self.len() * 25);
+        let mut buf = BytesMut::with_capacity(36 + self.len() * 25 + self.shard_count() * 16);
         buf.put_slice(MAGIC);
         buf.put_u32_le(VERSION);
         buf.put_u64_le(self.num_columns);
         buf.put_u64_le(self.tau as u64);
-        let mut entries: Vec<(u64, StatsAcc)> = self.raw_entries().collect();
-        entries.sort_by_key(|(k, _)| *k);
-        buf.put_u64_le(entries.len() as u64);
-        for (k, s) in &entries {
-            buf.put_u64_le(*k);
-            buf.put_u64_le(s.imp_fp);
-            buf.put_u64_le(s.cols);
-            buf.put_u8(s.token_len);
-        }
-        let strings: Vec<(u64, &str)> = entries
-            .iter()
-            .filter_map(|(k, _)| self.pattern_string(*k).map(|s| (*k, s)))
-            .collect();
-        buf.put_u64_le(strings.len() as u64);
-        for (k, s) in strings {
-            buf.put_u64_le(k);
-            buf.put_u32_le(s.len() as u32);
-            buf.put_slice(s.as_bytes());
+        buf.put_u32_le(self.shard_bits());
+        for shard in self.shards.iter() {
+            let mut entries: Vec<(u64, StatsAcc)> =
+                shard.map.iter().map(|(k, v)| (*k, *v)).collect();
+            entries.sort_by_key(|(k, _)| *k);
+            buf.put_u64_le(entries.len() as u64);
+            for (k, s) in &entries {
+                buf.put_u64_le(*k);
+                buf.put_u64_le(s.imp_fp);
+                buf.put_u64_le(s.cols);
+                buf.put_u8(s.token_len);
+            }
+            let strings: Vec<(u64, &str)> = entries
+                .iter()
+                .filter_map(|(k, _)| shard.patterns.get(k).map(|s| (*k, s.as_str())))
+                .collect();
+            buf.put_u64_le(strings.len() as u64);
+            for (k, s) in strings {
+                buf.put_u64_le(k);
+                buf.put_u32_le(s.len() as u32);
+                buf.put_slice(s.as_bytes());
+            }
         }
         buf.freeze()
     }
 
-    /// Deserialize from bytes.
+    /// Deserialize from bytes. Accepts v4 (sharded) and v3 (single-shard;
+    /// the result has one shard — [`PatternIndex::reshard`] spreads it).
     pub fn from_bytes(mut buf: &[u8]) -> Result<PatternIndex, PersistError> {
         let err = |m: &str| PersistError::Format(m.to_string());
         if buf.remaining() < 4 || &buf[..4] != MAGIC {
             return Err(err("bad magic"));
         }
         buf.advance(4);
-        if buf.remaining() < 28 {
+        if buf.remaining() < 20 {
             return Err(err("truncated header"));
         }
         let version = buf.get_u32_le();
-        if version != VERSION {
-            return Err(PersistError::Format(format!(
-                "unsupported version {version}"
-            )));
-        }
         let num_columns = buf.get_u64_le();
         let tau = buf.get_u64_le() as usize;
-        let n = buf.get_u64_le() as usize;
-        let mut index = PatternIndex::with_capacity(n, num_columns, tau);
-        for _ in 0..n {
-            if buf.remaining() < 25 {
-                return Err(err("truncated entries"));
+        let (shard_bits, sections) = match version {
+            VERSION => {
+                if buf.remaining() < 4 {
+                    return Err(err("truncated header"));
+                }
+                let bits = buf.get_u32_le();
+                if bits > MAX_SHARD_BITS {
+                    return Err(PersistError::Format(format!(
+                        "implausible shard_bits {bits}"
+                    )));
+                }
+                (bits, 1usize << bits)
             }
-            let k = buf.get_u64_le();
-            let imp_fp = buf.get_u64_le();
-            let cols = buf.get_u64_le();
-            let token_len = buf.get_u8();
-            index.insert_raw(k, StatsAcc::from_raw(imp_fp, cols, token_len));
+            OLD_SINGLE_SHARD_VERSION => (0, 1),
+            other => {
+                return Err(PersistError::Format(format!("unsupported version {other}")));
+            }
+        };
+        let mut index = PatternIndex::with_capacity(0, num_columns, tau, shard_bits);
+        for section in 0..sections {
+            if buf.remaining() < 8 {
+                return Err(err("missing entry section"));
+            }
+            let n = buf.get_u64_le() as usize;
+            // Section `s` holds shard `s`'s entries; pre-size its map
+            // (bounded by what the buffer can actually still hold, so a
+            // corrupt count cannot trigger a huge allocation).
+            index.reserve_shard(section, n.min(buf.remaining() / 25));
+            for _ in 0..n {
+                if buf.remaining() < 25 {
+                    return Err(err("truncated entries"));
+                }
+                let k = buf.get_u64_le();
+                let imp_fp = buf.get_u64_le();
+                let cols = buf.get_u64_le();
+                let token_len = buf.get_u8();
+                index.insert_raw(k, StatsAcc::from_raw(imp_fp, cols, token_len));
+            }
+            if buf.remaining() < 8 {
+                return Err(err("missing string section"));
+            }
+            let ns = buf.get_u64_le() as usize;
+            for _ in 0..ns {
+                if buf.remaining() < 12 {
+                    return Err(err("truncated strings"));
+                }
+                let k = buf.get_u64_le();
+                let len = buf.get_u32_le() as usize;
+                if buf.remaining() < len {
+                    return Err(err("truncated string payload"));
+                }
+                let s = String::from_utf8(buf[..len].to_vec())
+                    .map_err(|_| err("invalid utf-8 in pattern string"))?;
+                buf.advance(len);
+                index.insert_pattern_string(k, s);
+            }
         }
-        if buf.remaining() < 8 {
-            return Err(err("missing string section"));
-        }
-        let ns = buf.get_u64_le() as usize;
-        for _ in 0..ns {
-            if buf.remaining() < 12 {
-                return Err(err("truncated strings"));
-            }
-            let k = buf.get_u64_le();
-            let len = buf.get_u32_le() as usize;
-            if buf.remaining() < len {
-                return Err(err("truncated string payload"));
-            }
-            let s = String::from_utf8(buf[..len].to_vec())
-                .map_err(|_| err("invalid utf-8 in pattern string"))?;
-            buf.advance(len);
-            index.insert_pattern_string(k, s);
+        if buf.remaining() > 0 {
+            return Err(err("trailing bytes after last shard"));
         }
         Ok(index)
     }
 
     /// A stable FNV-1a digest of the persisted byte image. Because
-    /// [`PatternIndex::to_bytes`] sorts entries by fingerprint and the
-    /// build is bit-deterministic across thread counts, the digest of an
-    /// index built from a seeded corpus is a constant — CI pins it to
-    /// catch silent format or determinism drift.
+    /// [`PatternIndex::to_bytes`] sorts entries by fingerprint per shard,
+    /// shard routing is pure fingerprint arithmetic, and the build is
+    /// bit-deterministic across thread counts, the digest of an index
+    /// built from a seeded corpus is a constant — CI pins it to catch
+    /// silent format or determinism drift.
     pub fn content_digest(&self) -> u64 {
         av_pattern::fnv1a(&self.to_bytes())
     }
@@ -181,6 +225,7 @@ mod tests {
         assert_eq!(restored.len(), index.len());
         assert_eq!(restored.num_columns, index.num_columns);
         assert_eq!(restored.tau, index.tau);
+        assert_eq!(restored.shard_count(), index.shard_count());
         let rmap: std::collections::HashMap<u64, crate::stats::PatternStats> =
             restored.entries().collect();
         for (k, s) in index.entries() {
@@ -189,21 +234,70 @@ mod tests {
             assert!((r.fpr - s.fpr).abs() < 1e-15);
             assert_eq!(restored.pattern_string(k), index.pattern_string(k));
         }
+        // The roundtrip is byte-stable: serialize → load → serialize.
+        assert_eq!(restored.to_bytes(), bytes);
+    }
+
+    /// A single-shard v4 image carries exactly the v3 body after its
+    /// header, and the v3 loader still accepts the old framing.
+    #[test]
+    fn one_shard_v4_is_v3_modulo_header_and_v3_still_loads() {
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(60), 3);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let config = IndexConfig {
+            shard_bits: 0,
+            keep_patterns: true,
+            ..Default::default()
+        };
+        let index = PatternIndex::build(&cols, &config);
+        let v4 = index.to_bytes();
+
+        // v4 header: magic(4) version(4) num_columns(8) tau(8) bits(4).
+        // v3 header: magic(4) version(4) num_columns(8) tau(8).
+        let mut v3 = Vec::with_capacity(v4.len() - 4);
+        v3.extend_from_slice(b"AVIX");
+        v3.extend_from_slice(&3u32.to_le_bytes());
+        v3.extend_from_slice(&index.num_columns.to_le_bytes());
+        v3.extend_from_slice(&(index.tau as u64).to_le_bytes());
+        v3.extend_from_slice(&v4[28..]); // body, bit-identical by design
+
+        let loaded = PatternIndex::from_bytes(&v3).expect("v3 image loads");
+        assert_eq!(loaded.shard_count(), 1);
+        assert_eq!(loaded.len(), index.len());
+        // Re-serializing the v3-loaded index produces the v4 image again.
+        assert_eq!(loaded.to_bytes(), v4);
+        // And resharding it to the default layout matches a native build.
+        let native = PatternIndex::build(
+            &cols,
+            &IndexConfig {
+                keep_patterns: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            loaded.reshard(native.shard_bits()).to_bytes(),
+            native.to_bytes()
+        );
     }
 
     /// The digest of the seeded tiny lake is a constant: lake generation,
-    /// enumeration, the fold-direct build, and the persist layout are all
-    /// deterministic. A mismatch here means the AVIX byte image silently
-    /// drifted — bump the format version (and this value) deliberately
-    /// instead. `examples/index_build.rs` asserts the same constant in CI.
+    /// enumeration, the fold-direct build, shard routing, and the persist
+    /// layout are all deterministic. A mismatch here means the AVIX byte
+    /// image silently drifted — bump the format version (and this value)
+    /// deliberately instead. `examples/index_build.rs` asserts the same
+    /// constant in CI.
     #[test]
     fn tiny_lake_digest_is_pinned() {
         let corpus = generate_lake(&LakeProfile::tiny(), 42);
         let cols: Vec<&Column> = corpus.columns().collect();
         let index = PatternIndex::build(&cols, &IndexConfig::default());
         assert_eq!(index.len(), 45379);
-        assert_eq!(index.content_digest(), 0x8c0a02de1fff1c8d);
+        assert_eq!(index.content_digest(), PINNED_TINY_LAKE_DIGEST);
     }
+
+    /// Shared with `examples/index_build.rs`; see
+    /// [`tiny_lake_digest_is_pinned`].
+    const PINNED_TINY_LAKE_DIGEST: u64 = 0xb3259407d0bafd49;
 
     #[test]
     fn corrupt_input_is_rejected() {
@@ -215,6 +309,14 @@ mod tests {
         let bytes = index.to_bytes();
         // Truncate mid-entries.
         assert!(PatternIndex::from_bytes(&bytes[..bytes.len() / 2]).is_err());
+        // Trailing garbage after the last shard is rejected too.
+        let mut extra = bytes.to_vec();
+        extra.push(0);
+        assert!(PatternIndex::from_bytes(&extra).is_err());
+        // v2 and earlier are refused outright.
+        let mut old = bytes.to_vec();
+        old[4..8].copy_from_slice(&2u32.to_le_bytes());
+        assert!(PatternIndex::from_bytes(&old).is_err());
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! * shard-parallel builds are bit-for-bit deterministic regardless of
 //!   thread count or shard boundaries, and
 //! * an incremental [`crate::IndexDelta`] merge produces **identical**
-//!   statistics to a from-scratch rebuild on the union corpus.
+//!   statistics to a from-scratch rebuild on the union corpus, no matter
+//!   how the index is partitioned into fingerprint shards
+//!   ([`crate::IndexShard`]) or in which order per-shard sub-deltas land.
 //!
 //! The quantization error is at most 2⁻³³ per covering column — orders of
 //! magnitude below the 1e-9 resolution any consumer of `FPR_T` uses.

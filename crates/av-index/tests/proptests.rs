@@ -46,6 +46,39 @@ proptest! {
         prop_assert_eq!(restored.len(), index.len());
     }
 
+    /// For any corpus and any shard count: the indexed statistics are
+    /// identical to the single-shard build, the persisted image
+    /// round-trips, and resharding back to one shard reproduces the
+    /// single-shard bytes exactly.
+    #[test]
+    fn sharding_is_transparent(
+        cols in proptest::collection::vec(
+            proptest::collection::vec(value(), 1..15),
+            1..8,
+        ),
+        shard_bits in 0u32..=8,
+    ) {
+        let columns: Vec<Column> = cols
+            .into_iter()
+            .enumerate()
+            .map(|(i, vals)| column(i, vals))
+            .collect();
+        let refs: Vec<&Column> = columns.iter().collect();
+        let flat = PatternIndex::build(&refs, &IndexConfig { shard_bits: 0, ..Default::default() });
+        let sharded = PatternIndex::build(&refs, &IndexConfig { shard_bits, ..Default::default() });
+        prop_assert_eq!(sharded.shard_count(), 1usize << shard_bits);
+        prop_assert_eq!(sharded.len(), flat.len());
+        let want: std::collections::HashMap<u64, av_index::PatternStats> = flat.entries().collect();
+        for (k, s) in sharded.entries() {
+            let f = want.get(&k).expect("same pattern set");
+            prop_assert_eq!(s.fpr.to_bits(), f.fpr.to_bits());
+            prop_assert_eq!(s.cov, f.cov);
+        }
+        let restored = PatternIndex::from_bytes(&sharded.to_bytes()).expect("roundtrip");
+        prop_assert_eq!(restored.to_bytes(), sharded.to_bytes());
+        prop_assert_eq!(restored.reshard(0).to_bytes(), flat.to_bytes());
+    }
+
     /// Duplicating every column doubles coverage counts but keeps FPRs.
     #[test]
     fn duplication_scales_coverage_not_fpr(

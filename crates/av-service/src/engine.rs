@@ -5,14 +5,18 @@
 //! Concurrency model:
 //!
 //! * **Readers never block.** Every inference/validation takes an
-//!   `Arc<PatternIndex>` snapshot (one `RwLock` read to clone the `Arc`).
-//! * **Ingestion is copy-on-write.** New columns are profiled into an
-//!   [`IndexDelta`] with no lock held (the expensive part), then a clone
-//!   of the live index absorbs the delta and the `Arc` is swapped in one
-//!   short write-lock. In-flight readers keep their old snapshot; there is
-//!   no stop-the-world rebuild and no rescan of old columns.
-//! * **Ingests serialize among themselves** (a dedicated mutex), so no
-//!   delta can be lost to a concurrent clone-swap race.
+//!   `Arc<PatternIndex>` **epoch** snapshot from the [`ShardedIndex`]
+//!   (one `RwLock` read to clone the `Arc`). An epoch is a vector of
+//!   shard `Arc`s published atomically, so a snapshot taken during an
+//!   ingest sees either the whole pre-ingest index or the whole
+//!   post-ingest index — never a torn mixture.
+//! * **Ingestion is copy-on-write at shard granularity.** New columns are
+//!   profiled into an [`IndexDelta`] with no lock held (the expensive
+//!   part); the delta then splits into per-shard sub-deltas and only the
+//!   touched shards are cloned and republished — O(delta), not O(index).
+//! * **Disjoint ingests commit concurrently.** Per-shard merge locks
+//!   serialize only ingests whose deltas overlap; the final epoch swap is
+//!   a few pointer copies under one brief write lock.
 
 use crate::catalog::{CatalogEntry, CatalogError, RuleCatalog};
 use av_baselines::baseline_by_name;
@@ -21,21 +25,25 @@ use av_core::{
     ValidationSession, Validator, Variant,
 };
 use av_corpus::Column;
-use av_index::{DeltaError, IndexConfig, IndexDelta, PatternIndex, PersistError};
+use av_index::{DeltaError, IndexConfig, IndexDelta, PatternIndex, PersistError, ShardedIndex};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, RwLock};
 
 /// On-disk index file name inside the service data directory.
 pub const INDEX_FILE: &str = "index.avix";
 /// On-disk catalog file name inside the service data directory.
 pub const CATALOG_FILE: &str = "rules.avcat";
 
+/// Default cap on one JSONL request line read from a TCP client (1 MiB).
+pub const DEFAULT_MAX_REQUEST_BYTES: usize = 1 << 20;
+
 /// Service configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Index build/profile knobs (τ, per-column pattern caps, threads).
+    /// Index build/profile knobs (τ, per-column pattern caps, threads,
+    /// shard count).
     pub index: IndexConfig,
     /// FMDV knobs. `None` re-scales the coverage floor `m` to the live
     /// corpus size at each inference ([`FmdvConfig::scaled_for_corpus`]).
@@ -45,6 +53,23 @@ pub struct ServiceConfig {
     /// Directory holding `index.avix` + `rules.avcat`; `None` disables
     /// persistence.
     pub data_dir: Option<PathBuf>,
+    /// Largest JSONL request line a TCP connection may send, in bytes
+    /// (default [`DEFAULT_MAX_REQUEST_BYTES`]). A client that streams more
+    /// without a newline gets a protocol error and is disconnected instead
+    /// of growing the server's line buffer without bound.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            index: IndexConfig::default(),
+            fmdv: None,
+            workers: 0,
+            data_dir: None,
+            max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+        }
+    }
 }
 
 impl ServiceConfig {
@@ -133,6 +158,9 @@ pub struct IngestReport {
     pub columns_added: u64,
     /// Distinct patterns contributed by the batch (pre-merge).
     pub delta_patterns: usize,
+    /// Index shards the delta touched — only these were cloned and
+    /// republished; every other shard is shared with the previous epoch.
+    pub touched_shards: usize,
     /// Live corpus size after the merge.
     pub total_columns: u64,
     /// Live distinct-pattern count after the merge.
@@ -163,14 +191,18 @@ pub struct ServiceStats {
     pub validations: u64,
     /// Validations that raised a flag.
     pub flagged: u64,
+    /// TCP connection threads that ended with an I/O error or panic
+    /// (oversized/undecodable frames, write timeouts to stalled clients,
+    /// resets). The serve loop joins every reaped worker, so these are
+    /// counted instead of vanishing with the thread handle.
+    pub connection_errors: u64,
 }
 
 /// The shared, long-running validation service. All methods take `&self`;
 /// wrap in an [`Arc`] and hand clones to as many threads as you like.
 pub struct ValidationService {
     config: ServiceConfig,
-    index: RwLock<Arc<PatternIndex>>,
-    ingest_lock: Mutex<()>,
+    index: ShardedIndex,
     catalog: RwLock<RuleCatalog>,
     /// Baseline rules served behind `dyn Validator`. Session-scoped: the
     /// underlying predicates are closures and have no wire form, so they
@@ -182,6 +214,7 @@ pub struct ValidationService {
     rules_inferred: AtomicU64,
     validations: AtomicU64,
     flagged: AtomicU64,
+    connection_errors: AtomicU64,
 }
 
 impl ValidationService {
@@ -189,8 +222,7 @@ impl ValidationService {
     pub fn new(config: ServiceConfig) -> ValidationService {
         let empty = PatternIndex::build(&[], &config.index);
         ValidationService {
-            index: RwLock::new(Arc::new(empty)),
-            ingest_lock: Mutex::new(()),
+            index: ShardedIndex::new(empty),
             catalog: RwLock::new(RuleCatalog::new()),
             baselines: RwLock::new(HashMap::new()),
             shutdown: AtomicBool::new(false),
@@ -199,13 +231,15 @@ impl ValidationService {
             rules_inferred: AtomicU64::new(0),
             validations: AtomicU64::new(0),
             flagged: AtomicU64::new(0),
+            connection_errors: AtomicU64::new(0),
             config,
         }
     }
 
     /// Open a service, reloading any persisted index and catalog from the
     /// configured data directory. Missing files mean a cold start — not an
-    /// error.
+    /// error. A v3 (single-shard) index image is resharded to the
+    /// configured shard count on install.
     pub fn open(config: ServiceConfig) -> Result<ValidationService, ServiceError> {
         let service = ValidationService::new(config);
         if let Some(dir) = service.config.data_dir.clone() {
@@ -215,7 +249,7 @@ impl ValidationService {
                 service
                     .columns_ingested
                     .store(loaded.num_columns, Ordering::Relaxed);
-                *service.index.write().expect("index lock poisoned") = Arc::new(loaded);
+                service.index.install(loaded);
             }
             let catalog_path = dir.join(CATALOG_FILE);
             if catalog_path.exists() {
@@ -231,10 +265,12 @@ impl ValidationService {
         &self.config
     }
 
-    /// A wait-free snapshot of the live index. Snapshots are immutable;
-    /// later ingests swap in a new index without disturbing holders.
+    /// A wait-free snapshot of the live index: the current epoch of shard
+    /// `Arc`s. Snapshots are immutable and internally consistent — an
+    /// ingest committing concurrently swaps in a whole new epoch, so a
+    /// holder sees either the old or the new index, never a torn one.
     pub fn snapshot(&self) -> Arc<PatternIndex> {
-        Arc::clone(&self.index.read().expect("index lock poisoned"))
+        self.index.snapshot()
     }
 
     /// Profile `columns` and merge them into the live index (§2.4's
@@ -245,23 +281,23 @@ impl ValidationService {
     /// work queue sized by `config.index.num_threads` / `queue_batch`, so
     /// one giant column cannot strand the other workers — and no pattern
     /// is materialized unless `keep_patterns` asks for display strings.
-    /// The merged index is bit-identical for every schedule.
+    ///
+    /// The merge republishes **only the shards the delta touches**
+    /// (O(delta), not O(index)); concurrent ingests whose deltas land on
+    /// disjoint shards commit in parallel. The resulting index is
+    /// bit-identical for every schedule.
     pub fn ingest(&self, columns: &[Column]) -> Result<IngestReport, ServiceError> {
         let refs: Vec<&Column> = columns.iter().collect();
         // Expensive profiling happens with no lock held.
         let delta = IndexDelta::profile(&refs, &self.config.index);
-        let delta_patterns = delta.len();
-
-        let _guard = self.ingest_lock.lock().expect("ingest lock poisoned");
-        let mut next: PatternIndex = (*self.snapshot()).clone();
-        next.merge_delta(delta)?;
+        let merge = self.index.merge_delta(delta)?;
         let report = IngestReport {
             columns_added: columns.len() as u64,
-            delta_patterns,
-            total_columns: next.num_columns,
-            total_patterns: next.len(),
+            delta_patterns: merge.delta_patterns,
+            touched_shards: merge.touched_shards,
+            total_columns: merge.num_columns,
+            total_patterns: merge.total_patterns,
         };
-        *self.index.write().expect("index lock poisoned") = Arc::new(next);
         self.columns_ingested
             .fetch_add(columns.len() as u64, Ordering::Relaxed);
         self.ingest_batches.fetch_add(1, Ordering::Relaxed);
@@ -584,7 +620,14 @@ impl ValidationService {
             rules_inferred: self.rules_inferred.load(Ordering::Relaxed),
             validations: self.validations.load(Ordering::Relaxed),
             flagged: self.flagged.load(Ordering::Relaxed),
+            connection_errors: self.connection_errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// Record a TCP connection thread that ended in an I/O error or panic
+    /// (called by the serve loop when joining reaped workers).
+    pub(crate) fn record_connection_error(&self) {
+        self.connection_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Ask every serve loop to wind down.
@@ -666,6 +709,42 @@ mod tests {
             assert_eq!(s.fpr.to_bits(), t.fpr.to_bits());
             assert_eq!(s.cov, t.cov);
         }
+    }
+
+    /// Ingest is O(touched-shards): a narrow second batch must republish
+    /// only the shards its delta lands in, sharing every other shard's
+    /// allocation with the snapshot taken before the ingest.
+    #[test]
+    fn small_ingest_republishes_only_touched_shards() {
+        let service = ValidationService::new(ServiceConfig::default());
+        service.ingest(&lake_columns(11)).unwrap();
+        let before = service.snapshot();
+
+        let narrow = vec![owned_column(
+            "narrow",
+            (0..30).map(|_| "WORD".to_string()).collect(),
+        )];
+        let report = service.ingest(&narrow).unwrap();
+        assert!(report.touched_shards >= 1);
+        assert!(
+            report.touched_shards < before.shard_count() / 2,
+            "a one-shape column touched {} of {} shards",
+            report.touched_shards,
+            before.shard_count()
+        );
+
+        let after = service.snapshot();
+        let mut shared = 0;
+        for (a, b) in before.shards().iter().zip(after.shards().iter()) {
+            if std::sync::Arc::ptr_eq(a, b) {
+                shared += 1;
+            }
+        }
+        assert_eq!(
+            shared,
+            before.shard_count() - report.touched_shards,
+            "untouched shards must be pointer-shared across the ingest"
+        );
     }
 
     #[test]

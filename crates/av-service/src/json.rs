@@ -49,12 +49,20 @@ impl Json {
         }
     }
 
-    /// Numeric payload as usize, if integral and in range.
+    /// Numeric payload as usize, if integral and exactly representable.
+    /// Accepts `[0, min(2⁵³−1, usize::MAX)]`: every integer in that range
+    /// round-trips through the `f64` this parser stores losslessly. From
+    /// 2⁵³ on, consecutive integers stop being representable — 2⁵³ itself
+    /// is excluded because a client's 2⁵³+1 rounds *onto* it, so accepting
+    /// it would silently return a neighboring value.
     pub fn as_usize(&self) -> Option<usize> {
+        /// Largest integer no other integer rounds onto: 2⁵³ − 1
+        /// (JavaScript's `MAX_SAFE_INTEGER` convention).
+        const MAX_EXACT: f64 = 9_007_199_254_740_991.0;
+        // On 32-bit targets the type, not the float format, is the bound.
+        let bound = MAX_EXACT.min(usize::MAX as f64);
         match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
-                Some(*n as usize)
-            }
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= bound => Some(*n as usize),
             _ => None,
         }
     }
@@ -438,5 +446,38 @@ mod tests {
         assert_eq!(parse("42").unwrap().as_usize(), Some(42));
         assert_eq!(Json::Num(3.0).dump(), "3");
         assert_eq!(Json::Num(0.5).dump(), "0.5");
+    }
+
+    /// `as_usize` accepts the whole exactly-representable integer range
+    /// (up to 2⁵³ on 64-bit), not just `u32` — a 10-billion-column corpus
+    /// counter must survive the protocol. Values parse → dump → parse
+    /// losslessly at the boundaries.
+    #[test]
+    fn as_usize_covers_the_exact_f64_range() {
+        const TWO_53: u64 = 1 << 53;
+        // Above u32::MAX but well inside the exact range.
+        for v in [
+            u32::MAX as u64,
+            u32::MAX as u64 + 1,
+            10_000_000_000,
+            TWO_53 - 1,
+        ] {
+            let text = v.to_string();
+            let parsed = parse(&text).unwrap();
+            assert_eq!(parsed.as_usize(), Some(v as usize), "{v}");
+            // dump → parse round-trip is lossless at the boundary.
+            let dumped = parsed.dump();
+            assert_eq!(parse(&dumped).unwrap().as_usize(), Some(v as usize), "{v}");
+        }
+        // From 2⁵³ on integers are no longer uniquely representable (a
+        // client's 2⁵³+1 parses to the same f64 as 2⁵³): reject instead
+        // of silently returning a neighboring value.
+        assert_eq!(parse("9007199254740992").unwrap().as_usize(), None);
+        assert_eq!(parse("9007199254740993").unwrap().as_usize(), None);
+        assert_eq!(parse("9007199254740994").unwrap().as_usize(), None);
+        assert_eq!(parse("18446744073709551616").unwrap().as_usize(), None);
+        // Negative and fractional numbers still refuse.
+        assert_eq!(parse("-1").unwrap().as_usize(), None);
+        assert_eq!(parse("3.5").unwrap().as_usize(), None);
     }
 }

@@ -6,13 +6,18 @@
 //! deployment shape for the rest of the workspace:
 //!
 //! * **Shared live index** — readers take wait-free `Arc<PatternIndex>`
-//!   snapshots; nothing blocks while rules are inferred or columns are
-//!   validated.
-//! * **Incremental ingestion** — new corpus columns are profiled into an
-//!   [`av_index::IndexDelta`] and merged copy-on-write into the live
-//!   index: bit-for-bit identical statistics to a full rebuild, without a
-//!   stop-the-world rescan (`av-index`'s fixed-point accumulators make the
-//!   merge exact).
+//!   **epoch** snapshots from an [`av_index::ShardedIndex`]; nothing
+//!   blocks while rules are inferred or columns are validated, and a
+//!   snapshot taken during an ingest is never torn — it is exactly the
+//!   pre- or post-ingest index.
+//! * **Incremental ingestion, O(touched shards)** — new corpus columns
+//!   are profiled into an [`av_index::IndexDelta`] that splits into
+//!   per-shard sub-deltas; the merge clones and republishes only the
+//!   fingerprint shards the delta touches, so ingest cost tracks the
+//!   delta, not the lake, and ingests on disjoint shards commit
+//!   concurrently. Statistics stay bit-for-bit identical to a full
+//!   rebuild (`av-index`'s fixed-point accumulators make the merge
+//!   exact).
 //! * **Persistent rule catalog** — rules are inferred once (FMDV and its
 //!   fallbacks), named, serialized to `rules.avcat`, and reloaded on
 //!   restart, so a service restart never re-infers or loses a rule.

@@ -53,6 +53,15 @@ fn fail(message: impl Into<String>) -> Reply {
     }
 }
 
+/// Render a bare protocol-error line into a caller-owned buffer. Serve
+/// loops use this for transport-level failures (oversized or undecodable
+/// request frames) that never reach [`handle_line_into`], so those
+/// responses share the exact `{"ok":false,"error":…}` shape of every
+/// other failure.
+pub(crate) fn render_error_into(message: &str, out: &mut String) {
+    fail(message).json.dump_into(out);
+}
+
 fn report_json(r: &ValidationReport) -> Vec<(&'static str, Json)> {
     vec![
         ("checked", Json::Num(r.checked as f64)),
@@ -181,6 +190,7 @@ fn handle_ingest(service: &ValidationService, req: &Json) -> Reply {
         Ok(r) => ok(vec![
             ("columns_added", Json::Num(r.columns_added as f64)),
             ("delta_patterns", Json::Num(r.delta_patterns as f64)),
+            ("touched_shards", Json::Num(r.touched_shards as f64)),
             ("total_columns", Json::Num(r.total_columns as f64)),
             ("total_patterns", Json::Num(r.total_patterns as f64)),
         ]),
@@ -374,8 +384,10 @@ fn handle_stats(service: &ValidationService) -> Reply {
         ("rules_inferred", Json::Num(s.rules_inferred as f64)),
         ("validations", Json::Num(s.validations as f64)),
         ("flagged", Json::Num(s.flagged as f64)),
+        ("connection_errors", Json::Num(s.connection_errors as f64)),
         ("index_patterns", Json::Num(index.len() as f64)),
         ("index_columns", Json::Num(index.num_columns as f64)),
+        ("index_shards", Json::Num(index.shard_count() as f64)),
         (
             "catalog_rules",
             Json::Num(service.catalog_entries().len() as f64),

@@ -2,13 +2,39 @@
 //! transport — stdin/stdout for pipes and tests, TCP for network clients.
 //! Every transport speaks the same JSONL protocol (see
 //! [`crate::protocol`]).
+//!
+//! The TCP loop is hardened against misbehaving peers:
+//!
+//! * request lines are **capped** (`ServiceConfig::max_request_bytes`) —
+//!   a client streaming bytes without a newline gets a protocol error and
+//!   is disconnected instead of growing the line buffer until OOM;
+//! * reads *and* writes poll on the same timeout, so a stalled client can
+//!   neither pin a worker past shutdown on the read side nor wedge it
+//!   mid-response on the write side (slow-but-alive peers get an
+//!   aggregate stall budget before the connection is dropped);
+//! * finished connection threads are **joined**, not just dropped: their
+//!   I/O errors and panics are counted in
+//!   [`ServiceStats::connection_errors`](crate::ServiceStats) rather than
+//!   vanishing with the handle.
 
 use crate::engine::ValidationService;
-use crate::protocol::handle_line_into;
+use crate::protocol::{handle_line_into, render_error_into};
 use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, ToSocketAddrs};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Shared poll interval for connection I/O: reads *and* writes time out at
+/// this cadence so the thread can observe shutdown between attempts. A
+/// poll expiring is not a failure by itself — reads simply retry, and
+/// writes retry up to [`WRITE_STALL_BUDGET`].
+const IO_TIMEOUT: Duration = Duration::from_millis(200);
+
+/// Total stall budget for delivering one response: a peer that is merely
+/// slow to drain its socket gets this long in aggregate, while one that
+/// has stopped reading (or a service shutdown) releases the worker within
+/// one poll interval.
+const WRITE_STALL_BUDGET: Duration = Duration::from_secs(10);
 
 /// Serve JSONL requests from `input`, writing responses to `output`.
 /// Returns when the input ends, a `shutdown` op arrives, or the service
@@ -47,45 +73,180 @@ pub fn serve_stdin(service: &ValidationService) -> std::io::Result<()> {
     serve_lines(service, stdin.lock(), stdout.lock())
 }
 
-/// Serve one TCP connection: like [`serve_lines`], but reads with a
-/// timeout so an idle client never keeps the thread from observing a
-/// shutdown requested elsewhere.
-fn serve_tcp_connection(
-    service: &ValidationService,
-    mut stream: std::net::TcpStream,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(Duration::from_millis(200)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut line = String::new();
-    let mut response = String::new(); // reused across the connection
-    while !service.is_shutdown() {
-        match reader.read_line(&mut line) {
-            Ok(0) => break, // client closed
-            Ok(_) => {
-                if !line.trim().is_empty() {
-                    let shutdown = handle_line_into(service, &line, &mut response);
-                    stream.write_all(response.as_bytes())?;
-                    stream.write_all(b"\n")?;
-                    stream.flush()?;
-                    if shutdown {
-                        break;
-                    }
-                }
-                line.clear();
-            }
-            // Timeout while idle: re-check shutdown and keep reading. A
-            // timeout mid-line leaves the partial bytes in `line`, which
-            // the next read_line call extends — so no clear here.
+/// Outcome of one bounded line read from a connection.
+enum LineRead {
+    /// A complete request line sits in the buffer (newline stripped; also
+    /// produced for a final unterminated line at EOF).
+    Line,
+    /// The peer closed and nothing is buffered.
+    Eof,
+    /// The buffered request exceeded the configured cap mid-line.
+    TooLong,
+    /// The read timed out while idle (or mid-line); buffered bytes are
+    /// kept and the caller re-checks the shutdown flag before retrying.
+    Idle,
+}
+
+/// Read one `\n`-terminated line into `buf`, never buffering more than
+/// `max` bytes. Unlike `BufRead::read_line`, the cap holds even when the
+/// peer sends an endless unterminated stream — the fix for the unbounded
+/// `read_line` OOM.
+fn read_line_bounded(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<LineRead> {
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(bytes) => bytes,
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                continue
+                return Ok(LineRead::Idle)
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if available.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Line // trailing unterminated line at EOF
+            });
+        }
+        match available.iter().position(|b| *b == b'\n') {
+            Some(pos) => {
+                if buf.len() + pos > max {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(&available[..pos]);
+                reader.consume(pos + 1);
+                return Ok(LineRead::Line);
+            }
+            None => {
+                let n = available.len();
+                if buf.len() + n > max {
+                    return Ok(LineRead::TooLong);
+                }
+                buf.extend_from_slice(available);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Write `bytes` fully, polling at the [`IO_TIMEOUT`] cadence: each
+/// expired poll re-checks the shutdown flag and the aggregate
+/// [`WRITE_STALL_BUDGET`], so a slow-but-alive peer keeps its connection
+/// while a peer that stopped draining (or a service shutdown) releases
+/// the worker promptly instead of wedging it in a blocking write.
+fn write_polling(
+    service: &ValidationService,
+    stream: &mut TcpStream,
+    bytes: &[u8],
+) -> std::io::Result<()> {
+    let start = std::time::Instant::now();
+    let mut off = 0;
+    while off < bytes.len() {
+        match stream.write(&bytes[off..]) {
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::WriteZero,
+                    "peer stopped accepting response bytes",
+                ))
+            }
+            Ok(n) => off += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if service.is_shutdown() || start.elapsed() >= WRITE_STALL_BUDGET {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "peer did not drain its response within the stall budget",
+                    ));
+                }
             }
             Err(e) => return Err(e),
         }
     }
     Ok(())
+}
+
+/// Serve one TCP connection: like [`serve_lines`], but with bounded
+/// request lines and symmetric read/write polling, so neither an idle
+/// client, an endless unterminated frame, nor a peer that stops reading
+/// its responses can hold the thread hostage.
+fn serve_tcp_connection(
+    service: &ValidationService,
+    mut stream: std::net::TcpStream,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let max_request = service.config().max_request_bytes.max(1);
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut raw: Vec<u8> = Vec::new();
+    let mut response = String::new(); // reused across the connection
+    let respond = |service: &ValidationService,
+                   stream: &mut TcpStream,
+                   response: &str|
+     -> std::io::Result<()> {
+        write_polling(service, stream, response.as_bytes())?;
+        write_polling(service, stream, b"\n")
+    };
+    while !service.is_shutdown() {
+        match read_line_bounded(&mut reader, &mut raw, max_request)? {
+            LineRead::Idle => continue,
+            LineRead::Eof => break,
+            LineRead::TooLong => {
+                // Protocol error, then hang up: the rest of the frame is
+                // undelimited garbage we refuse to buffer.
+                render_error_into(
+                    &format!("request line exceeds {max_request} bytes"),
+                    &mut response,
+                );
+                respond(service, &mut stream, &response)?;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "oversized request line",
+                ));
+            }
+            LineRead::Line => {
+                let Ok(line) = std::str::from_utf8(&raw) else {
+                    render_error_into("request line is not valid utf-8", &mut response);
+                    respond(service, &mut stream, &response)?;
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        "request line is not valid utf-8",
+                    ));
+                };
+                if !line.trim().is_empty() {
+                    let shutdown = handle_line_into(service, line, &mut response);
+                    respond(service, &mut stream, &response)?;
+                    if shutdown {
+                        break;
+                    }
+                }
+                raw.clear();
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Join a finished (or final) connection thread, folding its outcome into
+/// the service stats: I/O errors and panics increment
+/// `ServiceStats::connection_errors` instead of disappearing.
+fn join_connection(
+    service: &ValidationService,
+    handle: std::thread::JoinHandle<std::io::Result<()>>,
+) {
+    match handle.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(_)) | Err(_) => service.record_connection_error(),
+    }
 }
 
 /// Listen on `addr` and serve each connection on its own thread, all
@@ -105,8 +266,16 @@ pub fn serve_tcp<A: ToSocketAddrs>(
     let mut workers: Vec<std::thread::JoinHandle<std::io::Result<()>>> = Vec::new();
     while !service.is_shutdown() {
         // Reap finished connection threads so a long-lived server doesn't
-        // accumulate a handle per connection ever served.
-        workers.retain(|w| !w.is_finished());
+        // accumulate a handle per connection ever served — and *join*
+        // them, so an IO error or panic is counted, not dropped.
+        let mut i = 0;
+        while i < workers.len() {
+            if workers[i].is_finished() {
+                join_connection(&service, workers.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
         match listener.accept() {
             Ok((stream, _peer)) => {
                 let service = Arc::clone(&service);
@@ -121,7 +290,7 @@ pub fn serve_tcp<A: ToSocketAddrs>(
         }
     }
     for w in workers {
-        let _ = w.join();
+        join_connection(&service, w);
     }
     Ok(())
 }
@@ -214,5 +383,100 @@ mod tests {
         server.join().unwrap().unwrap();
         drop(idle);
         assert_eq!(service.stats().validations, 4);
+        assert_eq!(service.stats().connection_errors, 0);
+    }
+
+    /// The regression for the unbounded `read_line`: a client streaming an
+    /// oversized frame (no newline) gets a protocol error and is
+    /// disconnected — the server buffers at most `max_request_bytes`.
+    #[test]
+    fn oversized_request_line_is_rejected_and_connection_closed() {
+        use std::io::{BufRead, BufReader, Read, Write};
+        use std::net::TcpStream;
+
+        let config = ServiceConfig {
+            max_request_bytes: 512,
+            ..Default::default()
+        };
+        let service = Arc::new(ValidationService::new(config));
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+        let server = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                serve_tcp(service, ("127.0.0.1", 0), move |a| {
+                    addr_tx.send(a).unwrap();
+                })
+            })
+        };
+        let addr = addr_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+
+        // One 700-byte burst of 'a' with no newline — beyond the 512-byte
+        // cap, small enough that the server's first buffered read drains
+        // the whole frame (so its close is a clean FIN the client can
+        // read the error response past).
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&[b'a'; 700]).unwrap();
+        stream.flush().unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(!response_ok(&line), "{line}");
+        assert!(line.contains("exceeds 512 bytes"), "{line}");
+        // The server hung up: the next read hits EOF (or a reset if the
+        // stacks raced — either way, no more data).
+        let mut rest = Vec::new();
+        let drained = reader.read_to_end(&mut rest);
+        assert!(drained.is_err() || rest.is_empty());
+
+        // A well-behaved client on a fresh connection still gets served.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"{\"op\":\"ping\"}\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(stream.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert!(response_ok(&line), "{line}");
+
+        stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        server.join().unwrap().unwrap();
+        // The oversized connection was joined and counted as an error.
+        assert_eq!(service.stats().connection_errors, 1);
+    }
+
+    /// Non-UTF-8 request bytes get a protocol error, close the
+    /// connection, and count as a connection error once joined.
+    #[test]
+    fn invalid_utf8_request_is_counted_as_connection_error() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+
+        let service = Arc::new(ValidationService::new(ServiceConfig::default()));
+        let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+        let server = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                serve_tcp(service, ("127.0.0.1", 0), move |a| {
+                    addr_tx.send(a).unwrap();
+                })
+            })
+        };
+        let addr = addr_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(&[0xff, 0xfe, 0xc0, b'\n']).unwrap();
+        let mut line = String::new();
+        BufReader::new(stream.try_clone().unwrap())
+            .read_line(&mut line)
+            .unwrap();
+        assert!(!response_ok(&line), "{line}");
+        assert!(line.contains("utf-8"), "{line}");
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+        let mut line = String::new();
+        BufReader::new(stream).read_line(&mut line).unwrap();
+        assert!(response_ok(&line));
+        server.join().unwrap().unwrap();
+        assert_eq!(service.stats().connection_errors, 1);
     }
 }

@@ -17,8 +17,9 @@ use av_corpus::{generate_lake, LakeProfile};
 use av_index::{IndexConfig, PatternIndex};
 
 /// Digest of `PatternIndex::to_bytes()` for `LakeProfile::tiny()`, seed 42,
-/// default `IndexConfig`. Pinned in `av-index`'s persist tests too.
-const EXPECTED_DIGEST: u64 = 0x8c0a02de1fff1c8d;
+/// default `IndexConfig` (AVIX v4, 64 shards). Pinned in `av-index`'s
+/// persist tests too.
+const EXPECTED_DIGEST: u64 = 0xb3259407d0bafd49;
 const EXPECTED_PATTERNS: usize = 45379;
 
 fn main() {

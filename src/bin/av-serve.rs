@@ -35,6 +35,9 @@ options:
   --workers N    worker threads for validate_batch (default: all cores)
   --tcp ADDR     listen address, e.g. 127.0.0.1:7171 (port 0 picks a free
                  port and prints it)
+  --max-request-bytes N
+                 largest JSONL request line a TCP client may send before
+                 it is disconnected with a protocol error (default 1 MiB)
 
 protocol ops: ping, ingest, infer, infer_baseline, validate,
 validate_batch, compare, catalog, rule, delete_rule, persist, stats,
@@ -69,6 +72,13 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 tcp = Some(addr.clone());
+                i += 2;
+            }
+            "--max-request-bytes" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                config.max_request_bytes = n;
                 i += 2;
             }
             "--help" | "-h" => {

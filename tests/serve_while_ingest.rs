@@ -1,0 +1,224 @@
+//! Serve-while-ingest stress: one thread applies a sequence of ingest
+//! batches while validators, epoch checkers, and live TCP sessions hammer
+//! the same service.
+//!
+//! The acceptance properties:
+//!
+//! * **Epoch consistency** — every index snapshot taken mid-storm equals,
+//!   byte for byte, one of the sequential prefix states (the index after
+//!   0, 1, …, K ingests). A torn epoch — some shards from before an
+//!   ingest, some from after — would serialize to bytes matching no
+//!   prefix.
+//! * **Validation stability** — every validation report produced during
+//!   the storm equals the sequential reference (rules are immutable
+//!   catalog entries, so the swapping index must never change outcomes).
+//! * **Durability** — the bytes persisted after the storm equal a
+//!   from-scratch sequential build over all ingested columns.
+
+use auto_validate::prelude::*;
+use av_corpus::generate_lake;
+use av_index::PatternIndex;
+use av_service::{response_ok, serve_tcp, BatchItem, ServiceConfig, ValidationService};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn lake_columns(seed: u64, scale: usize) -> Vec<Column> {
+    generate_lake(&LakeProfile::tiny().scaled(scale), seed)
+        .columns()
+        .cloned()
+        .collect()
+}
+
+fn dates(month: u32) -> Vec<String> {
+    (1..=28)
+        .map(|d| format!("2023-{month:02}-{d:02}"))
+        .collect()
+}
+
+#[test]
+fn concurrent_ingest_validate_and_tcp_see_consistent_epochs() {
+    let dir = std::env::temp_dir().join(format!("av_serve_while_ingest_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let config = ServiceConfig::with_data_dir(&dir);
+    let initial = lake_columns(61, 60);
+    let batches: Vec<Vec<Column>> = (0..4).map(|i| lake_columns(70 + i, 25)).collect();
+
+    // Sequential prefix images: the only states a snapshot may ever show.
+    // Keyed by num_columns (batch sizes make prefixes distinguishable).
+    let mut expected: HashMap<u64, Vec<u8>> = HashMap::new();
+    {
+        let mut prefix: Vec<&Column> = initial.iter().collect();
+        let first = PatternIndex::build(&prefix, &config.index);
+        expected.insert(first.num_columns, first.to_bytes().to_vec());
+        for batch in &batches {
+            prefix.extend(batch.iter());
+            let built = PatternIndex::build(&prefix, &config.index);
+            expected.insert(built.num_columns, built.to_bytes().to_vec());
+        }
+        assert_eq!(
+            expected.len(),
+            batches.len() + 1,
+            "prefixes distinguishable"
+        );
+    }
+
+    let service = Arc::new(ValidationService::new(config));
+    service.ingest(&initial).unwrap();
+    service.infer_rule("dates", &dates(1), None).unwrap();
+    let reference_ok = service.validate("dates", &dates(2)).unwrap();
+    let drifted: Vec<String> = (0..30).map(|i| format!("user-{i}")).collect();
+    let reference_bad = service.validate("dates", &drifted).unwrap();
+
+    let (addr_tx, addr_rx) = std::sync::mpsc::channel();
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            serve_tcp(service, ("127.0.0.1", 0), move |a| {
+                addr_tx.send(a).unwrap();
+            })
+        })
+    };
+    let addr = addr_rx.recv_timeout(Duration::from_secs(10)).unwrap();
+    let storm_over = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        // One ingester applies the batches in order: observable states are
+        // exactly the sequential prefixes.
+        let ingester = {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                for batch in &batches {
+                    service.ingest(batch).unwrap();
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+
+        // Epoch checkers: every snapshot must be bit-identical to one of
+        // the precomputed prefix images — pre- or post-ingest, never torn.
+        let checkers: Vec<_> = (0..3)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let expected = &expected;
+                let storm_over = Arc::clone(&storm_over);
+                scope.spawn(move || {
+                    let mut observed = 0usize;
+                    while !storm_over.load(Ordering::Relaxed) {
+                        let snap = service.snapshot();
+                        let want = expected.get(&snap.num_columns).unwrap_or_else(|| {
+                            panic!("unexpected epoch: {} columns", snap.num_columns)
+                        });
+                        assert_eq!(
+                            &snap.to_bytes()[..],
+                            &want[..],
+                            "snapshot at {} columns is torn",
+                            snap.num_columns
+                        );
+                        observed += 1;
+                    }
+                    observed
+                })
+            })
+            .collect();
+
+        // Validators: batch reports must match the pre-storm references.
+        let validators: Vec<_> = (0..2)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let reference_ok = &reference_ok;
+                let reference_bad = &reference_bad;
+                let storm_over = Arc::clone(&storm_over);
+                scope.spawn(move || {
+                    let good = dates(2);
+                    let bad: Vec<String> = (0..30).map(|i| format!("user-{i}")).collect();
+                    while !storm_over.load(Ordering::Relaxed) {
+                        let items: Vec<BatchItem<'_>> = vec![
+                            BatchItem {
+                                rule: "dates",
+                                values: good.iter().map(String::as_str).collect(),
+                            },
+                            BatchItem {
+                                rule: "dates",
+                                values: bad.iter().map(String::as_str).collect(),
+                            },
+                        ];
+                        let reports = service.validate_batch(&items);
+                        assert_eq!(reports[0].as_ref().unwrap(), reference_ok);
+                        assert_eq!(reports[1].as_ref().unwrap(), reference_bad);
+                    }
+                })
+            })
+            .collect();
+
+        // TCP sessions keep flowing during the storm.
+        let tcp_clients: Vec<_> = (0..2)
+            .map(|_| {
+                let storm_over = Arc::clone(&storm_over);
+                scope.spawn(move || {
+                    let mut sessions = 0usize;
+                    while !storm_over.load(Ordering::Relaxed) {
+                        let mut stream = TcpStream::connect(addr).unwrap();
+                        stream
+                            .write_all(
+                                b"{\"op\":\"validate\",\"rule\":\"dates\",\"values\":[\"2023-02-14\"]}\n",
+                            )
+                            .unwrap();
+                        let mut line = String::new();
+                        BufReader::new(stream.try_clone().unwrap())
+                            .read_line(&mut line)
+                            .unwrap();
+                        assert!(response_ok(&line), "{line}");
+                        stream.write_all(b"{\"op\":\"stats\"}\n").unwrap();
+                        let mut line2 = String::new();
+                        BufReader::new(stream).read_line(&mut line2).unwrap();
+                        assert!(response_ok(&line2), "{line2}");
+                        sessions += 1;
+                    }
+                    sessions
+                })
+            })
+            .collect();
+
+        ingester.join().expect("ingester panicked");
+        // Let the readers observe the final epoch for a moment.
+        std::thread::sleep(Duration::from_millis(50));
+        storm_over.store(true, Ordering::Relaxed);
+        let observed: usize = checkers
+            .into_iter()
+            .map(|c| c.join().expect("epoch checker panicked"))
+            .sum();
+        assert!(observed > 0, "checkers must have sampled epochs");
+        for v in validators {
+            v.join().expect("validator panicked");
+        }
+        let sessions: usize = tcp_clients
+            .into_iter()
+            .map(|c| c.join().expect("tcp client panicked"))
+            .sum();
+        assert!(sessions > 0, "tcp clients must have completed sessions");
+    });
+
+    // Shut the server down over the wire.
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(b"{\"op\":\"shutdown\"}\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line).unwrap();
+    assert!(response_ok(&line));
+    server.join().unwrap().unwrap();
+    assert_eq!(service.stats().connection_errors, 0);
+
+    // Durability: the bytes persisted after the storm equal a
+    // from-scratch sequential build over everything ingested.
+    let final_columns = service.snapshot().num_columns;
+    let full_bytes = expected
+        .get(&final_columns)
+        .expect("final state is the full prefix");
+    service.persist().unwrap();
+    let persisted = std::fs::read(dir.join(av_service::INDEX_FILE)).unwrap();
+    assert_eq!(&persisted[..], &full_bytes[..]);
+    std::fs::remove_dir_all(&dir).ok();
+}
