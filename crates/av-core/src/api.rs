@@ -116,15 +116,52 @@ impl CheckScratch {
     }
 }
 
+/// Why a single value failed a rule — the detail behind a
+/// [`Verdict::Nonconform`].
+///
+/// Produced by [`Validator::explain`]. Pattern rules fill the positional
+/// fields from the compiled matcher's [`av_pattern::MatchTrace`]; other
+/// rule kinds fill what makes sense for them (a dictionary rule points at
+/// the nearest vocabulary entry, a numeric rule at the violated bound).
+/// All byte offsets lie on `char` boundaries of the explained value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Explanation {
+    /// One-line human-readable reason for the failure.
+    pub reason: String,
+    /// Byte offset where the value stopped conforming: everything before
+    /// it matched the rule (or its nearest reference string).
+    pub failed_at: Option<usize>,
+    /// Failing byte span `[start, end)` — the first offending character
+    /// (empty, `start == end`, when the value ended too early).
+    pub span: Option<(usize, usize)>,
+    /// What the rule expected at the failure point.
+    pub expected: Option<String>,
+    /// The prefix of the value that did conform.
+    pub matched_prefix: Option<String>,
+}
+
+impl Explanation {
+    /// An explanation carrying only a reason (no positional detail).
+    pub fn new(reason: impl Into<String>) -> Explanation {
+        Explanation {
+            reason: reason.into(),
+            failed_at: None,
+            span: None,
+            expected: None,
+            matched_prefix: None,
+        }
+    }
+}
+
 /// A learned validation rule, usable one value at a time or over batches.
 ///
 /// Object-safe core: [`Validator::describe`], [`Validator::check`] /
-/// [`Validator::check_with`] and [`Validator::finish`] make up the vtable,
-/// so heterogeneous rules dispatch behind `Box<dyn Validator>` /
-/// `Arc<dyn Validator>` (the trait requires `Send + Sync`, so boxed
-/// validators cross threads freely). The provided
-/// [`Validator::validate_batch`] and [`Validator::session`] build on that
-/// core and never allocate per value.
+/// [`Validator::check_with`], [`Validator::explain`] and
+/// [`Validator::finish`] make up the vtable, so heterogeneous rules
+/// dispatch behind `Box<dyn Validator>` / `Arc<dyn Validator>` (the trait
+/// requires `Send + Sync`, so boxed validators cross threads freely). The
+/// provided [`Validator::validate_batch`] and [`Validator::session`] build
+/// on that core and never allocate per value.
 pub trait Validator: Send + Sync {
     /// Human-readable description of the learned rule.
     fn describe(&self) -> String;
@@ -140,6 +177,18 @@ pub trait Validator: Send + Sync {
     fn check_with(&self, value: &str, scratch: &mut CheckScratch) -> Verdict {
         let _ = scratch;
         self.check(value)
+    }
+
+    /// Explain why `value` does not conform.
+    ///
+    /// Returns `None` when the value conforms — and also, in the default
+    /// implementation, when the validator offers no diagnostic detail.
+    /// Implementations must never return `Some` for a conforming value;
+    /// this is the cold path, run only after a failed [`Validator::check`],
+    /// so it may allocate freely.
+    fn explain(&self, value: &str) -> Option<Explanation> {
+        let _ = value;
+        None
     }
 
     /// Conclude a column from its streamed [`Tally`].
@@ -185,6 +234,9 @@ impl<V: Validator + ?Sized> Validator for &V {
     fn check_with(&self, value: &str, scratch: &mut CheckScratch) -> Verdict {
         (**self).check_with(value, scratch)
     }
+    fn explain(&self, value: &str) -> Option<Explanation> {
+        (**self).explain(value)
+    }
     fn finish(&self, tally: Tally) -> Report {
         (**self).finish(tally)
     }
@@ -200,6 +252,9 @@ impl<V: Validator + ?Sized> Validator for Box<V> {
     fn check_with(&self, value: &str, scratch: &mut CheckScratch) -> Verdict {
         (**self).check_with(value, scratch)
     }
+    fn explain(&self, value: &str) -> Option<Explanation> {
+        (**self).explain(value)
+    }
     fn finish(&self, tally: Tally) -> Report {
         (**self).finish(tally)
     }
@@ -214,6 +269,9 @@ impl<V: Validator + ?Sized> Validator for std::sync::Arc<V> {
     }
     fn check_with(&self, value: &str, scratch: &mut CheckScratch) -> Verdict {
         (**self).check_with(value, scratch)
+    }
+    fn explain(&self, value: &str) -> Option<Explanation> {
+        (**self).explain(value)
     }
     fn finish(&self, tally: Tally) -> Report {
         (**self).finish(tally)

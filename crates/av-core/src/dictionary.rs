@@ -11,7 +11,7 @@
 use av_stats::HomogeneityTest;
 use std::collections::BTreeSet;
 
-use crate::api::{Tally, ValidationSession, Validator, Verdict};
+use crate::api::{Explanation, Tally, ValidationSession, Validator, Verdict};
 use crate::config::{FmdvConfig, InferError};
 use crate::rule::{distributional_report, ValidationReport};
 
@@ -63,6 +63,34 @@ impl DictionaryRule {
         self.dictionary.contains(value)
     }
 
+    /// The vocabulary entry sharing the longest prefix with `value` (its
+    /// lexicographic neighbors are the only candidates, so this is two
+    /// `BTreeSet` range probes, not a scan).
+    pub fn nearest_entry(&self, value: &str) -> Option<&str> {
+        use std::ops::Bound;
+        let below = self
+            .dictionary
+            .range::<str, _>((Bound::Unbounded, Bound::Included(value)))
+            .next_back()
+            .map(String::as_str);
+        let above = self
+            .dictionary
+            .range::<str, _>((Bound::Excluded(value), Bound::Unbounded))
+            .next()
+            .map(String::as_str);
+        let common = |e: &str| {
+            e.as_bytes()
+                .iter()
+                .zip(value.as_bytes())
+                .take_while(|(a, b)| a == b)
+                .count()
+        };
+        match (below, above) {
+            (Some(b), Some(a)) => Some(if common(a) > common(b) { a } else { b }),
+            (e, None) | (None, e) => e,
+        }
+    }
+
     /// Validate a future column: flag when the out-of-vocabulary rate
     /// increased significantly versus training time. Streams any borrowed
     /// iterator without copying values.
@@ -86,6 +114,37 @@ impl Validator for DictionaryRule {
 
     fn check(&self, value: &str) -> Verdict {
         Verdict::conforming(self.conforms(value))
+    }
+
+    fn explain(&self, value: &str) -> Option<Explanation> {
+        if self.conforms(value) {
+            return None;
+        }
+        let Some(nearest) = self.nearest_entry(value) else {
+            return Some(Explanation::new("vocabulary is empty"));
+        };
+        // Where the value departs from its nearest entry, rounded down to a
+        // char boundary of the value.
+        let mut at = nearest
+            .as_bytes()
+            .iter()
+            .zip(value.as_bytes())
+            .take_while(|(a, b)| a == b)
+            .count();
+        while !value.is_char_boundary(at) {
+            at -= 1;
+        }
+        let end = value[at..].chars().next().map_or(at, |c| at + c.len_utf8());
+        Some(Explanation {
+            reason: format!(
+                "not in the {}-value vocabulary; nearest entry is {nearest:?}",
+                self.dictionary.len()
+            ),
+            failed_at: Some(at),
+            span: Some((at, end)),
+            expected: Some(format!("a vocabulary entry such as {nearest:?}")),
+            matched_prefix: Some(value[..at].to_string()),
+        })
     }
 
     fn finish(&self, tally: Tally) -> ValidationReport {
@@ -148,6 +207,19 @@ mod tests {
         let report = rule.validate(&swapped);
         assert!(report.flagged);
         assert_eq!(report.nonconforming, 100);
+    }
+
+    #[test]
+    fn explain_points_at_the_nearest_entry() {
+        let rule =
+            DictionaryRule::infer(&categorical_train(), &FmdvConfig::default(), 0.1).unwrap();
+        assert!(Validator::explain(&rule, "Pending").is_none());
+        let e = Validator::explain(&rule, "Pending2").unwrap();
+        assert!(e.reason.contains("\"Pending\""), "{}", e.reason);
+        assert_eq!(e.failed_at, Some(7));
+        assert_eq!(e.matched_prefix.as_deref(), Some("Pending"));
+        let e = Validator::explain(&rule, "NULL").unwrap();
+        assert_eq!(e.failed_at, Some(0));
     }
 
     #[test]

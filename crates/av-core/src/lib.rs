@@ -58,7 +58,8 @@ mod vertical;
 mod wire;
 
 pub use api::{
-    AutoValidateBuilder, CheckScratch, Report, Tally, ValidationSession, Validator, Verdict,
+    AutoValidateBuilder, CheckScratch, Explanation, Report, Tally, ValidationSession, Validator,
+    Verdict,
 };
 pub use autotag::{infer_tag, TagRule};
 pub use config::{FmdvConfig, InferError, Variant};
@@ -111,6 +112,61 @@ impl AnyRule {
             AnyRule::Dictionary(r) => Validator::describe(r),
         }
     }
+
+    /// The compiled token program, for pattern rules.
+    pub fn compiled_program(&self) -> Option<&av_pattern::CompiledPattern> {
+        match self {
+            AnyRule::Pattern(r) => Some(r.compiled()),
+            AnyRule::Numeric(_) | AnyRule::Dictionary(_) => None,
+        }
+    }
+}
+
+/// Edit distance between the compiled token programs of two rules — the
+/// metric behind "nearest rule" suggestions. Non-pattern rules contribute
+/// an empty program, so their distance to a pattern rule is that pattern's
+/// full instruction count (a timestamp pattern is as far from a vocabulary
+/// as it is from nothing), and two non-pattern rules are at distance 0.
+pub fn program_distance(a: &AnyRule, b: &AnyRule) -> usize {
+    match (a.compiled_program(), b.compiled_program()) {
+        (Some(pa), Some(pb)) => pa.distance(pb),
+        (Some(p), None) | (None, Some(p)) => p.num_instructions(),
+        (None, None) => 0,
+    }
+}
+
+/// Among `candidates`, find the rule that *accepts* `value`, ranked by
+/// [`program_distance`] from the rule it failed (ties break on the smaller
+/// name, so the suggestion is deterministic). Returns the winning
+/// candidate's name and its distance.
+///
+/// This is the "which rule did this value actually belong to" suggestion:
+/// when a column swap routes statuses into the timestamp feed, the
+/// timestamp rule's non-conforming values conform to the status rule, and
+/// that rule is the nearest conforming one.
+pub fn nearest_conforming_rule<'a, I>(
+    value: &str,
+    from: &AnyRule,
+    candidates: I,
+) -> Option<(&'a str, usize)>
+where
+    I: IntoIterator<Item = (&'a str, &'a AnyRule)>,
+{
+    let mut best: Option<(&str, usize)> = None;
+    for (name, rule) in candidates {
+        if !rule.conforms(value) {
+            continue;
+        }
+        let d = program_distance(from, rule);
+        let better = match best {
+            None => true,
+            Some((bn, bd)) => d < bd || (d == bd && name < bn),
+        };
+        if better {
+            best = Some((name, d));
+        }
+    }
+    best
 }
 
 impl Validator for AnyRule {
@@ -131,6 +187,14 @@ impl Validator for AnyRule {
             AnyRule::Pattern(r) => r.check_with(value, scratch),
             AnyRule::Numeric(r) => r.check_with(value, scratch),
             AnyRule::Dictionary(r) => r.check_with(value, scratch),
+        }
+    }
+
+    fn explain(&self, value: &str) -> Option<Explanation> {
+        match self {
+            AnyRule::Pattern(r) => r.explain(value),
+            AnyRule::Numeric(r) => r.explain(value),
+            AnyRule::Dictionary(r) => r.explain(value),
         }
     }
 
@@ -270,5 +334,70 @@ impl<'a> AutoValidate<'a> {
                     .map_err(|_| first)
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod nearest_rule_tests {
+    use super::*;
+    use av_stats::HomogeneityTest;
+
+    fn pattern_rule(pattern: &str) -> AnyRule {
+        AnyRule::Pattern(ValidationRule::new(
+            av_pattern::parse(pattern).unwrap(),
+            0.0,
+            100,
+            0.001,
+            50,
+            HomogeneityTest::FisherExact,
+            0.01,
+        ))
+    }
+
+    fn dict_rule(words: &[&str]) -> AnyRule {
+        let train: Vec<String> = words
+            .iter()
+            .flat_map(|w| std::iter::repeat_n(w.to_string(), 10))
+            .collect();
+        AnyRule::Dictionary(DictionaryRule::infer(&train, &FmdvConfig::default(), 0.5).unwrap())
+    }
+
+    #[test]
+    fn suggestion_picks_the_conforming_rule_nearest_in_program_space() {
+        let timestamp = pattern_rule("<digit>{4}-<digit>{2}-<digit>{2}");
+        let dashed = pattern_rule("<digit>{4}-<digit>{2}");
+        let word = pattern_rule("<letter>+");
+        let catalog = [
+            ("dashed", &dashed),
+            ("word", &word),
+            ("timestamp", &timestamp),
+        ];
+        // A truncated date fails the timestamp rule but conforms to the
+        // shorter dashed rule — the program-nearest conforming candidate.
+        let (name, d) = nearest_conforming_rule("2019-07", &timestamp, catalog).unwrap();
+        assert_eq!(name, "dashed");
+        assert!(d < program_distance(&timestamp, &word));
+        // A word only conforms to the word rule.
+        let (name, _) = nearest_conforming_rule("Delivered", &timestamp, catalog).unwrap();
+        assert_eq!(name, "word");
+        // Nothing conforms → no suggestion.
+        assert!(nearest_conforming_rule("???", &timestamp, catalog).is_none());
+    }
+
+    #[test]
+    fn column_swap_suggests_the_other_column_rule() {
+        let ts = pattern_rule("<digit>{4}-<digit>{2}-<digit>{2}T<digit>{2}:<digit>{2}Z");
+        let status = dict_rule(&["Delivered", "Pending", "Rejected"]);
+        let catalog = [("event_time", &ts), ("status", &status)];
+        // Statuses landing in the timestamp feed point back at the status
+        // rule — the explanation for a column swap.
+        let (name, _) = nearest_conforming_rule("Pending", &ts, catalog).unwrap();
+        assert_eq!(name, "status");
+        // Distance involving a programless rule is the pattern's length.
+        assert_eq!(
+            program_distance(&ts, &status),
+            ts.compiled_program().unwrap().num_instructions()
+        );
+        assert_eq!(program_distance(&status, &status), 0);
     }
 }

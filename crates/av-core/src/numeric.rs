@@ -10,7 +10,7 @@
 
 use av_stats::HomogeneityTest;
 
-use crate::api::{Tally, ValidationSession, Validator, Verdict};
+use crate::api::{Explanation, Tally, ValidationSession, Validator, Verdict};
 use crate::config::{FmdvConfig, InferError};
 use crate::rule::{distributional_report, ValidationReport};
 
@@ -133,6 +133,35 @@ impl Validator for NumericRule {
         Verdict::conforming(self.conforms(value))
     }
 
+    fn explain(&self, value: &str) -> Option<Explanation> {
+        if self.conforms(value) {
+            return None;
+        }
+        let expected = format!("a finite number in [{:.4}, {:.4}]", self.lo, self.hi);
+        let reason = match parse_numeric(value) {
+            None => format!("{value:?} does not parse as a finite number"),
+            Some(x) if x < self.lo => {
+                format!(
+                    "{x} is below the learned range [{:.4}, {:.4}]",
+                    self.lo, self.hi
+                )
+            }
+            Some(x) => {
+                format!(
+                    "{x} is above the learned range [{:.4}, {:.4}]",
+                    self.lo, self.hi
+                )
+            }
+        };
+        Some(Explanation {
+            reason,
+            failed_at: None,
+            span: None,
+            expected: Some(expected),
+            matched_prefix: None,
+        })
+    }
+
     fn finish(&self, tally: Tally) -> ValidationReport {
         distributional_report(
             tally,
@@ -202,6 +231,20 @@ mod tests {
         let mut future = uniform(60, 0.0, 10.0);
         future.extend((0..40).map(|_| "NULL".to_string()));
         assert!(rule.validate(&future).flagged);
+    }
+
+    #[test]
+    fn explain_names_the_violated_bound() {
+        let rule =
+            NumericRule::infer_default(&uniform(100, 0.0, 100.0), &FmdvConfig::default()).unwrap();
+        assert!(Validator::explain(&rule, "50").is_none());
+        let e = Validator::explain(&rule, "1e9").unwrap();
+        assert!(e.reason.contains("above"), "{}", e.reason);
+        let e = Validator::explain(&rule, "-1e9").unwrap();
+        assert!(e.reason.contains("below"), "{}", e.reason);
+        let e = Validator::explain(&rule, "NULL").unwrap();
+        assert!(e.reason.contains("parse"), "{}", e.reason);
+        assert!(e.expected.unwrap().contains("finite number"));
     }
 
     #[test]

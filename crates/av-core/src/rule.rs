@@ -1,6 +1,6 @@
 //! Validation rules and the test-time distributional check (§4).
 
-use crate::api::{CheckScratch, Tally, ValidationSession, Validator, Verdict};
+use crate::api::{CheckScratch, Explanation, Tally, ValidationSession, Validator, Verdict};
 use av_pattern::{CompiledPattern, Pattern};
 use av_stats::{HomogeneityTest, Table2x2};
 
@@ -167,6 +167,31 @@ impl Validator for ValidationRule {
         Verdict::conforming(self.compiled.matches_with(value, scratch.pattern_scratch()))
     }
 
+    fn explain(&self, value: &str) -> Option<Explanation> {
+        let trace = self.compiled.explain(value)?;
+        let reason = if trace.failed_at == value.len() && trace.inst < trace.num_insts {
+            format!(
+                "value ended at byte {} while {} was still required",
+                trace.failed_at, trace.expected
+            )
+        } else {
+            format!(
+                "mismatch at byte {}: expected {}, found {:?}",
+                trace.failed_at,
+                trace.expected,
+                trace.failing_span(value)
+            )
+        };
+        let matched_prefix = trace.matched_prefix(value).to_string();
+        Some(Explanation {
+            reason,
+            failed_at: Some(trace.failed_at),
+            span: Some((trace.failed_at, trace.span_end)),
+            expected: Some(trace.expected),
+            matched_prefix: Some(matched_prefix),
+        })
+    }
+
     fn finish(&self, tally: Tally) -> ValidationReport {
         distributional_report(
             tally,
@@ -269,6 +294,21 @@ mod tests {
         let report = r.validate(Vec::<String>::new());
         assert!(!report.flagged);
         assert_eq!(report.checked, 0);
+    }
+
+    #[test]
+    fn explain_pinpoints_the_failing_span() {
+        let r = rule("<letter>{3} <digit>{2} <digit>{4}", 0.0, 1000);
+        assert!(Validator::explain(&r, "Mar 01 2019").is_none());
+        let e = Validator::explain(&r, "March 01 2019").unwrap();
+        assert_eq!(e.failed_at, Some(3));
+        assert_eq!(e.span, Some((3, 4)));
+        assert_eq!(e.matched_prefix.as_deref(), Some("Mar"));
+        assert!(e.reason.contains("byte 3"), "{}", e.reason);
+        // Truncated value: empty span at the end.
+        let e = Validator::explain(&r, "Mar 01 20").unwrap();
+        assert_eq!(e.span, Some((9, 9)));
+        assert!(e.reason.contains("ended"), "{}", e.reason);
     }
 
     #[test]

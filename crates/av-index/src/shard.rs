@@ -23,6 +23,7 @@
 use crate::build::{FastMap, PatternIndex};
 use crate::delta::{DeltaError, IndexDelta, ShardPart};
 use crate::stats::StatsAcc;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Default number of shard bits (2⁶ = 64 shards): fine enough that a
@@ -132,6 +133,10 @@ pub struct ShardMerge {
 pub struct ShardedIndex {
     epoch: RwLock<Arc<PatternIndex>>,
     merge_locks: Box<[Mutex<()>]>,
+    /// Bumped once per published epoch (install or delta merge), so
+    /// monitoring can tell "the index changed" apart from "the same index,
+    /// observed twice" without comparing snapshots.
+    generation: AtomicU64,
 }
 
 impl ShardedIndex {
@@ -143,12 +148,21 @@ impl ShardedIndex {
         ShardedIndex {
             epoch: RwLock::new(Arc::new(index)),
             merge_locks,
+            generation: AtomicU64::new(0),
         }
     }
 
     /// The current epoch: an immutable, internally consistent index.
     pub fn snapshot(&self) -> Arc<PatternIndex> {
         Arc::clone(&self.epoch.read().expect("index epoch lock poisoned"))
+    }
+
+    /// How many epochs have been published over this wrapper's lifetime
+    /// (each [`ShardedIndex::install`] and each successful
+    /// [`ShardedIndex::merge_delta`] counts one). Starts at 0 for the
+    /// index the wrapper was constructed with.
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
     }
 
     /// Replace the live index wholesale (e.g. after loading a persisted
@@ -170,6 +184,7 @@ impl ShardedIndex {
             .map(|m| m.lock().expect("shard merge lock poisoned"))
             .collect();
         *self.epoch.write().expect("index epoch lock poisoned") = Arc::new(index);
+        self.generation.fetch_add(1, Ordering::Release);
     }
 
     /// Merge a profiled delta into the live index, republishing only the
@@ -259,6 +274,7 @@ impl ShardedIndex {
             total_patterns: next.len(),
         };
         *epoch = Arc::new(next);
+        self.generation.fetch_add(1, Ordering::Release);
         Ok(report)
     }
 }
@@ -444,6 +460,24 @@ mod tests {
         for (k, s) in live.entries() {
             assert_eq!(want[&k].fpr.to_bits(), s.fpr.to_bits());
         }
+    }
+
+    #[test]
+    fn generation_counts_every_published_epoch() {
+        let config = IndexConfig::default();
+        let lake = generate_lake(&LakeProfile::tiny().scaled(20), 12);
+        let sharded = ShardedIndex::new(PatternIndex::build(&columns_of(&lake), &config));
+        assert_eq!(sharded.generation(), 0);
+        sharded
+            .merge_delta(IndexDelta::profile(&[&narrow_column(1)], &config))
+            .unwrap();
+        assert_eq!(sharded.generation(), 1);
+        sharded.install((*sharded.snapshot()).clone());
+        assert_eq!(sharded.generation(), 2);
+        // A failed merge publishes nothing and bumps nothing.
+        let bad = IndexDelta::profile(&[&narrow_column(2)], &IndexConfig::with_tau(3));
+        assert!(sharded.merge_delta(bad).is_err());
+        assert_eq!(sharded.generation(), 2);
     }
 
     #[test]

@@ -77,6 +77,20 @@ impl Class {
     fn accepts_multibyte(self) -> bool {
         matches!(self, Class::Sym | Class::Any)
     }
+
+    /// Class name for explanation text.
+    fn name(self) -> &'static str {
+        match self {
+            Class::Digit => "digit",
+            Class::Upper => "uppercase",
+            Class::Lower => "lowercase",
+            Class::Letter => "letter",
+            Class::Alnum => "alphanumeric",
+            Class::Space => "whitespace",
+            Class::Sym => "symbol",
+            Class::Any => "any",
+        }
+    }
 }
 
 /// Encoded length of the character starting with lead byte `lead`
@@ -111,7 +125,7 @@ fn eat_char(bytes: &[u8], pos: usize, class: Class) -> Option<usize> {
 }
 
 /// One instruction of a compiled program.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 enum Inst {
     /// Match these exact bytes.
     Lit(Box<[u8]>),
@@ -177,6 +191,67 @@ enum Step {
     Reject,
     /// Reached a branch instruction at this state.
     Branch { inst: usize, pos: usize },
+}
+
+/// Where and why a failed match got furthest — the output of
+/// [`CompiledPattern::explain`].
+///
+/// The *furthest-reached position* is the length in bytes of the longest
+/// prefix of the value that is also a prefix of some string the pattern
+/// accepts. Everything before it matched; the byte span starting there is
+/// where the value departs from the pattern's language. All offsets lie on
+/// `char` boundaries of the value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchTrace {
+    /// Index of the instruction that was being matched when the furthest
+    /// position was reached. Equal to [`MatchTrace::num_insts`] when every
+    /// instruction was satisfied and the failure is trailing input (the
+    /// program expected the value to end).
+    pub inst: usize,
+    /// Number of instructions in the program.
+    pub num_insts: usize,
+    /// Byte offset of the furthest-reached position: `value[..failed_at]`
+    /// is the matched prefix, and the mismatch starts at `failed_at`.
+    pub failed_at: usize,
+    /// End of the failing byte span: one character past `failed_at`, or
+    /// `failed_at` itself when the value ended before the program did.
+    pub span_end: usize,
+    /// Human-readable description of what the failing instruction would
+    /// have accepted (e.g. `exactly 2 digit characters`, `end of value`).
+    pub expected: String,
+}
+
+impl MatchTrace {
+    /// The prefix of `value` that matched (everything before the failure).
+    pub fn matched_prefix<'v>(&self, value: &'v str) -> &'v str {
+        &value[..self.failed_at]
+    }
+
+    /// The failing byte span — the first character the pattern could not
+    /// accept (empty when the value ended before the program did).
+    pub fn failing_span<'v>(&self, value: &'v str) -> &'v str {
+        &value[self.failed_at..self.span_end]
+    }
+}
+
+/// Running maximum of `(position, instruction)` over an explain search.
+#[derive(Clone, Copy)]
+struct TraceState {
+    furthest: usize,
+    inst: usize,
+}
+
+impl TraceState {
+    /// Record that `inst` consumed input up to byte `pos`. Ties on position
+    /// keep the latest instruction — the one deepest into the program is
+    /// the most precise thing to report.
+    #[inline]
+    fn reach(&mut self, inst: usize, pos: usize) {
+        if pos > self.furthest || (pos == self.furthest && inst > self.inst) {
+            self.furthest = pos;
+            self.inst = inst;
+        }
+    }
 }
 
 /// A [`Pattern`] lowered to a flat byte-matching program.
@@ -486,6 +561,292 @@ impl CompiledPattern {
             _ => unreachable!("next_candidate on a deterministic instruction"),
         }
     }
+
+    /// Explain why `value` does not match: the furthest-reached
+    /// instruction, the failing byte span, and (via
+    /// [`MatchTrace::matched_prefix`]) the prefix that did match. Returns
+    /// `None` exactly when [`CompiledPattern::matches`] returns true.
+    ///
+    /// This is the cold half of the matcher: callers run it only after a
+    /// failed `matches`, so it trades the minimum-width prune for exact
+    /// partial-progress tracking (a pruned branch may still hold the
+    /// deepest partial match). The furthest-reached position is the longest
+    /// prefix of `value` that is also a prefix of some accepted string —
+    /// the same quantity [`crate::furthest_mismatch`] computes on the
+    /// reference matcher, which pins this implementation in proptests.
+    ///
+    /// ```
+    /// use av_pattern::{parse, CompiledPattern};
+    ///
+    /// let compiled = CompiledPattern::compile(&parse("<letter>{3} <digit>{2} <digit>{4}").unwrap());
+    /// let trace = compiled.explain("Mar 1 2019").unwrap();
+    /// assert_eq!(trace.matched_prefix("Mar 1 2019"), "Mar 1");
+    /// assert_eq!(trace.failing_span("Mar 1 2019"), " ");
+    /// assert!(compiled.explain("Mar 01 2019").is_none());
+    /// ```
+    pub fn explain(&self, value: &str) -> Option<MatchTrace> {
+        thread_local! {
+            static SCRATCH: RefCell<MatchScratch> = RefCell::new(MatchScratch::default());
+        }
+        SCRATCH.with(|cell| match cell.try_borrow_mut() {
+            Ok(mut scratch) => self.explain_with(value, &mut scratch),
+            Err(_) => self.explain_with(value, &mut MatchScratch::default()),
+        })
+    }
+
+    /// [`CompiledPattern::explain`] with caller-owned working memory (the
+    /// same [`MatchScratch`] the hot path already carries).
+    pub fn explain_with(&self, value: &str, scratch: &mut MatchScratch) -> Option<MatchTrace> {
+        let bytes = value.as_bytes();
+        let mut tr = TraceState {
+            furthest: 0,
+            inst: 0,
+        };
+        if self.explain_search(bytes, scratch, &mut tr) {
+            return None;
+        }
+        let span_end = match bytes.get(tr.furthest) {
+            Some(&b) if b < 0x80 => tr.furthest + 1,
+            Some(&b) => tr.furthest + utf8_len(b),
+            None => tr.furthest,
+        };
+        Some(MatchTrace {
+            inst: tr.inst,
+            num_insts: self.insts.len(),
+            failed_at: tr.furthest,
+            span_end,
+            expected: self.describe_inst(tr.inst),
+        })
+    }
+
+    /// What the instruction at `idx` accepts, in words; `idx == num_insts`
+    /// describes the implicit end-of-value requirement.
+    pub fn describe_inst(&self, idx: usize) -> String {
+        if idx == self.insts.len() {
+            return "end of value".to_string();
+        }
+        match &self.insts[idx] {
+            Inst::Lit(lit) => {
+                let text = std::str::from_utf8(lit).expect("literals are encoded from &str");
+                format!("literal {text:?}")
+            }
+            Inst::Fixed { class, chars } => {
+                format!("exactly {chars} {} character(s)", class.name())
+            }
+            Inst::Var { class, min_chars } => {
+                format!("{min_chars} or more {} characters", class.name())
+            }
+            Inst::Num => "a number (<num>)".to_string(),
+        }
+    }
+
+    /// Edit distance between two instruction programs: the number of
+    /// instruction insertions, deletions, and substitutions turning one
+    /// program into the other. Used to rank "nearest rule" suggestions —
+    /// two rules whose programs differ by one fused scan are close, a
+    /// dictionary column and a timestamp are not.
+    pub fn distance(&self, other: &CompiledPattern) -> usize {
+        let (a, b) = (&self.insts[..], &other.insts[..]);
+        let mut prev: Vec<usize> = (0..=b.len()).collect();
+        let mut cur = vec![0usize; b.len() + 1];
+        for (i, ai) in a.iter().enumerate() {
+            cur[0] = i + 1;
+            for (j, bj) in b.iter().enumerate() {
+                let sub = prev[j] + usize::from(ai != bj);
+                cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+            }
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        prev[b.len()]
+    }
+
+    /// The explain-mode search: same exploration order as
+    /// [`CompiledPattern::matches_with`], but every byte of partial
+    /// progress is recorded in `tr`, and the minimum-width prune is off —
+    /// a branch that cannot complete can still carry the furthest reach.
+    fn explain_search(
+        &self,
+        bytes: &[u8],
+        scratch: &mut MatchScratch,
+        tr: &mut TraceState,
+    ) -> bool {
+        let (inst, pos) = match self.explain_advance(bytes, 0, 0, tr) {
+            Step::Accept => return true,
+            Step::Reject => return false,
+            Step::Branch { inst, pos } => (inst, pos),
+        };
+        let use_memo = self.nbranch > 1;
+        if use_memo {
+            let states = self.nbranch * (bytes.len() + 1);
+            scratch.memo.clear();
+            scratch.memo.resize(states.div_ceil(64), 0);
+        }
+        scratch.stack.clear();
+        scratch
+            .stack
+            .push(self.explain_init_frame(bytes, inst, pos, tr));
+
+        while let Some(mut frame) = scratch.stack.pop() {
+            let Some(end) = self.next_candidate(bytes, &mut frame) else {
+                if use_memo {
+                    let key = self.branch_ord[frame.inst] * (bytes.len() + 1) + frame.pos;
+                    scratch.memo[key / 64] |= 1 << (key % 64);
+                }
+                continue;
+            };
+            scratch.stack.push(frame);
+            match self.explain_advance(bytes, frame.inst + 1, end, tr) {
+                Step::Accept => return true,
+                Step::Reject => {}
+                Step::Branch { inst, pos } => {
+                    let failed = use_memo && {
+                        let key = self.branch_ord[inst] * (bytes.len() + 1) + pos;
+                        scratch.memo[key / 64] & (1 << (key % 64)) != 0
+                    };
+                    if !failed {
+                        scratch
+                            .stack
+                            .push(self.explain_init_frame(bytes, inst, pos, tr));
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// [`CompiledPattern::advance`] with reach tracking and no prune.
+    /// Literal and fixed-class instructions record partial progress: the
+    /// bytes they consumed before the mismatch are part of a prefix of some
+    /// accepted string, so they count toward the furthest reach.
+    fn explain_advance(
+        &self,
+        bytes: &[u8],
+        mut inst: usize,
+        mut pos: usize,
+        tr: &mut TraceState,
+    ) -> Step {
+        loop {
+            tr.reach(inst, pos);
+            if inst == self.insts.len() {
+                return if pos == bytes.len() {
+                    Step::Accept
+                } else {
+                    Step::Reject
+                };
+            }
+            match &self.insts[inst] {
+                Inst::Lit(lit) => {
+                    let rest = &bytes[pos..];
+                    let common = lit
+                        .iter()
+                        .zip(rest.iter())
+                        .take_while(|(a, b)| a == b)
+                        .count();
+                    if common == lit.len() {
+                        pos += common;
+                    } else {
+                        // Partial literal progress, rounded down to a char
+                        // boundary of the value (the shared bytes may end
+                        // inside a multi-byte character).
+                        let mut p = pos + common;
+                        while p < bytes.len() && bytes[p] & 0xC0 == 0x80 {
+                            p -= 1;
+                        }
+                        tr.reach(inst, p);
+                        return Step::Reject;
+                    }
+                }
+                Inst::Fixed { class, chars } => {
+                    for _ in 0..*chars {
+                        match eat_char(bytes, pos, *class) {
+                            Some(next) => {
+                                pos = next;
+                                tr.reach(inst, pos);
+                            }
+                            None => return Step::Reject,
+                        }
+                    }
+                }
+                Inst::Var { .. } | Inst::Num => return Step::Branch { inst, pos },
+            }
+            inst += 1;
+        }
+    }
+
+    /// [`CompiledPattern::init_frame`] with reach tracking: the greedy scan
+    /// of a variadic run (and `<num>`'s integer/fraction scans) is itself
+    /// partial progress, even when too short to yield any candidate.
+    fn explain_init_frame(
+        &self,
+        bytes: &[u8],
+        inst: usize,
+        pos: usize,
+        tr: &mut TraceState,
+    ) -> Frame {
+        match &self.insts[inst] {
+            Inst::Var { class, min_chars } => {
+                let mut count = 0u32;
+                let mut p = pos;
+                let mut min_end = pos;
+                while let Some(next) = eat_char(bytes, p, *class) {
+                    count += 1;
+                    p = next;
+                    if count == *min_chars {
+                        min_end = p;
+                    }
+                }
+                tr.reach(inst, p);
+                if count < *min_chars {
+                    Frame {
+                        inst,
+                        pos,
+                        a: 0,
+                        b: 1,
+                    }
+                } else {
+                    Frame {
+                        inst,
+                        pos,
+                        a: p,
+                        b: min_end,
+                    }
+                }
+            }
+            Inst::Num => {
+                let mut ie = pos;
+                while ie < bytes.len() && bytes[ie].is_ascii_digit() {
+                    ie += 1;
+                }
+                if ie == pos {
+                    Frame {
+                        inst,
+                        pos,
+                        a: pos,
+                        b: 0,
+                    }
+                } else {
+                    tr.reach(inst, ie);
+                    // "123." is a prefix of "123.4": the dot (and any
+                    // fraction digits) extend the reach even when no legal
+                    // candidate end comes of it.
+                    if ie < bytes.len() && bytes[ie] == b'.' {
+                        let mut fe = ie + 1;
+                        while fe < bytes.len() && bytes[fe].is_ascii_digit() {
+                            fe += 1;
+                        }
+                        tr.reach(inst, fe);
+                    }
+                    Frame {
+                        inst,
+                        pos,
+                        a: ie,
+                        b: frac_end(bytes, ie),
+                    }
+                }
+            }
+            _ => unreachable!("explain_init_frame on a deterministic instruction"),
+        }
+    }
 }
 
 /// Longest fraction end after integer end `ie` (`'.'` plus ≥ 1 digit), or
@@ -716,6 +1077,108 @@ mod tests {
         assert!(check_both(&p, "1,2"));
         assert!(!check_both(&p, "1,2,"));
         assert!(!check_both(&p, "1.,2"));
+    }
+
+    #[test]
+    fn explain_reports_failing_span_and_prefix() {
+        let p = parse("<letter>{3} <digit>{2} <digit>{4}").unwrap();
+        let c = CompiledPattern::compile(&p);
+        assert!(c.explain("Mar 01 2019").is_none());
+
+        // "Mar 1 2019": the digit pair matched "1 "? No — "1" then the
+        // space fails the 2-char digit scan at byte 5.
+        let t = c.explain("Mar 1 2019").unwrap();
+        assert_eq!(t.failed_at, 5);
+        assert_eq!(t.matched_prefix("Mar 1 2019"), "Mar 1");
+        assert_eq!(t.failing_span("Mar 1 2019"), " ");
+        assert!(t.expected.contains("digit"), "{}", t.expected);
+
+        // Trailing input: the program finished, the value did not.
+        let t = c.explain("Mar 01 2019 ").unwrap();
+        assert_eq!(t.failed_at, 11);
+        assert_eq!(t.span_end, 12);
+        assert_eq!(t.inst, t.num_insts);
+        assert_eq!(t.expected, "end of value");
+
+        // Too short: reach ends where the value does, span is empty.
+        let t = c.explain("Mar 01 20").unwrap();
+        assert_eq!(t.failed_at, 9);
+        assert_eq!(t.span_end, 9);
+        assert_eq!(t.failing_span("Mar 01 20"), "");
+    }
+
+    #[test]
+    fn explain_tracks_partial_literal_and_num_progress() {
+        let p = parse("session-<digit>{4}").unwrap();
+        let c = CompiledPattern::compile(&p);
+        let t = c.explain("session_0001").unwrap();
+        assert_eq!(t.matched_prefix("session_0001"), "session");
+        assert_eq!(t.failing_span("session_0001"), "_");
+
+        // "5." is a prefix of "5.1": the dot extends the reach.
+        let num = CompiledPattern::compile(&parse("<num>").unwrap());
+        let t = num.explain("5.").unwrap();
+        assert_eq!(t.failed_at, 2);
+        let t = num.explain("5.x").unwrap();
+        assert_eq!(t.failed_at, 2);
+        assert_eq!(t.failing_span("5.x"), "x");
+    }
+
+    #[test]
+    fn explain_stays_on_char_boundaries() {
+        let p = Pattern::new(vec![Token::lit("é"), Token::Digit(1)]);
+        let c = CompiledPattern::compile(&p);
+        // 'è' shares its lead byte with 'é': the partial literal progress
+        // must round down to the char boundary at 0.
+        let t = c.explain("è1").unwrap();
+        assert_eq!(t.failed_at, 0);
+        assert_eq!(t.failing_span("è1"), "è");
+        let t = c.explain("éx").unwrap();
+        assert_eq!(t.failed_at, 2);
+        assert_eq!(t.failing_span("éx"), "x");
+    }
+
+    #[test]
+    fn explain_searches_past_the_min_width_prune() {
+        // matches() rejects "abc1" on length alone; explain still finds
+        // the deepest partial match (the whole value is a valid prefix).
+        let p = Pattern::new(vec![Token::AnyPlus, Token::Digit(4)]);
+        let c = CompiledPattern::compile(&p);
+        assert!(!c.matches("abc1"));
+        let t = c.explain("abc1").unwrap();
+        assert_eq!(t.failed_at, 4);
+        assert_eq!(t.span_end, 4);
+    }
+
+    #[test]
+    fn explain_none_iff_matches() {
+        let patterns = [
+            parse("<letter>{3} <digit>{2} <digit>{4}").unwrap(),
+            parse("<num>,<num>").unwrap(),
+            Pattern::empty(),
+            Pattern::new(vec![Token::AnyPlus]),
+        ];
+        let values = ["Mar 01 2019", "1.5,2", "", "x", "Mar 01 2019 ", "1,2,"];
+        for p in &patterns {
+            let c = CompiledPattern::compile(p);
+            for v in values {
+                assert_eq!(c.explain(v).is_none(), c.matches(v), "{p} ~ {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn program_distance_is_an_edit_distance() {
+        let date = CompiledPattern::compile(&parse("<letter>{3} <digit>{2} <digit>{4}").unwrap());
+        let date2 = CompiledPattern::compile(&parse("<letter>{3} <digit>{2} <digit>{4}").unwrap());
+        let long = CompiledPattern::compile(&parse("<letter>+ <digit>{2} <digit>{4}").unwrap());
+        let id = CompiledPattern::compile(&parse("session-<digit>{4}").unwrap());
+        assert_eq!(date.distance(&date2), 0);
+        assert_eq!(date.distance(&long), 1); // one substituted instruction
+        assert_eq!(date.distance(&long), long.distance(&date));
+        assert!(date.distance(&id) > date.distance(&long));
+        let empty = CompiledPattern::compile(&Pattern::empty());
+        assert_eq!(empty.distance(&date), date.num_instructions());
     }
 
     #[test]

@@ -58,9 +58,9 @@ pub use analyze::{
     patterns_of_value, stream_column_profile, BitSet, CoarseGroup, ColumnAnalysis, EnumScratch,
     PositionOptions, StreamedPattern, SupportedPattern,
 };
-pub use compile::{CompiledPattern, MatchScratch};
+pub use compile::{CompiledPattern, MatchScratch, MatchTrace};
 pub use generalize::{coarse_pattern, PatternConfig};
-pub use matcher::matches;
+pub use matcher::{furthest_mismatch, matches};
 pub use parser::{parse, ParseError};
 pub use pattern::{fnv1a, FingerprintState, Pattern};
 pub use token::{CharClass, Token};

@@ -39,6 +39,188 @@ pub fn matches(pattern: &Pattern, value: &str) -> bool {
     match_at(tokens, &lits, &chars, 0, 0, &mut failed)
 }
 
+/// Reference implementation of the furthest-reached position: the length
+/// in bytes of the longest prefix of `value` that is also a prefix of some
+/// string `pattern` accepts. Returns `None` exactly when the pattern
+/// matches the whole value.
+///
+/// This is the oracle for `CompiledPattern::explain` — same character-level
+/// exploration as [`matches`], instrumented to record partial progress
+/// inside every token (a literal that agrees on its first two characters
+/// reached two characters further, even though the token failed).
+///
+/// ```
+/// use av_pattern::{furthest_mismatch, parse};
+/// let p = parse("<digit>{4}-<digit>{2}").unwrap();
+/// assert_eq!(furthest_mismatch(&p, "2019-0x"), Some(6));
+/// assert_eq!(furthest_mismatch(&p, "2019-07"), None);
+/// ```
+pub fn furthest_mismatch(pattern: &Pattern, value: &str) -> Option<usize> {
+    let chars: Vec<char> = value.chars().collect();
+    let tokens = pattern.tokens();
+    let mut furthest = 0usize; // in characters
+    let ok = if tokens.is_empty() {
+        chars.is_empty()
+    } else {
+        let lits: Vec<Vec<char>> = tokens
+            .iter()
+            .map(|t| match t {
+                Token::Lit(s) => s.chars().collect(),
+                _ => Vec::new(),
+            })
+            .collect();
+        let n = chars.len();
+        let mut failed = vec![false; tokens.len() * (n + 1)];
+        track_at(tokens, &lits, &chars, 0, 0, &mut failed, &mut furthest)
+    };
+    if ok {
+        None
+    } else {
+        // Character count back to a byte offset of the original value.
+        Some(
+            value
+                .char_indices()
+                .nth(furthest)
+                .map_or(value.len(), |(b, _)| b),
+        )
+    }
+}
+
+/// [`match_at`] threading a running maximum of the position reached —
+/// including partial progress inside literal, fixed-width, and `<num>`
+/// tokens, which the plain matcher discards on token failure.
+fn track_at(
+    tokens: &[Token],
+    lits: &[Vec<char>],
+    chars: &[char],
+    ti: usize,
+    pos: usize,
+    failed: &mut [bool],
+    furthest: &mut usize,
+) -> bool {
+    *furthest = (*furthest).max(pos);
+    if ti == tokens.len() {
+        return pos == chars.len();
+    }
+    let n = chars.len();
+    let key = ti * (n + 1) + pos;
+    if failed[key] {
+        return false;
+    }
+    let ok = match &tokens[ti] {
+        Token::Lit(_) => {
+            let lit = &lits[ti];
+            let common = lit
+                .iter()
+                .zip(chars[pos..].iter())
+                .take_while(|(a, b)| a == b)
+                .count();
+            *furthest = (*furthest).max(pos + common);
+            if common == lit.len() {
+                track_at(tokens, lits, chars, ti + 1, pos + common, failed, furthest)
+            } else {
+                false
+            }
+        }
+        t @ (Token::Digit(_)
+        | Token::Upper(_)
+        | Token::Lower(_)
+        | Token::Letter(_)
+        | Token::Alnum(_)
+        | Token::Sym(_)) => {
+            let w = t.fixed_width().expect("fixed token has width");
+            let run = chars[pos..]
+                .iter()
+                .take(w)
+                .take_while(|&&c| t.class_contains(c))
+                .count();
+            *furthest = (*furthest).max(pos + run);
+            if run == w {
+                track_at(tokens, lits, chars, ti + 1, pos + w, failed, furthest)
+            } else {
+                false
+            }
+        }
+        Token::Num => track_num_reach(tokens, lits, chars, ti, pos, failed, furthest),
+        t @ (Token::DigitPlus
+        | Token::UpperPlus
+        | Token::LowerPlus
+        | Token::LetterPlus
+        | Token::AlnumPlus
+        | Token::SymPlus
+        | Token::SpacePlus
+        | Token::AnyPlus) => {
+            let mut max_end = pos;
+            while max_end < n && t.class_contains(chars[max_end]) {
+                max_end += 1;
+            }
+            *furthest = (*furthest).max(max_end);
+            let mut found = false;
+            let mut end = max_end;
+            while end > pos {
+                if track_at(tokens, lits, chars, ti + 1, end, failed, furthest) {
+                    found = true;
+                    break;
+                }
+                end -= 1;
+            }
+            found
+        }
+    };
+    if !ok {
+        failed[key] = true;
+    }
+    ok
+}
+
+/// [`match_num`] with reach tracking: the integer scan, a trailing dot, and
+/// any fraction digits are all prefixes of some number, so they extend the
+/// reach even when no legal end position comes of them.
+fn track_num_reach(
+    tokens: &[Token],
+    lits: &[Vec<char>],
+    chars: &[char],
+    ti: usize,
+    pos: usize,
+    failed: &mut [bool],
+    furthest: &mut usize,
+) -> bool {
+    let n = chars.len();
+    let mut int_end = pos;
+    while int_end < n && chars[int_end].is_ascii_digit() {
+        int_end += 1;
+    }
+    if int_end == pos {
+        return false;
+    }
+    *furthest = (*furthest).max(int_end);
+    if int_end < n && chars[int_end] == '.' {
+        let mut fe = int_end + 1;
+        while fe < n && chars[fe].is_ascii_digit() {
+            fe += 1;
+        }
+        *furthest = (*furthest).max(fe);
+    }
+    let mut candidates: Vec<usize> = Vec::new();
+    for ie in (pos + 1..=int_end).rev() {
+        if ie < n && chars[ie] == '.' {
+            let mut fe = ie + 1;
+            while fe < n && chars[fe].is_ascii_digit() {
+                fe += 1;
+            }
+            let mut f = fe;
+            while f > ie + 1 {
+                candidates.push(f);
+                f -= 1;
+            }
+        }
+        candidates.push(ie);
+    }
+    candidates
+        .into_iter()
+        .any(|end| track_at(tokens, lits, chars, ti + 1, end, failed, furthest))
+}
+
 fn match_at(
     tokens: &[Token],
     lits: &[Vec<char>],

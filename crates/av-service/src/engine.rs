@@ -19,10 +19,11 @@
 //!   a few pointer copies under one brief write lock.
 
 use crate::catalog::{CatalogEntry, CatalogError, RuleCatalog};
+use crate::telemetry::{FailureExemplar, ServiceTelemetry, TelemetryConfig};
 use av_baselines::baseline_by_name;
 use av_core::{
-    AnyRule, AutoValidate, CheckScratch, FmdvConfig, InferError, ValidationReport,
-    ValidationSession, Validator, Variant,
+    nearest_conforming_rule, AnyRule, AutoValidate, CheckScratch, Explanation, FmdvConfig,
+    InferError, ValidationReport, ValidationSession, Validator, Variant,
 };
 use av_corpus::Column;
 use av_index::{DeltaError, IndexConfig, IndexDelta, PatternIndex, PersistError, ShardedIndex};
@@ -58,6 +59,9 @@ pub struct ServiceConfig {
     /// without a newline gets a protocol error and is disconnected instead
     /// of growing the server's line buffer without bound.
     pub max_request_bytes: usize,
+    /// Drift-telemetry knobs: sliding-window bucket width and the windowed
+    /// flag-rate at which a rule's snapshot reports an alert.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for ServiceConfig {
@@ -68,6 +72,7 @@ impl Default for ServiceConfig {
             workers: 0,
             data_dir: None,
             max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+            telemetry: TelemetryConfig::default(),
         }
     }
 }
@@ -167,6 +172,23 @@ pub struct IngestReport {
     pub total_patterns: usize,
 }
 
+/// Why a value failed (or passed) a named rule, plus a repair hint — the
+/// payload behind the protocol's `explain` op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainOutcome {
+    /// Did the value conform? (`true` means every other field is empty.)
+    pub conforms: bool,
+    /// The rule's self-description.
+    pub describe: String,
+    /// Positional failure detail from the rule's [`Validator::explain`]
+    /// (None for conforming values, or rules with no detail to give).
+    pub explanation: Option<Explanation>,
+    /// The nearest *other* catalog rule the value does conform to, ranked
+    /// by token-program edit distance from the failing rule — the "did the
+    /// feed swap columns?" hint. `(rule name, distance)`.
+    pub suggestion: Option<(String, usize)>,
+}
+
 /// One item of a validation batch: a rule name plus the column values to
 /// validate against it. Fully borrowed — a protocol frame's parsed strings
 /// (or any other buffer) are referenced, never copied per item.
@@ -208,6 +230,7 @@ pub struct ValidationService {
     /// underlying predicates are closures and have no wire form, so they
     /// are not persisted with the catalog.
     baselines: RwLock<HashMap<String, Arc<dyn Validator>>>,
+    telemetry: ServiceTelemetry,
     shutdown: AtomicBool,
     columns_ingested: AtomicU64,
     ingest_batches: AtomicU64,
@@ -225,6 +248,7 @@ impl ValidationService {
             index: ShardedIndex::new(empty),
             catalog: RwLock::new(RuleCatalog::new()),
             baselines: RwLock::new(HashMap::new()),
+            telemetry: ServiceTelemetry::new(config.telemetry.clone()),
             shutdown: AtomicBool::new(false),
             columns_ingested: AtomicU64::new(0),
             ingest_batches: AtomicU64::new(0),
@@ -366,7 +390,9 @@ impl ValidationService {
             .ok_or_else(|| ServiceError::UnknownRule(name.to_string()))
     }
 
-    /// Remove a rule (catalog first, then session-scoped baselines).
+    /// Remove a rule (catalog first, then session-scoped baselines). The
+    /// rule's telemetry goes with it, so a later rule under the same name
+    /// starts from a clean slate.
     pub fn delete_rule(&self, name: &str) -> Result<(), ServiceError> {
         if self
             .catalog
@@ -375,13 +401,14 @@ impl ValidationService {
             .remove(name)
             .is_some()
         {
+            self.telemetry.forget_rule(name);
             return Ok(());
         }
         self.baselines
             .write()
             .expect("baselines lock poisoned")
             .remove(name)
-            .map(|_| ())
+            .map(|_| self.telemetry.forget_rule(name))
             .ok_or_else(|| ServiceError::UnknownRule(name.to_string()))
     }
 
@@ -494,20 +521,92 @@ impl ValidationService {
         values: &[S],
         scratch: &mut CheckScratch,
     ) -> Result<ValidationReport, ServiceError> {
-        let report = self.with_validator(rule, |validator| {
+        let (report, exemplar) = self.with_validator(rule, |validator| {
             let mut session = ValidationSession::with_scratch(validator, std::mem::take(scratch));
             for v in values {
                 session.push(v.as_ref());
             }
             let (report, returned) = session.finish_with_scratch();
             *scratch = returned;
-            report
+            // Cold path: only a flagged column pays for the exemplar
+            // re-scan and the explanation's allocations.
+            let exemplar = if report.flagged {
+                values
+                    .iter()
+                    .map(AsRef::as_ref)
+                    .find(|v| !validator.check(v).is_conform())
+                    .map(|v| FailureExemplar::capture(validator, v))
+            } else {
+                None
+            };
+            (report, exemplar)
         })?;
+        let slot = self.telemetry.rule(rule);
+        slot.record(
+            self.telemetry.epoch(),
+            report.checked as u64,
+            report.nonconforming as u64,
+            report.flagged,
+        );
+        if let Some(exemplar) = exemplar {
+            slot.push_exemplar(exemplar);
+        }
         self.validations.fetch_add(1, Ordering::Relaxed);
         if report.flagged {
             self.flagged.fetch_add(1, Ordering::Relaxed);
         }
         Ok(report)
+    }
+
+    /// Explain one value against a named rule: conformance, positional
+    /// failure detail, and — for catalog rules — the nearest *other*
+    /// catalog rule the value conforms to (ranked by token-program edit
+    /// distance, so a column swap points at the swapped-in column's rule).
+    /// Session-scoped baseline rules explain through their `dyn Validator`
+    /// vtable but get no suggestion: they have no compiled program to
+    /// measure distance from.
+    pub fn explain(&self, rule: &str, value: &str) -> Result<ExplainOutcome, ServiceError> {
+        {
+            let catalog = self.catalog.read().expect("catalog lock poisoned");
+            if let Some(entry) = catalog.get(rule) {
+                let conforms = entry.rule.conforms(value);
+                let (explanation, suggestion) = if conforms {
+                    (None, None)
+                } else {
+                    let candidates = catalog
+                        .iter()
+                        .filter(|e| e.name != rule)
+                        .map(|e| (e.name.as_str(), &e.rule));
+                    (
+                        Validator::explain(&entry.rule, value),
+                        nearest_conforming_rule(value, &entry.rule, candidates)
+                            .map(|(name, distance)| (name.to_string(), distance)),
+                    )
+                };
+                return Ok(ExplainOutcome {
+                    conforms,
+                    describe: entry.rule.describe(),
+                    explanation,
+                    suggestion,
+                });
+            }
+        }
+        let baseline = {
+            let baselines = self.baselines.read().expect("baselines lock poisoned");
+            baselines.get(rule).cloned()
+        };
+        match baseline {
+            Some(v) => {
+                let conforms = v.check(value).is_conform();
+                Ok(ExplainOutcome {
+                    conforms,
+                    describe: v.describe(),
+                    explanation: if conforms { None } else { v.explain(value) },
+                    suggestion: None,
+                })
+            }
+            None => Err(ServiceError::UnknownRule(rule.to_string())),
+        }
     }
 
     /// A/B-compare two named rules (either side may be an FMDV catalog rule
@@ -622,6 +721,18 @@ impl ValidationService {
             flagged: self.flagged.load(Ordering::Relaxed),
             connection_errors: self.connection_errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// The drift-telemetry registry: per-rule sliding-window conformance
+    /// counters and per-op request counters.
+    pub fn telemetry(&self) -> &ServiceTelemetry {
+        &self.telemetry
+    }
+
+    /// How many index epochs have been published (installs + delta
+    /// merges) — a cheap "did the index change?" signal for monitoring.
+    pub fn index_generation(&self) -> u64 {
+        self.index.generation()
     }
 
     /// Record a TCP connection thread that ended in an I/O error or panic
@@ -881,6 +992,83 @@ mod tests {
             service.validate("feed", &[] as &[&str]),
             Err(ServiceError::UnknownRule(_))
         ));
+    }
+
+    #[test]
+    fn explain_names_the_span_and_suggests_the_swapped_column_rule() {
+        let service = ValidationService::new(ServiceConfig::default());
+        service.ingest(&lake_columns(11)).unwrap();
+        service.infer_rule("dates", &date_values(3), None).unwrap();
+        let statuses: Vec<String> = (0..60)
+            .map(|i| ["Delivered", "Pending", "Rejected"][i % 3].to_string())
+            .collect();
+        service.infer_rule("status", &statuses, None).unwrap();
+
+        // Conforming value: no detail, no suggestion.
+        let ok = service.explain("dates", "2019-03-14").unwrap();
+        assert!(ok.conforms);
+        assert!(ok.explanation.is_none() && ok.suggestion.is_none());
+
+        // A status value in the dates feed: the failing span starts at
+        // byte 0 and the suggestion points at the status rule.
+        let swapped = service.explain("dates", "Pending").unwrap();
+        assert!(!swapped.conforms);
+        assert!(swapped.explanation.is_some());
+        assert_eq!(swapped.suggestion.as_ref().unwrap().0, "status");
+
+        // A value conforming to nothing gets detail but no suggestion.
+        let orphan = service.explain("dates", "2019-03-!!").unwrap();
+        let e = orphan.explanation.unwrap();
+        assert_eq!(e.failed_at, Some(8));
+        assert!(orphan.suggestion.is_none());
+
+        assert!(matches!(
+            service.explain("missing", "x"),
+            Err(ServiceError::UnknownRule(_))
+        ));
+    }
+
+    #[test]
+    fn telemetry_tracks_validations_and_captures_exemplars() {
+        let service = ValidationService::new(ServiceConfig::default());
+        service.ingest(&lake_columns(11)).unwrap();
+        service.infer_rule("dates", &date_values(3), None).unwrap();
+        service.validate("dates", &date_values(4)).unwrap();
+        service.validate("dates", &date_values(5)).unwrap();
+        let drifted: Vec<String> = (0..50).map(|i| format!("user-{i}")).collect();
+        assert!(service.validate("dates", &drifted).unwrap().flagged);
+
+        let snap = service.telemetry().rule_snapshot("dates").unwrap();
+        assert_eq!(snap.validations, 3);
+        assert_eq!(snap.flagged, 1);
+        assert_eq!(snap.checked, 28 + 28 + 50);
+        assert_eq!(snap.nonconforming, 50);
+        assert_eq!(snap.window.validations, 3);
+        assert_eq!(snap.window.flagged, 1);
+        // The flagged validation captured its first non-conforming value,
+        // with the explanation engine's positional detail.
+        assert_eq!(snap.exemplars.len(), 1);
+        assert_eq!(snap.exemplars[0].value, "user-0");
+        assert!(snap.exemplars[0].failed_at.is_some());
+
+        // Conforming validations never touch the exemplar ring.
+        service.validate("dates", &date_values(6)).unwrap();
+        let snap = service.telemetry().rule_snapshot("dates").unwrap();
+        assert_eq!(snap.exemplars.len(), 1);
+
+        // Deleting the rule drops its telemetry.
+        service.delete_rule("dates").unwrap();
+        assert!(service.telemetry().rule_snapshot("dates").is_none());
+    }
+
+    #[test]
+    fn index_generation_advances_with_each_ingest() {
+        let service = ValidationService::new(ServiceConfig::default());
+        assert_eq!(service.index_generation(), 0);
+        service.ingest(&lake_columns(3)).unwrap();
+        assert_eq!(service.index_generation(), 1);
+        service.ingest(&lake_columns(4)).unwrap();
+        assert_eq!(service.index_generation(), 2);
     }
 
     #[test]

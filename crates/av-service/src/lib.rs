@@ -60,14 +60,19 @@ pub mod engine;
 pub mod json;
 pub mod protocol;
 pub mod server;
+pub mod telemetry;
 
 pub use catalog::{CatalogEntry, CatalogError, RuleCatalog};
 pub use engine::{
-    owned_column, BatchItem, IngestReport, ServiceConfig, ServiceError, ServiceStats,
-    ValidationService, CATALOG_FILE, INDEX_FILE,
+    owned_column, BatchItem, ExplainOutcome, IngestReport, ServiceConfig, ServiceError,
+    ServiceStats, ValidationService, CATALOG_FILE, INDEX_FILE,
 };
-pub use protocol::{handle_line, response_ok, Handled};
+pub use protocol::{handle_line, response_ok, Handled, LineOutcome, WatchParams};
 pub use server::{serve_lines, serve_stdin, serve_tcp};
+pub use telemetry::{
+    FailureExemplar, OpSnapshot, RuleTelemetrySnapshot, ServiceTelemetry, TelemetryConfig,
+    WindowSnapshot,
+};
 
 /// The service is shared across threads by construction; keep it that way.
 #[allow(dead_code)]

@@ -12,10 +12,53 @@
 //! → {"op":"validate","rule":"ips","values":["not-an-ip"]}
 //! ← {"ok":true,"flagged":true,"nonconforming":1,...}
 //! ```
+//!
+//! ## Observability ops
+//!
+//! **`explain`** asks *why* a single value fails a rule: the failing byte
+//! span (char-boundary aligned), what the rule expected there, the prefix
+//! that did match, and the nearest other catalog rule the value conforms
+//! to (ranked by token-program edit distance — a column-swap detector):
+//!
+//! ```text
+//! → {"op":"explain","rule":"dates","value":"Pending"}
+//! ← {"ok":true,"rule":"dates","conforms":false,"failed_at":0,"span":[0,1],
+//!    "expected":"exactly 4 digit character(s)","matched_prefix":"",
+//!    "reason":"mismatch at byte 0: ...","suggestion":{"rule":"status","distance":7}}
+//! ```
+//!
+//! **`metrics`** dumps the full telemetry registry: per-rule lifetime and
+//! sliding-window conformance counters with alert flags and recent failure
+//! exemplars, plus per-op request/error counters and latency histograms:
+//!
+//! ```text
+//! → {"op":"metrics"}
+//! ← {"ok":true,"index_generation":2,"window_millis":30000,
+//!    "rules":[{"rule":"dates","validations":3,"flagged":1,"alert":false,
+//!              "window":{"validations":3,"flagged":1,"flag_rate":0.333,...},
+//!              "exemplars":[{"value":"user-0","reason":"mismatch at byte 0: ...",...}]}],
+//!    "ops":[{"op":"validate","requests":3,"errors":0,"mean_micros":412.3,...}]}
+//! ```
+//!
+//! **`watch`** turns the connection into a telemetry stream: after the
+//! acknowledgement, the server emits one JSONL frame of per-rule window
+//! stats every `interval_ms` until `frames` frames were sent (forever when
+//! omitted), the client disconnects, or the service shuts down. Frames are
+//! built from owned snapshots — no service lock is held while a frame is
+//! written to a slow client:
+//!
+//! ```text
+//! → {"op":"watch","interval_ms":500,"frames":2,"rules":["dates"]}
+//! ← {"ok":true,"watching":true,"interval_ms":500,"frames":2}
+//! ← {"frame":0,"elapsed_ms":500,"rules":[{"rule":"dates","window_validations":3,
+//!     "window_flagged":1,"flag_rate":0.3333,"alert":false,...}]}
+//! ← {"frame":1,"elapsed_ms":1000,"rules":[...]}
+//! ```
 
 use crate::engine::{BatchItem, ValidationService};
 use crate::json::{parse, Json};
-use av_core::{AnyRule, ValidationReport, Variant};
+use av_core::{AnyRule, Explanation, ValidationReport, Variant};
+use std::time::Duration;
 
 /// Outcome of handling one request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,12 +69,36 @@ pub struct Handled {
     pub shutdown: bool,
 }
 
-/// A response before serialization: the JSON tree plus the shutdown flag.
-/// Serve loops render it through [`handle_line_into`] so one output buffer
-/// is reused across every response of a connection.
+/// What a serve loop must do after writing the response line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LineOutcome {
+    /// True when the request asked the service to shut down.
+    pub shutdown: bool,
+    /// `Some` when the request was an accepted `watch` op: the loop should
+    /// stream telemetry frames with these parameters after the ack.
+    pub watch: Option<WatchParams>,
+}
+
+/// Parameters of an accepted `watch` op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchParams {
+    /// Delay between frames.
+    pub interval: Duration,
+    /// Stop after this many frames (`None`: stream until disconnect or
+    /// shutdown).
+    pub frames: Option<u64>,
+    /// Restrict frames to these rules (`None`: all rules with telemetry).
+    pub rules: Option<Vec<String>>,
+}
+
+/// A response before serialization: the JSON tree plus what the serve loop
+/// should do next. Serve loops render it through [`handle_line_into`] so
+/// one output buffer is reused across every response of a connection.
 struct Reply {
     json: Json,
+    ok: bool,
     shutdown: bool,
+    watch: Option<WatchParams>,
 }
 
 fn ok(fields: Vec<(&'static str, Json)>) -> Reply {
@@ -39,7 +106,9 @@ fn ok(fields: Vec<(&'static str, Json)>) -> Reply {
     all.extend(fields);
     Reply {
         json: Json::obj(all),
+        ok: true,
         shutdown: false,
+        watch: None,
     }
 }
 
@@ -49,7 +118,9 @@ fn fail(message: impl Into<String>) -> Reply {
             ("ok", Json::Bool(false)),
             ("error", Json::str(message.into())),
         ]),
+        ok: false,
         shutdown: false,
+        watch: None,
     }
 }
 
@@ -117,55 +188,71 @@ fn rule_kind(rule: &AnyRule) -> &'static str {
 /// response — the one-shot convenience API for embedded clients and tests.
 /// It is a thin wrapper over [`handle_line_into`], which serve loops call
 /// directly with a per-connection buffer; any framing change lands in one
-/// place.
+/// place. (A `watch` op handled here produces only the acknowledgement —
+/// streaming frames is the serve loops' job.)
 pub fn handle_line(service: &ValidationService, line: &str) -> Handled {
     let mut response = String::new();
-    let shutdown = handle_line_into(service, line, &mut response);
-    Handled { response, shutdown }
+    let outcome = handle_line_into(service, line, &mut response);
+    Handled {
+        response,
+        shutdown: outcome.shutdown,
+    }
 }
 
 /// Handle one JSONL request line, serializing the response into a
-/// caller-owned buffer (cleared first); returns the shutdown flag. Serve
-/// loops call this with one long-lived buffer per connection, so the
-/// response serializer allocates nothing per line at steady state.
-pub fn handle_line_into(service: &ValidationService, line: &str, out: &mut String) -> bool {
-    let reply = dispatch(service, line);
+/// caller-owned buffer (cleared first). Serve loops call this with one
+/// long-lived buffer per connection, so the response serializer allocates
+/// nothing per line at steady state. Every dispatch is folded into the
+/// per-op telemetry (request count, error count, handling latency).
+pub fn handle_line_into(service: &ValidationService, line: &str, out: &mut String) -> LineOutcome {
+    let start = std::time::Instant::now();
+    let (op, reply) = dispatch(service, line);
+    service.telemetry().record_op(op, start.elapsed(), reply.ok);
     reply.json.dump_into(out);
-    reply.shutdown
+    LineOutcome {
+        shutdown: reply.shutdown,
+        watch: reply.watch,
+    }
 }
 
-fn dispatch(service: &ValidationService, line: &str) -> Reply {
+fn dispatch(service: &ValidationService, line: &str) -> (&'static str, Reply) {
     let req = match parse(line) {
         Ok(v) => v,
-        Err(e) => return fail(format!("bad request json: {e}")),
+        Err(e) => return ("invalid", fail(format!("bad request json: {e}"))),
     };
     let op = match req.get("op").and_then(Json::as_str) {
         Some(op) => op,
-        None => return fail("missing \"op\" field"),
+        None => return ("invalid", fail("missing \"op\" field")),
     };
     match op {
-        "ping" => ok(vec![("pong", Json::Bool(true))]),
-        "ingest" => handle_ingest(service, &req),
-        "infer" => handle_infer(service, &req),
-        "infer_baseline" => handle_infer_baseline(service, &req),
-        "validate" => handle_validate(service, &req),
-        "validate_batch" => handle_validate_batch(service, &req),
-        "compare" => handle_compare(service, &req),
-        "catalog" => handle_catalog(service),
-        "rule" => handle_rule(service, &req),
-        "delete_rule" => handle_delete(service, &req),
-        "persist" => match service.persist() {
-            Ok(()) => ok(vec![("persisted", Json::Bool(true))]),
-            Err(e) => fail(e.to_string()),
-        },
-        "stats" => handle_stats(service),
+        "ping" => ("ping", ok(vec![("pong", Json::Bool(true))])),
+        "ingest" => ("ingest", handle_ingest(service, &req)),
+        "infer" => ("infer", handle_infer(service, &req)),
+        "infer_baseline" => ("infer_baseline", handle_infer_baseline(service, &req)),
+        "validate" => ("validate", handle_validate(service, &req)),
+        "validate_batch" => ("validate_batch", handle_validate_batch(service, &req)),
+        "compare" => ("compare", handle_compare(service, &req)),
+        "catalog" => ("catalog", handle_catalog(service)),
+        "rule" => ("rule", handle_rule(service, &req)),
+        "delete_rule" => ("delete_rule", handle_delete(service, &req)),
+        "explain" => ("explain", handle_explain(service, &req)),
+        "metrics" => ("metrics", handle_metrics(service)),
+        "watch" => ("watch", handle_watch(&req)),
+        "persist" => (
+            "persist",
+            match service.persist() {
+                Ok(()) => ok(vec![("persisted", Json::Bool(true))]),
+                Err(e) => fail(e.to_string()),
+            },
+        ),
+        "stats" => ("stats", handle_stats(service)),
         "shutdown" => {
             service.request_shutdown();
             let mut h = ok(vec![("bye", Json::Bool(true))]);
             h.shutdown = true;
-            h
+            ("shutdown", h)
         }
-        other => fail(format!("unknown op {other:?}")),
+        other => ("unknown", fail(format!("unknown op {other:?}"))),
     }
 }
 
@@ -375,9 +462,255 @@ fn handle_delete(service: &ValidationService, req: &Json) -> Reply {
     }
 }
 
+fn explanation_fields(e: Explanation, fields: &mut Vec<(&'static str, Json)>) {
+    fields.push(("reason", Json::str(e.reason)));
+    if let Some(at) = e.failed_at {
+        fields.push(("failed_at", Json::Num(at as f64)));
+    }
+    if let Some((start, end)) = e.span {
+        fields.push((
+            "span",
+            Json::Arr(vec![Json::Num(start as f64), Json::Num(end as f64)]),
+        ));
+    }
+    if let Some(expected) = e.expected {
+        fields.push(("expected", Json::str(expected)));
+    }
+    if let Some(prefix) = e.matched_prefix {
+        fields.push(("matched_prefix", Json::str(prefix)));
+    }
+}
+
+fn handle_explain(service: &ValidationService, req: &Json) -> Reply {
+    let name = match req.get("rule").and_then(Json::as_str) {
+        Some(n) => n,
+        None => return fail("missing string field \"rule\""),
+    };
+    let value = match req.get("value").and_then(Json::as_str) {
+        Some(v) => v,
+        None => return fail("missing string field \"value\""),
+    };
+    match service.explain(name, value) {
+        Ok(outcome) => {
+            let mut fields = vec![
+                ("rule", Json::str(name)),
+                ("value", Json::str(value)),
+                ("conforms", Json::Bool(outcome.conforms)),
+                ("describe", Json::str(outcome.describe)),
+            ];
+            if let Some(e) = outcome.explanation {
+                explanation_fields(e, &mut fields);
+            }
+            if let Some((rule, distance)) = outcome.suggestion {
+                fields.push((
+                    "suggestion",
+                    Json::obj([
+                        ("rule", Json::str(rule)),
+                        ("distance", Json::Num(distance as f64)),
+                    ]),
+                ));
+            }
+            ok(fields)
+        }
+        Err(e) => fail(e.to_string()),
+    }
+}
+
+fn window_json(w: &crate::telemetry::WindowSnapshot) -> Json {
+    Json::obj([
+        ("validations", Json::Num(w.validations as f64)),
+        ("flagged", Json::Num(w.flagged as f64)),
+        ("checked", Json::Num(w.checked as f64)),
+        ("nonconforming", Json::Num(w.nonconforming as f64)),
+        ("flag_rate", Json::Num(w.flag_rate())),
+    ])
+}
+
+fn handle_metrics(service: &ValidationService) -> Reply {
+    // Snapshot everything first; serialization (and the serve loop's
+    // socket write) then runs with no service lock held.
+    let telemetry = service.telemetry();
+    let rules: Vec<Json> = telemetry
+        .rule_snapshots()
+        .into_iter()
+        .map(|r| {
+            let exemplars: Vec<Json> = r
+                .exemplars
+                .into_iter()
+                .map(|x| {
+                    let mut fields = vec![
+                        ("value", Json::str(x.value)),
+                        ("reason", Json::str(x.reason)),
+                    ];
+                    if let Some(at) = x.failed_at {
+                        fields.push(("failed_at", Json::Num(at as f64)));
+                    }
+                    if let Some((start, end)) = x.span {
+                        fields.push((
+                            "span",
+                            Json::Arr(vec![Json::Num(start as f64), Json::Num(end as f64)]),
+                        ));
+                    }
+                    if let Some(expected) = x.expected {
+                        fields.push(("expected", Json::str(expected)));
+                    }
+                    Json::obj(fields)
+                })
+                .collect();
+            Json::obj([
+                ("rule", Json::str(r.rule)),
+                ("validations", Json::Num(r.validations as f64)),
+                ("flagged", Json::Num(r.flagged as f64)),
+                ("checked", Json::Num(r.checked as f64)),
+                ("nonconforming", Json::Num(r.nonconforming as f64)),
+                ("window", window_json(&r.window)),
+                ("alert", Json::Bool(r.alert)),
+                ("exemplars", Json::Arr(exemplars)),
+            ])
+        })
+        .collect();
+    let ops: Vec<Json> = telemetry
+        .op_snapshots()
+        .into_iter()
+        .map(|o| {
+            Json::obj([
+                ("op", Json::str(o.op)),
+                ("requests", Json::Num(o.requests as f64)),
+                ("errors", Json::Num(o.errors as f64)),
+                ("latency_count", Json::Num(o.latency.count as f64)),
+                (
+                    "latency_total_micros",
+                    Json::Num(o.latency.total_micros as f64),
+                ),
+                ("mean_micros", Json::Num(o.latency.mean_micros())),
+                (
+                    "latency_buckets",
+                    Json::Arr(
+                        o.latency
+                            .buckets
+                            .iter()
+                            .map(|b| Json::Num(*b as f64))
+                            .collect(),
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    ok(vec![
+        ("rules", Json::Arr(rules)),
+        ("ops", Json::Arr(ops)),
+        (
+            "index_generation",
+            Json::Num(service.index_generation() as f64),
+        ),
+        ("window_millis", Json::Num(telemetry.window_millis() as f64)),
+    ])
+}
+
+fn handle_watch(req: &Json) -> Reply {
+    let interval_ms = match req.get("interval_ms") {
+        None => 1_000,
+        Some(v) => match v.as_usize() {
+            Some(ms) if ms >= 10 => ms as u64,
+            _ => return fail("\"interval_ms\" must be an integer >= 10"),
+        },
+    };
+    let frames = match req.get("frames") {
+        None => None,
+        Some(v) => match v.as_usize() {
+            Some(n) if n >= 1 => Some(n as u64),
+            _ => return fail("\"frames\" must be an integer >= 1"),
+        },
+    };
+    let rules = match req.get("rules") {
+        None => None,
+        Some(_) => match str_array(req, "rules") {
+            Ok(names) => Some(names.into_iter().map(str::to_string).collect()),
+            Err(e) => return fail(e),
+        },
+    };
+    let mut fields = vec![
+        ("watching", Json::Bool(true)),
+        ("interval_ms", Json::Num(interval_ms as f64)),
+    ];
+    if let Some(n) = frames {
+        fields.push(("frames", Json::Num(n as f64)));
+    }
+    let mut reply = ok(fields);
+    reply.watch = Some(WatchParams {
+        interval: Duration::from_millis(interval_ms),
+        frames,
+        rules,
+    });
+    reply
+}
+
+/// Render one `watch` telemetry frame into `out` (cleared first). The
+/// telemetry is snapshotted into owned values before serialization, so the
+/// caller writes the buffer to its transport with no service lock held —
+/// a stalled watch client can never block validation or inference.
+pub(crate) fn render_watch_frame(
+    service: &ValidationService,
+    params: &WatchParams,
+    frame: u64,
+    elapsed: Duration,
+    out: &mut String,
+) {
+    let snapshots = service.telemetry().rule_snapshots();
+    let rules: Vec<Json> = snapshots
+        .into_iter()
+        .filter(|r| match &params.rules {
+            Some(wanted) => wanted.iter().any(|w| w == &r.rule),
+            None => true,
+        })
+        .map(|r| {
+            Json::obj([
+                ("rule", Json::str(r.rule)),
+                ("validations", Json::Num(r.validations as f64)),
+                ("flagged", Json::Num(r.flagged as f64)),
+                ("window_validations", Json::Num(r.window.validations as f64)),
+                ("window_flagged", Json::Num(r.window.flagged as f64)),
+                ("window_checked", Json::Num(r.window.checked as f64)),
+                (
+                    "window_nonconforming",
+                    Json::Num(r.window.nonconforming as f64),
+                ),
+                ("flag_rate", Json::Num(r.window.flag_rate())),
+                ("alert", Json::Bool(r.alert)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("frame", Json::Num(frame as f64)),
+        ("elapsed_ms", Json::Num(elapsed.as_millis() as f64)),
+        (
+            "index_generation",
+            Json::Num(service.index_generation() as f64),
+        ),
+        ("rules", Json::Arr(rules)),
+    ])
+    .dump_into(out);
+}
+
 fn handle_stats(service: &ValidationService) -> Reply {
     let s = service.stats();
     let index = service.snapshot();
+    let ops = Json::Obj(
+        service
+            .telemetry()
+            .op_snapshots()
+            .into_iter()
+            .map(|o| {
+                (
+                    o.op,
+                    Json::obj([
+                        ("requests", Json::Num(o.requests as f64)),
+                        ("errors", Json::Num(o.errors as f64)),
+                    ]),
+                )
+            })
+            .collect(),
+    );
     ok(vec![
         ("columns_ingested", Json::Num(s.columns_ingested as f64)),
         ("ingest_batches", Json::Num(s.ingest_batches as f64)),
@@ -388,6 +721,11 @@ fn handle_stats(service: &ValidationService) -> Reply {
         ("index_patterns", Json::Num(index.len() as f64)),
         ("index_columns", Json::Num(index.num_columns as f64)),
         ("index_shards", Json::Num(index.shard_count() as f64)),
+        (
+            "index_generation",
+            Json::Num(service.index_generation() as f64),
+        ),
+        ("ops", ops),
         (
             "catalog_rules",
             Json::Num(service.catalog_entries().len() as f64),
@@ -559,6 +897,172 @@ mod tests {
             let h = handle_line(&service, bad);
             assert!(!response_ok(&h.response), "{bad} should fail");
             assert!(!h.shutdown);
+        }
+    }
+
+    #[test]
+    fn explain_op_reports_span_and_suggestion() {
+        let service = service_with_corpus();
+        let h = handle_line(
+            &service,
+            &format!(r#"{{"op":"infer","rule":"dates","values":{}}}"#, dates(3)),
+        );
+        assert!(response_ok(&h.response), "{}", h.response);
+        let statuses: Vec<String> = (0..60)
+            .map(|i| format!("{:?}", ["Delivered", "Pending", "Rejected"][i % 3]))
+            .collect();
+        let h = handle_line(
+            &service,
+            &format!(
+                r#"{{"op":"infer","rule":"status","values":[{}]}}"#,
+                statuses.join(",")
+            ),
+        );
+        assert!(response_ok(&h.response), "{}", h.response);
+
+        // Conforming: no failure fields.
+        let h = handle_line(
+            &service,
+            r#"{"op":"explain","rule":"dates","value":"2019-03-14"}"#,
+        );
+        let v = parse(&h.response).unwrap();
+        assert_eq!(v.get("conforms").unwrap().as_bool(), Some(true));
+        assert!(v.get("reason").is_none() && v.get("suggestion").is_none());
+
+        // A status value in the dates feed: positional detail plus the
+        // column-swap suggestion.
+        let h = handle_line(
+            &service,
+            r#"{"op":"explain","rule":"dates","value":"Pending"}"#,
+        );
+        assert!(response_ok(&h.response), "{}", h.response);
+        let v = parse(&h.response).unwrap();
+        assert_eq!(v.get("conforms").unwrap().as_bool(), Some(false));
+        assert!(v.get("reason").is_some());
+        assert!(v.get("failed_at").is_some());
+        assert!(v.get("span").unwrap().as_arr().unwrap().len() == 2);
+        assert_eq!(
+            v.get("suggestion").unwrap().get("rule").unwrap().as_str(),
+            Some("status")
+        );
+
+        // Missing fields and unknown rules fail cleanly.
+        for bad in [
+            r#"{"op":"explain","rule":"dates"}"#,
+            r#"{"op":"explain","value":"x"}"#,
+            r#"{"op":"explain","rule":"missing","value":"x"}"#,
+        ] {
+            assert!(!response_ok(&handle_line(&service, bad).response));
+        }
+    }
+
+    #[test]
+    fn metrics_and_stats_expose_telemetry() {
+        let service = service_with_corpus();
+        handle_line(
+            &service,
+            &format!(r#"{{"op":"infer","rule":"d","values":{}}}"#, dates(2)),
+        );
+        let h = handle_line(
+            &service,
+            &format!(r#"{{"op":"validate","rule":"d","values":{}}}"#, dates(3)),
+        );
+        assert!(response_ok(&h.response));
+        let h = handle_line(
+            &service,
+            r#"{"op":"validate","rule":"d","values":["x","y","z"]}"#,
+        );
+        assert!(response_ok(&h.response));
+        // One failing op for the error counter.
+        handle_line(&service, r#"{"op":"validate","rule":"nope","values":[]}"#);
+
+        let h = handle_line(&service, r#"{"op":"metrics"}"#);
+        assert!(response_ok(&h.response), "{}", h.response);
+        let v = parse(&h.response).unwrap();
+        let rules = v.get("rules").unwrap().as_arr().unwrap();
+        assert_eq!(rules.len(), 1);
+        let rule = &rules[0];
+        assert_eq!(rule.get("rule").unwrap().as_str(), Some("d"));
+        assert_eq!(rule.get("validations").unwrap().as_usize(), Some(2));
+        assert_eq!(rule.get("flagged").unwrap().as_usize(), Some(1));
+        let window = rule.get("window").unwrap();
+        assert_eq!(window.get("validations").unwrap().as_usize(), Some(2));
+        assert_eq!(window.get("flag_rate").unwrap().as_f64(), Some(0.5));
+        assert_eq!(rule.get("alert").unwrap().as_bool(), Some(true));
+        let exemplars = rule.get("exemplars").unwrap().as_arr().unwrap();
+        assert_eq!(exemplars.len(), 1);
+        assert_eq!(exemplars[0].get("value").unwrap().as_str(), Some("x"));
+        assert!(exemplars[0].get("reason").is_some());
+
+        // Per-op counters: 3 validate dispatches, 1 of them an error.
+        let ops = v.get("ops").unwrap().as_arr().unwrap();
+        let validate = ops
+            .iter()
+            .find(|o| o.get("op").unwrap().as_str() == Some("validate"))
+            .expect("validate op counted");
+        assert_eq!(validate.get("requests").unwrap().as_usize(), Some(3));
+        assert_eq!(validate.get("errors").unwrap().as_usize(), Some(1));
+        assert_eq!(validate.get("latency_count").unwrap().as_usize(), Some(3));
+        assert!(v.get("index_generation").unwrap().as_usize().unwrap() >= 1);
+
+        // The stats op carries the per-op counters and index generation too.
+        let h = handle_line(&service, r#"{"op":"stats"}"#);
+        let v = parse(&h.response).unwrap();
+        assert!(v.get("index_generation").unwrap().as_usize().unwrap() >= 1);
+        let ops = v.get("ops").unwrap();
+        assert_eq!(
+            ops.get("validate")
+                .unwrap()
+                .get("requests")
+                .unwrap()
+                .as_usize(),
+            Some(3)
+        );
+        assert_eq!(
+            ops.get("metrics")
+                .unwrap()
+                .get("requests")
+                .unwrap()
+                .as_usize(),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn watch_op_acknowledges_and_hands_params_to_the_serve_loop() {
+        let service = ValidationService::new(ServiceConfig::default());
+        let mut out = String::new();
+        let outcome = handle_line_into(
+            &service,
+            r#"{"op":"watch","interval_ms":50,"frames":3,"rules":["d"]}"#,
+            &mut out,
+        );
+        assert!(response_ok(&out), "{out}");
+        let v = parse(&out).unwrap();
+        assert_eq!(v.get("watching").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("interval_ms").unwrap().as_usize(), Some(50));
+        let watch = outcome.watch.expect("watch params");
+        assert_eq!(watch.interval, Duration::from_millis(50));
+        assert_eq!(watch.frames, Some(3));
+        assert_eq!(watch.rules.as_deref(), Some(&["d".to_string()][..]));
+        assert!(!outcome.shutdown);
+
+        // Defaults: 1 s interval, unbounded frames, all rules.
+        let outcome = handle_line_into(&service, r#"{"op":"watch"}"#, &mut out);
+        let watch = outcome.watch.expect("watch params");
+        assert_eq!(watch.interval, Duration::from_millis(1000));
+        assert_eq!(watch.frames, None);
+        assert_eq!(watch.rules, None);
+
+        // Invalid parameters are rejected and do not start a stream.
+        for bad in [
+            r#"{"op":"watch","interval_ms":1}"#,
+            r#"{"op":"watch","frames":0}"#,
+            r#"{"op":"watch","rules":[1]}"#,
+        ] {
+            let outcome = handle_line_into(&service, bad, &mut out);
+            assert!(!response_ok(&out), "{bad} should fail");
+            assert!(outcome.watch.is_none());
         }
     }
 

@@ -18,11 +18,11 @@
 //!   vanishing with the handle.
 
 use crate::engine::ValidationService;
-use crate::protocol::{handle_line_into, render_error_into};
+use crate::protocol::{handle_line_into, render_error_into, render_watch_frame, WatchParams};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Shared poll interval for connection I/O: reads *and* writes time out at
 /// this cadence so the thread can observe shutdown between attempts. A
@@ -55,15 +55,64 @@ pub fn serve_lines<R: BufRead, W: Write>(
         if line.trim().is_empty() {
             continue;
         }
-        let shutdown = handle_line_into(service, &line, &mut response);
+        let outcome = handle_line_into(service, &line, &mut response);
         output.write_all(response.as_bytes())?;
         output.write_all(b"\n")?;
         output.flush()?;
-        if shutdown {
+        if let Some(watch) = outcome.watch {
+            stream_watch_frames(service, &watch, &mut response, |bytes| {
+                output.write_all(bytes)?;
+                output.flush()
+            })?;
+        }
+        if outcome.shutdown {
             break;
         }
     }
     Ok(())
+}
+
+/// Sleep `total`, waking every poll interval to observe a shutdown request
+/// (returns early when one lands).
+fn sleep_observing_shutdown(service: &ValidationService, total: Duration) {
+    let start = Instant::now();
+    while !service.is_shutdown() {
+        let elapsed = start.elapsed();
+        if elapsed >= total {
+            return;
+        }
+        std::thread::sleep((total - elapsed).min(IO_TIMEOUT));
+    }
+}
+
+/// Drive one `watch` session: every interval, snapshot the telemetry into
+/// a frame (owned values, no service lock) and hand the bytes to `emit`
+/// (which owns transport concerns — polling writes on TCP, plain writes on
+/// pipes). Ends after the requested frame count, on shutdown, or when
+/// `emit` fails (client gone).
+fn stream_watch_frames(
+    service: &ValidationService,
+    params: &WatchParams,
+    buf: &mut String,
+    mut emit: impl FnMut(&[u8]) -> std::io::Result<()>,
+) -> std::io::Result<()> {
+    let start = Instant::now();
+    let mut frame = 0u64;
+    loop {
+        if let Some(max) = params.frames {
+            if frame >= max {
+                return Ok(());
+            }
+        }
+        sleep_observing_shutdown(service, params.interval);
+        if service.is_shutdown() {
+            return Ok(());
+        }
+        render_watch_frame(service, params, frame, start.elapsed(), buf);
+        buf.push('\n');
+        emit(buf.as_bytes())?;
+        frame += 1;
+    }
 }
 
 /// Serve the process's stdin/stdout until EOF or shutdown.
@@ -223,9 +272,17 @@ fn serve_tcp_connection(
                     ));
                 };
                 if !line.trim().is_empty() {
-                    let shutdown = handle_line_into(service, line, &mut response);
+                    let outcome = handle_line_into(service, line, &mut response);
                     respond(service, &mut stream, &response)?;
-                    if shutdown {
+                    if let Some(watch) = outcome.watch {
+                        // The multi-frame path: one request, many response
+                        // frames, each written with the same polling rules
+                        // as ordinary responses.
+                        stream_watch_frames(service, &watch, &mut response, |bytes| {
+                            write_polling(service, &mut stream, bytes)
+                        })?;
+                    }
+                    if outcome.shutdown {
                         break;
                     }
                 }

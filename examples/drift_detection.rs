@@ -20,6 +20,25 @@ fn check(name: &str, passes: bool, should_pass: bool) {
     println!("    {name:<28} {verdict}  {ok}");
 }
 
+/// Print *why* the first offending value failed the rule: the failing byte
+/// span and what the pattern expected there (the `explain` cold path).
+fn explain_failure(rule: &dyn Validator, values: &[String]) {
+    let bad = values
+        .iter()
+        .find(|v| !rule.check(v).is_conform())
+        .expect("an alarming column has a nonconforming value");
+    let e = rule
+        .explain(bad)
+        .expect("nonconforming values always explain");
+    print!("    why: {bad:?} — {}", e.reason);
+    if let Some((s, end)) = e.span {
+        if s < end {
+            print!(" (offending bytes {s}..{end}: {:?})", &bad[s..end]);
+        }
+    }
+    println!();
+}
+
 fn main() {
     println!("setting up corpus and index…");
     let corpus = generate_lake(&LakeProfile::tiny().scaled(2000), 5);
@@ -61,6 +80,7 @@ fn main() {
         !fmdv.validate(&drifted).flagged,
         false,
     );
+    explain_failure(&fmdv, &drifted);
 
     // Scenario 3: subtle format change ("Mar 01 2019" → "March 01 2019").
     let reformatted: Vec<String> = (1..=28).map(|d| format!("March {d:02} 2019")).collect();
@@ -70,6 +90,7 @@ fn main() {
         !fmdv.validate(&reformatted).flagged,
         false,
     );
+    explain_failure(&fmdv, &reformatted);
 
     assert!(
         !fmdv.validate(&april).flagged,

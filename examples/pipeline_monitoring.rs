@@ -122,6 +122,53 @@ fn main() {
         } else {
             alerts += 1;
             println!("  day {day:02}: ALERT {flagged:?}{incident}");
+            // Explain each incident: the failing byte span of the first
+            // offending value, plus the nearest cataloged rule the value
+            // *does* conform to — which names the swapped column on day 12.
+            for (i, report) in reports.iter().enumerate() {
+                if !report.flagged {
+                    continue;
+                }
+                let (name, rule) = (col_names[i], &rules[i]);
+                let col = [&ids, &ts, &st][i];
+                let bad = col
+                    .iter()
+                    .find(|v| !rule.conforms(v))
+                    .expect("a flagged column has a nonconforming value");
+                let e = rule
+                    .explain(bad)
+                    .expect("nonconforming values always explain");
+                print!("      {name}: {bad:?} — {}", e.reason);
+                if let Some((s, end)) = e.span {
+                    if s < end {
+                        print!(" (bytes {s}..{end}: {:?})", &bad[s..end]);
+                    }
+                }
+                let candidates = col_names
+                    .iter()
+                    .zip(&rules)
+                    .filter(|(n, _)| **n != name)
+                    .map(|(n, r)| (*n, r));
+                let suggestion = nearest_conforming_rule(bad, rule, candidates);
+                match suggestion {
+                    Some((other, d)) => println!("; conforms to rule `{other}` (distance {d})"),
+                    None => println!(),
+                }
+                // The column swap must be diagnosed as exactly that: each
+                // swapped feed's values conform to the *other* column's rule.
+                if day == 12 {
+                    let expect = if name == "event_time" {
+                        "status"
+                    } else {
+                        "event_time"
+                    };
+                    assert_eq!(
+                        suggestion.map(|(n, _)| n),
+                        Some(expect),
+                        "day 12 swap should suggest the other column"
+                    );
+                }
+            }
         }
         // Only injected incidents may alert.
         let is_incident = matches!(day, 12 | 20 | 26 | 27);

@@ -112,9 +112,9 @@ pub use av_stats;
 /// One-stop imports for the common workflow.
 pub mod prelude {
     pub use av_core::{
-        AnyRule, AutoValidate, AutoValidateBuilder, DictionaryRule, FmdvConfig, InferError, Report,
-        TagRule, Tally, ValidationReport, ValidationRule, ValidationSession, Validator, Variant,
-        Verdict,
+        nearest_conforming_rule, program_distance, AnyRule, AutoValidate, AutoValidateBuilder,
+        DictionaryRule, Explanation, FmdvConfig, InferError, Report, TagRule, Tally,
+        ValidationReport, ValidationRule, ValidationSession, Validator, Variant, Verdict,
     };
     pub use av_corpus::{generate_lake, Benchmark, Column, Corpus, LakeProfile, Table};
     pub use av_index::{IndexConfig, IndexDelta, PatternIndex};
