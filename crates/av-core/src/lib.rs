@@ -47,6 +47,7 @@
 
 mod api;
 mod autotag;
+mod classify;
 mod config;
 mod dictionary;
 mod fmdv;
@@ -61,7 +62,8 @@ pub use api::{
     AutoValidateBuilder, CheckScratch, Explanation, Report, Tally, ValidationSession, Validator,
     Verdict,
 };
-pub use autotag::{infer_tag, TagRule};
+pub use autotag::{infer_tag, TagRule, TagSet};
+pub use classify::{RuleCheck, RuleSet};
 pub use config::{FmdvConfig, InferError, Variant};
 pub use dictionary::DictionaryRule;
 pub use msa::{align_pair, alignment_gap_distance, Aligned};

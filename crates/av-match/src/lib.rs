@@ -1,0 +1,66 @@
+//! # av-match — catalog-wide multi-pattern classification
+//!
+//! The service validates one value against one rule in nanoseconds, but
+//! the data-routing workloads the paper's production deployment describes
+//! — tagging, `compare`, nearest-rule explanation — ask the opposite
+//! question: *which of all N catalog rules match this value?* Running N
+//! compiled programs per value makes that O(catalog). This crate answers
+//! it in **one scan of the value**, independent of catalog size:
+//!
+//! 1. every pattern rule's fused instruction program
+//!    ([`av_pattern::CompiledPattern::instructions`]) is translated into a
+//!    fragment of one shared **byte-level NFA union**, its accept state
+//!    tagged with the rule id;
+//! 2. classification runs a **lazily determinized DFA** over the union —
+//!    each cached DFA state is a set of NFA states, transitions
+//!    materialize on first use, and the hot path is one table lookup per
+//!    input byte;
+//! 3. the DFA cache is **bounded** ([`MatcherConfig::max_dfa_states`]):
+//!    past the budget, the current value finishes on direct NFA
+//!    simulation (Pike-VM thread lists from `av-regex`) and the
+//!    least-recently-used half of the cache is evicted, so pathological
+//!    catalogs degrade gracefully instead of exploding memory;
+//! 4. rules that are not patterns — dictionaries, numeric ranges, opaque
+//!    baseline validators — participate as **residuals**: a cheap
+//!    [`Prefilter`] (length bounds, first-byte set) gates an arbitrary
+//!    membership check, keeping [`CatalogMatcher::classify`] total over a
+//!    heterogeneous catalog.
+//!
+//! Maintenance is **incremental** (after Berkholz et al., *FO+MOD queries
+//! under updates*): the automaton is anchored, so the only DFA state that
+//! sees the global start closure is the start state itself.
+//! [`CatalogMatcher::insert`] appends an edge-disjoint fragment and
+//! re-points the start key — every cached DFA state stays valid.
+//! [`CatalogMatcher::remove`] tombstones one fragment and evicts exactly
+//! the cached states whose key intersects it. Each update bumps a
+//! generation stamp, mirroring the sharded index's epoch pattern.
+//!
+//! ```
+//! use av_match::CatalogMatcher;
+//! use av_pattern::{parse, CompiledPattern};
+//!
+//! let mut matcher = CatalogMatcher::new();
+//! let rules = [
+//!     "<digit>{4}-<digit>{2}-<digit>{2}", // 0: ISO date
+//!     "<digit>+-<digit>+-<digit>+",       // 1: dashed number triple
+//!     "<upper>{3}",                       // 2: currency-ish code
+//! ];
+//! for (id, rule) in rules.iter().enumerate() {
+//!     matcher.insert(id as u32, &CompiledPattern::compile(&parse(rule).unwrap()));
+//! }
+//!
+//! // One scan returns every matching rule id.
+//! assert_eq!(matcher.classify("2021-04-13"), vec![0, 1]);
+//! assert_eq!(matcher.classify("USD"), vec![2]);
+//!
+//! // Updates are incremental: remove evicts only affected DFA states.
+//! matcher.remove(1);
+//! assert_eq!(matcher.classify("2021-04-13"), vec![0]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod matcher;
+mod nfa;
+
+pub use matcher::{CatalogMatcher, MatcherConfig, MatcherStats, Prefilter};

@@ -1,0 +1,132 @@
+//! Property tests pinning [`CatalogMatcher`] to its oracle: running each
+//! rule's [`CompiledPattern`] individually. On arbitrary catalogs ×
+//! arbitrary values (including multi-byte unicode) the one-scan match-set
+//! must equal the N-programs loop, under any DFA budget, and after any
+//! sequence of incremental inserts/removes.
+
+use av_match::{CatalogMatcher, MatcherConfig};
+use av_pattern::{CompiledPattern, Pattern, Token};
+use proptest::prelude::*;
+
+fn arbitrary_token() -> impl Strategy<Value = Token> {
+    prop_oneof![
+        proptest::string::string_regex("[A-Za-z0-9:/. -]{1,4}")
+            .expect("valid")
+            .prop_map(Token::lit),
+        (1u16..4).prop_map(Token::Digit),
+        Just(Token::DigitPlus),
+        Just(Token::Num),
+        (1u16..4).prop_map(Token::Upper),
+        Just(Token::UpperPlus),
+        (1u16..4).prop_map(Token::Lower),
+        Just(Token::LowerPlus),
+        (1u16..4).prop_map(Token::Letter),
+        Just(Token::LetterPlus),
+        (1u16..4).prop_map(Token::Alnum),
+        Just(Token::AlnumPlus),
+        (1u16..3).prop_map(Token::Sym),
+        Just(Token::SymPlus),
+        Just(Token::SpacePlus),
+        Just(Token::AnyPlus),
+    ]
+}
+
+fn arbitrary_program() -> impl Strategy<Value = CompiledPattern> {
+    proptest::collection::vec(arbitrary_token(), 0..6)
+        .prop_map(|tokens| CompiledPattern::compile(&Pattern::new(tokens)))
+}
+
+/// ASCII machine data plus multi-byte characters (é, €, emoji) so the
+/// lead/continuation spine of `<sym>`/`<any>` gets exercised.
+fn probe_value() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9 :/.,_é€😀-]{0,16}").expect("valid regex")
+}
+
+fn oracle_set(programs: &[CompiledPattern], value: &str) -> Vec<u32> {
+    programs
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.matches(value))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+proptest! {
+    /// The tentpole equivalence: one scan ≡ the N-programs loop.
+    #[test]
+    fn match_set_equals_per_rule_loop(
+        programs in proptest::collection::vec(arbitrary_program(), 0..12),
+        values in proptest::collection::vec(probe_value(), 1..8),
+    ) {
+        let mut matcher = CatalogMatcher::new();
+        for (i, p) in programs.iter().enumerate() {
+            matcher.insert(i as u32, p);
+        }
+        for v in &values {
+            prop_assert_eq!(
+                matcher.classify(v),
+                oracle_set(&programs, v),
+                "catalog of {} rules disagrees with per-rule loop on {:?}",
+                programs.len(),
+                v
+            );
+        }
+    }
+
+    /// Budget exhaustion must never change verdicts: with a DFA budget of
+    /// 1 every value takes the NFA-fallback + eviction path, and the
+    /// match-sets still equal the oracle.
+    #[test]
+    fn starved_dfa_budget_is_still_exact(
+        programs in proptest::collection::vec(arbitrary_program(), 1..8),
+        values in proptest::collection::vec(probe_value(), 1..6),
+    ) {
+        let mut matcher = CatalogMatcher::with_config(MatcherConfig::with_budget(1));
+        for (i, p) in programs.iter().enumerate() {
+            matcher.insert(i as u32, p);
+        }
+        for v in &values {
+            prop_assert_eq!(matcher.classify(v), oracle_set(&programs, v), "on {:?}", v);
+        }
+        prop_assert!(matcher.stats().dfa_states <= 1, "budget respected");
+    }
+
+    /// Incremental maintenance: interleave inserts, removes, replacements
+    /// and classifies; after every step the warm (incrementally updated)
+    /// matcher agrees with one freshly built from the surviving rules.
+    #[test]
+    fn incremental_updates_equal_fresh_build(
+        programs in proptest::collection::vec(arbitrary_program(), 2..8),
+        ops in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..16),
+        value in probe_value(),
+    ) {
+        let mut warm = CatalogMatcher::new();
+        let n = programs.len() as u8;
+        let mut live: Vec<Option<usize>> = vec![None; programs.len()];
+        for (sel, action) in ops {
+            let slot = (sel % n) as usize;
+            if action % 3 == 0 && live[slot].is_some() {
+                warm.remove(slot as u32);
+                live[slot] = None;
+            } else {
+                let pick = (action as usize) % programs.len();
+                warm.insert(slot as u32, &programs[pick]);
+                live[slot] = Some(pick);
+            }
+            // Classify mid-sequence so stale cached DFA states would be caught.
+            let warm_set = warm.classify(&value);
+            let mut fresh = CatalogMatcher::new();
+            for (slot, pick) in live.iter().enumerate() {
+                if let Some(pick) = pick {
+                    fresh.insert(slot as u32, &programs[*pick]);
+                }
+            }
+            prop_assert_eq!(
+                warm_set,
+                fresh.classify(&value),
+                "incremental matcher diverged from fresh build on {:?}",
+                &value
+            );
+        }
+    }
+}

@@ -156,6 +156,120 @@ impl Inst {
     }
 }
 
+/// Character class of an instruction, as seen through
+/// [`CompiledPattern::instructions`]. Mirrors the internal class exactly:
+/// the first six are pure-ASCII alphabets; [`ClassView::Sym`] and
+/// [`ClassView::Any`] also accept every multi-byte character (the paper's
+/// generalization hierarchy sends all non-ASCII `char`s to `Symbol`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClassView {
+    /// `0-9`.
+    Digit,
+    /// `A-Z`.
+    Upper,
+    /// `a-z`.
+    Lower,
+    /// `A-Za-z`.
+    Letter,
+    /// `A-Za-z0-9`.
+    Alnum,
+    /// ASCII whitespace (space, tab, CR, LF, VT, FF).
+    Space,
+    /// Neither alphanumeric nor whitespace; every non-ASCII character.
+    Sym,
+    /// Any character.
+    Any,
+}
+
+impl ClassView {
+    #[inline]
+    fn class(self) -> Class {
+        match self {
+            ClassView::Digit => Class::Digit,
+            ClassView::Upper => Class::Upper,
+            ClassView::Lower => Class::Lower,
+            ClassView::Letter => Class::Letter,
+            ClassView::Alnum => Class::Alnum,
+            ClassView::Space => Class::Space,
+            ClassView::Sym => Class::Sym,
+            ClassView::Any => Class::Any,
+        }
+    }
+
+    /// Membership test for an ASCII byte (`b < 0x80`). Non-ASCII lead
+    /// bytes are routed through [`ClassView::accepts_multibyte`] instead.
+    #[inline]
+    pub fn contains_ascii(self, b: u8) -> bool {
+        self.class().contains_ascii(b)
+    }
+
+    /// Does the class accept non-ASCII characters? Matching steps over a
+    /// multi-byte character as a unit — lead byte plus its continuation
+    /// bytes — never through its interior.
+    #[inline]
+    pub fn accepts_multibyte(self) -> bool {
+        self.class().accepts_multibyte()
+    }
+}
+
+/// One instruction of a compiled program, borrowed read-only through
+/// [`CompiledPattern::instructions`].
+///
+/// This is the exact fused program the byte-level matcher executes —
+/// downstream engines (the catalog-wide matcher in `av-match`) translate
+/// these views into their own automata instead of re-deriving them from
+/// pattern tokens, so both matchers agree by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InstView<'p> {
+    /// Match these exact pre-encoded UTF-8 bytes.
+    Lit(&'p [u8]),
+    /// Exactly `chars` characters of `class`.
+    Fixed {
+        /// Character class being scanned.
+        class: ClassView,
+        /// Exact character count.
+        chars: u32,
+    },
+    /// `min_chars` or more characters of `class`.
+    Var {
+        /// Character class being scanned.
+        class: ClassView,
+        /// Minimum character count (≥ 1).
+        min_chars: u32,
+    },
+    /// `<num>` = `\d+(\.\d+)?`.
+    Num,
+}
+
+impl Inst {
+    fn view(&self) -> InstView<'_> {
+        fn view_class(c: Class) -> ClassView {
+            match c {
+                Class::Digit => ClassView::Digit,
+                Class::Upper => ClassView::Upper,
+                Class::Lower => ClassView::Lower,
+                Class::Letter => ClassView::Letter,
+                Class::Alnum => ClassView::Alnum,
+                Class::Space => ClassView::Space,
+                Class::Sym => ClassView::Sym,
+                Class::Any => ClassView::Any,
+            }
+        }
+        match self {
+            Inst::Lit(b) => InstView::Lit(b),
+            Inst::Fixed { class, chars } => InstView::Fixed {
+                class: view_class(*class),
+                chars: *chars,
+            },
+            Inst::Var { class, min_chars } => InstView::Var {
+                class: view_class(*class),
+                min_chars: *min_chars,
+            },
+            Inst::Num => InstView::Num,
+        }
+    }
+}
+
 /// Reusable working memory for [`CompiledPattern::matches_with`].
 ///
 /// Holds the backtracking stack and the failure memo. Both retain their
@@ -337,6 +451,16 @@ impl CompiledPattern {
     /// fusion shortens it).
     pub fn num_instructions(&self) -> usize {
         self.insts.len()
+    }
+
+    /// Iterate over the fused instruction program as read-only
+    /// [`InstView`]s, in execution order.
+    ///
+    /// A value matches the pattern exactly when the instruction sequence
+    /// consumes it entirely, so the views carry everything needed to build
+    /// an equivalent automaton elsewhere (see the `av-match` crate).
+    pub fn instructions(&self) -> impl ExactSizeIterator<Item = InstView<'_>> + '_ {
+        self.insts.iter().map(Inst::view)
     }
 
     /// True when matching runs a single deterministic scan — no variadic
@@ -943,6 +1067,33 @@ mod tests {
     fn empty_pattern_matches_only_empty_string() {
         assert!(check_both(&Pattern::empty(), ""));
         assert!(!check_both(&Pattern::empty(), "x"));
+    }
+
+    #[test]
+    fn instruction_views_expose_the_fused_program() {
+        let p = parse("<digit>{2}<digit>{4}-<upper>+<num>").unwrap();
+        let compiled = CompiledPattern::compile(&p);
+        let views: Vec<InstView<'_>> = compiled.instructions().collect();
+        assert_eq!(
+            views,
+            vec![
+                InstView::Fixed {
+                    class: ClassView::Digit,
+                    chars: 6
+                },
+                InstView::Lit(b"-"),
+                InstView::Var {
+                    class: ClassView::Upper,
+                    min_chars: 1
+                },
+                InstView::Num,
+            ]
+        );
+        assert_eq!(compiled.instructions().len(), compiled.num_instructions());
+        assert!(ClassView::Digit.contains_ascii(b'7'));
+        assert!(!ClassView::Digit.contains_ascii(b'x'));
+        assert!(ClassView::Sym.accepts_multibyte());
+        assert!(!ClassView::Alnum.accepts_multibyte());
     }
 
     #[test]

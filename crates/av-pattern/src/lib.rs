@@ -58,7 +58,7 @@ pub use analyze::{
     patterns_of_value, stream_column_profile, BitSet, CoarseGroup, ColumnAnalysis, EnumScratch,
     PositionOptions, StreamedPattern, SupportedPattern,
 };
-pub use compile::{CompiledPattern, MatchScratch, MatchTrace};
+pub use compile::{ClassView, CompiledPattern, InstView, MatchScratch, MatchTrace};
 pub use generalize::{coarse_pattern, PatternConfig};
 pub use matcher::{furthest_mismatch, matches};
 pub use parser::{parse, ParseError};

@@ -45,7 +45,7 @@ pub fn matches(pattern: &Pattern, value: &str) -> bool {
 /// matches the whole value.
 ///
 /// This is the oracle for `CompiledPattern::explain` — same character-level
-/// exploration as [`matches`], instrumented to record partial progress
+/// exploration as [`matches()`], instrumented to record partial progress
 /// inside every token (a literal that agrees on its first two characters
 /// reached two characters further, even though the token failed).
 ///

@@ -21,9 +21,11 @@
 
 mod ast;
 mod nfa;
+mod thread_set;
 
 pub use ast::RegexError;
 pub use nfa::NfaScratch;
+pub use thread_set::ThreadSet;
 
 use ast::parse;
 use nfa::Program;

@@ -4,6 +4,7 @@
 //! adversarial patterns from the Grok library cannot blow up.
 
 use crate::ast::{Ast, CharSet};
+use crate::thread_set::ThreadSet;
 
 /// NFA instruction.
 #[derive(Debug, Clone)]
@@ -24,17 +25,15 @@ pub struct Program {
     pub(crate) insts: Vec<Inst>,
 }
 
-/// Reusable Pike-VM working memory: the two thread lists and their
-/// membership bitmaps. One scratch serves any number of programs and
-/// inputs (lists re-dimension to the program's instruction count), so
+/// Reusable Pike-VM working memory: two [`ThreadSet`]s (thread list +
+/// membership bitmap each). One scratch serves any number of programs and
+/// inputs (sets re-dimension to the program's instruction count), so
 /// steady-state matching — e.g. the grok baseline probing a value against
 /// its whole pattern library — allocates nothing per call.
 #[derive(Debug, Default)]
 pub struct NfaScratch {
-    current: Vec<usize>,
-    next: Vec<usize>,
-    on_current: Vec<bool>,
-    on_next: Vec<bool>,
+    current: ThreadSet,
+    next: ThreadSet,
 }
 
 impl NfaScratch {
@@ -45,12 +44,8 @@ impl NfaScratch {
 
     /// Clear and re-dimension for a program with `n` instructions.
     fn prepare(&mut self, n: usize) {
-        self.current.clear();
-        self.next.clear();
-        self.on_current.clear();
-        self.on_current.resize(n, false);
-        self.on_next.clear();
-        self.on_next.resize(n, false);
+        self.current.clear_resize(n);
+        self.next.clear_resize(n);
     }
 }
 
@@ -89,12 +84,7 @@ impl Program {
     /// [`Program::is_full_match`] with caller-provided working memory.
     pub fn is_full_match_with(&self, input: &str, scratch: &mut NfaScratch) -> bool {
         scratch.prepare(self.insts.len());
-        add_thread(
-            &self.insts,
-            0,
-            &mut scratch.current,
-            &mut scratch.on_current,
-        );
+        add_thread(&self.insts, 0, &mut scratch.current);
         for c in input.chars() {
             if scratch.current.is_empty() {
                 return false;
@@ -103,8 +93,9 @@ impl Program {
         }
         scratch
             .current
+            .as_slice()
             .iter()
-            .any(|&pc| matches!(self.insts[pc], Inst::Match))
+            .any(|&pc| matches!(self.insts[pc as usize], Inst::Match))
     }
 
     /// Does the pattern match anywhere inside the input (substring search)?
@@ -120,16 +111,12 @@ impl Program {
         // input is walked by `char_indices` — never collected.
         for (start, _) in input.char_indices().chain([(input.len(), '\0')]) {
             scratch.prepare(self.insts.len());
-            add_thread(
-                &self.insts,
-                0,
-                &mut scratch.current,
-                &mut scratch.on_current,
-            );
+            add_thread(&self.insts, 0, &mut scratch.current);
             if scratch
                 .current
+                .as_slice()
                 .iter()
-                .any(|&pc| matches!(self.insts[pc], Inst::Match))
+                .any(|&pc| matches!(self.insts[pc as usize], Inst::Match))
             {
                 return true;
             }
@@ -137,8 +124,9 @@ impl Program {
                 self.step(c, scratch);
                 if scratch
                     .current
+                    .as_slice()
                     .iter()
-                    .any(|&pc| matches!(self.insts[pc], Inst::Match))
+                    .any(|&pc| matches!(self.insts[pc as usize], Inst::Match))
                 {
                     return true;
                 }
@@ -153,33 +141,32 @@ impl Program {
     /// Advance every live thread over `c` (one Pike-VM step).
     #[inline]
     fn step(&self, c: char, scratch: &mut NfaScratch) {
-        scratch.next.clear();
-        scratch.on_next.iter_mut().for_each(|b| *b = false);
-        for &pc in &scratch.current {
-            if let Inst::Char(set) = &self.insts[pc] {
+        scratch.next.reset();
+        let NfaScratch { current, next } = scratch;
+        for &pc in current.as_slice() {
+            if let Inst::Char(set) = &self.insts[pc as usize] {
                 if set.contains(c) {
-                    add_thread(&self.insts, pc + 1, &mut scratch.next, &mut scratch.on_next);
+                    add_thread(&self.insts, pc as usize + 1, next);
                 }
             }
         }
-        std::mem::swap(&mut scratch.current, &mut scratch.next);
-        std::mem::swap(&mut scratch.on_current, &mut scratch.on_next);
+        std::mem::swap(current, next);
     }
 }
 
-/// Epsilon-closure insertion of a thread.
-fn add_thread(insts: &[Inst], pc: usize, list: &mut Vec<usize>, on_list: &mut [bool]) {
-    if on_list[pc] {
+/// Epsilon-closure insertion of a thread: every visited pc is marked (the
+/// termination guarantee), only consuming/accepting pcs are listed.
+fn add_thread(insts: &[Inst], pc: usize, set: &mut ThreadSet) {
+    if !set.mark(pc as u32) {
         return;
     }
-    on_list[pc] = true;
     match &insts[pc] {
-        Inst::Jump(t) => add_thread(insts, *t, list, on_list),
+        Inst::Jump(t) => add_thread(insts, *t, set),
         Inst::Split(a, b) => {
-            add_thread(insts, *a, list, on_list);
-            add_thread(insts, *b, list, on_list);
+            add_thread(insts, *a, set);
+            add_thread(insts, *b, set);
         }
-        Inst::Char(_) | Inst::Match => list.push(pc),
+        Inst::Char(_) | Inst::Match => set.push(pc as u32),
     }
 }
 

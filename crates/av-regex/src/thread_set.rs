@@ -1,0 +1,140 @@
+//! Sparse thread lists for automaton simulation.
+//!
+//! A [`ThreadSet`] is the Pike VM's working set: an insertion-ordered list
+//! of live state ids plus a membership bitmap, both reused across steps so
+//! steady-state simulation allocates nothing. It is exported because the
+//! same structure drives every thread-list automaton in the workspace —
+//! this crate's NFA executor and the catalog-wide matcher in `av-match`
+//! (whose ε-closures *mark* every visited state but *list* only the
+//! consuming ones, hence the split [`ThreadSet::mark`]/[`ThreadSet::push`]
+//! API rather than a single insert).
+
+/// An insertion-ordered set of automaton state ids with O(1) membership.
+///
+/// The bitmap covers a fixed universe `0..n` established by
+/// [`ThreadSet::clear_resize`]; ids are `u32` so a list of a million live
+/// states stays compact. Marking and listing are deliberately separate
+/// operations: an ε-closure marks every state it visits (to terminate) but
+/// pushes only the states that consume input or accept.
+#[derive(Debug, Default, Clone)]
+pub struct ThreadSet {
+    list: Vec<u32>,
+    on: Vec<bool>,
+}
+
+impl ThreadSet {
+    /// Fresh, empty set (does not allocate).
+    pub fn new() -> ThreadSet {
+        ThreadSet::default()
+    }
+
+    /// Empty the set and re-dimension the membership bitmap for state ids
+    /// in `0..n`. Retains capacity, so reuse across inputs is
+    /// allocation-free once the universe size stabilizes.
+    pub fn clear_resize(&mut self, n: usize) {
+        self.list.clear();
+        self.on.clear();
+        self.on.resize(n, false);
+    }
+
+    /// Empty the set, keeping the current universe size.
+    pub fn reset(&mut self) {
+        self.list.clear();
+        self.on.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Mark `id` as visited; returns `true` when it was not yet marked.
+    /// Marking does not add the id to the list — pair with
+    /// [`ThreadSet::push`] for states that should appear there.
+    #[inline]
+    pub fn mark(&mut self, id: u32) -> bool {
+        let slot = &mut self.on[id as usize];
+        let fresh = !*slot;
+        *slot = true;
+        fresh
+    }
+
+    /// Append `id` to the list. The caller has already claimed it via
+    /// [`ThreadSet::mark`]; pushing an unmarked or repeated id produces a
+    /// duplicate entry.
+    #[inline]
+    pub fn push(&mut self, id: u32) {
+        self.list.push(id);
+    }
+
+    /// Mark and list `id` in one step; returns `true` when newly inserted.
+    #[inline]
+    pub fn insert(&mut self, id: u32) -> bool {
+        if self.mark(id) {
+            self.list.push(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Has `id` been marked since the last clear?
+    #[inline]
+    pub fn contains(&self, id: u32) -> bool {
+        self.on[id as usize]
+    }
+
+    /// The listed ids, in insertion order.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.list
+    }
+
+    /// Number of listed ids.
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_and_push_are_separate() {
+        let mut set = ThreadSet::new();
+        set.clear_resize(8);
+        assert!(set.mark(3));
+        assert!(!set.mark(3), "second mark reports already-visited");
+        assert!(set.contains(3));
+        assert!(set.as_slice().is_empty(), "marking alone does not list");
+        set.push(3);
+        assert_eq!(set.as_slice(), &[3]);
+    }
+
+    #[test]
+    fn insert_dedupes_and_preserves_order() {
+        let mut set = ThreadSet::new();
+        set.clear_resize(10);
+        assert!(set.insert(7));
+        assert!(set.insert(2));
+        assert!(!set.insert(7));
+        assert_eq!(set.as_slice(), &[7, 2]);
+        assert_eq!(set.len(), 2);
+        set.reset();
+        assert!(set.is_empty());
+        assert!(!set.contains(7));
+        assert!(set.insert(7), "reset forgets marks");
+    }
+
+    #[test]
+    fn clear_resize_grows_and_shrinks_the_universe() {
+        let mut set = ThreadSet::new();
+        set.clear_resize(2);
+        set.insert(1);
+        set.clear_resize(100);
+        assert!(!set.contains(1));
+        set.insert(99);
+        assert_eq!(set.as_slice(), &[99]);
+    }
+}

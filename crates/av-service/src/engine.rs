@@ -22,15 +22,15 @@ use crate::catalog::{CatalogEntry, CatalogError, RuleCatalog};
 use crate::telemetry::{FailureExemplar, ServiceTelemetry, TelemetryConfig};
 use av_baselines::baseline_by_name;
 use av_core::{
-    nearest_conforming_rule, AnyRule, AutoValidate, CheckScratch, Explanation, FmdvConfig,
-    InferError, ValidationReport, ValidationSession, Validator, Variant,
+    AnyRule, AutoValidate, CheckScratch, Explanation, FmdvConfig, InferError, RuleSet,
+    ValidationReport, ValidationSession, Validator, Variant,
 };
 use av_corpus::Column;
 use av_index::{DeltaError, IndexConfig, IndexDelta, PatternIndex, PersistError, ShardedIndex};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// On-disk index file name inside the service data directory.
 pub const INDEX_FILE: &str = "index.avix";
@@ -200,6 +200,17 @@ pub struct BatchItem<'a> {
     pub values: Vec<&'a str>,
 }
 
+/// One value classified against the whole rule catalog in a single scan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassifyOutcome {
+    /// Every rule the value conforms to, ranked most-specific-first
+    /// (dictionaries, then patterns by estimated FPR, then numeric ranges,
+    /// then session baselines; ties break on name).
+    pub matches: Vec<String>,
+    /// The top-ranked match, when any rule accepted the value.
+    pub best: Option<String>,
+}
+
 /// Monotonic operation counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServiceStats {
@@ -213,6 +224,8 @@ pub struct ServiceStats {
     pub validations: u64,
     /// Validations that raised a flag.
     pub flagged: u64,
+    /// Values classified against the whole catalog.
+    pub classifications: u64,
     /// TCP connection threads that ended with an I/O error or panic
     /// (oversized/undecodable frames, write timeouts to stalled clients,
     /// resets). The serve loop joins every reaped worker, so these are
@@ -230,6 +243,13 @@ pub struct ValidationService {
     /// underlying predicates are closures and have no wire form, so they
     /// are not persisted with the catalog.
     baselines: RwLock<HashMap<String, Arc<dyn Validator>>>,
+    /// The catalog automaton: every rule (catalog + session baselines)
+    /// folded into one [`RuleSet`] so `classify` scans a value once
+    /// instead of running N rules. Kept in sync by `infer_rule`,
+    /// `infer_baseline` and `delete_rule`; the `Mutex` is always the
+    /// **innermost** lock (taken after, never around, the catalog or
+    /// baselines locks).
+    classifier: Mutex<RuleSet>,
     telemetry: ServiceTelemetry,
     shutdown: AtomicBool,
     columns_ingested: AtomicU64,
@@ -237,6 +257,7 @@ pub struct ValidationService {
     rules_inferred: AtomicU64,
     validations: AtomicU64,
     flagged: AtomicU64,
+    classifications: AtomicU64,
     connection_errors: AtomicU64,
 }
 
@@ -248,6 +269,7 @@ impl ValidationService {
             index: ShardedIndex::new(empty),
             catalog: RwLock::new(RuleCatalog::new()),
             baselines: RwLock::new(HashMap::new()),
+            classifier: Mutex::new(RuleSet::new()),
             telemetry: ServiceTelemetry::new(config.telemetry.clone()),
             shutdown: AtomicBool::new(false),
             columns_ingested: AtomicU64::new(0),
@@ -255,6 +277,7 @@ impl ValidationService {
             rules_inferred: AtomicU64::new(0),
             validations: AtomicU64::new(0),
             flagged: AtomicU64::new(0),
+            classifications: AtomicU64::new(0),
             connection_errors: AtomicU64::new(0),
             config,
         }
@@ -277,8 +300,13 @@ impl ValidationService {
             }
             let catalog_path = dir.join(CATALOG_FILE);
             if catalog_path.exists() {
-                *service.catalog.write().expect("catalog lock poisoned") =
-                    RuleCatalog::load(&catalog_path)?;
+                let loaded = RuleCatalog::load(&catalog_path)?;
+                let mut classifier = service.classifier.lock().expect("classifier poisoned");
+                for entry in loaded.iter() {
+                    classifier.insert(&entry.name, entry.rule.clone());
+                }
+                drop(classifier);
+                *service.catalog.write().expect("catalog lock poisoned") = loaded;
             }
         }
         Ok(service)
@@ -376,6 +404,12 @@ impl ValidationService {
             .write()
             .expect("baselines lock poisoned")
             .remove(name);
+        // Insert replaces: if a baseline held the name its residual check
+        // is evicted from the automaton along with the baseline itself.
+        self.classifier
+            .lock()
+            .expect("classifier poisoned")
+            .insert(name, entry.rule.clone());
         self.rules_inferred.fetch_add(1, Ordering::Relaxed);
         Ok(entry)
     }
@@ -402,13 +436,23 @@ impl ValidationService {
             .is_some()
         {
             self.telemetry.forget_rule(name);
+            self.classifier
+                .lock()
+                .expect("classifier poisoned")
+                .remove(name);
             return Ok(());
         }
         self.baselines
             .write()
             .expect("baselines lock poisoned")
             .remove(name)
-            .map(|_| self.telemetry.forget_rule(name))
+            .map(|_| {
+                self.telemetry.forget_rule(name);
+                self.classifier
+                    .lock()
+                    .expect("classifier poisoned")
+                    .remove(name);
+            })
             .ok_or_else(|| ServiceError::UnknownRule(name.to_string()))
     }
 
@@ -483,8 +527,15 @@ impl ValidationService {
         {
             return Err(ServiceError::NameTaken(name.to_string()));
         }
-        baselines.insert(name.to_string(), Arc::new(rule));
+        let validator: Arc<dyn Validator> = Arc::new(rule);
+        baselines.insert(name.to_string(), Arc::clone(&validator));
         drop(baselines);
+        // Baselines are opaque `dyn Validator`s — they join the catalog
+        // automaton as residual checks so `classify` stays total.
+        self.classifier
+            .lock()
+            .expect("classifier poisoned")
+            .insert_check(name, Box::new(move |v| validator.check(v).is_conform()));
         self.rules_inferred.fetch_add(1, Ordering::Relaxed);
         Ok(description)
     }
@@ -565,6 +616,11 @@ impl ValidationService {
     /// Session-scoped baseline rules explain through their `dyn Validator`
     /// vtable but get no suggestion: they have no compiled program to
     /// measure distance from.
+    ///
+    /// The suggestion shortlist comes from the catalog automaton: one
+    /// `classify` scan yields exactly the conforming rules, so only those
+    /// are distance-ranked — O(matches), not O(catalog) — with the same
+    /// winner the full loop would pick.
     pub fn explain(&self, rule: &str, value: &str) -> Result<ExplainOutcome, ServiceError> {
         {
             let catalog = self.catalog.read().expect("catalog lock poisoned");
@@ -573,14 +629,12 @@ impl ValidationService {
                 let (explanation, suggestion) = if conforms {
                     (None, None)
                 } else {
-                    let candidates = catalog
-                        .iter()
-                        .filter(|e| e.name != rule)
-                        .map(|e| (e.name.as_str(), &e.rule));
                     (
                         Validator::explain(&entry.rule, value),
-                        nearest_conforming_rule(value, &entry.rule, candidates)
-                            .map(|(name, distance)| (name.to_string(), distance)),
+                        self.classifier
+                            .lock()
+                            .expect("classifier poisoned")
+                            .nearest_conforming(value, &entry.rule, rule),
                     )
                 };
                 return Ok(ExplainOutcome {
@@ -621,6 +675,48 @@ impl ValidationService {
         let a = self.validate(left, values)?;
         let b = self.validate(right, values)?;
         Ok((a, b))
+    }
+
+    /// Classify one value against the **whole** rule catalog (catalog
+    /// rules and session baselines alike) in a single scan of the value,
+    /// returning every conforming rule ranked most-specific-first.
+    pub fn classify_value(&self, value: &str) -> ClassifyOutcome {
+        let mut classifier = self.classifier.lock().expect("classifier poisoned");
+        let outcome = Self::classify_locked(&mut classifier, value);
+        drop(classifier);
+        self.classifications.fetch_add(1, Ordering::Relaxed);
+        outcome
+    }
+
+    /// Classify a batch of values, holding the automaton lock once for the
+    /// whole batch so the lazy DFA's cache is hit back-to-back. Results
+    /// come back in input order.
+    pub fn classify_batch<S: AsRef<str>>(&self, values: &[S]) -> Vec<ClassifyOutcome> {
+        let mut classifier = self.classifier.lock().expect("classifier poisoned");
+        let out = values
+            .iter()
+            .map(|v| Self::classify_locked(&mut classifier, v.as_ref()))
+            .collect();
+        drop(classifier);
+        self.classifications
+            .fetch_add(values.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    fn classify_locked(classifier: &mut RuleSet, value: &str) -> ClassifyOutcome {
+        let matches = classifier.classify(value);
+        let best = matches.first().cloned();
+        ClassifyOutcome { matches, best }
+    }
+
+    /// Update generation of the catalog automaton (bumped per rule
+    /// insert/remove) — the cheap "did the rule set change?" signal,
+    /// mirroring [`ValidationService::index_generation`].
+    pub fn classifier_generation(&self) -> u64 {
+        self.classifier
+            .lock()
+            .expect("classifier poisoned")
+            .generation()
     }
 
     /// Validate a batch of columns concurrently across the worker pool.
@@ -719,6 +815,7 @@ impl ValidationService {
             rules_inferred: self.rules_inferred.load(Ordering::Relaxed),
             validations: self.validations.load(Ordering::Relaxed),
             flagged: self.flagged.load(Ordering::Relaxed),
+            classifications: self.classifications.load(Ordering::Relaxed),
             connection_errors: self.connection_errors.load(Ordering::Relaxed),
         }
     }
@@ -1026,6 +1123,73 @@ mod tests {
             service.explain("missing", "x"),
             Err(ServiceError::UnknownRule(_))
         ));
+    }
+
+    #[test]
+    fn classify_scans_the_whole_catalog_and_tracks_updates() {
+        let service = ValidationService::new(ServiceConfig::default());
+        service.ingest(&lake_columns(11)).unwrap();
+        assert_eq!(service.classifier_generation(), 0);
+        service.infer_rule("dates", &date_values(3), None).unwrap();
+        let statuses: Vec<String> = (0..60)
+            .map(|i| ["Delivered", "Pending", "Rejected"][i % 3].to_string())
+            .collect();
+        service.infer_rule("status", &statuses, None).unwrap();
+        service
+            .infer_baseline("grokked", "grok", &date_values(3))
+            .unwrap();
+        assert!(service.classifier_generation() >= 3);
+
+        // One scan names every conforming rule; the catalog date rule and
+        // the grok baseline both accept a date, and the FMDV rule (more
+        // specific than an opaque check) ranks first.
+        let date = service.classify_value("2019-07-14");
+        assert_eq!(
+            date.matches,
+            vec!["dates".to_string(), "grokked".to_string()]
+        );
+        assert_eq!(date.best.as_deref(), Some("dates"));
+        let status = service.classify_value("Pending");
+        assert_eq!(status.matches, vec!["status".to_string()]);
+        let nothing = service.classify_value("!!!");
+        assert!(nothing.matches.is_empty() && nothing.best.is_none());
+
+        // The batch path equals per-value calls, in input order.
+        let batch = service.classify_batch(&["2019-07-14", "Pending", "!!!"]);
+        assert_eq!(batch, vec![date.clone(), status, nothing]);
+
+        // Deletes and baseline evictions keep the automaton in sync.
+        let gen = service.classifier_generation();
+        service.delete_rule("dates").unwrap();
+        assert!(service.classifier_generation() > gen);
+        assert_eq!(
+            service.classify_value("2019-07-14").matches,
+            vec!["grokked".to_string()]
+        );
+        service.delete_rule("grokked").unwrap();
+        assert!(service.classify_value("2019-07-14").matches.is_empty());
+
+        assert_eq!(service.stats().classifications, 8);
+    }
+
+    #[test]
+    fn reopened_service_classifies_from_the_persisted_catalog() {
+        let dir =
+            std::env::temp_dir().join(format!("av_service_classify_test_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let config = ServiceConfig::with_data_dir(&dir);
+
+        let service = ValidationService::new(config.clone());
+        service.ingest(&lake_columns(5)).unwrap();
+        service.infer_rule("dates", &date_values(6), None).unwrap();
+        service.persist().unwrap();
+
+        let reopened = ValidationService::open(config).unwrap();
+        assert_eq!(
+            reopened.classify_value("2019-06-12").matches,
+            vec!["dates".to_string()]
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

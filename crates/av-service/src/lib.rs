@@ -64,8 +64,8 @@ pub mod telemetry;
 
 pub use catalog::{CatalogEntry, CatalogError, RuleCatalog};
 pub use engine::{
-    owned_column, BatchItem, ExplainOutcome, IngestReport, ServiceConfig, ServiceError,
-    ServiceStats, ValidationService, CATALOG_FILE, INDEX_FILE,
+    owned_column, BatchItem, ClassifyOutcome, ExplainOutcome, IngestReport, ServiceConfig,
+    ServiceError, ServiceStats, ValidationService, CATALOG_FILE, INDEX_FILE,
 };
 pub use protocol::{handle_line, response_ok, Handled, LineOutcome, WatchParams};
 pub use server::{serve_lines, serve_stdin, serve_tcp};

@@ -27,6 +27,20 @@
 //!    "reason":"mismatch at byte 0: ...","suggestion":{"rule":"status","distance":7}}
 //! ```
 //!
+//! **`classify`** runs values against the **whole** rule catalog at once —
+//! one scan of each value through the catalog automaton (`av-match`'s
+//! lazily-determinized NFA union) instead of one pass per rule — and
+//! returns every conforming rule ranked most-specific-first, plus the top
+//! pick. Send `"values"` for a batch, or `"value"` for a single probe:
+//!
+//! ```text
+//! → {"op":"classify","values":["2019-03-14","Pending","!!!"]}
+//! ← {"ok":true,"catalog_generation":3,"results":[
+//!    {"value":"2019-03-14","rules":["dates"],"best":"dates"},
+//!    {"value":"Pending","rules":["status"],"best":"status"},
+//!    {"value":"!!!","rules":[]}]}
+//! ```
+//!
 //! **`metrics`** dumps the full telemetry registry: per-rule lifetime and
 //! sliding-window conformance counters with alert flags and recent failure
 //! exemplars, plus per-op request/error counters and latency histograms:
@@ -235,6 +249,7 @@ fn dispatch(service: &ValidationService, line: &str) -> (&'static str, Reply) {
         "catalog" => ("catalog", handle_catalog(service)),
         "rule" => ("rule", handle_rule(service, &req)),
         "delete_rule" => ("delete_rule", handle_delete(service, &req)),
+        "classify" => ("classify", handle_classify(service, &req)),
         "explain" => ("explain", handle_explain(service, &req)),
         "metrics" => ("metrics", handle_metrics(service)),
         "watch" => ("watch", handle_watch(&req)),
@@ -460,6 +475,46 @@ fn handle_delete(service: &ValidationService, req: &Json) -> Reply {
         Ok(()) => ok(vec![("deleted", Json::str(name))]),
         Err(e) => fail(e.to_string()),
     }
+}
+
+fn handle_classify(service: &ValidationService, req: &Json) -> Reply {
+    // A batch of "values", or a single "value" for interactive probing.
+    let values: Vec<&str> = if req.get("values").is_some() {
+        match str_array(req, "values") {
+            Ok(v) => v,
+            Err(e) => return fail(e),
+        }
+    } else {
+        match req.get("value").and_then(Json::as_str) {
+            Some(v) => vec![v],
+            None => return fail("missing array field \"values\" (or string field \"value\")"),
+        }
+    };
+    let results: Vec<Json> = service
+        .classify_batch(&values)
+        .into_iter()
+        .zip(&values)
+        .map(|(outcome, value)| {
+            let mut fields = vec![
+                ("value", Json::str(*value)),
+                (
+                    "rules",
+                    Json::Arr(outcome.matches.into_iter().map(Json::str).collect()),
+                ),
+            ];
+            if let Some(best) = outcome.best {
+                fields.push(("best", Json::str(best)));
+            }
+            Json::obj(fields)
+        })
+        .collect();
+    ok(vec![
+        (
+            "catalog_generation",
+            Json::Num(service.classifier_generation() as f64),
+        ),
+        ("results", Json::Arr(results)),
+    ])
 }
 
 fn explanation_fields(e: Explanation, fields: &mut Vec<(&'static str, Json)>) {
@@ -717,6 +772,7 @@ fn handle_stats(service: &ValidationService) -> Reply {
         ("rules_inferred", Json::Num(s.rules_inferred as f64)),
         ("validations", Json::Num(s.validations as f64)),
         ("flagged", Json::Num(s.flagged as f64)),
+        ("classifications", Json::Num(s.classifications as f64)),
         ("connection_errors", Json::Num(s.connection_errors as f64)),
         ("index_patterns", Json::Num(index.len() as f64)),
         ("index_columns", Json::Num(index.num_columns as f64)),
@@ -729,6 +785,10 @@ fn handle_stats(service: &ValidationService) -> Reply {
         (
             "catalog_rules",
             Json::Num(service.catalog_entries().len() as f64),
+        ),
+        (
+            "catalog_generation",
+            Json::Num(service.classifier_generation() as f64),
         ),
     ])
 }
@@ -954,6 +1014,78 @@ mod tests {
         ] {
             assert!(!response_ok(&handle_line(&service, bad).response));
         }
+    }
+
+    #[test]
+    fn classify_op_names_every_conforming_rule() {
+        let service = service_with_corpus();
+        let h = handle_line(
+            &service,
+            &format!(r#"{{"op":"infer","rule":"dates","values":{}}}"#, dates(3)),
+        );
+        assert!(response_ok(&h.response), "{}", h.response);
+        let statuses: Vec<String> = (0..60)
+            .map(|i| format!("{:?}", ["Delivered", "Pending", "Rejected"][i % 3]))
+            .collect();
+        let h = handle_line(
+            &service,
+            &format!(
+                r#"{{"op":"infer","rule":"status","values":[{}]}}"#,
+                statuses.join(",")
+            ),
+        );
+        assert!(response_ok(&h.response), "{}", h.response);
+
+        // A batch: per-value match lists in input order, best first.
+        let h = handle_line(
+            &service,
+            r#"{"op":"classify","values":["2019-03-14","Pending","!!!"]}"#,
+        );
+        assert!(response_ok(&h.response), "{}", h.response);
+        let v = parse(&h.response).unwrap();
+        assert!(v.get("catalog_generation").unwrap().as_usize().unwrap() >= 2);
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].get("best").unwrap().as_str(), Some("dates"));
+        assert_eq!(results[1].get("best").unwrap().as_str(), Some("status"));
+        assert!(results[2].get("best").is_none());
+        assert!(results[2]
+            .get("rules")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .is_empty());
+
+        // Single-value form.
+        let h = handle_line(&service, r#"{"op":"classify","value":"Rejected"}"#);
+        assert!(response_ok(&h.response), "{}", h.response);
+        let v = parse(&h.response).unwrap();
+        let results = v.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results[0].get("value").unwrap().as_str(), Some("Rejected"));
+        assert_eq!(results[0].get("best").unwrap().as_str(), Some("status"));
+
+        // The op feeds the shared telemetry like every other dispatch,
+        // and the stats op carries the classification counter.
+        let h = handle_line(&service, r#"{"op":"stats"}"#);
+        let v = parse(&h.response).unwrap();
+        assert_eq!(v.get("classifications").unwrap().as_usize(), Some(4));
+        let ops = v.get("ops").unwrap();
+        assert_eq!(
+            ops.get("classify")
+                .unwrap()
+                .get("requests")
+                .unwrap()
+                .as_usize(),
+            Some(2)
+        );
+
+        // Missing fields fail cleanly.
+        assert!(!response_ok(
+            &handle_line(&service, r#"{"op":"classify"}"#).response
+        ));
+        assert!(!response_ok(
+            &handle_line(&service, r#"{"op":"classify","values":[1]}"#).response
+        ));
     }
 
     #[test]

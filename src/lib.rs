@@ -55,6 +55,7 @@
 //! | [`av_pattern`] | pattern language, tokenizer, `P(v)`/`H(C)` enumeration, matcher |
 //! | [`av_index`] | offline corpus index: pattern → (FPR, coverage) |
 //! | [`av_core`] | FMDV, FMDV-V, FMDV-H, FMDV-VH, CMDV, Auto-Tag; the unified `Validator` trait, streaming `ValidationSession`, `AutoValidateBuilder` |
+//! | [`av_match`] | catalog-wide multi-pattern matcher: NFA union + lazy DFA cache, one scan classifies a value against every rule |
 //! | [`av_stats`] | Fisher's exact test, χ² with Yates, special functions |
 //! | [`av_corpus`] | synthetic data lakes, domain generators, benchmarks |
 //! | [`av_baselines`] | TFDV, Deequ, Potter's Wheel, Grok, schema matching, … |
@@ -103,6 +104,7 @@ pub use av_core;
 pub use av_corpus;
 pub use av_eval;
 pub use av_index;
+pub use av_match;
 pub use av_ml;
 pub use av_pattern;
 pub use av_regex;
@@ -113,11 +115,12 @@ pub use av_stats;
 pub mod prelude {
     pub use av_core::{
         nearest_conforming_rule, program_distance, AnyRule, AutoValidate, AutoValidateBuilder,
-        DictionaryRule, Explanation, FmdvConfig, InferError, Report, TagRule, Tally,
-        ValidationReport, ValidationRule, ValidationSession, Validator, Variant, Verdict,
+        DictionaryRule, Explanation, FmdvConfig, InferError, Report, RuleSet, TagRule, TagSet,
+        Tally, ValidationReport, ValidationRule, ValidationSession, Validator, Variant, Verdict,
     };
     pub use av_corpus::{generate_lake, Benchmark, Column, Corpus, LakeProfile, Table};
     pub use av_index::{IndexConfig, IndexDelta, PatternIndex};
+    pub use av_match::{CatalogMatcher, MatcherConfig};
     pub use av_pattern::{matches, parse, Pattern, PatternConfig, Token};
-    pub use av_service::{RuleCatalog, ServiceConfig, ValidationService};
+    pub use av_service::{ClassifyOutcome, RuleCatalog, ServiceConfig, ValidationService};
 }

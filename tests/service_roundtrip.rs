@@ -156,7 +156,7 @@ fn av_serve_protocol_session_end_to_end() {
     let good: Vec<String> = month(4).iter().map(|v| format!("{v:?}")).collect();
     let bad: Vec<String> = (0..30).map(|i| format!("\"user-{i}\"")).collect();
     let session2 = format!(
-        "{}\n{}\n{}\n{}\n",
+        "{}\n{}\n{}\n{}\n{}\n",
         r#"{"op":"catalog"}"#,
         format_args!(
             r#"{{"op":"validate","rule":"feeds/date","values":[{}]}}"#,
@@ -166,6 +166,7 @@ fn av_serve_protocol_session_end_to_end() {
             r#"{{"op":"validate","rule":"feeds/date","values":[{}]}}"#,
             bad.join(",")
         ),
+        r#"{"op":"classify","values":["2019-04-07","user-3"]}"#,
         r#"{"op":"shutdown"}"#,
     );
     let service2 = ValidationService::open(config).unwrap();
@@ -176,7 +177,7 @@ fn av_serve_protocol_session_end_to_end() {
         .lines()
         .map(str::to_string)
         .collect();
-    assert_eq!(lines.len(), 4);
+    assert_eq!(lines.len(), 5);
     assert!(
         lines.iter().all(|l| av_service::response_ok(l)),
         "{lines:?}"
@@ -195,6 +196,11 @@ fn av_serve_protocol_session_end_to_end() {
         lines[2].contains("\"flagged\":true"),
         "drifted feed is flagged: {}",
         lines[2]
+    );
+    assert!(
+        lines[3].contains("\"best\":\"feeds/date\""),
+        "the reloaded catalog classifies a date in one scan: {}",
+        lines[3]
     );
     assert!(service2.is_shutdown());
     std::fs::remove_dir_all(&dir).ok();
