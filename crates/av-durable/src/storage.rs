@@ -1,0 +1,213 @@
+//! The storage abstraction all durability I/O goes through.
+//!
+//! Production code uses [`OsStorage`] (plain `std::fs` plus real `fsync`);
+//! tests swap in [`MemStorage`](crate::fault::MemStorage) to inject faults
+//! deterministically. The trait is deliberately narrow: only the
+//! operations whose durability semantics matter (create, append, sync,
+//! rename, remove, directory sync) plus the read-side operations recovery
+//! needs.
+
+use std::fmt::Debug;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// An open, append-only file handle obtained from a [`Storage`].
+pub trait StorageFile: Send {
+    /// Append `buf` in its entirety.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// Flush written bytes to durable media (`fsync`).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// File-system operations durability code is allowed to perform.
+///
+/// Contract notes implementations must honour:
+///
+/// - `create` truncates; the new length-zero state may become durable at
+///   any time, so callers must never `create` over a file whose previous
+///   contents they still need (write a sibling temp file and `rename`).
+/// - `rename` is atomic with respect to crashes (the destination name
+///   refers to either the old or the new file, never a partial one), but
+///   the *rename itself* is only durable after `sync_dir` on the parent.
+/// - Newly created files are only findable after a crash once `sync_dir`
+///   has been called on their parent directory.
+pub trait Storage: Send + Sync + Debug {
+    /// Create (or truncate) a file for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>>;
+    /// Read a file's full contents.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Atomically rename `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file.
+    fn remove(&self, path: &Path) -> io::Result<()>;
+    /// Create a directory and any missing parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Make directory-entry changes under `path` (creates, renames,
+    /// removes) durable.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+    /// List the file names (not full paths) directly under `dir`, sorted.
+    /// Returns an empty list if the directory does not exist.
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>>;
+    /// Whether a file exists at `path`.
+    fn exists(&self, path: &Path) -> bool;
+    /// Size in bytes of the file at `path`.
+    fn size(&self, path: &Path) -> io::Result<u64>;
+}
+
+/// Write `bytes` to `path` atomically: sibling temp file, fsync the file,
+/// rename over `path`, fsync the parent directory.
+///
+/// This is the one safe way to replace a file in place through a
+/// [`Storage`]; a crash at any point leaves either the old contents or the
+/// new contents at `path`, never a truncated hybrid.
+pub fn write_atomic(storage: &dyn Storage, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let mut file = storage.create(&tmp)?;
+    file.write_all(bytes)?;
+    file.sync()?;
+    drop(file);
+    storage.rename(&tmp, path)?;
+    storage.sync_dir(path.parent().unwrap_or_else(|| Path::new(".")))?;
+    Ok(())
+}
+
+/// Production [`Storage`] backed by `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OsStorage;
+
+struct OsFile(fs::File);
+
+impl StorageFile for OsFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        io::Write::write_all(&mut self.0, buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Storage for OsStorage {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
+        Ok(Box::new(OsFile(fs::File::create(path)?)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    #[cfg(unix)]
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    #[cfg(not(unix))]
+    fn sync_dir(&self, _path: &Path) -> io::Result<()> {
+        // Directories cannot be opened for fsync on this platform; entry
+        // durability is best-effort.
+        Ok(())
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<String>> {
+        let entries = match fs::read_dir(dir) {
+            Ok(e) => e,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut names = Vec::new();
+        for entry in entries {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.is_file()
+    }
+
+    fn size(&self, path: &Path) -> io::Result<u64> {
+        Ok(fs::metadata(path)?.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!(
+            "av-durable-os-{tag}-{}",
+            std::process::id() as u64 ^ (tag.as_ptr() as u64)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn os_storage_roundtrip() {
+        let dir = temp_dir("roundtrip");
+        let storage = OsStorage;
+        let path = dir.join("a.bin");
+        let mut f = storage.create(&path).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.write_all(b" world").unwrap();
+        f.sync().unwrap();
+        drop(f);
+        assert!(storage.exists(&path));
+        assert_eq!(storage.read(&path).unwrap(), b"hello world");
+        assert_eq!(storage.size(&path).unwrap(), 11);
+        assert_eq!(storage.list(&dir).unwrap(), vec!["a.bin".to_string()]);
+
+        let moved = dir.join("b.bin");
+        storage.rename(&path, &moved).unwrap();
+        storage.sync_dir(&dir).unwrap();
+        assert!(!storage.exists(&path));
+        assert_eq!(storage.read(&moved).unwrap(), b"hello world");
+        storage.remove(&moved).unwrap();
+        assert_eq!(storage.list(&dir).unwrap(), Vec::<String>::new());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_contents() {
+        let dir = temp_dir("atomic");
+        let storage = OsStorage;
+        let path = dir.join("m.bin");
+        write_atomic(&storage, &path, b"one").unwrap();
+        write_atomic(&storage, &path, b"two").unwrap();
+        assert_eq!(storage.read(&path).unwrap(), b"two");
+        // No temp residue.
+        assert_eq!(storage.list(&dir).unwrap(), vec!["m.bin".to_string()]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn list_missing_dir_is_empty() {
+        let storage = OsStorage;
+        let listed = storage
+            .list(Path::new("/definitely/not/a/real/dir"))
+            .unwrap();
+        assert!(listed.is_empty());
+    }
+}

@@ -28,12 +28,13 @@
 //! persisted: a freshly loaded index starts every shard at version 0.
 
 use crate::build::PatternIndex;
-use crate::shard::MAX_SHARD_BITS;
+use crate::shard::{shard_of, IndexShard, MAX_SHARD_BITS};
 use crate::stats::StatsAcc;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fs::File;
 use std::io::{Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"AVIX";
 // v4: sharded directory layout (see module docs). v3 (single-shard) still
@@ -68,6 +69,119 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
+/// Fsync the directory containing `path` so a just-renamed file's
+/// directory entry is durable. No-op on platforms where directories
+/// cannot be opened for fsync.
+#[cfg(unix)]
+fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    File::open(dir)?.sync_all()
+}
+
+#[cfg(not(unix))]
+fn fsync_parent_dir(_path: &Path) -> std::io::Result<()> {
+    Ok(())
+}
+
+/// Append one shard's entry + string sections (the exact per-shard byte
+/// layout of an AVIX v4 body) to `buf`. Entries sorted by fingerprint.
+fn put_shard_sections(shard: &IndexShard, buf: &mut BytesMut) {
+    let mut entries: Vec<(u64, StatsAcc)> = shard.map.iter().map(|(k, v)| (*k, *v)).collect();
+    entries.sort_by_key(|(k, _)| *k);
+    buf.put_u64_le(entries.len() as u64);
+    for (k, s) in &entries {
+        buf.put_u64_le(*k);
+        buf.put_u64_le(s.imp_fp);
+        buf.put_u64_le(s.cols);
+        buf.put_u8(s.token_len);
+    }
+    let strings: Vec<(u64, &str)> = entries
+        .iter()
+        .filter_map(|(k, _)| shard.patterns.get(k).map(|s| (*k, s.as_str())))
+        .collect();
+    buf.put_u64_le(strings.len() as u64);
+    for (k, s) in strings {
+        buf.put_u64_le(k);
+        buf.put_u32_le(s.len() as u32);
+        buf.put_slice(s.as_bytes());
+    }
+}
+
+impl IndexShard {
+    /// Serialize this shard's entry and string sections — byte-identical
+    /// to the slice of an AVIX v4 image that holds this shard. Checkpoint
+    /// shard files are this plus framing owned by the durability layer.
+    pub fn section_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(16 + self.len() * 25);
+        put_shard_sections(self, &mut buf);
+        buf.freeze()
+    }
+
+    /// Decode entry + string sections produced by
+    /// [`IndexShard::section_bytes`], verifying that every fingerprint
+    /// actually routes to shard `shard_idx` under `shard_bits` — a shard
+    /// file that was renamed or swapped fails here instead of silently
+    /// misrouting lookups.
+    pub fn from_section_bytes(
+        mut buf: &[u8],
+        shard_idx: usize,
+        shard_bits: u32,
+    ) -> Result<IndexShard, PersistError> {
+        let err = |m: &str| PersistError::Format(m.to_string());
+        let mut shard = IndexShard::default();
+        if buf.remaining() < 8 {
+            return Err(err("missing entry section"));
+        }
+        let n = buf.get_u64_le() as usize;
+        shard.map.reserve(n.min(buf.remaining() / 25));
+        for _ in 0..n {
+            if buf.remaining() < 25 {
+                return Err(err("truncated entries"));
+            }
+            let k = buf.get_u64_le();
+            if shard_of(k, shard_bits) != shard_idx {
+                return Err(PersistError::Format(format!(
+                    "fingerprint {k:#018x} does not route to shard {shard_idx}"
+                )));
+            }
+            let imp_fp = buf.get_u64_le();
+            let cols = buf.get_u64_le();
+            let token_len = buf.get_u8();
+            shard
+                .map
+                .insert(k, StatsAcc::from_raw(imp_fp, cols, token_len));
+        }
+        if buf.remaining() < 8 {
+            return Err(err("missing string section"));
+        }
+        let ns = buf.get_u64_le() as usize;
+        for _ in 0..ns {
+            if buf.remaining() < 12 {
+                return Err(err("truncated strings"));
+            }
+            let k = buf.get_u64_le();
+            let len = buf.get_u32_le() as usize;
+            if buf.remaining() < len {
+                return Err(err("truncated string payload"));
+            }
+            if !shard.map.contains_key(&k) {
+                return Err(err("pattern string without a matching entry"));
+            }
+            let s = String::from_utf8(buf[..len].to_vec())
+                .map_err(|_| err("invalid utf-8 in pattern string"))?;
+            buf.advance(len);
+            shard.patterns.insert(k, s);
+        }
+        if buf.remaining() > 0 {
+            return Err(err("trailing bytes after string section"));
+        }
+        Ok(shard)
+    }
+}
+
 impl PatternIndex {
     /// Serialize to bytes (AVIX v4).
     pub fn to_bytes(&self) -> Bytes {
@@ -78,28 +192,38 @@ impl PatternIndex {
         buf.put_u64_le(self.tau as u64);
         buf.put_u32_le(self.shard_bits());
         for shard in self.shards.iter() {
-            let mut entries: Vec<(u64, StatsAcc)> =
-                shard.map.iter().map(|(k, v)| (*k, *v)).collect();
-            entries.sort_by_key(|(k, _)| *k);
-            buf.put_u64_le(entries.len() as u64);
-            for (k, s) in &entries {
-                buf.put_u64_le(*k);
-                buf.put_u64_le(s.imp_fp);
-                buf.put_u64_le(s.cols);
-                buf.put_u8(s.token_len);
-            }
-            let strings: Vec<(u64, &str)> = entries
-                .iter()
-                .filter_map(|(k, _)| shard.patterns.get(k).map(|s| (*k, s.as_str())))
-                .collect();
-            buf.put_u64_le(strings.len() as u64);
-            for (k, s) in strings {
-                buf.put_u64_le(k);
-                buf.put_u32_le(s.len() as u32);
-                buf.put_slice(s.as_bytes());
-            }
+            put_shard_sections(shard, &mut buf);
         }
         buf.freeze()
+    }
+
+    /// Assemble an index from individually decoded shards (the checkpoint
+    /// recovery path). `shards.len()` must be `2^shard_bits`; routing
+    /// correctness within each shard is
+    /// [`IndexShard::from_section_bytes`]'s job.
+    pub fn from_shards(
+        shards: Vec<IndexShard>,
+        shard_bits: u32,
+        num_columns: u64,
+        tau: usize,
+    ) -> Result<PatternIndex, PersistError> {
+        if shard_bits > MAX_SHARD_BITS {
+            return Err(PersistError::Format(format!(
+                "implausible shard_bits {shard_bits}"
+            )));
+        }
+        if shards.len() != 1usize << shard_bits {
+            return Err(PersistError::Format(format!(
+                "{} shards do not fit shard_bits {shard_bits}",
+                shards.len()
+            )));
+        }
+        Ok(PatternIndex::from_parts(
+            shards.into_iter().map(Arc::new).collect(),
+            shard_bits,
+            num_columns,
+            tau,
+        ))
     }
 
     /// Deserialize from bytes. Accepts v4 (sharded) and v3 (single-shard;
@@ -189,10 +313,22 @@ impl PatternIndex {
         av_pattern::fnv1a(&self.to_bytes())
     }
 
-    /// Write the index to a file.
+    /// Write the index to a file atomically: the bytes go to a sibling
+    /// `.tmp` file which is fsynced and renamed over `path`, then the
+    /// parent directory is fsynced so the rename survives a crash. A
+    /// crash at any point leaves either the old image or the new one at
+    /// `path`, never a truncated hybrid.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        let mut f = File::create(path)?;
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let mut f = File::create(&tmp)?;
         f.write_all(&self.to_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        std::fs::rename(&tmp, path)?;
+        fsync_parent_dir(path)?;
         Ok(())
     }
 
@@ -331,6 +467,59 @@ mod tests {
         let loaded = PatternIndex::load(&path).unwrap();
         assert_eq!(loaded.len(), index.len());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_sections_reassemble_the_exact_index() {
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(80), 17);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let config = IndexConfig {
+            shard_bits: 3,
+            keep_patterns: true,
+            ..Default::default()
+        };
+        let index = PatternIndex::build(&cols, &config);
+        // Serialize each shard independently, decode, reassemble: the
+        // persisted image of the result is byte-identical.
+        let shards: Vec<crate::IndexShard> = index
+            .shards()
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                crate::IndexShard::from_section_bytes(&s.section_bytes(), i, index.shard_bits())
+                    .unwrap()
+            })
+            .collect();
+        let rebuilt =
+            PatternIndex::from_shards(shards, index.shard_bits(), index.num_columns, index.tau)
+                .unwrap();
+        assert_eq!(rebuilt.to_bytes(), index.to_bytes());
+        // A shard decoded under the wrong index refuses to misroute.
+        let donor = &index.shards()[1];
+        if !donor.is_empty() {
+            assert!(crate::IndexShard::from_section_bytes(
+                &donor.section_bytes(),
+                0,
+                index.shard_bits()
+            )
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_residue() {
+        let corpus = generate_lake(&LakeProfile::tiny().scaled(40), 6);
+        let cols: Vec<&Column> = corpus.columns().collect();
+        let index = PatternIndex::build(&cols, &IndexConfig::default());
+        let dir = std::env::temp_dir().join("av_index_atomic_save");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.avix");
+        index.save(&path).unwrap();
+        index.save(&path).unwrap(); // overwrite goes through the same dance
+        assert!(!dir.join("atomic.avix.tmp").exists());
+        let loaded = PatternIndex::load(&path).unwrap();
+        assert_eq!(loaded.to_bytes(), index.to_bytes());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

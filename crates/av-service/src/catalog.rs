@@ -2,17 +2,28 @@
 //! serialized to disk, reloaded on restart — so a recurring pipeline's
 //! rules survive service restarts and are never re-inferred per run.
 //!
-//! On-disk format: a text file, first line `AVCAT 1`, then one line per
-//! rule combining catalog metadata with the rule's `av-core` wire form:
+//! On-disk format: a text file, first line `AVCAT 3`, then one line per
+//! rule combining catalog metadata with the rule's `av-core` wire form,
+//! then a CRC-32 footer line over every preceding byte:
 //!
 //! ```text
+//! AVCAT 3
 //! name=<pct>;variant=<pct>;created=<unix secs>;kind=pattern;...
+//! #crc32=9a0b1c2d
 //! ```
 //!
-//! Saves are atomic (write to a sibling temp file, then rename), so a
-//! crash mid-save never corrupts the previous catalog.
+//! The footer turns silent bit rot into a load error that names the file
+//! and the byte offset of the mismatch. `AVCAT 2` files (written before
+//! the footer existed) still load; `AVCAT 1` files predate the
+//! whitespace-tokenization change and are refused rather than
+//! reinterpreted.
+//!
+//! Saves are atomic and durable (sibling temp file, `fsync`, rename,
+//! parent-directory `fsync`), so a crash mid-save never corrupts the
+//! previous catalog and a completed save survives power loss.
 
 use av_core::{pct_decode, pct_encode, AnyRule};
+use av_durable::crc32;
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -36,6 +47,17 @@ pub enum CatalogError {
     Io(std::io::Error),
     /// Malformed catalog content.
     Format(String),
+    /// The CRC-32 footer did not match the catalog bytes: the file was
+    /// corrupted after it was written.
+    Corrupt {
+        /// The file that failed verification (empty when the catalog was
+        /// parsed from in-memory text).
+        file: String,
+        /// Byte offset of the footer whose check failed.
+        offset: u64,
+        /// What mismatched.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CatalogError {
@@ -43,6 +65,14 @@ impl std::fmt::Display for CatalogError {
         match self {
             CatalogError::Io(e) => write!(f, "catalog io error: {e}"),
             CatalogError::Format(m) => write!(f, "catalog format error: {m}"),
+            CatalogError::Corrupt {
+                file,
+                offset,
+                detail,
+            } => {
+                let file = if file.is_empty() { "<memory>" } else { file };
+                write!(f, "catalog {file} corrupt at byte {offset}: {detail}")
+            }
         }
     }
 }
@@ -58,7 +88,10 @@ impl From<std::io::Error> for CatalogError {
 // v2: rules serialized before the whitespace-tokenization change (CR/LF as
 // symbol runs) would silently change meaning if reloaded; the header bump
 // turns that into a clean load error instead.
-const HEADER: &str = "AVCAT 2";
+// v3: adds the CRC-32 footer line. v2 files (no footer) still load.
+const HEADER: &str = "AVCAT 3";
+const HEADER_V2: &str = "AVCAT 2";
+const FOOTER_PREFIX: &str = "#crc32=";
 
 /// An in-memory collection of named rules with disk persistence.
 #[derive(Debug, Clone, Default)]
@@ -102,35 +135,61 @@ impl RuleCatalog {
         self.entries.values()
     }
 
-    /// Serialize the whole catalog to its text form.
+    /// Serialize the whole catalog to its text form (AVCAT 3: header,
+    /// one line per entry, CRC-32 footer over every preceding byte).
     pub fn to_text(&self) -> String {
         let mut out = String::from(HEADER);
         out.push('\n');
         for e in self.entries.values() {
-            out.push_str(&format!(
-                "name={};variant={};created={};{}\n",
-                pct_encode(&e.name),
-                pct_encode(&e.variant),
-                e.created_unix,
-                e.rule.to_wire(),
-            ));
+            out.push_str(&entry_line(e));
+            out.push('\n');
         }
+        let crc = crc32(out.as_bytes());
+        out.push_str(&format!("{FOOTER_PREFIX}{crc:08x}\n"));
         out
     }
 
-    /// Parse a catalog from its text form.
+    /// Parse a catalog from its text form. Accepts AVCAT 3 (footer
+    /// verified) and AVCAT 2 (no footer).
     pub fn from_text(text: &str) -> Result<RuleCatalog, CatalogError> {
         let mut lines = text.lines();
-        match lines.next() {
-            Some(h) if h.trim() == HEADER => {}
+        let v3 = match lines.next() {
+            Some(h) if h.trim() == HEADER => true,
+            Some(h) if h.trim() == HEADER_V2 => false,
             other => {
                 return Err(CatalogError::Format(format!(
                     "bad header {other:?}, expected {HEADER:?}"
                 )))
             }
-        }
+        };
+        let body = if v3 {
+            // The footer must be the last non-empty line; its CRC covers
+            // every byte before the footer line itself.
+            let trimmed = text.trim_end_matches(['\n', '\r']);
+            let footer_start = trimmed.rfind('\n').map(|i| i + 1).unwrap_or(0);
+            let footer = &trimmed[footer_start..];
+            let stored = footer
+                .strip_prefix(FOOTER_PREFIX)
+                .and_then(|h| u32::from_str_radix(h.trim(), 16).ok())
+                .ok_or_else(|| CatalogError::Corrupt {
+                    file: String::new(),
+                    offset: footer_start as u64,
+                    detail: format!("missing {FOOTER_PREFIX:?} footer line"),
+                })?;
+            let computed = crc32(&text.as_bytes()[..footer_start]);
+            if stored != computed {
+                return Err(CatalogError::Corrupt {
+                    file: String::new(),
+                    offset: footer_start as u64,
+                    detail: format!("crc32 mismatch: stored {stored:08x}, computed {computed:08x}"),
+                });
+            }
+            &text[..footer_start]
+        } else {
+            text
+        };
         let mut catalog = RuleCatalog::new();
-        for (i, line) in lines.enumerate() {
+        for (i, line) in body.lines().skip(1).enumerate() {
             let line = line.trim();
             if line.is_empty() {
                 continue;
@@ -142,23 +201,64 @@ impl RuleCatalog {
         Ok(catalog)
     }
 
-    /// Atomically write the catalog to `path`.
+    /// Write the catalog to `path` atomically and durably: sibling temp
+    /// file, `fsync`, rename over `path`, parent-directory `fsync`.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CatalogError> {
+        use std::io::Write;
         let path = path.as_ref();
         let tmp = path.with_extension("tmp");
-        std::fs::write(&tmp, self.to_text())?;
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(self.to_text().as_bytes())?;
+        file.sync_all()?;
+        drop(file);
         std::fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            let parent = if parent.as_os_str().is_empty() {
+                Path::new(".")
+            } else {
+                parent
+            };
+            std::fs::File::open(parent)?.sync_all()?;
+        }
         Ok(())
     }
 
-    /// Load a catalog from `path`.
+    /// Load a catalog from `path`. Corruption errors name the file and
+    /// the byte offset where verification failed.
     pub fn load(path: impl AsRef<Path>) -> Result<RuleCatalog, CatalogError> {
+        let path = path.as_ref();
         let text = std::fs::read_to_string(path)?;
-        RuleCatalog::from_text(&text)
+        RuleCatalog::from_text(&text).map_err(|e| name_file(e, &path.display().to_string()))
     }
 }
 
-fn parse_entry(line: &str) -> Result<CatalogEntry, String> {
+/// Stamp a file name into a [`CatalogError::Corrupt`] raised while parsing
+/// that file's text.
+pub(crate) fn name_file(e: CatalogError, file_name: &str) -> CatalogError {
+    match e {
+        CatalogError::Corrupt { offset, detail, .. } => CatalogError::Corrupt {
+            file: file_name.to_string(),
+            offset,
+            detail,
+        },
+        other => other,
+    }
+}
+
+/// One catalog entry rendered as its on-disk line (no trailing newline).
+/// This exact form is also the WAL payload of an `infer` record, so a
+/// replayed rule is byte-identical to a checkpointed one.
+pub(crate) fn entry_line(e: &CatalogEntry) -> String {
+    format!(
+        "name={};variant={};created={};{}",
+        pct_encode(&e.name),
+        pct_encode(&e.variant),
+        e.created_unix,
+        e.rule.to_wire(),
+    )
+}
+
+pub(crate) fn parse_entry(line: &str) -> Result<CatalogEntry, String> {
     let decode = |v: &str| pct_decode(v).map_err(|e| e.to_string());
     let mut name = None;
     let mut variant = None;
@@ -258,6 +358,64 @@ mod tests {
         assert!(RuleCatalog::from_text("AVCAT 2\n").unwrap().is_empty());
         // Pre-whitespace-change catalogs are refused, not reinterpreted.
         assert!(RuleCatalog::from_text("AVCAT 1\n").is_err());
+    }
+
+    #[test]
+    fn corrupted_catalog_names_file_and_offset() {
+        let mut cat = RuleCatalog::new();
+        cat.insert(entry("r1", "<num>"));
+        cat.insert(entry("r2", "<digit>{4}"));
+        let text = cat.to_text();
+        assert!(text.starts_with("AVCAT 3\n"), "{text}");
+        assert!(text
+            .trim_end()
+            .lines()
+            .last()
+            .unwrap()
+            .starts_with("#crc32="));
+
+        // Any body byte flip is caught by the footer.
+        let mut bytes = text.clone().into_bytes();
+        bytes[12] ^= 0x40;
+        let corrupt = String::from_utf8(bytes).unwrap();
+        match RuleCatalog::from_text(&corrupt) {
+            Err(CatalogError::Corrupt { offset, detail, .. }) => {
+                assert_eq!(offset as usize, text.rfind("#crc32=").unwrap());
+                assert!(detail.contains("crc32 mismatch"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+
+        // A truncated file (footer lost) is refused too.
+        let footer_at = text.rfind("#crc32=").unwrap();
+        assert!(matches!(
+            RuleCatalog::from_text(&text[..footer_at]),
+            Err(CatalogError::Corrupt { .. })
+        ));
+
+        // Loading from disk names the file in the error message.
+        let dir = std::env::temp_dir().join(format!("av_catalog_crc_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rules.avcat");
+        std::fs::write(&path, &corrupt).unwrap();
+        let err = RuleCatalog::load(&path).unwrap_err().to_string();
+        assert!(err.contains("rules.avcat"), "{err}");
+        assert!(err.contains("corrupt at byte"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn v2_catalogs_without_footer_still_load() {
+        let mut cat = RuleCatalog::new();
+        cat.insert(entry("r1", "<num>"));
+        // Render a v2 image by hand: v3 text minus the footer, with the
+        // old header.
+        let v3 = cat.to_text();
+        let body_end = v3.rfind("#crc32=").unwrap();
+        let v2 = format!("AVCAT 2\n{}", &v3["AVCAT 3\n".len()..body_end]);
+        let loaded = RuleCatalog::from_text(&v2).unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert!(loaded.get("r1").unwrap().rule.conforms("42"));
     }
 
     #[test]

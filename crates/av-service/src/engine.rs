@@ -18,7 +18,10 @@
 //!   serialize only ingests whose deltas overlap; the final epoch swap is
 //!   a few pointer copies under one brief write lock.
 
-use crate::catalog::{CatalogEntry, CatalogError, RuleCatalog};
+use crate::catalog::{self, CatalogEntry, CatalogError, RuleCatalog};
+use crate::durable::{
+    self, CheckpointBase, DurabilityConfig, DurabilitySnapshot, DurableState, WalRecord,
+};
 use crate::telemetry::{FailureExemplar, ServiceTelemetry, TelemetryConfig};
 use av_baselines::baseline_by_name;
 use av_core::{
@@ -26,11 +29,12 @@ use av_core::{
     ValidationReport, ValidationSession, Validator, Variant,
 };
 use av_corpus::Column;
+use av_durable::{DurableError, OsStorage, Storage};
 use av_index::{DeltaError, IndexConfig, IndexDelta, PatternIndex, PersistError, ShardedIndex};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
 
 /// On-disk index file name inside the service data directory.
 pub const INDEX_FILE: &str = "index.avix";
@@ -62,6 +66,17 @@ pub struct ServiceConfig {
     /// Drift-telemetry knobs: sliding-window bucket width and the windowed
     /// flag-rate at which a rule's snapshot reports an alert.
     pub telemetry: TelemetryConfig,
+    /// Crash-safe durability knobs (WAL + incremental checkpoints).
+    /// Effective only with a data directory configured.
+    pub durability: DurabilityConfig,
+    /// The storage layer all durability I/O goes through. Production code
+    /// keeps the default [`OsStorage`]; fault-injection tests swap in
+    /// [`av_durable::MemStorage`] to crash the service at every I/O point.
+    pub storage: Arc<dyn Storage>,
+    /// Pin the `created` timestamp of inferred rules (seconds since the
+    /// Unix epoch) instead of reading the wall clock — recovery harnesses
+    /// use this so a replayed rule is byte-identical to the original.
+    pub rule_clock_unix: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -73,6 +88,9 @@ impl Default for ServiceConfig {
             data_dir: None,
             max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
             telemetry: TelemetryConfig::default(),
+            durability: DurabilityConfig::default(),
+            storage: Arc::new(OsStorage),
+            rule_clock_unix: None,
         }
     }
 }
@@ -82,6 +100,20 @@ impl ServiceConfig {
     pub fn with_data_dir(dir: impl Into<PathBuf>) -> ServiceConfig {
         ServiceConfig {
             data_dir: Some(dir.into()),
+            ..Default::default()
+        }
+    }
+
+    /// Config persisting under `dir` with crash-safe durability enabled:
+    /// every mutating op is write-ahead logged and checkpoints are
+    /// incremental.
+    pub fn durable(dir: impl Into<PathBuf>) -> ServiceConfig {
+        ServiceConfig {
+            data_dir: Some(dir.into()),
+            durability: DurabilityConfig {
+                enabled: true,
+                ..DurabilityConfig::default()
+            },
             ..Default::default()
         }
     }
@@ -108,6 +140,9 @@ pub enum ServiceError {
     MethodDeclined(String),
     /// A baseline rule may not take a name held by a catalog rule.
     NameTaken(String),
+    /// Durability I/O failed (WAL append, checkpoint, or recovery). A
+    /// poisoned WAL rejects mutating ops until a checkpoint rotates it.
+    Durable(DurableError),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -126,6 +161,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::NameTaken(n) => {
                 write!(f, "rule name {n:?} is already held by a catalog rule")
             }
+            ServiceError::Durable(e) => write!(f, "durability failure: {e}"),
         }
     }
 }
@@ -153,6 +189,12 @@ impl From<PersistError> for ServiceError {
 impl From<CatalogError> for ServiceError {
     fn from(e: CatalogError) -> Self {
         ServiceError::Catalog(e)
+    }
+}
+
+impl From<DurableError> for ServiceError {
+    fn from(e: DurableError) -> Self {
+        ServiceError::Durable(e)
     }
 }
 
@@ -250,6 +292,10 @@ pub struct ValidationService {
     /// **innermost** lock (taken after, never around, the catalog or
     /// baselines locks).
     classifier: Mutex<RuleSet>,
+    /// Crash-safe durability state (WAL, in-flight ingest registry, and
+    /// checkpoint base); `None` outside durable mode. The WAL mutex inside
+    /// is the outermost lock of every durable mutating path.
+    durable: Option<DurableState>,
     telemetry: ServiceTelemetry,
     shutdown: AtomicBool,
     columns_ingested: AtomicU64,
@@ -270,6 +316,7 @@ impl ValidationService {
             catalog: RwLock::new(RuleCatalog::new()),
             baselines: RwLock::new(HashMap::new()),
             classifier: Mutex::new(RuleSet::new()),
+            durable: None,
             telemetry: ServiceTelemetry::new(config.telemetry.clone()),
             shutdown: AtomicBool::new(false),
             columns_ingested: AtomicU64::new(0),
@@ -287,7 +334,17 @@ impl ValidationService {
     /// configured data directory. Missing files mean a cold start — not an
     /// error. A v3 (single-shard) index image is resharded to the
     /// configured shard count on install.
+    ///
+    /// In durable mode this is crash **recovery**: the newest checkpoint
+    /// manifest that verifies is loaded (corrupt shard files are
+    /// quarantined, not fatal), then the write-ahead log is replayed above
+    /// the checkpoint's watermark — O(records since the last checkpoint),
+    /// never a corpus rebuild — so the recovered state equals a consistent
+    /// prefix of the acknowledged operation history.
     pub fn open(config: ServiceConfig) -> Result<ValidationService, ServiceError> {
+        if config.durability.enabled && config.data_dir.is_some() {
+            return ValidationService::open_durable(config);
+        }
         let service = ValidationService::new(config);
         if let Some(dir) = service.config.data_dir.clone() {
             let index_path = dir.join(INDEX_FILE);
@@ -309,6 +366,87 @@ impl ValidationService {
                 *service.catalog.write().expect("catalog lock poisoned") = loaded;
             }
         }
+        Ok(service)
+    }
+
+    /// The durable-mode open path: recover checkpoint + WAL into a fresh
+    /// service and arm the durability state.
+    fn open_durable(config: ServiceConfig) -> Result<ValidationService, ServiceError> {
+        let dir = config.data_dir.clone().expect("checked by open");
+        let storage = Arc::clone(&config.storage);
+        let durability = config.durability.clone();
+        let mut service = ValidationService::new(config);
+
+        let rec = durable::recover(&storage, &dir, &durability)?;
+        let image_from_checkpoint = rec.image_from_checkpoint;
+        if let Some(image) = rec.image {
+            service.index.install(image);
+        }
+        // The just-installed epoch is the next checkpoint's reuse base —
+        // but only if it still encodes the manifest's shard files (install
+        // reshards images whose shard count differs from the config's,
+        // which invalidates the per-shard file mapping).
+        let base_index = if image_from_checkpoint {
+            let snap = service.index.snapshot();
+            (snap.shard_count() == rec.base_files.len()).then_some(snap)
+        } else {
+            None
+        };
+
+        // Replay: apply each recovered record exactly as the live op
+        // would. Deltas that no longer merge (τ changed between runs)
+        // are skipped and counted, matching what the live op would have
+        // been refused.
+        let mut catalog = rec.catalog;
+        let mut skipped = rec.skipped_records;
+        for record in rec.records {
+            match record {
+                WalRecord::Delta(delta) => {
+                    if service.index.merge_delta(delta).is_err() {
+                        skipped += 1;
+                    }
+                }
+                WalRecord::Infer(entry) => {
+                    catalog.insert(entry);
+                }
+                WalRecord::Delete(name) => {
+                    catalog.remove(&name);
+                }
+            }
+        }
+        service
+            .columns_ingested
+            .store(service.index.snapshot().num_columns, Ordering::Relaxed);
+        {
+            let mut classifier = service.classifier.lock().expect("classifier poisoned");
+            for entry in catalog.iter() {
+                classifier.insert(&entry.name, entry.rule.clone());
+            }
+        }
+        *service.catalog.write().expect("catalog lock poisoned") = catalog;
+
+        service.durable = Some(DurableState {
+            storage,
+            dir,
+            cfg: durability,
+            wal: Mutex::new(rec.wal),
+            in_flight: Mutex::new(BTreeSet::new()),
+            in_flight_cv: Condvar::new(),
+            ckpt: Mutex::new(CheckpointBase {
+                generation: rec.base_generation,
+                index: base_index,
+                files: rec.base_files,
+                retained: rec.retained,
+            }),
+            records_since_checkpoint: AtomicU64::new(rec.replayed_records),
+            replayed_records: AtomicU64::new(rec.replayed_records),
+            truncated_tail_bytes: AtomicU64::new(rec.truncated_tail_bytes),
+            quarantined_files: AtomicU64::new(rec.quarantined_files),
+            skipped_records: AtomicU64::new(skipped),
+            checkpoints_completed: AtomicU64::new(0),
+            checkpoint_failures: AtomicU64::new(0),
+            last_generation: AtomicU64::new(rec.base_generation),
+        });
         Ok(service)
     }
 
@@ -342,7 +480,34 @@ impl ValidationService {
         let refs: Vec<&Column> = columns.iter().collect();
         // Expensive profiling happens with no lock held.
         let delta = IndexDelta::profile(&refs, &self.config.index);
-        let merge = self.index.merge_delta(delta)?;
+        // Durable mode logs the delta before merging it: the WAL append is
+        // the durability point, the merge itself stays outside the WAL
+        // lock (deltas commute, so checkpoint's in-flight drain is all the
+        // ordering the merge needs).
+        let logged = match &self.durable {
+            Some(d) => {
+                let payload = durable::encode_delta(&delta);
+                let lsn = {
+                    let mut wal = d.wal.lock().expect("wal lock poisoned");
+                    let lsn = wal.append(&payload)?;
+                    d.in_flight
+                        .lock()
+                        .expect("in-flight lock poisoned")
+                        .insert(lsn);
+                    lsn
+                };
+                Some((d, lsn))
+            }
+            None => None,
+        };
+        let merged = self.index.merge_delta(delta);
+        if let Some((d, lsn)) = logged {
+            let mut in_flight = d.in_flight.lock().expect("in-flight lock poisoned");
+            in_flight.remove(&lsn);
+            drop(in_flight);
+            d.in_flight_cv.notify_all();
+        }
+        let merge = merged?;
         let report = IngestReport {
             columns_added: columns.len() as u64,
             delta_patterns: merge.delta_patterns,
@@ -353,6 +518,7 @@ impl ValidationService {
         self.columns_ingested
             .fetch_add(columns.len() as u64, Ordering::Relaxed);
         self.ingest_batches.fetch_add(1, Ordering::Relaxed);
+        self.note_durable_record();
         Ok(report)
     }
 
@@ -391,15 +557,30 @@ impl ValidationService {
             name: name.to_string(),
             rule,
             variant: label,
-            created_unix: std::time::SystemTime::now()
-                .duration_since(std::time::UNIX_EPOCH)
-                .map(|d| d.as_secs())
-                .unwrap_or(0),
+            created_unix: self.config.rule_clock_unix.unwrap_or_else(|| {
+                std::time::SystemTime::now()
+                    .duration_since(std::time::UNIX_EPOCH)
+                    .map(|d| d.as_secs())
+                    .unwrap_or(0)
+            }),
         };
-        self.catalog
-            .write()
-            .expect("catalog lock poisoned")
-            .insert(entry.clone());
+        // Durable mode: log-then-apply under the WAL lock, so a checkpoint
+        // can never truncate a logged record whose catalog effect is not
+        // yet in the snapshot it wrote.
+        if let Some(d) = &self.durable {
+            let payload = durable::encode_infer(&catalog::entry_line(&entry));
+            let mut wal = d.wal.lock().expect("wal lock poisoned");
+            wal.append(&payload)?;
+            self.catalog
+                .write()
+                .expect("catalog lock poisoned")
+                .insert(entry.clone());
+        } else {
+            self.catalog
+                .write()
+                .expect("catalog lock poisoned")
+                .insert(entry.clone());
+        }
         self.baselines
             .write()
             .expect("baselines lock poisoned")
@@ -411,6 +592,7 @@ impl ValidationService {
             .expect("classifier poisoned")
             .insert(name, entry.rule.clone());
         self.rules_inferred.fetch_add(1, Ordering::Relaxed);
+        self.note_durable_record();
         Ok(entry)
     }
 
@@ -428,18 +610,34 @@ impl ValidationService {
     /// rule's telemetry goes with it, so a later rule under the same name
     /// starts from a clean slate.
     pub fn delete_rule(&self, name: &str) -> Result<(), ServiceError> {
-        if self
-            .catalog
-            .write()
-            .expect("catalog lock poisoned")
-            .remove(name)
-            .is_some()
-        {
+        // Cataloged rules are the durable ones; session-scoped baselines
+        // below are in-memory only and never logged. Log-then-apply under
+        // the WAL lock (see `infer_rule`), but only once the entry is known
+        // to exist — a delete of an unknown name must not consume an LSN.
+        let removed_cataloged = if let Some(d) = &self.durable {
+            let mut wal = d.wal.lock().expect("wal lock poisoned");
+            let mut catalog = self.catalog.write().expect("catalog lock poisoned");
+            if catalog.get(name).is_some() {
+                wal.append(&durable::encode_delete(name))?;
+                catalog.remove(name);
+                true
+            } else {
+                false
+            }
+        } else {
+            self.catalog
+                .write()
+                .expect("catalog lock poisoned")
+                .remove(name)
+                .is_some()
+        };
+        if removed_cataloged {
             self.telemetry.forget_rule(name);
             self.classifier
                 .lock()
                 .expect("classifier poisoned")
                 .remove(name);
+            self.note_durable_record();
             return Ok(());
         }
         self.baselines
@@ -786,8 +984,18 @@ impl ValidationService {
         indexed.into_iter().map(|(_, r)| r).collect()
     }
 
-    /// Persist the live index and catalog to the data directory.
+    /// Persist the live index and catalog to the data directory. In
+    /// durable mode this writes an incremental checkpoint (only shards
+    /// touched since the previous checkpoint are rewritten) and truncates
+    /// the WAL behind it; otherwise it writes the full `index.avix` /
+    /// `rules.avcat` pair atomically.
     pub fn persist(&self) -> Result<(), ServiceError> {
+        if let Some(d) = &self.durable {
+            self.checkpoint_durable(d).inspect_err(|_| {
+                d.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+            })?;
+            return Ok(());
+        }
         let dir = self
             .config
             .data_dir
@@ -800,6 +1008,61 @@ impl ValidationService {
             .expect("catalog lock poisoned")
             .save(dir.join(CATALOG_FILE))?;
         Ok(())
+    }
+
+    /// Write an incremental checkpoint: drain in-flight ingest merges,
+    /// fence the WAL at a watermark, snapshot index + catalog, and hand
+    /// the pair to the checkpoint writer. Holding the WAL lock across the
+    /// snapshot is what makes the watermark exact — no op can acquire an
+    /// LSN until the snapshot is taken, and every logged-but-unmerged
+    /// delta is drained first.
+    fn checkpoint_durable(&self, d: &DurableState) -> Result<u64, ServiceError> {
+        let mut base = d.ckpt.lock().expect("checkpoint lock poisoned");
+        let (watermark, index, catalog_text) = {
+            let mut wal = d.wal.lock().expect("wal lock poisoned");
+            let mut in_flight = d.in_flight.lock().expect("in-flight lock poisoned");
+            while !in_flight.is_empty() {
+                in_flight = d
+                    .in_flight_cv
+                    .wait(in_flight)
+                    .expect("in-flight lock poisoned");
+            }
+            drop(in_flight);
+            let watermark = wal.next_lsn().saturating_sub(1);
+            // Rotate so the segment holding pre-watermark records is
+            // closed and can be removed once the manifest commits.
+            wal.rotate()?;
+            let catalog_text = self
+                .catalog
+                .read()
+                .expect("catalog lock poisoned")
+                .to_text();
+            (watermark, self.snapshot(), catalog_text)
+        };
+        let generation = durable::write_checkpoint(d, &mut base, &index, &catalog_text, watermark)?;
+        d.last_generation.store(generation, Ordering::Relaxed);
+        d.checkpoints_completed.fetch_add(1, Ordering::Relaxed);
+        d.records_since_checkpoint.store(0, Ordering::Relaxed);
+        Ok(generation)
+    }
+
+    /// Count a durable record and trigger an automatic checkpoint when the
+    /// configured threshold is crossed. Checkpoint failures here are
+    /// counted, not surfaced — the op that tripped the threshold already
+    /// succeeded and its record is safely in the WAL.
+    fn note_durable_record(&self) {
+        let Some(d) = &self.durable else { return };
+        let since = d.records_since_checkpoint.fetch_add(1, Ordering::Relaxed) + 1;
+        let every = d.cfg.checkpoint_every_records;
+        if every > 0 && since >= every && self.checkpoint_durable(d).is_err() {
+            d.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Durability counters (checkpoint generation, WAL footprint, recovery
+    /// tallies), or `None` when the service runs without a WAL.
+    pub fn durability(&self) -> Option<DurabilitySnapshot> {
+        self.durable.as_ref().map(|d| d.snapshot())
     }
 
     /// Path of the persisted index, when a data directory is configured.

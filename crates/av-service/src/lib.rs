@@ -29,6 +29,15 @@
 //!   values, so FMDV catalog rules and session-scoped baseline rules
 //!   (`infer_baseline` op: TFDV, Grok, PWheel, …) serve identically and
 //!   can be A/B-compared live (`compare` op).
+//! * **Crash-safe durable mode** — with [`ServiceConfig::durable`],
+//!   every mutating op is CRC-framed, write-ahead logged and fsynced
+//!   before it is acknowledged; `persist` writes an **incremental
+//!   checkpoint** (only index shards touched since the last one are
+//!   rewritten) and [`ValidationService::open`] recovers checkpoint +
+//!   WAL tail in O(records since checkpoint) — a kill at any instant
+//!   loses no acknowledged op. Corrupt shard files are quarantined,
+//!   not fatal. See [`durable`] and the fault-injection matrix in
+//!   `tests/crash_recovery.rs`.
 //! * **JSONL protocol** — `av-serve` (in the root crate's `src/bin`)
 //!   drives all of this over stdin/stdout or TCP; see [`protocol`].
 //!
@@ -56,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod catalog;
+pub mod durable;
 pub mod engine;
 pub mod json;
 pub mod protocol;
@@ -63,6 +73,7 @@ pub mod server;
 pub mod telemetry;
 
 pub use catalog::{CatalogEntry, CatalogError, RuleCatalog};
+pub use durable::{DurabilityConfig, DurabilitySnapshot};
 pub use engine::{
     owned_column, BatchItem, ClassifyOutcome, ExplainOutcome, IngestReport, ServiceConfig,
     ServiceError, ServiceStats, ValidationService, CATALOG_FILE, INDEX_FILE,

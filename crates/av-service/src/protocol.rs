@@ -68,6 +68,31 @@
 //!     "window_flagged":1,"flag_rate":0.3333,"alert":false,...}]}
 //! ← {"frame":1,"elapsed_ms":1000,"rules":[...]}
 //! ```
+//!
+//! ## Durability state
+//!
+//! When the service runs in durable mode (`av-serve --durable`, or
+//! [`crate::ServiceConfig::durable`]), `persist`, `stats` and `metrics`
+//! responses carry a `"durability"` object. For `persist` it describes
+//! the incremental checkpoint that was just written; for the read ops it
+//! is the live WAL/checkpoint state:
+//!
+//! ```text
+//! → {"op":"persist"}
+//! ← {"ok":true,"persisted":true,"data_dir":"state/","durability":{
+//!    "checkpoint_generation":3,"wal_segments":1,"wal_bytes":0,
+//!    "records_since_checkpoint":0,"replayed_records":2,
+//!    "truncated_tail_bytes":0,"quarantined_files":0,"skipped_records":0,
+//!    "checkpoints_completed":1,"checkpoint_failures":0}}
+//! ```
+//!
+//! `replayed_records` / `truncated_tail_bytes` / `quarantined_files`
+//! describe what the last recovery had to do (how many WAL records were
+//! replayed past the checkpoint, whether a torn final frame was dropped,
+//! whether any corrupt shard file was set aside into `quarantine/`);
+//! `records_since_checkpoint` is the WAL tail the *next* recovery would
+//! replay; `checkpoint_failures` counts auto-checkpoints that failed
+//! after their trigger op was already safely logged.
 
 use crate::engine::{BatchItem, ValidationService};
 use crate::json::{parse, Json};
@@ -256,7 +281,13 @@ fn dispatch(service: &ValidationService, line: &str) -> (&'static str, Reply) {
         "persist" => (
             "persist",
             match service.persist() {
-                Ok(()) => ok(vec![("persisted", Json::Bool(true))]),
+                Ok(()) => {
+                    let mut fields = vec![("persisted", Json::Bool(true))];
+                    if let Some(d) = service.durability() {
+                        fields.push(("durability", durability_json(&d)));
+                    }
+                    ok(fields)
+                }
                 Err(e) => fail(e.to_string()),
             },
         ),
@@ -651,7 +682,7 @@ fn handle_metrics(service: &ValidationService) -> Reply {
             ])
         })
         .collect();
-    ok(vec![
+    let mut fields = vec![
         ("rules", Json::Arr(rules)),
         ("ops", Json::Arr(ops)),
         (
@@ -659,6 +690,42 @@ fn handle_metrics(service: &ValidationService) -> Reply {
             Json::Num(service.index_generation() as f64),
         ),
         ("window_millis", Json::Num(telemetry.window_millis() as f64)),
+    ];
+    if let Some(d) = service.durability() {
+        fields.push(("durability", durability_json(&d)));
+    }
+    ok(fields)
+}
+
+/// Serialize a [`crate::DurabilitySnapshot`] for `persist` / `stats` /
+/// `metrics` responses.
+fn durability_json(d: &crate::DurabilitySnapshot) -> Json {
+    Json::obj([
+        (
+            "checkpoint_generation",
+            Json::Num(d.checkpoint_generation as f64),
+        ),
+        ("wal_segments", Json::Num(d.wal_segments as f64)),
+        ("wal_bytes", Json::Num(d.wal_bytes as f64)),
+        (
+            "records_since_checkpoint",
+            Json::Num(d.records_since_checkpoint as f64),
+        ),
+        ("replayed_records", Json::Num(d.replayed_records as f64)),
+        (
+            "truncated_tail_bytes",
+            Json::Num(d.truncated_tail_bytes as f64),
+        ),
+        ("quarantined_files", Json::Num(d.quarantined_files as f64)),
+        ("skipped_records", Json::Num(d.skipped_records as f64)),
+        (
+            "checkpoints_completed",
+            Json::Num(d.checkpoints_completed as f64),
+        ),
+        (
+            "checkpoint_failures",
+            Json::Num(d.checkpoint_failures as f64),
+        ),
     ])
 }
 
@@ -766,7 +833,7 @@ fn handle_stats(service: &ValidationService) -> Reply {
             })
             .collect(),
     );
-    ok(vec![
+    let mut fields = vec![
         ("columns_ingested", Json::Num(s.columns_ingested as f64)),
         ("ingest_batches", Json::Num(s.ingest_batches as f64)),
         ("rules_inferred", Json::Num(s.rules_inferred as f64)),
@@ -790,7 +857,11 @@ fn handle_stats(service: &ValidationService) -> Reply {
             "catalog_generation",
             Json::Num(service.classifier_generation() as f64),
         ),
-    ])
+    ];
+    if let Some(d) = service.durability() {
+        fields.push(("durability", durability_json(&d)));
+    }
+    ok(fields)
 }
 
 /// Did a response line report success? (Convenience for clients/tests.)

@@ -18,6 +18,11 @@
 //!
 //! On startup the service reloads `state/index.avix` and
 //! `state/rules.avcat` when present; `{"op":"persist"}` writes them back.
+//!
+//! With `--durable`, every mutating op is write-ahead logged before it is
+//! acknowledged and `persist` writes an incremental checkpoint; on start
+//! the service recovers from the newest checkpoint plus the WAL tail, so
+//! a kill at any moment loses no acknowledged op.
 
 use av_service::{ServiceConfig, ValidationService};
 use std::process::ExitCode;
@@ -38,6 +43,15 @@ options:
   --max-request-bytes N
                  largest JSONL request line a TCP client may send before
                  it is disconnected with a protocol error (default 1 MiB)
+  --durable      crash-safe mode (requires --data): mutating ops are
+                 write-ahead logged and fsynced before they are
+                 acknowledged; \"persist\" writes an incremental
+                 checkpoint; startup recovers checkpoint + WAL tail
+  --wal-segment-bytes N
+                 rotate WAL segments at N bytes (default 8 MiB)
+  --checkpoint-every N
+                 auto-checkpoint after N logged records (default 1024;
+                 0 = only on explicit \"persist\")
 
 protocol ops: ping, ingest, infer, infer_baseline, validate,
 validate_batch, compare, catalog, rule, delete_rule, persist, stats,
@@ -81,6 +95,24 @@ fn main() -> ExitCode {
                 config.max_request_bytes = n;
                 i += 2;
             }
+            "--durable" => {
+                config.durability.enabled = true;
+                i += 1;
+            }
+            "--wal-segment-bytes" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                config.durability.wal_segment_bytes = n;
+                i += 2;
+            }
+            "--checkpoint-every" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                config.durability.checkpoint_every_records = n;
+                i += 2;
+            }
             "--help" | "-h" => {
                 usage();
                 return ExitCode::SUCCESS;
@@ -89,6 +121,10 @@ fn main() -> ExitCode {
         }
     }
 
+    if config.durability.enabled && config.data_dir.is_none() {
+        eprintln!("av-serve: --durable requires --data DIR");
+        return usage();
+    }
     let service = match ValidationService::open(config) {
         Ok(s) => Arc::new(s),
         Err(e) => {

@@ -1,0 +1,284 @@
+//! Fault-injection crash-recovery harness.
+//!
+//! The durable service's contract: after a crash at **any** storage
+//! operation — mid-WAL-append, mid-checkpoint, mid-rename, mid-fsync —
+//! reopening the data directory recovers a state that is bit-identical
+//! to the state after some *consistent prefix* of the operation history,
+//! and that prefix covers every operation the service acknowledged.
+//!
+//! The harness runs a fixed op script against `MemStorage` once without
+//! faults to count the storage operations it performs, then replays the
+//! script once per storage op with a crash injected exactly there. Each
+//! crashed run is recovered from its durable view (what an fsync-honest
+//! disk would hold) and compared byte-for-byte against sequential
+//! reference states built by a plain in-memory service.
+
+use av_corpus::{generate_lake, Column, LakeProfile};
+use av_durable::{FaultPlan, MemStorage, Storage};
+use av_service::{owned_column, RuleCatalog, ServiceConfig, ServiceError, ValidationService};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Pinned rule clock so catalog text is identical across runs.
+const CLOCK: u64 = 1_700_000_000;
+
+/// A small synthetic lake slice: enough corpus support for FMDV to find
+/// feasible rules, small enough to re-profile dozens of times.
+fn lake(seed: u64, scale: usize) -> Vec<Column> {
+    generate_lake(&LakeProfile::tiny().scaled(scale), seed)
+        .columns()
+        .cloned()
+        .collect()
+}
+
+fn dates(month: u32) -> Vec<String> {
+    (1..=28)
+        .map(|d| format!("2023-{month:02}-{d:02}"))
+        .collect()
+}
+
+enum Op {
+    Ingest(Vec<Column>),
+    Infer(&'static str, Vec<String>),
+    Delete(&'static str),
+    Persist,
+}
+
+/// Deterministic op script: ingests, rule inference, a delete, and
+/// explicit checkpoints, sized so auto-checkpoints also fire between the
+/// explicit ones.
+fn script() -> Vec<Op> {
+    vec![
+        Op::Ingest(lake(85, 25)),
+        Op::Infer("feeds/date", dates(1)),
+        Op::Ingest(vec![owned_column(
+            "gamma",
+            (0..10).map(|i| format!("user_{i}@example.com")).collect(),
+        )]),
+        Op::Persist,
+        Op::Infer("feeds/march", dates(3)),
+        Op::Ingest(vec![owned_column(
+            "delta",
+            (0..10).map(|i| format!("10.0.0.{i}")).collect(),
+        )]),
+        Op::Delete("feeds/date"),
+        Op::Ingest(vec![owned_column(
+            "epsilon",
+            (0..8).map(|i| format!("case-{i:03}")).collect(),
+        )]),
+        Op::Persist,
+    ]
+}
+
+fn apply(service: &ValidationService, op: &Op) -> Result<(), ServiceError> {
+    match op {
+        Op::Ingest(columns) => service.ingest(columns).map(|_| ()),
+        Op::Infer(name, train) => service.infer_rule(name, train, None).map(|_| ()),
+        Op::Delete(name) => service.delete_rule(name),
+        Op::Persist => service.persist(),
+    }
+}
+
+/// Durable config over the given in-memory storage: small WAL segments
+/// and a low auto-checkpoint threshold so rotation, truncation, and
+/// incremental checkpoints all happen inside the short script.
+fn durable_config(mem: &MemStorage) -> ServiceConfig {
+    let mut config = ServiceConfig::durable(PathBuf::from("/data"));
+    config.storage = Arc::new(mem.clone());
+    config.rule_clock_unix = Some(CLOCK);
+    config.durability.checkpoint_every_records = 3;
+    config.durability.wal_segment_bytes = 4096;
+    config
+}
+
+/// The logical durable state: serialized index bytes + catalog text.
+fn state_of(service: &ValidationService) -> (Vec<u8>, String) {
+    let index = service.snapshot().to_bytes().to_vec();
+    let mut catalog = RuleCatalog::new();
+    for entry in service.catalog_entries() {
+        catalog.insert(entry);
+    }
+    (index, catalog.to_text())
+}
+
+/// Sequential reference states: `states[k]` is the state after the first
+/// `k` script ops, built by a plain in-memory (non-durable) service.
+/// `Persist` is a logical no-op, so neighbouring states may be equal.
+fn reference_states() -> Vec<(Vec<u8>, String)> {
+    let config = ServiceConfig {
+        rule_clock_unix: Some(CLOCK),
+        ..ServiceConfig::default()
+    };
+    let service = ValidationService::new(config);
+    let mut states = vec![state_of(&service)];
+    for op in script() {
+        if !matches!(op, Op::Persist) {
+            apply(&service, &op).unwrap();
+        }
+        states.push(state_of(&service));
+    }
+    states
+}
+
+#[test]
+fn crash_at_every_storage_op_recovers_an_acknowledged_prefix() {
+    let references = reference_states();
+
+    // Fault-free run: counts storage ops and checks durable-mode state
+    // matches the non-durable reference exactly.
+    let mem = MemStorage::new();
+    let service = ValidationService::open(durable_config(&mem)).unwrap();
+    for op in script() {
+        apply(&service, &op).unwrap();
+    }
+    assert_eq!(state_of(&service), *references.last().unwrap());
+    let snapshot = service.durability().expect("durable mode is on");
+    assert!(
+        snapshot.checkpoints_completed >= 2,
+        "script must exercise checkpoints: {snapshot:?}"
+    );
+    drop(service);
+    let total_ops = mem.ops_executed();
+    assert!(
+        total_ops > 30,
+        "script must exercise many storage ops, got {total_ops}"
+    );
+
+    // Clean restart replays to the exact final state.
+    let reopened = ValidationService::open(durable_config(&mem)).unwrap();
+    assert_eq!(state_of(&reopened), *references.last().unwrap());
+    drop(reopened);
+
+    // Crash at EVERY storage op of the fault-free trace (0-indexed).
+    for crash_op in 0..total_ops {
+        let mem = MemStorage::with_plan(FaultPlan::crash_at(crash_op));
+        let mut acked = 0usize;
+        if let Ok(service) = ValidationService::open(durable_config(&mem)) {
+            for op in script() {
+                if apply(&service, &op).is_ok() {
+                    acked += 1;
+                } else {
+                    // Once the storage crashed every further durable op
+                    // must refuse: an "acknowledged" op after a failed
+                    // one would tear the prefix contract.
+                    break;
+                }
+            }
+        }
+        assert!(mem.crashed(), "plan at op {crash_op} never fired");
+
+        // Recover from the durable view (what a crash leaves on disk).
+        let recovered_service = ValidationService::open(durable_config(&mem.crashed_view()))
+            .unwrap_or_else(|e| panic!("crash at op {crash_op}: recovery refused to start: {e}"));
+        let recovered = state_of(&recovered_service);
+        let best = references.iter().rposition(|s| *s == recovered);
+        let best = best.unwrap_or_else(|| {
+            panic!("crash at op {crash_op}: recovered state matches no sequential prefix")
+        });
+        assert!(
+            best >= acked,
+            "crash at op {crash_op}: {acked} ops acknowledged but recovery holds only {best}"
+        );
+        let d = recovered_service.durability().expect("durable mode is on");
+        assert_eq!(
+            d.quarantined_files, 0,
+            "crash at op {crash_op}: a pure crash must never corrupt a referenced file"
+        );
+        assert_eq!(
+            d.skipped_records, 0,
+            "crash at op {crash_op}: every replayed record must decode"
+        );
+    }
+}
+
+#[test]
+fn corrupt_shard_is_quarantined_not_fatal() {
+    let mem = MemStorage::new();
+    let service = ValidationService::open(durable_config(&mem)).unwrap();
+    service.ingest(&lake(85, 25)).unwrap();
+    service.infer_rule("q/ids", &dates(2), None).unwrap();
+    service.persist().unwrap();
+    assert!(service.durability().unwrap().checkpoint_generation >= 1);
+    drop(service);
+
+    let files = mem.list(Path::new("/data")).unwrap();
+    let shard = files
+        .iter()
+        .find(|f| f.starts_with("shard-") && f.ends_with(".avsh"))
+        .expect("checkpoint must have written shard files")
+        .clone();
+    mem.corrupt(&Path::new("/data").join(&shard), 12);
+
+    // Recovery starts anyway: the corrupt shard is quarantined (its
+    // patterns are lost until re-ingested), everything else survives.
+    let reopened = ValidationService::open(durable_config(&mem)).unwrap();
+    let d = reopened.durability().unwrap();
+    assert!(d.quarantined_files >= 1, "corruption must be quarantined");
+    assert!(reopened.rule("q/ids").is_ok(), "catalog must survive");
+    let quarantined = mem.list(&Path::new("/data").join("quarantine")).unwrap();
+    assert!(
+        quarantined.iter().any(|f| f == &shard),
+        "corrupt file must be moved to quarantine/, got {quarantined:?}"
+    );
+}
+
+#[test]
+fn legacy_plain_files_upgrade_into_durable_mode() {
+    let dir = std::env::temp_dir().join(format!("av_crash_legacy_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    // A pre-durability service persists plain index.avix + rules.avcat.
+    let mut config = ServiceConfig::with_data_dir(&dir);
+    config.rule_clock_unix = Some(CLOCK);
+    let legacy = ValidationService::new(config);
+    legacy.ingest(&lake(85, 25)).unwrap();
+    legacy.infer_rule("legacy/date", &dates(6), None).unwrap();
+    legacy.persist().unwrap();
+    let want = state_of(&legacy);
+    drop(legacy);
+
+    // Reopening the same directory in durable mode adopts the legacy
+    // files, and the first checkpoint moves it to manifest-based layout.
+    let mut config = ServiceConfig::durable(&dir);
+    config.rule_clock_unix = Some(CLOCK);
+    let durable = ValidationService::open(config).unwrap();
+    assert_eq!(state_of(&durable), want);
+    durable.persist().unwrap();
+    assert!(durable.durability().unwrap().checkpoint_generation >= 1);
+    drop(durable);
+
+    // And the durable layout recovers on a plain OS-storage reopen too.
+    let mut config = ServiceConfig::durable(&dir);
+    config.rule_clock_unix = Some(CLOCK);
+    let again = ValidationService::open(config).unwrap();
+    assert_eq!(state_of(&again), want);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_replays_only_records_since_checkpoint() {
+    let mem = MemStorage::new();
+    let mut config = durable_config(&mem);
+    config.durability.checkpoint_every_records = 4;
+    let service = ValidationService::open(config.clone()).unwrap();
+    // 10 single-record ops: auto-checkpoints at 4 and 8, leaving 2 in
+    // the WAL. Recovery must replay those 2 — not rebuild 10.
+    for i in 0..10u32 {
+        let values: Vec<String> = (0..6).map(|v| format!("r{i}-{v:03}")).collect();
+        service
+            .ingest(&[owned_column(&format!("col-{i}"), values)])
+            .unwrap();
+    }
+    let live = service.durability().unwrap();
+    assert_eq!(live.checkpoints_completed, 2, "{live:?}");
+    assert_eq!(live.records_since_checkpoint, 2, "{live:?}");
+    drop(service);
+
+    let reopened = ValidationService::open(config).unwrap();
+    let d = reopened.durability().unwrap();
+    assert_eq!(
+        d.replayed_records, 2,
+        "recovery must be O(records since checkpoint): {d:?}"
+    );
+    assert_eq!(d.checkpoint_generation, 2, "{d:?}");
+}

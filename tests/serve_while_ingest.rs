@@ -17,11 +17,13 @@
 
 use auto_validate::prelude::*;
 use av_corpus::generate_lake;
+use av_durable::{FaultPlan, MemStorage};
 use av_index::PatternIndex;
 use av_service::{response_ok, serve_tcp, BatchItem, ServiceConfig, ValidationService};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -221,4 +223,129 @@ fn concurrent_ingest_validate_and_tcp_see_consistent_epochs() {
     let persisted = std::fs::read(dir.join(av_service::INDEX_FILE)).unwrap();
     assert_eq!(&persisted[..], &full_bytes[..]);
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Durable config over fault-injecting in-memory storage: a low
+/// checkpoint threshold so the storm spans several checkpoints.
+fn durable_config(mem: &MemStorage) -> ServiceConfig {
+    let mut config = ServiceConfig::durable(PathBuf::from("/data"));
+    config.storage = Arc::new(mem.clone());
+    config.durability.checkpoint_every_records = 2;
+    config.durability.wal_segment_bytes = 4096;
+    config
+}
+
+/// Kill-mid-ingest: the durable service is crashed (via fault injection)
+/// halfway through its storage-op trace while validators hammer it from
+/// other threads. Reopening the durable view must recover an index that
+/// byte-equals the sequential build over the acknowledged ingest prefix
+/// (the crashing batch may legitimately round up to "durable but
+/// unacknowledged"), replaying only the records since the last
+/// checkpoint.
+#[test]
+fn killed_mid_ingest_recovers_acknowledged_prefix() {
+    let initial = lake_columns(61, 60);
+    let batches: Vec<Vec<Column>> = (0..6).map(|i| lake_columns(70 + i, 8)).collect();
+
+    // Sequential prefix images under the durable config's index settings.
+    let config_probe = durable_config(&MemStorage::new());
+    let mut prefixes: Vec<Vec<u8>> = Vec::new();
+    {
+        let mut prefix: Vec<&Column> = initial.iter().collect();
+        prefixes.push(
+            PatternIndex::build(&prefix, &config_probe.index)
+                .to_bytes()
+                .to_vec(),
+        );
+        for batch in &batches {
+            prefix.extend(batch.iter());
+            prefixes.push(
+                PatternIndex::build(&prefix, &config_probe.index)
+                    .to_bytes()
+                    .to_vec(),
+            );
+        }
+    }
+
+    // Fault-free run measures the storage-op trace length.
+    let probe = MemStorage::new();
+    {
+        let service = ValidationService::open(durable_config(&probe)).unwrap();
+        service.ingest(&initial).unwrap();
+        for batch in &batches {
+            service.ingest(batch).unwrap();
+        }
+    }
+    let total_ops = probe.ops_executed();
+    assert!(total_ops > 10, "trace too short: {total_ops}");
+
+    // Crash halfway through the trace — inside the batch sequence.
+    let mem = MemStorage::with_plan(FaultPlan::crash_at(total_ops / 2));
+    let service = Arc::new(ValidationService::open(durable_config(&mem)).unwrap());
+    service.ingest(&initial).unwrap();
+    // The validation rule is a session-scoped baseline: baselines are
+    // deliberately not write-ahead logged, so validators exercise reads
+    // during the crash without perturbing the durable op trace.
+    service
+        .infer_baseline("storm/dates", "grok", &dates(1))
+        .unwrap();
+    let reference = service.validate("storm/dates", &dates(2)).unwrap();
+
+    let storm_over = Arc::new(AtomicBool::new(false));
+    let acked = std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..2)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let storm_over = Arc::clone(&storm_over);
+                let reference = &reference;
+                scope.spawn(move || {
+                    while !storm_over.load(Ordering::Relaxed) {
+                        // Reads never touch storage: they must keep
+                        // succeeding right through the crash.
+                        let report = service.validate("storm/dates", &dates(2)).unwrap();
+                        assert_eq!(&report, reference);
+                    }
+                })
+            })
+            .collect();
+
+        let mut acked = 0usize;
+        for batch in &batches {
+            match service.ingest(batch) {
+                Ok(_) => acked += 1,
+                Err(_) => break, // crashed mid-ingest: not acknowledged
+            }
+        }
+        storm_over.store(true, Ordering::Relaxed);
+        for r in readers {
+            r.join().expect("reader panicked");
+        }
+        acked
+    });
+    assert!(mem.crashed(), "the injected crash must have fired");
+    assert!(acked < batches.len(), "crash must interrupt the batch run");
+
+    // Recover from the durable view: the index must byte-equal the
+    // sequential build over initial + some prefix covering every
+    // acknowledged batch.
+    let recovered = ValidationService::open(durable_config(&mem.crashed_view())).unwrap();
+    let bytes = recovered.snapshot().to_bytes().to_vec();
+    let k = prefixes
+        .iter()
+        .rposition(|p| *p == bytes)
+        .expect("recovered index matches no sequential prefix build");
+    assert!(
+        k >= acked,
+        "{acked} batches acknowledged but recovery holds only {k}"
+    );
+
+    // Recovery is O(records since checkpoint): with a threshold of 2,
+    // at most 2 committed records wait in the WAL, plus the torn batch
+    // that may round up to durable.
+    let d = recovered.durability().expect("durable mode is on");
+    assert!(
+        d.replayed_records <= 3,
+        "recovery must replay only the post-checkpoint tail: {d:?}"
+    );
+    assert_eq!(d.quarantined_files, 0, "{d:?}");
 }
