@@ -18,14 +18,24 @@
 //!
 //! ## Failure semantics
 //!
-//! A failed append leaves the log *poisoned*: the record may or may not be
-//! durable, so accepting later appends could let an acknowledged record
-//! land after a torn one and be silently truncated by replay. Poisoning
-//! rejects all appends until [`Wal::rotate`] (called by a checkpoint)
-//! opens a fresh segment. Failed appends do **not** consume their LSN —
-//! the segment opened by rotation starts exactly after the last
-//! *successful* record, which is what lets replay prove that any frame
-//! bearing a superseded LSN in an older segment was never acknowledged.
+//! A failed append is retried in place before the failure is surfaced:
+//! the attempt may have left a torn frame in the active segment, so every
+//! retry first **rotates** to a fresh segment (whose `first_lsn`
+//! supersedes the torn bytes — see Replay) and backs off briefly, up to
+//! [`APPEND_ATTEMPTS`] attempts in total. A transient storage hiccup (one
+//! failed write or fsync) is therefore absorbed without the caller ever
+//! seeing an error, and without weakening the ack invariant: the record's
+//! LSN is only returned once a CRC-clean frame bearing it is fsynced.
+//!
+//! Only when every attempt fails does the append leave the log
+//! *poisoned*: the record may or may not be durable, so accepting later
+//! appends could let an acknowledged record land after a torn one and be
+//! silently truncated by replay. Poisoning rejects all appends until
+//! [`Wal::rotate`] (called by a checkpoint) opens a fresh segment. Failed
+//! appends do **not** consume their LSN — the segment opened by rotation
+//! starts exactly after the last *successful* record, which is what lets
+//! replay prove that any frame bearing a superseded LSN in an older
+//! segment was never acknowledged.
 //!
 //! ## Replay
 //!
@@ -49,6 +59,14 @@ const MAGIC: &[u8; 4] = b"AVWL";
 const VERSION: u32 = 1;
 const HEADER_LEN: u64 = 16;
 const FRAME_OVERHEAD: usize = 16;
+/// Total tries a single [`Wal::append`] makes before poisoning the log.
+/// Each retry rotates to a fresh segment first (superseding any torn
+/// frame the failed try left behind) and backs off briefly.
+pub const APPEND_ATTEMPTS: u32 = 3;
+/// Base backoff between append retries, doubled per attempt (2 ms, 4 ms):
+/// long enough to ride out a momentary storage hiccup, bounded so a dead
+/// disk fails the op in well under a second.
+const APPEND_RETRY_BACKOFF_MS: u64 = 2;
 /// Upper bound on a single record payload; guards allocation when a
 /// corrupt length field is read back.
 pub const MAX_RECORD_BYTES: usize = 64 << 20;
@@ -95,6 +113,8 @@ pub struct Wal {
     closed: Vec<(PathBuf, u64, u64)>,
     next_lsn: u64,
     poisoned: Option<String>,
+    /// Transient append failures absorbed by retry-through-rotation.
+    append_retries: u64,
 }
 
 impl std::fmt::Debug for Wal {
@@ -144,6 +164,7 @@ impl Wal {
             closed,
             next_lsn,
             poisoned: None,
+            append_retries: 0,
         };
         wal.open_segment()?;
         Ok(wal)
@@ -220,8 +241,16 @@ impl Wal {
         }
     }
 
-    /// Append one record, fsync it, and return its LSN. On failure the
-    /// log is poisoned (see module docs) and the LSN is not consumed.
+    /// Total append attempts that failed transiently and were absorbed by
+    /// a retry (the caller never saw the error).
+    pub fn append_retries(&self) -> u64 {
+        self.append_retries
+    }
+
+    /// Append one record, fsync it, and return its LSN. A failed attempt
+    /// is retried through rotation with bounded backoff (up to
+    /// [`APPEND_ATTEMPTS`] tries); only when every try fails is the log
+    /// poisoned (see module docs). The LSN is never consumed by a failure.
     pub fn append(&mut self, payload: &[u8]) -> Result<u64, DurableError> {
         if let Some(why) = &self.poisoned {
             return Err(DurableError::Poisoned(why.clone()));
@@ -231,6 +260,33 @@ impl Wal {
                 "WAL record exceeds MAX_RECORD_BYTES",
             )));
         }
+        let mut attempt = 0u32;
+        loop {
+            match self.append_once(payload) {
+                Ok(lsn) => return Ok(lsn),
+                Err(e) => {
+                    attempt += 1;
+                    if attempt >= APPEND_ATTEMPTS {
+                        return Err(e);
+                    }
+                    // The failed try may have left a torn frame in the
+                    // active segment; rotating supersedes it, so the retry
+                    // writes the same LSN into a provably-clean segment.
+                    // A rotation failure means storage is truly down:
+                    // surface the append error with the log poisoned.
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        APPEND_RETRY_BACKOFF_MS << (attempt - 1),
+                    ));
+                    if self.rotate().is_err() {
+                        return Err(e);
+                    }
+                    self.append_retries += 1;
+                }
+            }
+        }
+    }
+
+    fn append_once(&mut self, payload: &[u8]) -> Result<u64, DurableError> {
         if self.active_bytes >= self.cfg.segment_bytes {
             self.rotate()?;
         }
@@ -497,17 +553,66 @@ mod tests {
     }
 
     #[test]
-    fn poisoned_after_failed_append_until_rotate() {
-        // Work out which op index is an append's fsync by probing: create
-        // a WAL (ops for dir + segment + header) then fail during the
-        // second append's write.
+    fn transient_append_failure_retries_and_preserves_acked_ops() {
+        // Work out which op indices are the second append's write and
+        // fsync by probing: create a WAL (ops for dir + segment + header)
+        // plus one append, then fault the next op.
         let probe = Arc::new(MemStorage::new());
         {
             let mut wal = new_wal(Arc::clone(&probe) as Arc<dyn Storage>, 1 << 20, 1);
             wal.append(b"first").unwrap();
         }
         let ops_before_second = probe.ops_executed();
-        let mem = Arc::new(MemStorage::with_plan(FaultPlan::fail_at(ops_before_second)));
+        // offset 0 = the append's write fails, 1 = its fsync fails.
+        for offset in 0..2u64 {
+            let mem = Arc::new(MemStorage::with_plan(FaultPlan::fail_at(
+                ops_before_second + offset,
+            )));
+            let storage: Arc<dyn Storage> = Arc::clone(&mem) as Arc<dyn Storage>;
+            let mut wal = new_wal(Arc::clone(&storage), 1 << 20, 1);
+            assert_eq!(wal.append(b"first").unwrap(), 1);
+            // The transient failure is absorbed: the caller sees a normal
+            // ack with the same LSN a fault-free run would have returned.
+            assert_eq!(wal.append(b"second").unwrap(), 2, "offset {offset}");
+            assert!(wal.poisoned().is_none());
+            assert_eq!(wal.append_retries(), 1);
+            // The retry went through rotation, superseding whatever the
+            // failed try left in the old active segment.
+            assert!(wal.segment_count() > 1, "offset {offset}: no rotation");
+            assert_eq!(wal.append(b"third").unwrap(), 3);
+            // Every acked record is durable — both in the live image and
+            // across a crash right now (the retried frame was fsynced in
+            // the fresh segment before the append returned).
+            for view in [
+                Wal::replay(storage.as_ref(), &wal_dir(), 0).unwrap(),
+                Wal::replay(&mem.crashed_view(), &wal_dir(), 0).unwrap(),
+            ] {
+                let payloads: Vec<&[u8]> = view.records.iter().map(|(_, p)| p.as_slice()).collect();
+                assert_eq!(
+                    payloads,
+                    vec![&b"first"[..], &b"second"[..], &b"third"[..]],
+                    "offset {offset}"
+                );
+                for (i, (lsn, _)) in view.records.iter().enumerate() {
+                    assert_eq!(*lsn, 1 + i as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_after_exhausted_append_retries() {
+        // A storage that dies for good: every retry (and its rotation)
+        // fails, so the append surfaces the error and poisons the log.
+        let probe = Arc::new(MemStorage::new());
+        {
+            let mut wal = new_wal(Arc::clone(&probe) as Arc<dyn Storage>, 1 << 20, 1);
+            wal.append(b"first").unwrap();
+        }
+        let ops_before_second = probe.ops_executed();
+        let mem = Arc::new(MemStorage::with_plan(FaultPlan::crash_at(
+            ops_before_second,
+        )));
         let storage: Arc<dyn Storage> = Arc::clone(&mem) as Arc<dyn Storage>;
         let mut wal = new_wal(Arc::clone(&storage), 1 << 20, 1);
         wal.append(b"first").unwrap();
@@ -518,15 +623,10 @@ mod tests {
             Err(DurableError::Poisoned(_)) => {}
             other => panic!("expected poisoned, got {other:?}"),
         }
-        // Rotation (the checkpoint path) clears the poison; the retried
-        // record reuses the failed LSN in the fresh segment.
-        wal.rotate().unwrap();
-        assert!(wal.poisoned().is_none());
-        let lsn = wal.append(b"second-retry").unwrap();
-        assert_eq!(lsn, 2);
-        let replay = Wal::replay(storage.as_ref(), &wal_dir(), 0).unwrap();
+        // What survives the crash is exactly the acked prefix.
+        let replay = Wal::replay(&mem.crashed_view(), &wal_dir(), 0).unwrap();
         let payloads: Vec<&[u8]> = replay.records.iter().map(|(_, p)| p.as_slice()).collect();
-        assert_eq!(payloads, vec![&b"first"[..], &b"second-retry"[..]]);
+        assert_eq!(payloads, vec![&b"first"[..]]);
     }
 
     #[test]

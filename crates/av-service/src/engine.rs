@@ -44,6 +44,17 @@ pub const CATALOG_FILE: &str = "rules.avcat";
 /// Default cap on one JSONL request line read from a TCP client (1 MiB).
 pub const DEFAULT_MAX_REQUEST_BYTES: usize = 1 << 20;
 
+/// Default admission cap on concurrently open TCP connections.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 10_000;
+
+/// Default idle timeout for a TCP connection, in milliseconds (1 min).
+pub const DEFAULT_IDLE_TIMEOUT_MS: u64 = 60_000;
+
+/// Default write-stall deadline, in milliseconds: how long a connection
+/// may make zero progress draining buffered response bytes before it is
+/// shed (10 s, the old aggregate write budget).
+pub const DEFAULT_STALL_DEADLINE_MS: u64 = 10_000;
+
 /// Service configuration.
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -63,6 +74,22 @@ pub struct ServiceConfig {
     /// without a newline gets a protocol error and is disconnected instead
     /// of growing the server's line buffer without bound.
     pub max_request_bytes: usize,
+    /// Admission cap on concurrently open TCP connections (default
+    /// [`DEFAULT_MAX_CONNECTIONS`], 0 → unlimited). A connection accepted
+    /// over the cap receives one JSONL `overloaded` error frame and is
+    /// closed immediately; see `ServiceStats::connections_rejected`.
+    pub max_connections: usize,
+    /// Close a TCP connection with no request activity for this many
+    /// milliseconds (default [`DEFAULT_IDLE_TIMEOUT_MS`], 0 → never).
+    /// Slow-loris peers that trickle a frame without finishing it are
+    /// bounded by the same clock; streaming `watch` connections are
+    /// exempt while their stream is live.
+    pub idle_timeout_ms: u64,
+    /// Shed a TCP connection whose buffered response bytes make zero
+    /// drain progress for this many milliseconds (default
+    /// [`DEFAULT_STALL_DEADLINE_MS`], 0 → never). Replaces the old 10 s
+    /// aggregate per-response write budget with a per-stall deadline.
+    pub stall_deadline_ms: u64,
     /// Drift-telemetry knobs: sliding-window bucket width and the windowed
     /// flag-rate at which a rule's snapshot reports an alert.
     pub telemetry: TelemetryConfig,
@@ -87,6 +114,9 @@ impl Default for ServiceConfig {
             workers: 0,
             data_dir: None,
             max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            idle_timeout_ms: DEFAULT_IDLE_TIMEOUT_MS,
+            stall_deadline_ms: DEFAULT_STALL_DEADLINE_MS,
             telemetry: TelemetryConfig::default(),
             durability: DurabilityConfig::default(),
             storage: Arc::new(OsStorage),
@@ -273,6 +303,16 @@ pub struct ServiceStats {
     /// resets). The serve loop joins every reaped worker, so these are
     /// counted instead of vanishing with the thread handle.
     pub connection_errors: u64,
+    /// Connections turned away at the door by admission control
+    /// (`ServiceConfig::max_connections`): each got one `overloaded`
+    /// error frame and was closed without being registered.
+    pub connections_rejected: u64,
+    /// Parsed request frames answered with an `overloaded` error because
+    /// the run queue was full when they arrived.
+    pub requests_shed: u64,
+    /// Connections shed for making zero write-drain progress past
+    /// `ServiceConfig::stall_deadline_ms` (peer stopped reading).
+    pub stalls_shed: u64,
 }
 
 /// The shared, long-running validation service. All methods take `&self`;
@@ -298,6 +338,13 @@ pub struct ValidationService {
     durable: Option<DurableState>,
     telemetry: ServiceTelemetry,
     shutdown: AtomicBool,
+    /// Condvar paired with the `shutdown` flag so sleepers
+    /// ([`ValidationService::wait_shutdown_timeout`]) wake the instant a
+    /// shutdown lands instead of polling it at some cadence.
+    shutdown_signal: (Mutex<()>, Condvar),
+    /// Wake callbacks registered by live serve loops (each typically a
+    /// poller `notify`). Fired once, then drained, on `request_shutdown`.
+    shutdown_wakers: Mutex<Vec<Box<dyn Fn() + Send + Sync>>>,
     columns_ingested: AtomicU64,
     ingest_batches: AtomicU64,
     rules_inferred: AtomicU64,
@@ -305,6 +352,9 @@ pub struct ValidationService {
     flagged: AtomicU64,
     classifications: AtomicU64,
     connection_errors: AtomicU64,
+    connections_rejected: AtomicU64,
+    requests_shed: AtomicU64,
+    stalls_shed: AtomicU64,
 }
 
 impl ValidationService {
@@ -319,6 +369,8 @@ impl ValidationService {
             durable: None,
             telemetry: ServiceTelemetry::new(config.telemetry.clone()),
             shutdown: AtomicBool::new(false),
+            shutdown_signal: (Mutex::new(()), Condvar::new()),
+            shutdown_wakers: Mutex::new(Vec::new()),
             columns_ingested: AtomicU64::new(0),
             ingest_batches: AtomicU64::new(0),
             rules_inferred: AtomicU64::new(0),
@@ -326,6 +378,9 @@ impl ValidationService {
             flagged: AtomicU64::new(0),
             classifications: AtomicU64::new(0),
             connection_errors: AtomicU64::new(0),
+            connections_rejected: AtomicU64::new(0),
+            requests_shed: AtomicU64::new(0),
+            stalls_shed: AtomicU64::new(0),
             config,
         }
     }
@@ -1080,6 +1135,9 @@ impl ValidationService {
             flagged: self.flagged.load(Ordering::Relaxed),
             classifications: self.classifications.load(Ordering::Relaxed),
             connection_errors: self.connection_errors.load(Ordering::Relaxed),
+            connections_rejected: self.connections_rejected.load(Ordering::Relaxed),
+            requests_shed: self.requests_shed.load(Ordering::Relaxed),
+            stalls_shed: self.stalls_shed.load(Ordering::Relaxed),
         }
     }
 
@@ -1101,9 +1159,76 @@ impl ValidationService {
         self.connection_errors.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Ask every serve loop to wind down.
+    /// Record a connection turned away by admission control.
+    pub(crate) fn record_connection_rejected(&self) {
+        self.connections_rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record `n` request frames answered with `overloaded` because the
+    /// run queue was full.
+    pub(crate) fn record_requests_shed(&self, n: u64) {
+        self.requests_shed.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record a connection shed at the write-stall deadline.
+    pub(crate) fn record_stall_shed(&self) {
+        self.stalls_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Ask every serve loop to wind down: sets the flag, wakes every
+    /// [`ValidationService::wait_shutdown_timeout`] sleeper, and fires
+    /// (then drains) every registered serve-loop waker — so event loops
+    /// blocked in `poll` and watch streams sleeping between frames all
+    /// observe the request immediately rather than at a poll cadence.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        let (lock, cvar) = &self.shutdown_signal;
+        drop(lock.lock().unwrap());
+        cvar.notify_all();
+        let wakers = std::mem::take(&mut *self.shutdown_wakers.lock().unwrap());
+        for wake in wakers {
+            wake();
+        }
+    }
+
+    /// Register a callback fired once when shutdown is requested (serve
+    /// loops pass their poller's `notify`). If shutdown already happened,
+    /// the callback runs immediately on this thread.
+    pub(crate) fn register_shutdown_waker(&self, wake: Box<dyn Fn() + Send + Sync>) {
+        self.shutdown_wakers.lock().unwrap().push(wake);
+        if self.is_shutdown() {
+            // Raced with request_shutdown's drain: fire what we added.
+            let wakers = std::mem::take(&mut *self.shutdown_wakers.lock().unwrap());
+            for wake in wakers {
+                wake();
+            }
+        }
+    }
+
+    /// Block up to `timeout` or until shutdown is requested, whichever
+    /// comes first; returns [`ValidationService::is_shutdown`]. The wake
+    /// is immediate (condvar), not polled — this is what keeps watch
+    /// streams and pipe serve loops inside the sub-50 ms shutdown budget.
+    pub fn wait_shutdown_timeout(&self, timeout: std::time::Duration) -> bool {
+        if self.is_shutdown() {
+            return true;
+        }
+        let (lock, cvar) = &self.shutdown_signal;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut guard = lock.lock().unwrap();
+        while !self.is_shutdown() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (next, timed_out) = cvar.wait_timeout(guard, deadline - now).unwrap();
+            guard = next;
+            if timed_out.timed_out() {
+                break;
+            }
+        }
+        drop(guard);
+        self.is_shutdown()
     }
 
     /// Has shutdown been requested?

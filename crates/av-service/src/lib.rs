@@ -79,7 +79,10 @@ pub use engine::{
     ServiceError, ServiceStats, ValidationService, CATALOG_FILE, INDEX_FILE,
 };
 pub use protocol::{handle_line, response_ok, Handled, LineOutcome, WatchParams};
-pub use server::{serve_lines, serve_stdin, serve_tcp};
+pub use server::{
+    serve_lines, serve_listener, serve_stdin, serve_tcp, std_listener, FaultKind, FaultListener,
+    FaultSocket, NetFaultPlan, NetListener, NetSocket, FAULT_WINDOW_OPS,
+};
 pub use telemetry::{
     FailureExemplar, OpSnapshot, RuleTelemetrySnapshot, ServiceTelemetry, TelemetryConfig,
     WindowSnapshot,

@@ -51,8 +51,27 @@
 //!    "rules":[{"rule":"dates","validations":3,"flagged":1,"alert":false,
 //!              "window":{"validations":3,"flagged":1,"flag_rate":0.333,...},
 //!              "exemplars":[{"value":"user-0","reason":"mismatch at byte 0: ...",...}]}],
-//!    "ops":[{"op":"validate","requests":3,"errors":0,"mean_micros":412.3,...}]}
+//!    "ops":[{"op":"validate","requests":3,"errors":0,"mean_micros":412.3,...}],
+//!    "overload":{"connections_rejected":0,"requests_shed":0,"stalls_shed":0}}
 //! ```
+//!
+//! ## Overload responses
+//!
+//! The TCP serve loop applies admission control and backpressure (see
+//! [`crate::serve_listener`]). Work it refuses is answered with an error
+//! frame carrying `"overloaded":true`, so clients can tell "backed off,
+//! retry later" apart from "your request was malformed":
+//!
+//! ```text
+//! ← {"ok":false,"error":"service at max_connections (10000); connection rejected","overloaded":true}
+//! ← {"ok":false,"error":"pipeline full (128 frames queued); request shed","overloaded":true}
+//! ```
+//!
+//! Every shed is counted: `stats` reports `connections_rejected` (accepts
+//! refused at the admission gate), `requests_shed` (pipelined frames
+//! answered `overloaded`), and `stalls_shed` (connections dropped after
+//! making zero write progress for the stall deadline); `metrics` carries
+//! the same three counters under `"overload"`.
 //!
 //! **`watch`** turns the connection into a telemetry stream: after the
 //! acknowledgement, the server emits one JSONL frame of per-rule window
@@ -170,6 +189,24 @@ fn fail(message: impl Into<String>) -> Reply {
 /// other failure.
 pub(crate) fn render_error_into(message: &str, out: &mut String) {
     fail(message).json.dump_into(out);
+}
+
+/// Render an overload-shed error line: the ordinary failure shape plus an
+/// `"overloaded":true` marker so clients can tell "retry later" apart
+/// from "your request was wrong". The serve loop sends it when admission
+/// control rejects a connection, when a pipeline overflows its cap, or
+/// when the run queue is full:
+///
+/// ```text
+/// {"ok":false,"error":"service at max_connections (2); connection rejected","overloaded":true}
+/// ```
+pub(crate) fn render_overloaded_into(message: &str, out: &mut String) {
+    Json::obj([
+        ("ok", Json::Bool(false)),
+        ("error", Json::str(message.to_string())),
+        ("overloaded", Json::Bool(true)),
+    ])
+    .dump_into(out);
 }
 
 fn report_json(r: &ValidationReport) -> Vec<(&'static str, Json)> {
@@ -682,6 +719,17 @@ fn handle_metrics(service: &ValidationService) -> Reply {
             ])
         })
         .collect();
+    let overload = {
+        let s = service.stats();
+        Json::obj([
+            (
+                "connections_rejected",
+                Json::Num(s.connections_rejected as f64),
+            ),
+            ("requests_shed", Json::Num(s.requests_shed as f64)),
+            ("stalls_shed", Json::Num(s.stalls_shed as f64)),
+        ])
+    };
     let mut fields = vec![
         ("rules", Json::Arr(rules)),
         ("ops", Json::Arr(ops)),
@@ -690,6 +738,7 @@ fn handle_metrics(service: &ValidationService) -> Reply {
             Json::Num(service.index_generation() as f64),
         ),
         ("window_millis", Json::Num(telemetry.window_millis() as f64)),
+        ("overload", overload),
     ];
     if let Some(d) = service.durability() {
         fields.push(("durability", durability_json(&d)));
@@ -841,6 +890,12 @@ fn handle_stats(service: &ValidationService) -> Reply {
         ("flagged", Json::Num(s.flagged as f64)),
         ("classifications", Json::Num(s.classifications as f64)),
         ("connection_errors", Json::Num(s.connection_errors as f64)),
+        (
+            "connections_rejected",
+            Json::Num(s.connections_rejected as f64),
+        ),
+        ("requests_shed", Json::Num(s.requests_shed as f64)),
+        ("stalls_shed", Json::Num(s.stalls_shed as f64)),
         ("index_patterns", Json::Num(index.len() as f64)),
         ("index_columns", Json::Num(index.num_columns as f64)),
         ("index_shards", Json::Num(index.shard_count() as f64)),

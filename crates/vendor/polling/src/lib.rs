@@ -1,0 +1,677 @@
+//! Vendored minimal readiness poller, API-compatible with the subset of
+//! the `polling` crate the workspace uses (offline build — no external
+//! dependencies, raw `extern "C"` bindings to the libc symbols that std
+//! already links).
+//!
+//! A [`Poller`] watches a set of file descriptors for read/write
+//! readiness. On Linux it is backed by **epoll** (level-triggered); on
+//! other unixes by **poll(2)**. Either way it carries a **self-pipe**
+//! waker: [`Poller::notify`] writes one byte to an internal pipe whose
+//! read end is part of the watched set, so any thread can interrupt a
+//! blocking [`Poller::wait`] immediately — the mechanism the service uses
+//! for sub-millisecond shutdown instead of timeout polling.
+//!
+//! Divergence from the real crate, by design:
+//!
+//! * interest is **level-triggered**, not oneshot — a registration stays
+//!   armed until [`Poller::modify`] or [`Poller::delete`] changes it;
+//! * [`Poller::wait`] may return `Ok(0)` spuriously (after a notify, a
+//!   signal, or an expired timeout) — callers must re-check their own
+//!   state and loop.
+//!
+//! `wait` is meant to be called from one thread at a time (the reactor);
+//! `add`/`modify`/`delete`/`notify` are safe from any thread.
+
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+use std::io;
+use std::time::Duration;
+
+/// Readiness interest when registering, and the readiness actually
+/// delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// Caller-chosen identifier reported back when the fd is ready.
+    /// `usize::MAX` is reserved for the poller's internal waker.
+    pub key: usize,
+    /// Interested in (or ready for) reading. Errors and hangups are
+    /// reported as readable so a blocked reader always observes them.
+    pub readable: bool,
+    /// Interested in (or ready for) writing.
+    pub writable: bool,
+}
+
+impl Event {
+    /// No interest (a placeholder registration kept for its key).
+    pub fn none(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: false,
+        }
+    }
+
+    /// Read interest only.
+    pub fn readable(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: false,
+        }
+    }
+
+    /// Write interest only.
+    pub fn writable(key: usize) -> Event {
+        Event {
+            key,
+            readable: false,
+            writable: true,
+        }
+    }
+
+    /// Read and write interest.
+    pub fn all(key: usize) -> Event {
+        Event {
+            key,
+            readable: true,
+            writable: true,
+        }
+    }
+}
+
+/// Key reserved for the internal self-pipe waker.
+const NOTIFY_KEY: usize = usize::MAX;
+
+/// A readiness poller over raw file descriptors. See the module docs.
+pub struct Poller {
+    sys: sys::Selector,
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").finish_non_exhaustive()
+    }
+}
+
+impl Poller {
+    /// A new poller with its waker pipe armed.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            sys: sys::Selector::new()?,
+        })
+    }
+
+    /// Start watching `fd` with the given interest. The fd must stay open
+    /// until [`Poller::delete`]; `interest.key` must not be `usize::MAX`.
+    pub fn add(&self, fd: i32, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "event key usize::MAX is reserved for the poller",
+            ));
+        }
+        self.sys.add(fd, interest)
+    }
+
+    /// Replace the interest of an already-registered fd.
+    pub fn modify(&self, fd: i32, interest: Event) -> io::Result<()> {
+        if interest.key == NOTIFY_KEY {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "event key usize::MAX is reserved for the poller",
+            ));
+        }
+        self.sys.modify(fd, interest)
+    }
+
+    /// Stop watching an fd (call before closing it).
+    pub fn delete(&self, fd: i32) -> io::Result<()> {
+        self.sys.delete(fd)
+    }
+
+    /// Block until at least one watched fd is ready, the timeout expires,
+    /// or [`Poller::notify`] is called. Ready events are appended to
+    /// `events` (cleared first); returns how many were delivered. May
+    /// return `Ok(0)` spuriously — callers loop.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.sys.wait(events, timeout)?;
+        Ok(events.len())
+    }
+
+    /// Wake a blocking (or the next) [`Poller::wait`] immediately. Safe
+    /// from any thread; coalesces — many notifies may yield one wakeup.
+    pub fn notify(&self) -> io::Result<()> {
+        self.sys.notify()
+    }
+}
+
+/// Shared FFI declarations for the pipe-based waker (all unixes).
+mod pipe_ffi {
+    use std::io;
+    use std::os::raw::{c_int, c_void};
+
+    extern "C" {
+        fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// Drain every pending byte from the waker pipe's read end.
+    pub(crate) fn drain(fd: c_int) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { read(fd, buf.as_mut_ptr().cast::<c_void>(), buf.len()) };
+            if n <= 0 {
+                // 0 = impossible for an open pipe with a writer; <0 =
+                // EAGAIN (drained) or EINTR (retry next wait) — either
+                // way the pipe is as empty as this wakeup needs.
+                return;
+            }
+        }
+    }
+
+    /// Write one byte to the waker pipe's write end. A full pipe means a
+    /// wakeup is already pending, so EAGAIN is success.
+    pub(crate) fn ring(fd: c_int) -> io::Result<()> {
+        let byte = [1u8];
+        let n = unsafe { write(fd, byte.as_ptr().cast::<c_void>(), 1) };
+        if n >= 0 {
+            return Ok(());
+        }
+        let err = io::Error::last_os_error();
+        match err.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::Interrupted => Ok(()),
+            _ => Err(err),
+        }
+    }
+
+    pub(crate) fn close_fd(fd: c_int) {
+        unsafe {
+            close(fd);
+        }
+    }
+}
+
+/// Round a timeout up to whole milliseconds for the C APIs (`None` → -1,
+/// infinite). Rounding *up* keeps sub-millisecond timeouts from spinning.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d
+                .as_millis()
+                .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0));
+            ms.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! epoll backend (level-triggered).
+
+    use super::{pipe_ffi, timeout_ms, Event, NOTIFY_KEY};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::time::Duration;
+
+    // x86_64 declares epoll_event packed; every other Linux ABI uses
+    // natural alignment.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLLIN: u32 = 0x1;
+    const EPOLLOUT: u32 = 0x4;
+    const EPOLLERR: u32 = 0x8;
+    const EPOLLHUP: u32 = 0x10;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLL_CLOEXEC: c_int = 0x80000;
+    const O_NONBLOCK: c_int = 0x800;
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+    }
+
+    fn cvt(ret: c_int) -> io::Result<c_int> {
+        if ret < 0 {
+            Err(io::Error::last_os_error())
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn interest_bits(interest: Event) -> u32 {
+        let mut bits = EPOLLRDHUP;
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    pub(super) struct Selector {
+        epfd: c_int,
+        notify_read: c_int,
+        notify_write: c_int,
+    }
+
+    impl Selector {
+        pub(super) fn new() -> io::Result<Selector> {
+            let epfd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+            let mut fds: [c_int; 2] = [0; 2];
+            if let Err(e) = cvt(unsafe { pipe2(fds.as_mut_ptr(), EPOLL_CLOEXEC | O_NONBLOCK) }) {
+                pipe_ffi::close_fd(epfd);
+                return Err(e);
+            }
+            let sel = Selector {
+                epfd,
+                notify_read: fds[0],
+                notify_write: fds[1],
+            };
+            sel.ctl(EPOLL_CTL_ADD, sel.notify_read, EPOLLIN, NOTIFY_KEY as u64)?;
+            Ok(sel)
+        }
+
+        fn ctl(&self, op: c_int, fd: c_int, events: u32, data: u64) -> io::Result<()> {
+            let mut ev = EpollEvent { events, data };
+            cvt(unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) }).map(|_| ())
+        }
+
+        pub(super) fn add(&self, fd: i32, interest: Event) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_ADD,
+                fd,
+                interest_bits(interest),
+                interest.key as u64,
+            )
+        }
+
+        pub(super) fn modify(&self, fd: i32, interest: Event) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_MOD,
+                fd,
+                interest_bits(interest),
+                interest.key as u64,
+            )
+        }
+
+        pub(super) fn delete(&self, fd: i32) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 256];
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    raw.as_mut_ptr(),
+                    raw.len() as c_int,
+                    timeout_ms(timeout),
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                return match err.kind() {
+                    // A signal is a spurious wakeup, not a failure.
+                    io::ErrorKind::Interrupted => Ok(()),
+                    _ => Err(err),
+                };
+            }
+            for ev in raw.iter().take(n as usize) {
+                // Copy out of the (possibly packed) struct before use.
+                let bits = ev.events;
+                let key = ev.data as usize;
+                if key == NOTIFY_KEY {
+                    pipe_ffi::drain(self.notify_read);
+                    continue;
+                }
+                out.push(Event {
+                    key,
+                    readable: bits & (EPOLLIN | EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0,
+                    writable: bits & (EPOLLOUT | EPOLLHUP | EPOLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        pub(super) fn notify(&self) -> io::Result<()> {
+            pipe_ffi::ring(self.notify_write)
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            pipe_ffi::close_fd(self.notify_read);
+            pipe_ffi::close_fd(self.notify_write);
+            pipe_ffi::close_fd(self.epfd);
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    //! Portable poll(2) backend for non-Linux unixes. Registrations live
+    //! in a mutex-guarded map; every `wait` rebuilds the pollfd array —
+    //! O(watched fds) per wait, fine for the fd counts this fallback
+    //! serves (Linux gets epoll).
+
+    use super::{pipe_ffi, timeout_ms, Event, NOTIFY_KEY};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::raw::{c_int, c_short, c_uint};
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    const POLLIN: c_short = 0x1;
+    const POLLOUT: c_short = 0x4;
+    const POLLERR: c_short = 0x8;
+    const POLLHUP: c_short = 0x10;
+
+    const F_SETFL: c_int = 4;
+    const O_NONBLOCK: c_int = 0x4;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_uint, timeout: c_int) -> c_int;
+        fn pipe(fds: *mut c_int) -> c_int;
+        fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+    }
+
+    pub(super) struct Selector {
+        registry: Mutex<HashMap<i32, Event>>,
+        notify_read: c_int,
+        notify_write: c_int,
+    }
+
+    impl Selector {
+        pub(super) fn new() -> io::Result<Selector> {
+            let mut fds: [c_int; 2] = [0; 2];
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            for fd in fds {
+                if unsafe { fcntl(fd, F_SETFL, O_NONBLOCK) } < 0 {
+                    let e = io::Error::last_os_error();
+                    pipe_ffi::close_fd(fds[0]);
+                    pipe_ffi::close_fd(fds[1]);
+                    return Err(e);
+                }
+            }
+            Ok(Selector {
+                registry: Mutex::new(HashMap::new()),
+                notify_read: fds[0],
+                notify_write: fds[1],
+            })
+        }
+
+        pub(super) fn add(&self, fd: i32, interest: Event) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap();
+            if reg.insert(fd, interest).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            Ok(())
+        }
+
+        pub(super) fn modify(&self, fd: i32, interest: Event) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap();
+            match reg.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = interest;
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn delete(&self, fd: i32) -> io::Result<()> {
+            let mut reg = self.registry.lock().unwrap();
+            match reg.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub(super) fn wait(
+            &self,
+            out: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let (mut fds, keys) = {
+                let reg = self.registry.lock().unwrap();
+                let mut fds = Vec::with_capacity(reg.len() + 1);
+                let mut keys = Vec::with_capacity(reg.len() + 1);
+                fds.push(PollFd {
+                    fd: self.notify_read,
+                    events: POLLIN,
+                    revents: 0,
+                });
+                keys.push(NOTIFY_KEY);
+                for (&fd, interest) in reg.iter() {
+                    let mut events: c_short = 0;
+                    if interest.readable {
+                        events |= POLLIN;
+                    }
+                    if interest.writable {
+                        events |= POLLOUT;
+                    }
+                    fds.push(PollFd {
+                        fd,
+                        events,
+                        revents: 0,
+                    });
+                    keys.push(interest.key);
+                }
+                (fds, keys)
+            };
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_uint, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                return match err.kind() {
+                    io::ErrorKind::Interrupted => Ok(()),
+                    _ => Err(err),
+                };
+            }
+            for (slot, &key) in fds.iter().zip(&keys) {
+                if slot.revents == 0 {
+                    continue;
+                }
+                if key == NOTIFY_KEY {
+                    pipe_ffi::drain(self.notify_read);
+                    continue;
+                }
+                out.push(Event {
+                    key,
+                    readable: slot.revents & (POLLIN | POLLHUP | POLLERR) != 0,
+                    writable: slot.revents & (POLLOUT | POLLHUP | POLLERR) != 0,
+                });
+            }
+            Ok(())
+        }
+
+        pub(super) fn notify(&self) -> io::Result<()> {
+            pipe_ffi::ring(self.notify_write)
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            pipe_ffi::close_fd(self.notify_read);
+            pipe_ffi::close_fd(self.notify_write);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::unix::io::AsRawFd;
+    use std::time::Instant;
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn read_readiness_fires_only_when_data_arrives() {
+        let (client, mut server) = socket_pair();
+        let poller = Poller::new().unwrap();
+        poller.add(client.as_raw_fd(), Event::readable(7)).unwrap();
+        let mut events = Vec::new();
+
+        // Nothing to read yet: the wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        server.write_all(b"x").unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+
+        // Level-triggered: unread data keeps the fd ready.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .unwrap();
+        assert_eq!(n, 1);
+
+        poller.delete(client.as_raw_fd()).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0, "deleted fd must not report");
+    }
+
+    #[test]
+    fn write_readiness_and_modify() {
+        let (client, _server) = socket_pair();
+        let poller = Poller::new().unwrap();
+        // Registered with no interest: silent even though writable.
+        poller.add(client.as_raw_fd(), Event::none(3)).unwrap();
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        poller
+            .modify(client.as_raw_fd(), Event::writable(3))
+            .unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].writable && !events[0].readable);
+    }
+
+    #[test]
+    fn notify_wakes_a_blocking_wait_immediately() {
+        let poller = std::sync::Arc::new(Poller::new().unwrap());
+        let waker = std::sync::Arc::clone(&poller);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            waker.notify().unwrap();
+        });
+        let mut events = Vec::new();
+        let start = Instant::now();
+        // Without the notify this would block five seconds.
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "notify took {:?}",
+            start.elapsed()
+        );
+        assert!(events.is_empty(), "the waker never surfaces as an event");
+        handle.join().unwrap();
+
+        // Coalesced notifies from before a wait wake it exactly once,
+        // then the next wait blocks again.
+        poller.notify().unwrap();
+        poller.notify().unwrap();
+        let start = Instant::now();
+        poller.wait(&mut events, None).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn peer_hangup_reports_readable() {
+        let (client, server) = socket_pair();
+        let poller = Poller::new().unwrap();
+        poller.add(client.as_raw_fd(), Event::readable(1)).unwrap();
+        drop(server);
+        let mut events = Vec::new();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert!(events[0].readable, "EOF must surface as readable");
+        // And the read then observes the close.
+        let mut buf = [0u8; 8];
+        let mut client = client;
+        assert_eq!(client.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn reserved_key_is_rejected() {
+        let (client, _server) = socket_pair();
+        let poller = Poller::new().unwrap();
+        assert!(poller
+            .add(client.as_raw_fd(), Event::readable(usize::MAX))
+            .is_err());
+    }
+}

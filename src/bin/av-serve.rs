@@ -43,6 +43,17 @@ options:
   --max-request-bytes N
                  largest JSONL request line a TCP client may send before
                  it is disconnected with a protocol error (default 1 MiB)
+  --max-connections N
+                 admission cap for concurrent TCP connections; accepts
+                 past the cap get one {{\"overloaded\":true}} frame and
+                 are closed (default 10000; 0 = unlimited)
+  --idle-timeout-ms N
+                 close a TCP connection with no request activity and no
+                 pending work after N ms (default 60000; 0 = never)
+  --stall-deadline-ms N
+                 drop a TCP connection whose peer accepts no response
+                 bytes for N ms while output is pending (default 10000;
+                 0 = never)
   --durable      crash-safe mode (requires --data): mutating ops are
                  write-ahead logged and fsynced before they are
                  acknowledged; \"persist\" writes an incremental
@@ -93,6 +104,27 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 config.max_request_bytes = n;
+                i += 2;
+            }
+            "--max-connections" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                config.max_connections = n;
+                i += 2;
+            }
+            "--idle-timeout-ms" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                config.idle_timeout_ms = n;
+                i += 2;
+            }
+            "--stall-deadline-ms" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                config.stall_deadline_ms = n;
                 i += 2;
             }
             "--durable" => {

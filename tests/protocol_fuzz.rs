@@ -1,0 +1,169 @@
+//! Protocol hardening under hostile input: arbitrary lines through the
+//! request handler, and arbitrary byte frames through a live event-loop
+//! connection. The properties:
+//!
+//! * the handler never panics and always answers one well-formed JSON
+//!   response per request line;
+//! * over TCP, every frame gets exactly one response — counting the
+//!   event loop's skip-blank, shed, and fatal-error rules — and a
+//!   protocol-fatal frame (oversized or non-UTF-8) yields exactly one
+//!   error frame followed by a clean disconnect.
+
+use av_service::json::parse;
+use av_service::protocol::handle_line_into;
+use av_service::{serve_listener, std_listener, ServiceConfig, ValidationService};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+/// Request cap for the live server: small enough that generated frames
+/// actually exercise the oversized-line path.
+const FUZZ_MAX_REQUEST: usize = 256;
+
+fn fuzz_service() -> &'static ValidationService {
+    static SERVICE: OnceLock<ValidationService> = OnceLock::new();
+    SERVICE.get_or_init(|| ValidationService::new(ServiceConfig::default()))
+}
+
+/// One shared event-loop server for all live-connection cases (leaked at
+/// process exit; each case opens its own connection).
+fn fuzz_server_addr() -> SocketAddr {
+    static ADDR: OnceLock<SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        let config = ServiceConfig {
+            max_request_bytes: FUZZ_MAX_REQUEST,
+            ..ServiceConfig::default()
+        };
+        let service = Arc::new(ValidationService::new(config));
+        let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || serve_listener(service, std_listener(listener).unwrap()));
+        addr
+    })
+}
+
+/// A request frame: arbitrary bytes with newlines mapped away, so the
+/// driver controls framing exactly.
+fn arbitrary_frame() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(
+        any::<u8>().prop_map(|b| if b == b'\n' { b' ' } else { b }),
+        0..(FUZZ_MAX_REQUEST * 2),
+    )
+}
+
+/// What the event loop owes in response to one vetted frame.
+enum Owed {
+    Nothing,
+    Response,
+    FatalThenClose,
+}
+
+fn owed_for(frame: &[u8]) -> Owed {
+    if frame.len() > FUZZ_MAX_REQUEST {
+        return Owed::FatalThenClose;
+    }
+    match std::str::from_utf8(frame) {
+        Err(_) => Owed::FatalThenClose,
+        Ok(text) if text.trim().is_empty() => Owed::Nothing,
+        Ok(_) => Owed::Response,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary request lines (valid UTF-8 reaches the handler; the
+    /// transport rejects the rest): no panic, exactly one response, and
+    /// the response is a JSON object with a boolean `ok`.
+    #[test]
+    fn handler_answers_every_line_with_well_formed_json(line in "\\PC{0,300}") {
+        let mut out = String::new();
+        let _outcome = handle_line_into(fuzz_service(), &line, &mut out);
+        prop_assert!(!out.is_empty(), "no response for {line:?}");
+        prop_assert!(!out.contains('\n'), "multi-line response for {line:?}");
+        let v = parse(&out)
+            .map_err(|e| TestCaseError::Fail(format!("unparseable response {out:?}: {e:?}")))?;
+        prop_assert!(
+            v.get("ok").and_then(|j| j.as_bool()).is_some(),
+            "response without boolean ok: {out}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary byte frames pipelined over a live event-loop connection:
+    /// responses arrive one per owed frame, all parse as JSON, and a
+    /// fatal frame produces one error then EOF — never a hang, never a
+    /// torn frame, never a panic.
+    #[test]
+    fn live_connection_answers_or_disconnects_cleanly(
+        frames in proptest::collection::vec(arbitrary_frame(), 0..20),
+    ) {
+        let mut expected = 0usize;
+        let mut expect_eof_early = false;
+        for frame in &frames {
+            match owed_for(frame) {
+                Owed::Nothing => {}
+                Owed::Response => expected += 1,
+                Owed::FatalThenClose => {
+                    expected += 1;
+                    expect_eof_early = true;
+                    break;
+                }
+            }
+        }
+
+        let stream = TcpStream::connect(fuzz_server_addr()).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream.set_nodelay(true).ok();
+        let mut payload = Vec::new();
+        for frame in &frames {
+            payload.extend_from_slice(frame);
+            payload.push(b'\n');
+        }
+        let mut writer = stream.try_clone().unwrap();
+        // The server may already have closed on a fatal frame; a write
+        // failure past that point is the disconnect, not a bug.
+        let write_res = writer.write_all(&payload);
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+
+        let mut reader = BufReader::new(stream);
+        let mut responses = Vec::new();
+        loop {
+            let mut line = String::new();
+            match reader.read_line(&mut line) {
+                Ok(0) => break,
+                Ok(_) => {
+                    prop_assert!(line.ends_with('\n'), "torn response frame: {line:?}");
+                    let v = parse(line.trim_end()).map_err(|e| {
+                        TestCaseError::Fail(format!("torn/invalid response {line:?}: {e:?}"))
+                    })?;
+                    prop_assert!(v.get("ok").is_some(), "response without ok: {line}");
+                    responses.push(line);
+                }
+                Err(e) => return Err(TestCaseError::Fail(format!(
+                    "read failed (server hung or died): {e}"
+                ))),
+            }
+        }
+        if write_res.is_ok() {
+            prop_assert_eq!(
+                responses.len(),
+                expected,
+                "frames {:?} owed {} responses, got {:?}",
+                frames.len(),
+                expected,
+                responses
+            );
+        } else {
+            // The kernel dropped part of the payload on a reset; the
+            // server still must have answered only what it vetted.
+            prop_assert!(expect_eof_early, "write failed without a fatal frame");
+            prop_assert!(responses.len() <= expected);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! C10k-style stress smoke for the event-driven serve loop: N concurrent
+//! connections each pipeline a burst of classify frames; every response
+//! must come back in request order, and under this nominal load nothing
+//! may be shed or rejected.
+//!
+//! The debug default is a small smoke (64 connections). The release CI
+//! step and the PERF.md measurement run the real point with
+//! `AV_C10K=5000` — well inside the default `max_connections` admission
+//! cap and the file-descriptor budget, far outside what the old
+//! thread-per-connection loop could hold.
+
+use av_service::{serve_listener, std_listener, ServiceConfig, ValidationService};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const FRAMES_PER_CONN: usize = 16;
+const DRIVER_THREADS: usize = 16;
+
+fn stress_connections() -> usize {
+    std::env::var("AV_C10K")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+fn connect_with_retry(addr: std::net::SocketAddr) -> TcpStream {
+    // Under thousands of concurrent connects the listener backlog can
+    // briefly overflow; the kernel makes the client retry — help it.
+    let mut last = None;
+    for _ in 0..50 {
+        match TcpStream::connect(addr) {
+            Ok(s) => return s,
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    panic!("connect failed after retries: {last:?}");
+}
+
+#[test]
+fn pipelined_connection_storm_completes_without_shedding() {
+    let n = stress_connections();
+    let service = Arc::new(ValidationService::new(ServiceConfig::default()));
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || serve_listener(service, std_listener(listener).unwrap()))
+    };
+
+    let started = Instant::now();
+    let per_thread = n.div_ceil(DRIVER_THREADS);
+    let mut latencies: Vec<Duration> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..DRIVER_THREADS)
+            .map(|t| {
+                scope.spawn(move || {
+                    let first = t * per_thread;
+                    let last = ((t + 1) * per_thread).min(n);
+                    // Open and burst every connection first, so all of
+                    // this thread's connections are concurrently live...
+                    let mut conns = Vec::new();
+                    for c in first..last {
+                        let stream = connect_with_retry(addr);
+                        stream
+                            .set_read_timeout(Some(Duration::from_secs(60)))
+                            .unwrap();
+                        let mut burst = String::new();
+                        for i in 0..FRAMES_PER_CONN {
+                            burst.push_str(&format!(
+                                "{{\"op\":\"classify\",\"value\":\"c{c}-{i}\"}}\n"
+                            ));
+                        }
+                        let mut writer = stream.try_clone().unwrap();
+                        writer.write_all(burst.as_bytes()).unwrap();
+                        stream.shutdown(std::net::Shutdown::Write).unwrap();
+                        conns.push((c, stream, Instant::now()));
+                    }
+                    // ...then drain them: every frame answered, in order.
+                    let mut latencies = Vec::new();
+                    for (c, stream, t0) in conns {
+                        let mut reader = BufReader::new(stream);
+                        for i in 0..FRAMES_PER_CONN {
+                            let mut line = String::new();
+                            let bytes = reader.read_line(&mut line).unwrap();
+                            assert!(bytes > 0, "conn {c}: eof before frame {i}");
+                            let marker = format!("\"value\":\"c{c}-{i}\"");
+                            assert!(
+                                line.contains("\"ok\":true") && line.contains(&marker),
+                                "conn {c} frame {i}: {line}"
+                            );
+                        }
+                        latencies.push(t0.elapsed());
+                        let mut rest = String::new();
+                        assert_eq!(
+                            reader.read_line(&mut rest).unwrap(),
+                            0,
+                            "conn {c}: extra frame {rest:?}"
+                        );
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("driver thread panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    latencies.sort();
+    let total = n * FRAMES_PER_CONN;
+    let p = |q: f64| latencies[((latencies.len() - 1) as f64 * q) as usize];
+    eprintln!(
+        "serve_stress: {n} conns x {FRAMES_PER_CONN} frames = {total} requests \
+         in {wall:?} ({:.0} req/s); conn completion p50 {:?} p99 {:?} max {:?}",
+        total as f64 / wall.as_secs_f64(),
+        p(0.50),
+        p(0.99),
+        latencies[latencies.len() - 1],
+    );
+
+    // Nominal load: nothing shed, nothing rejected, nothing errored.
+    let stats = service.stats();
+    assert_eq!(stats.classifications, total as u64, "lost requests");
+    assert_eq!(stats.requests_shed, 0, "shed under nominal load");
+    assert_eq!(stats.connections_rejected, 0, "rejected under the cap");
+    assert_eq!(stats.stalls_shed, 0, "stall-shed responsive peers");
+    assert_eq!(stats.connection_errors, 0, "connection errors");
+
+    service.request_shutdown();
+    server
+        .join()
+        .expect("server panicked")
+        .expect("serve loop errored");
+}

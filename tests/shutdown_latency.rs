@@ -1,0 +1,78 @@
+//! Shutdown latency regressions: `request_shutdown` must *wake* the
+//! serve loops (self-pipe into the poller, condvar under the watch
+//! pacer), not wait for the next poll tick or sleep slice to expire.
+
+use av_service::{serve_listener, std_listener, ServiceConfig, ValidationService};
+use std::io::Read;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The event loop with idle connections attached shuts down in well
+/// under 50 ms: nothing is generating events, so the only thing that can
+/// end the `poller.wait` promptly is the shutdown waker itself.
+#[test]
+fn tcp_shutdown_with_idle_connections_is_immediate() {
+    let service = Arc::new(ValidationService::new(ServiceConfig::default()));
+    let listener = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || serve_listener(service, std_listener(listener).unwrap()))
+    };
+    // Idle connections that never send a byte: slow-loris shaped load
+    // that produces no readiness events at all.
+    let idle: Vec<TcpStream> = (0..8).map(|_| TcpStream::connect(addr).unwrap()).collect();
+    // Give the reactor a moment to accept them so shutdown really does
+    // have live connection state to tear down.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let t0 = Instant::now();
+    service.request_shutdown();
+    server.join().unwrap().unwrap();
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_millis(50),
+        "shutdown with idle connections took {elapsed:?} (want < 50ms)"
+    );
+    // The idle connections were closed cleanly (EOF), not abandoned.
+    for mut s in idle {
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 16];
+        let n = s.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "idle connection should see clean EOF");
+    }
+}
+
+/// `wait_shutdown_timeout` (the watch-frame pacer on the pipe transport)
+/// returns as soon as shutdown is requested, not after its full timeout.
+#[test]
+fn wait_shutdown_timeout_wakes_on_request_not_on_deadline() {
+    let service = Arc::new(ValidationService::new(ServiceConfig::default()));
+    let waiter = {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let shut = service.wait_shutdown_timeout(Duration::from_secs(30));
+            (shut, t0.elapsed())
+        })
+    };
+    std::thread::sleep(Duration::from_millis(50));
+    let t0 = Instant::now();
+    service.request_shutdown();
+    let (shut, waited) = waiter.join().unwrap();
+    assert!(shut, "waiter must observe the shutdown");
+    assert!(
+        waited < Duration::from_secs(5),
+        "waiter slept {waited:?} of a 30s timeout despite shutdown"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "wake took {:?} after request_shutdown",
+        t0.elapsed()
+    );
+    // And with shutdown already requested, the wait is a no-op.
+    let t1 = Instant::now();
+    assert!(service.wait_shutdown_timeout(Duration::from_secs(30)));
+    assert!(t1.elapsed() < Duration::from_secs(5));
+}
