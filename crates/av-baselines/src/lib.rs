@@ -12,8 +12,6 @@
 //! | upper bounds | [`fd_recall_upper_bound`] (FD-UB), [`ad_recall_upper_bound`] (AD-UB) |
 //! | user study | [`SimulatedProgrammer`] (Table 3) |
 
-#![warn(missing_docs)]
-
 mod bounds;
 mod dictionary;
 mod grok;

@@ -6,8 +6,6 @@
 //! and output-directory plumbing. Results are printed as aligned tables and
 //! written as CSV under `results/`.
 
-#![warn(missing_docs)]
-
 use av_baselines::{
     ColumnValidator, DeequCat, DeequFra, FlashProfile, Grok, PottersWheel, SchemaMatchCorpus,
     SmInstance, SmPattern, Ssis, Tfdv, XSystem,

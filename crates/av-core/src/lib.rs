@@ -43,8 +43,6 @@
 //! # Ok(()) }
 //! ```
 
-#![warn(missing_docs)]
-
 mod api;
 mod autotag;
 mod classify;

@@ -18,8 +18,6 @@
 //!
 //! Everything is deterministic given a `u64` seed.
 
-#![warn(missing_docs)]
-
 mod benchmark;
 mod column;
 mod domain;

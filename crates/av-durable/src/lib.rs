@@ -27,7 +27,6 @@
 //! the state after some prefix of the logged operation history, and that
 //! prefix covers every operation that was acknowledged before the crash.
 
-#![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod crc32;
@@ -39,7 +38,7 @@ pub mod wal;
 pub use crc32::{crc32, Crc32};
 pub use fault::{FaultPlan, MemStorage};
 pub use manifest::{Manifest, ManifestError, ShardFileEntry};
-pub use storage::{OsStorage, Storage, StorageFile};
+pub use storage::{write_atomic, OsStorage, Storage, StorageFile};
 pub use wal::{Wal, WalConfig, WalReplay};
 
 use std::fmt;

@@ -14,8 +14,6 @@
 //! FMDV rules go in via `InferredRule::from_validator` (no bespoke wrapper
 //! closures), and every pass/fail decision streams borrowed `&str` values.
 
-#![warn(missing_docs)]
-
 mod fmdv_validator;
 mod methodology;
 mod report;

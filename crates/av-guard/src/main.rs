@@ -1,0 +1,53 @@
+//! CLI entry point: scan the workspace, print findings, gate CI.
+//!
+//! ```text
+//! cargo run -p av-guard --release -- [--deny] [--json] [--root <dir>]
+//! ```
+//!
+//! `--deny` exits non-zero if any finding survives; `--json` emits the
+//! machine-readable report (CI uploads it on failure).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => {
+                    eprintln!("av-guard: --root needs a directory");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("av-guard: unknown argument `{other}`");
+                eprintln!("usage: av-guard [--deny] [--json] [--root <dir>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let report = match av_guard::scan_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("av-guard: scan failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if deny && !report.findings.is_empty() {
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}

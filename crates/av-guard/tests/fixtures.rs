@@ -1,0 +1,119 @@
+//! Per-rule fixture tests: every rule has a violating fixture (caught),
+//! a clean fixture (silent), and an allow-annotated fixture (suppressed
+//! with the allow counted as honored).
+//!
+//! Fixtures are plain `.rs` files under `tests/fixtures/<rule>/` — never
+//! compiled, only lexed by the scanner. Each is scanned under a
+//! *masqueraded* workspace-relative path chosen to land in exactly the
+//! rule's scope (e.g. the G5 fixtures pretend to be `event_loop.rs`).
+
+use av_guard::{scan_source, Report};
+
+fn scan_fixture(rule_dir: &str, fixture: &str, masquerade: &str) -> Report {
+    let path = format!(
+        "{}/tests/fixtures/{}/{}.rs",
+        env!("CARGO_MANIFEST_DIR"),
+        rule_dir,
+        fixture
+    );
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read fixture {path}: {e}"));
+    scan_source(masquerade, &text)
+}
+
+/// The violating fixture must produce at least one finding, all of the
+/// rule under test (a cross-rule finding would mean the fixture leaked
+/// into another rule's scope).
+fn assert_violating(rule: &str, rule_dir: &str, masquerade: &str) {
+    let report = scan_fixture(rule_dir, "violating", masquerade);
+    assert!(
+        !report.findings.is_empty(),
+        "{rule}: violating fixture produced no findings"
+    );
+    for f in &report.findings {
+        assert_eq!(
+            f.rule, rule,
+            "{rule}: violating fixture leaked a {} finding: {}",
+            f.rule, f.message
+        );
+    }
+}
+
+fn assert_clean(rule: &str, rule_dir: &str, masquerade: &str) {
+    let report = scan_fixture(rule_dir, "clean", masquerade);
+    assert!(
+        report.findings.is_empty(),
+        "{rule}: clean fixture flagged: {:?}",
+        report.findings
+    );
+}
+
+/// The allow-annotated fixture is the violating shape plus a justified
+/// directive: zero findings (no G0 either — the allow must parse and be
+/// used) and the allow counted as honored.
+fn assert_allowed(rule: &str, rule_dir: &str, masquerade: &str) {
+    let report = scan_fixture(rule_dir, "allowed", masquerade);
+    assert!(
+        report.findings.is_empty(),
+        "{rule}: allow-annotated fixture still flagged: {:?}",
+        report.findings
+    );
+    assert!(
+        report.allows_honored >= 1,
+        "{rule}: allow directive was not honored"
+    );
+}
+
+#[test]
+fn g1_lock_order_fixtures() {
+    let at = "src/fixtures/g1.rs";
+    assert_violating("G1", "g1", at);
+    assert_clean("G1", "g1", at);
+    assert_allowed("G1", "g1", at);
+}
+
+#[test]
+fn g2_storage_bypass_fixtures() {
+    let at = "crates/av-durable/src/fixture.rs";
+    assert_violating("G2", "g2", at);
+    assert_clean("G2", "g2", at);
+    assert_allowed("G2", "g2", at);
+}
+
+#[test]
+fn g3_panic_path_fixtures() {
+    let at = "crates/av-service/src/server/pool.rs";
+    assert_violating("G3", "g3", at);
+    assert_clean("G3", "g3", at);
+    assert_allowed("G3", "g3", at);
+}
+
+#[test]
+fn g4_determinism_fixtures() {
+    let at = "crates/av-index/src/persist.rs";
+    assert_violating("G4", "g4", at);
+    assert_clean("G4", "g4", at);
+    assert_allowed("G4", "g4", at);
+}
+
+#[test]
+fn g5_blocking_in_reactor_fixtures() {
+    let at = "crates/av-service/src/server/event_loop.rs";
+    assert_violating("G5", "g5", at);
+    assert_clean("G5", "g5", at);
+    assert_allowed("G5", "g5", at);
+}
+
+/// Fixtures scanned *outside* their rule's scope are silent: scoping, not
+/// luck, is what keeps the rest of the workspace quiet.
+#[test]
+fn fixtures_out_of_scope_are_silent() {
+    for dir in ["g2", "g3", "g4", "g5"] {
+        let report = scan_fixture(dir, "violating", "crates/av-core/src/out_of_scope.rs");
+        assert!(
+            report.findings.is_empty(),
+            "{dir}: violating fixture flagged outside its scope: {:?}",
+            report.findings
+        );
+    }
+}

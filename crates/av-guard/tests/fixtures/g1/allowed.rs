@@ -1,0 +1,9 @@
+//! G1 fixture: the inversion from `violating.rs` carrying a justified
+//! allow directive.
+
+fn inverted(d: &Svc) {
+    let catalog = d.catalog.write().expect("catalog poisoned");
+    // av-guard: allow(G1, reason = "fixture: deliberate inversion exercising the escape hatch")
+    let mut wal = d.wal.lock().expect("wal poisoned");
+    wal.append(catalog.len());
+}

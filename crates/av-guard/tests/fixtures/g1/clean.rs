@@ -1,0 +1,14 @@
+//! G1 fixture: the same two locks taken in ascending rank order, plus a
+//! temporary that releases at its statement's end.
+
+fn ascending(d: &Svc) {
+    let mut wal = d.wal.lock().expect("wal poisoned");
+    let catalog = d.catalog.write().expect("catalog poisoned");
+    wal.append(catalog.len());
+}
+
+fn temporary_then_lower(d: &Svc) {
+    let n = d.catalog.read().expect("catalog poisoned").len();
+    let mut wal = d.wal.lock().expect("wal poisoned");
+    wal.append(n);
+}

@@ -1,0 +1,8 @@
+//! G1 fixture: `catalog` (rank 70) is held while `wal` (rank 20) is
+//! acquired — a hierarchy inversion.
+
+fn inverted(d: &Svc) {
+    let catalog = d.catalog.write().expect("catalog poisoned");
+    let mut wal = d.wal.lock().expect("wal poisoned");
+    wal.append(catalog.len());
+}

@@ -1,0 +1,6 @@
+//! G2 fixture: a direct filesystem call carrying a justified allow.
+
+fn touch(path: &std::path::Path) {
+    // av-guard: allow(G2, reason = "fixture: direct fs call exercising the escape hatch")
+    let _ = std::fs::remove_file(path);
+}

@@ -1,0 +1,6 @@
+//! G2 fixture: the same operation routed through the `Storage` trait —
+//! the sanctioned durable-I/O boundary.
+
+fn touch(storage: &dyn Storage, path: &std::path::Path) {
+    let _ = storage.remove(path);
+}

@@ -1,0 +1,5 @@
+//! G2 fixture: direct `std::fs` use inside a storage-boundary crate.
+
+fn touch(path: &std::path::Path) {
+    let _ = std::fs::remove_file(path);
+}

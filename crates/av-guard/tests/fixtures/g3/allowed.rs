@@ -1,0 +1,6 @@
+//! G3 fixture: an unwrap carrying a justified allow.
+
+fn risky(values: &[u64]) -> u64 {
+    // av-guard: allow(G3, reason = "fixture: unwrap on a len-checked slice exercising the escape hatch")
+    *values.first().unwrap()
+}

@@ -1,0 +1,6 @@
+//! G3 fixture: the same lookups written panic-free.
+
+fn safe(values: &[u64], i: usize) -> u64 {
+    let first = values.first().copied().unwrap_or(0);
+    first + values.get(i).copied().unwrap_or(0)
+}

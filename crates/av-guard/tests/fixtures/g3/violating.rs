@@ -1,0 +1,6 @@
+//! G3 fixture: panic paths (unwrap + slice index) in server code.
+
+fn risky(values: &[u64], i: usize) -> u64 {
+    let first = values.first().unwrap();
+    first + values[i]
+}

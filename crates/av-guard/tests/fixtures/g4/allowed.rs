@@ -1,0 +1,4 @@
+//! G4 fixture: a float boundary carrying a justified allow.
+
+// av-guard: allow(G4, reason = "fixture: presentation-side float exercising the escape hatch")
+fn ratio(n: u64, d: u64) -> f64 { n as f64 / d.max(1) as f64 }

@@ -1,0 +1,14 @@
+//! G4 fixture: fixed-point integer arithmetic and sorted iteration — the
+//! deterministic forms of the patterns `violating.rs` flags.
+
+fn ratio_fp(n: u64, d: u64) -> u64 {
+    (n << 32) / d.max(1)
+}
+
+fn persist_patterns(map: &HashMap<String, u64>, out: &mut Vec<u8>) {
+    let mut keys: Vec<&String> = map.keys().collect();
+    keys.sort();
+    for k in keys {
+        out.extend_from_slice(k.as_bytes());
+    }
+}

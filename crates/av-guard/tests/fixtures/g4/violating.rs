@@ -1,0 +1,13 @@
+//! G4 fixture: float arithmetic in an accumulator module and unsorted
+//! `HashMap` iteration feeding a persist path.
+
+fn ratio(n: u64, d: u64) -> f64 {
+    n as f64 / d as f64
+}
+
+fn persist_patterns(map: &HashMap<String, u64>, out: &mut Vec<u8>) {
+    for (k, v) in map.iter() {
+        out.extend_from_slice(k.as_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}

@@ -1,0 +1,10 @@
+//! G5 fixture: the sanctioned shapes — blocking receive inside the
+//! exempt worker loop, and the poller's own bounded wait.
+
+fn worker_loop(rx: &Receiver<u64>) {
+    while let Ok(_job) = rx.recv() {}
+}
+
+fn tick(poller: &Poller, events: &mut Events) {
+    let _ = poller.wait(events);
+}

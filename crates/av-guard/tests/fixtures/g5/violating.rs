@@ -1,0 +1,6 @@
+//! G5 fixture: a blocking channel receive inside reactor code.
+
+fn tick(rx: &Receiver<u64>) {
+    let job = rx.recv();
+    let _ = job;
+}

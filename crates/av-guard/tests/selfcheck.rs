@@ -1,0 +1,30 @@
+//! The live workspace must pass its own linter: zero findings (which
+//! includes zero G0s — so no malformed, unknown-rule, or unused allow
+//! directives) and every allow that exists carries a justification.
+
+use av_guard::scan_workspace;
+use std::path::Path;
+
+#[test]
+fn workspace_is_guard_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("av-guard lives two levels under the workspace root");
+    let report = scan_workspace(root).expect("workspace scan failed");
+    assert!(
+        report.files_scanned > 50,
+        "suspiciously few files scanned ({}) — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.findings.is_empty(),
+        "the workspace no longer passes av-guard:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("  {}:{} [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

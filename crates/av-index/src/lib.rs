@@ -29,8 +29,6 @@
 //! ingests touching disjoint shards run their merge work in parallel and
 //! publish atomically (see [`shard`]).
 
-#![warn(missing_docs)]
-
 mod build;
 mod delta;
 mod persist;

@@ -30,10 +30,9 @@
 use crate::build::PatternIndex;
 use crate::shard::{shard_of, IndexShard, MAX_SHARD_BITS};
 use crate::stats::StatsAcc;
+use av_durable::{write_atomic, OsStorage, Storage};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use std::fs::File;
-use std::io::{Read, Write};
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::sync::Arc;
 
 const MAGIC: &[u8; 4] = b"AVIX";
@@ -67,23 +66,6 @@ impl From<std::io::Error> for PersistError {
     fn from(e: std::io::Error) -> Self {
         PersistError::Io(e)
     }
-}
-
-/// Fsync the directory containing `path` so a just-renamed file's
-/// directory entry is durable. No-op on platforms where directories
-/// cannot be opened for fsync.
-#[cfg(unix)]
-fn fsync_parent_dir(path: &Path) -> std::io::Result<()> {
-    let dir = match path.parent() {
-        Some(d) if !d.as_os_str().is_empty() => d,
-        _ => Path::new("."),
-    };
-    File::open(dir)?.sync_all()
-}
-
-#[cfg(not(unix))]
-fn fsync_parent_dir(_path: &Path) -> std::io::Result<()> {
-    Ok(())
 }
 
 /// Append one shard's entry + string sections (the exact per-shard byte
@@ -313,31 +295,38 @@ impl PatternIndex {
         av_pattern::fnv1a(&self.to_bytes())
     }
 
-    /// Write the index to a file atomically: the bytes go to a sibling
-    /// `.tmp` file which is fsynced and renamed over `path`, then the
-    /// parent directory is fsynced so the rename survives a crash. A
-    /// crash at any point leaves either the old image or the new one at
-    /// `path`, never a truncated hybrid.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
-        let path = path.as_ref();
-        let mut tmp = path.as_os_str().to_owned();
-        tmp.push(".tmp");
-        let tmp = PathBuf::from(tmp);
-        let mut f = File::create(&tmp)?;
-        f.write_all(&self.to_bytes())?;
-        f.sync_all()?;
-        drop(f);
-        std::fs::rename(&tmp, path)?;
-        fsync_parent_dir(path)?;
+    /// Write the index through `storage` atomically (see
+    /// [`write_atomic`]): the bytes go to a sibling `.tmp` file which is
+    /// fsynced and renamed over `path`, then the parent directory is
+    /// fsynced so the rename survives a crash. A crash at any point
+    /// leaves either the old image or the new one at `path`, never a
+    /// truncated hybrid.
+    pub fn save_with(
+        &self,
+        storage: &dyn Storage,
+        path: impl AsRef<Path>,
+    ) -> Result<(), PersistError> {
+        write_atomic(storage, path.as_ref(), &self.to_bytes())?;
         Ok(())
     }
 
-    /// Read an index from a file.
-    pub fn load(path: impl AsRef<Path>) -> Result<PatternIndex, PersistError> {
-        let mut f = File::open(path)?;
-        let mut buf = Vec::new();
-        f.read_to_end(&mut buf)?;
+    /// [`save_with`](Self::save_with) against the real filesystem.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), PersistError> {
+        self.save_with(&OsStorage, path)
+    }
+
+    /// Read an index through `storage`.
+    pub fn load_with(
+        storage: &dyn Storage,
+        path: impl AsRef<Path>,
+    ) -> Result<PatternIndex, PersistError> {
+        let buf = storage.read(path.as_ref())?;
         PatternIndex::from_bytes(&buf)
+    }
+
+    /// [`load_with`](Self::load_with) against the real filesystem.
+    pub fn load(path: impl AsRef<Path>) -> Result<PatternIndex, PersistError> {
+        Self::load_with(&OsStorage, path)
     }
 }
 

@@ -16,6 +16,7 @@
 //! magnitude below the 1e-9 resolution any consumer of `FPR_T` uses.
 
 /// Fixed-point scale for impurity sums: 32 fractional bits.
+// av-guard: allow(G4, reason = "the quantization constant itself: both conversion boundaries scale by it")
 pub(crate) const IMP_SCALE: f64 = (1u64 << 32) as f64;
 
 /// Pre-computed statistics for one pattern `p ∈ P(T)` (§2.4): the estimated
@@ -23,6 +24,7 @@ pub(crate) const IMP_SCALE: f64 = (1u64 << 32) as f64;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PatternStats {
     /// `FPR_T(p)`: average impurity over the columns `p` covers.
+    // av-guard: allow(G4, reason = "presentation-side output of finish(); never merged or persisted")
     pub fpr: f64,
     /// `Cov_T(p)`: number of corpus columns with at least one matching value.
     pub cov: u64,

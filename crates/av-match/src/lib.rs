@@ -58,8 +58,6 @@
 //! assert_eq!(matcher.classify("2021-04-13"), vec![0]);
 //! ```
 
-#![warn(missing_docs)]
-
 mod matcher;
 mod nfa;
 

@@ -9,8 +9,6 @@
 //! ([`CategoryEncoder`]) whose positional nature is what drift breaks, and
 //! the reported metrics ([`r2_score`], [`average_precision`]).
 
-#![warn(missing_docs)]
-
 mod encode;
 mod gbdt;
 mod metrics;

@@ -42,8 +42,6 @@
 //! assert!(h.contains(&ideal));
 //! ```
 
-#![warn(missing_docs)]
-
 mod analyze;
 mod compile;
 mod generalize;

@@ -17,8 +17,6 @@
 //! assert!(re.is_match("shipped on 2019-03-01 ok"));
 //! ```
 
-#![warn(missing_docs)]
-
 mod ast;
 mod nfa;
 mod thread_set;

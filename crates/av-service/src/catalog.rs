@@ -23,7 +23,7 @@
 //! previous catalog and a completed save survives power loss.
 
 use av_core::{pct_decode, pct_encode, AnyRule};
-use av_durable::crc32;
+use av_durable::{crc32, OsStorage, Storage};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -201,34 +201,39 @@ impl RuleCatalog {
         Ok(catalog)
     }
 
-    /// Write the catalog to `path` atomically and durably: sibling temp
-    /// file, `fsync`, rename over `path`, parent-directory `fsync`.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CatalogError> {
-        use std::io::Write;
-        let path = path.as_ref();
-        let tmp = path.with_extension("tmp");
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(self.to_text().as_bytes())?;
-        file.sync_all()?;
-        drop(file);
-        std::fs::rename(&tmp, path)?;
-        if let Some(parent) = path.parent() {
-            let parent = if parent.as_os_str().is_empty() {
-                Path::new(".")
-            } else {
-                parent
-            };
-            std::fs::File::open(parent)?.sync_all()?;
-        }
+    /// Write the catalog through `storage` atomically and durably
+    /// (see [`av_durable::write_atomic`]): sibling temp file, `fsync`,
+    /// rename over `path`, parent-directory `fsync`.
+    pub fn save_with(
+        &self,
+        storage: &dyn Storage,
+        path: impl AsRef<Path>,
+    ) -> Result<(), CatalogError> {
+        av_durable::write_atomic(storage, path.as_ref(), self.to_text().as_bytes())?;
         Ok(())
     }
 
-    /// Load a catalog from `path`. Corruption errors name the file and
-    /// the byte offset where verification failed.
-    pub fn load(path: impl AsRef<Path>) -> Result<RuleCatalog, CatalogError> {
+    /// [`save_with`](Self::save_with) against the real filesystem.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CatalogError> {
+        self.save_with(&OsStorage, path)
+    }
+
+    /// Load a catalog through `storage`. Corruption errors name the file
+    /// and the byte offset where verification failed.
+    pub fn load_with(
+        storage: &dyn Storage,
+        path: impl AsRef<Path>,
+    ) -> Result<RuleCatalog, CatalogError> {
         let path = path.as_ref();
-        let text = std::fs::read_to_string(path)?;
+        let bytes = storage.read(path)?;
+        let text = String::from_utf8(bytes)
+            .map_err(|e| CatalogError::Format(format!("catalog is not UTF-8: {e}")))?;
         RuleCatalog::from_text(&text).map_err(|e| name_file(e, &path.display().to_string()))
+    }
+
+    /// [`load_with`](Self::load_with) against the real filesystem.
+    pub fn load(path: impl AsRef<Path>) -> Result<RuleCatalog, CatalogError> {
+        Self::load_with(&OsStorage, path)
     }
 }
 

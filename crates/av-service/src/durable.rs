@@ -41,6 +41,7 @@
 //! O(records since the last checkpoint), never a corpus rebuild.
 
 use crate::catalog::{self, CatalogEntry, RuleCatalog};
+use crate::lockorder;
 use av_durable::{
     crc32, DurableError, Manifest, ShardFileEntry, Storage, Wal, WalConfig, WalReplay,
 };
@@ -223,7 +224,10 @@ impl DurableState {
     /// Point-in-time counters plus WAL shape (briefly takes the WAL lock).
     pub fn snapshot(&self) -> DurabilitySnapshot {
         let (wal_segments, wal_bytes) = {
-            let wal = self.wal.lock().expect("wal lock poisoned");
+            let (_wal_rank, wal) = (
+                lockorder::rank_guard(lockorder::WAL),
+                self.wal.lock().expect("wal lock poisoned"),
+            );
             (wal.segment_count(), wal.total_bytes())
         };
         DurabilitySnapshot {
@@ -544,7 +548,10 @@ pub(crate) fn write_checkpoint(
     // Everything below is post-commit cleanup: failures leave garbage,
     // never inconsistency, so they must not fail the checkpoint.
     {
-        let mut wal = state.wal.lock().expect("wal lock poisoned");
+        let (_wal_rank, mut wal) = (
+            lockorder::rank_guard(lockorder::WAL),
+            state.wal.lock().expect("wal lock poisoned"),
+        );
         let _ = wal.remove_through(watermark);
     }
     // Keep the new generation plus the previous one (recovery may fall

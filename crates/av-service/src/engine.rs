@@ -22,6 +22,7 @@ use crate::catalog::{self, CatalogEntry, CatalogError, RuleCatalog};
 use crate::durable::{
     self, CheckpointBase, DurabilityConfig, DurabilitySnapshot, DurableState, WalRecord,
 };
+use crate::lockorder;
 use crate::telemetry::{FailureExemplar, ServiceTelemetry, TelemetryConfig};
 use av_baselines::baseline_by_name;
 use av_core::{
@@ -402,22 +403,27 @@ impl ValidationService {
         }
         let service = ValidationService::new(config);
         if let Some(dir) = service.config.data_dir.clone() {
+            let storage = Arc::clone(&service.config.storage);
             let index_path = dir.join(INDEX_FILE);
-            if index_path.exists() {
-                let loaded = PatternIndex::load(&index_path)?;
+            if storage.exists(&index_path) {
+                let loaded = PatternIndex::load_with(storage.as_ref(), &index_path)?;
                 service
                     .columns_ingested
                     .store(loaded.num_columns, Ordering::Relaxed);
                 service.index.install(loaded);
             }
             let catalog_path = dir.join(CATALOG_FILE);
-            if catalog_path.exists() {
-                let loaded = RuleCatalog::load(&catalog_path)?;
-                let mut classifier = service.classifier.lock().expect("classifier poisoned");
-                for entry in loaded.iter() {
-                    classifier.insert(&entry.name, entry.rule.clone());
+            if storage.exists(&catalog_path) {
+                let loaded = RuleCatalog::load_with(storage.as_ref(), &catalog_path)?;
+                {
+                    let (_classifier_rank, mut classifier) = (
+                        lockorder::rank_guard(lockorder::CLASSIFIER),
+                        service.classifier.lock().expect("classifier poisoned"),
+                    );
+                    for entry in loaded.iter() {
+                        classifier.insert(&entry.name, entry.rule.clone());
+                    }
                 }
-                drop(classifier);
                 *service.catalog.write().expect("catalog lock poisoned") = loaded;
             }
         }
@@ -473,7 +479,10 @@ impl ValidationService {
             .columns_ingested
             .store(service.index.snapshot().num_columns, Ordering::Relaxed);
         {
-            let mut classifier = service.classifier.lock().expect("classifier poisoned");
+            let (_classifier_rank, mut classifier) = (
+                lockorder::rank_guard(lockorder::CLASSIFIER),
+                service.classifier.lock().expect("classifier poisoned"),
+            );
             for entry in catalog.iter() {
                 classifier.insert(&entry.name, entry.rule.clone());
             }
@@ -543,7 +552,10 @@ impl ValidationService {
             Some(d) => {
                 let payload = durable::encode_delta(&delta);
                 let lsn = {
-                    let mut wal = d.wal.lock().expect("wal lock poisoned");
+                    let (_wal_rank, mut wal) = (
+                        lockorder::rank_guard(lockorder::WAL),
+                        d.wal.lock().expect("wal lock poisoned"),
+                    );
                     let lsn = wal.append(&payload)?;
                     d.in_flight
                         .lock()
@@ -557,7 +569,10 @@ impl ValidationService {
         };
         let merged = self.index.merge_delta(delta);
         if let Some((d, lsn)) = logged {
-            let mut in_flight = d.in_flight.lock().expect("in-flight lock poisoned");
+            let (_in_flight_rank, mut in_flight) = (
+                lockorder::rank_guard(lockorder::IN_FLIGHT),
+                d.in_flight.lock().expect("in-flight lock poisoned"),
+            );
             in_flight.remove(&lsn);
             drop(in_flight);
             d.in_flight_cv.notify_all();
@@ -624,7 +639,10 @@ impl ValidationService {
         // yet in the snapshot it wrote.
         if let Some(d) = &self.durable {
             let payload = durable::encode_infer(&catalog::entry_line(&entry));
-            let mut wal = d.wal.lock().expect("wal lock poisoned");
+            let (_wal_rank, mut wal) = (
+                lockorder::rank_guard(lockorder::WAL),
+                d.wal.lock().expect("wal lock poisoned"),
+            );
             wal.append(&payload)?;
             self.catalog
                 .write()
@@ -670,8 +688,14 @@ impl ValidationService {
         // the WAL lock (see `infer_rule`), but only once the entry is known
         // to exist — a delete of an unknown name must not consume an LSN.
         let removed_cataloged = if let Some(d) = &self.durable {
-            let mut wal = d.wal.lock().expect("wal lock poisoned");
-            let mut catalog = self.catalog.write().expect("catalog lock poisoned");
+            let (_wal_rank, mut wal) = (
+                lockorder::rank_guard(lockorder::WAL),
+                d.wal.lock().expect("wal lock poisoned"),
+            );
+            let (_catalog_rank, mut catalog) = (
+                lockorder::rank_guard(lockorder::CATALOG),
+                self.catalog.write().expect("catalog lock poisoned"),
+            );
             if catalog.get(name).is_some() {
                 wal.append(&durable::encode_delete(name))?;
                 catalog.remove(name);
@@ -730,13 +754,19 @@ impl ValidationService {
         f: impl FnOnce(&dyn Validator) -> R,
     ) -> Result<R, ServiceError> {
         {
-            let catalog = self.catalog.read().expect("catalog lock poisoned");
+            let (_catalog_rank, catalog) = (
+                lockorder::rank_guard(lockorder::CATALOG),
+                self.catalog.read().expect("catalog lock poisoned"),
+            );
             if let Some(entry) = catalog.get(name) {
                 return Ok(f(&entry.rule));
             }
         }
         let baseline = {
-            let baselines = self.baselines.read().expect("baselines lock poisoned");
+            let (_baselines_rank, baselines) = (
+                lockorder::rank_guard(lockorder::BASELINES),
+                self.baselines.read().expect("baselines lock poisoned"),
+            );
             baselines.get(name).cloned()
         };
         match baseline {
@@ -770,7 +800,10 @@ impl ValidationService {
         let description = rule.description.clone();
         // Lock order: catalog read inside baselines write is safe — no path
         // takes these locks in the opposite nesting.
-        let mut baselines = self.baselines.write().expect("baselines lock poisoned");
+        let (_baselines_rank, mut baselines) = (
+            lockorder::rank_guard(lockorder::BASELINES),
+            self.baselines.write().expect("baselines lock poisoned"),
+        );
         if self
             .catalog
             .read()
@@ -795,7 +828,10 @@ impl ValidationService {
 
     /// Names and descriptions of the session-scoped baseline rules.
     pub fn baseline_rules(&self) -> Vec<(String, String)> {
-        let baselines = self.baselines.read().expect("baselines lock poisoned");
+        let (_baselines_rank, baselines) = (
+            lockorder::rank_guard(lockorder::BASELINES),
+            self.baselines.read().expect("baselines lock poisoned"),
+        );
         let mut out: Vec<(String, String)> = baselines
             .iter()
             .map(|(name, v)| (name.clone(), v.describe()))
@@ -876,7 +912,10 @@ impl ValidationService {
     /// winner the full loop would pick.
     pub fn explain(&self, rule: &str, value: &str) -> Result<ExplainOutcome, ServiceError> {
         {
-            let catalog = self.catalog.read().expect("catalog lock poisoned");
+            let (_catalog_rank, catalog) = (
+                lockorder::rank_guard(lockorder::CATALOG),
+                self.catalog.read().expect("catalog lock poisoned"),
+            );
             if let Some(entry) = catalog.get(rule) {
                 let conforms = entry.rule.conforms(value);
                 let (explanation, suggestion) = if conforms {
@@ -899,7 +938,10 @@ impl ValidationService {
             }
         }
         let baseline = {
-            let baselines = self.baselines.read().expect("baselines lock poisoned");
+            let (_baselines_rank, baselines) = (
+                lockorder::rank_guard(lockorder::BASELINES),
+                self.baselines.read().expect("baselines lock poisoned"),
+            );
             baselines.get(rule).cloned()
         };
         match baseline {
@@ -934,7 +976,10 @@ impl ValidationService {
     /// rules and session baselines alike) in a single scan of the value,
     /// returning every conforming rule ranked most-specific-first.
     pub fn classify_value(&self, value: &str) -> ClassifyOutcome {
-        let mut classifier = self.classifier.lock().expect("classifier poisoned");
+        let (_classifier_rank, mut classifier) = (
+            lockorder::rank_guard(lockorder::CLASSIFIER),
+            self.classifier.lock().expect("classifier poisoned"),
+        );
         let outcome = Self::classify_locked(&mut classifier, value);
         drop(classifier);
         self.classifications.fetch_add(1, Ordering::Relaxed);
@@ -945,7 +990,10 @@ impl ValidationService {
     /// whole batch so the lazy DFA's cache is hit back-to-back. Results
     /// come back in input order.
     pub fn classify_batch<S: AsRef<str>>(&self, values: &[S]) -> Vec<ClassifyOutcome> {
-        let mut classifier = self.classifier.lock().expect("classifier poisoned");
+        let (_classifier_rank, mut classifier) = (
+            lockorder::rank_guard(lockorder::CLASSIFIER),
+            self.classifier.lock().expect("classifier poisoned"),
+        );
         let out = values
             .iter()
             .map(|v| Self::classify_locked(&mut classifier, v.as_ref()))
@@ -1056,12 +1104,16 @@ impl ValidationService {
             .data_dir
             .as_ref()
             .ok_or(ServiceError::NoDataDir)?;
-        std::fs::create_dir_all(dir).map_err(|e| ServiceError::Catalog(CatalogError::Io(e)))?;
-        self.snapshot().save(dir.join(INDEX_FILE))?;
+        let storage = Arc::clone(&self.config.storage);
+        storage
+            .create_dir_all(dir)
+            .map_err(|e| ServiceError::Catalog(CatalogError::Io(e)))?;
+        self.snapshot()
+            .save_with(storage.as_ref(), dir.join(INDEX_FILE))?;
         self.catalog
             .read()
             .expect("catalog lock poisoned")
-            .save(dir.join(CATALOG_FILE))?;
+            .save_with(storage.as_ref(), dir.join(CATALOG_FILE))?;
         Ok(())
     }
 
@@ -1072,10 +1124,19 @@ impl ValidationService {
     /// LSN until the snapshot is taken, and every logged-but-unmerged
     /// delta is drained first.
     fn checkpoint_durable(&self, d: &DurableState) -> Result<u64, ServiceError> {
-        let mut base = d.ckpt.lock().expect("checkpoint lock poisoned");
+        let (_ckpt_rank, mut base) = (
+            lockorder::rank_guard(lockorder::CKPT),
+            d.ckpt.lock().expect("checkpoint lock poisoned"),
+        );
         let (watermark, index, catalog_text) = {
-            let mut wal = d.wal.lock().expect("wal lock poisoned");
-            let mut in_flight = d.in_flight.lock().expect("in-flight lock poisoned");
+            let (_wal_rank, mut wal) = (
+                lockorder::rank_guard(lockorder::WAL),
+                d.wal.lock().expect("wal lock poisoned"),
+            );
+            let (_in_flight_rank, mut in_flight) = (
+                lockorder::rank_guard(lockorder::IN_FLIGHT),
+                d.in_flight.lock().expect("in-flight lock poisoned"),
+            );
             while !in_flight.is_empty() {
                 in_flight = d
                     .in_flight_cv

@@ -62,12 +62,11 @@
 //! assert!(service.validate("feeds/date", &drifted).unwrap().flagged);
 //! ```
 
-#![warn(missing_docs)]
-
 pub mod catalog;
 pub mod durable;
 pub mod engine;
 pub mod json;
+pub(crate) mod lockorder;
 pub mod protocol;
 pub mod server;
 pub mod telemetry;

@@ -1,0 +1,170 @@
+//! The canonical lock-hierarchy document and the debug-build rank
+//! tracker that enforces it.
+//!
+//! # The global lock hierarchy
+//!
+//! Every lock in the service stack has a rank; a thread may only acquire
+//! locks in strictly ascending rank order. Ranks gap by 10 so future
+//! locks can slot in without renumbering. **The machine-readable twin of
+//! this table lives in `crates/av-guard/src/config.rs`** — the `G1`
+//! static pass and its fixtures execute against that copy; change the
+//! two together.
+//!
+//! | Rank | Lock | Where | Why this position |
+//! |------|------|-------|-------------------|
+//! | 10 | `ckpt` | `DurableState` | Serializes whole checkpoints; taken before the WAL fence so two checkpoints can never interleave their shard writes. |
+//! | 20 | `wal` | `DurableState` | The WAL fence: the outermost lock of every durable mutating path. Holding it across the snapshot is what makes the checkpoint watermark exact. |
+//! | 30 | `in_flight` | `DurableState` | Logged-but-unmerged LSNs, drained under the WAL fence before a watermark is declared. |
+//! | 40 | `merge_locks` | `av-index::ShardedIndex` | Per-shard merge mutexes, taken in ascending shard order (a *multi* family: same-rank re-acquisition is the design). |
+//! | 50 | `epoch` | `av-index::ShardedIndex` | The published index epoch, swapped while merge locks are held so readers never observe a half-merged epoch. |
+//! | 60 | `baselines` | `ValidationService` | Session-scoped baseline rules. |
+//! | 70 | `catalog` | `ValidationService` | The persistent rule catalog; written under the WAL fence on durable paths. |
+//! | 80 | `classifier` | `ValidationService` | The catalog automaton — always innermost: it is rebuilt/patched *from* catalog state and must never wait on anything while held. |
+//!
+//! # The runtime tracker
+//!
+//! [`rank_guard`] pushes a rank onto a thread-local stack and
+//! `debug_assert!`s that acquisition order ascends; dropping the guard
+//! pops it. In release builds the guard is a zero-sized no-op. Lock
+//! sites pair the rank guard with the lock guard in one tuple binding —
+//!
+//! ```ignore
+//! let (_wal_rank, mut wal) = (rank_guard(WAL), d.wal.lock().expect("wal lock poisoned"));
+//! ```
+//!
+//! — tuple evaluation order records the rank before blocking on the
+//! lock, and the two guards leave scope together. Deliberately **not** a
+//! `lock_wal()` helper method: the `.lock()` call must stay visible at
+//! the call site for av-guard's `G1` static pass to see it.
+//!
+//! Single-statement temporaries
+//! (`self.catalog.read().expect(…).get(…)`) are not tracked: a
+//! temporary's guard cannot be held across the statements or calls where
+//! cross-function nesting — the half of the problem the static
+//! per-function pass cannot see — arises. The static pass covers
+//! temporaries; this tracker covers guards held across calls.
+
+#![allow(dead_code)] // release builds compile the consts/guards away
+
+#[cfg(debug_assertions)]
+use std::cell::RefCell;
+
+/// Rank of `DurableState.ckpt`.
+pub(crate) const CKPT: u32 = 10;
+/// Rank of `DurableState.wal` (the WAL fence).
+pub(crate) const WAL: u32 = 20;
+/// Rank of `DurableState.in_flight`.
+pub(crate) const IN_FLIGHT: u32 = 30;
+/// Rank of `av-index`'s per-shard merge mutexes (a multi family).
+pub(crate) const MERGE_LOCKS: u32 = 40;
+/// Rank of `av-index`'s published epoch lock.
+pub(crate) const EPOCH: u32 = 50;
+/// Rank of `ValidationService.baselines`.
+pub(crate) const BASELINES: u32 = 60;
+/// Rank of `ValidationService.catalog`.
+pub(crate) const CATALOG: u32 = 70;
+/// Rank of `ValidationService.classifier` (always innermost).
+pub(crate) const CLASSIFIER: u32 = 80;
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Ranks currently held by this thread, in acquisition order.
+    static HELD: RefCell<Vec<u32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Evidence that a rank was pushed; dropping pops it. Zero-sized in
+/// release builds.
+pub(crate) struct RankGuard {
+    #[cfg(debug_assertions)]
+    rank: u32,
+}
+
+/// Record acquisition of `rank`, asserting it exceeds every held rank.
+pub(crate) fn rank_guard(rank: u32) -> RankGuard {
+    push(rank, false)
+}
+
+/// Like [`rank_guard`] but for a *multi* family ([`MERGE_LOCKS`]): a
+/// same-rank re-acquisition is allowed (per-shard locks taken in
+/// ascending shard order share one rank).
+pub(crate) fn rank_guard_multi(rank: u32) -> RankGuard {
+    push(rank, true)
+}
+
+#[cfg(debug_assertions)]
+fn push(rank: u32, multi: bool) -> RankGuard {
+    // Assert outside the RefCell borrow: a failing assert unwinds
+    // through live RankGuards whose Drop needs the cell.
+    let max = HELD.with(|h| h.borrow().iter().max().copied());
+    if let Some(max) = max {
+        debug_assert!(
+            rank > max || (multi && rank == max),
+            "lock-order violation: acquiring rank {rank} while holding rank {max} \
+             (see the hierarchy table in lockorder.rs)"
+        );
+    }
+    HELD.with(|h| h.borrow_mut().push(rank));
+    RankGuard { rank }
+}
+
+#[cfg(not(debug_assertions))]
+fn push(_rank: u32, _multi: bool) -> RankGuard {
+    RankGuard {}
+}
+
+impl Drop for RankGuard {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            // Remove *this* rank's newest entry (not whatever is on
+            // top): guards may be dropped out of acquisition order.
+            if let Some(pos) = held.iter().rposition(|&r| r == self.rank) {
+                held.remove(pos);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_acquisition_passes() {
+        let _a = rank_guard(WAL);
+        let _b = rank_guard(CATALOG);
+        let _c = rank_guard(CLASSIFIER);
+    }
+
+    #[test]
+    fn multi_family_allows_same_rank() {
+        let _a = rank_guard_multi(MERGE_LOCKS);
+        let _b = rank_guard_multi(MERGE_LOCKS);
+        let _c = rank_guard(EPOCH);
+    }
+
+    #[test]
+    fn release_then_lower_is_fine() {
+        {
+            let _a = rank_guard(CLASSIFIER);
+        }
+        let _b = rank_guard(CATALOG);
+    }
+
+    #[test]
+    fn out_of_order_drop_keeps_tracking() {
+        let a = rank_guard(WAL);
+        let b = rank_guard(CATALOG);
+        drop(a);
+        drop(b);
+        let _c = rank_guard(CKPT);
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order violation")]
+    fn inversion_asserts_in_debug() {
+        let _a = rank_guard(CATALOG);
+        let _b = rank_guard(WAL);
+    }
+}

@@ -137,8 +137,11 @@ impl Conn {
     /// Push buffered bytes into the socket until drained or blocked.
     pub(crate) fn flush(&mut self, now: Instant) -> Flush {
         let mut progressed = false;
-        while self.write_pos < self.write_buf.len() {
-            match self.sock.write(&self.write_buf[self.write_pos..]) {
+        while let Some(bytes) = self.write_buf.get(self.write_pos..) {
+            if bytes.is_empty() {
+                break;
+            }
+            match self.sock.write(bytes) {
                 Ok(0) => return Flush::Failed,
                 Ok(n) => {
                     self.write_pos += n;

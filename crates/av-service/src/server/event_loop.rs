@@ -126,7 +126,7 @@ impl Queues {
 
     /// Enqueue unless the queue is at `cap`; `false` means shed.
     fn push_job(&self, job: Job, cap: usize) -> bool {
-        let mut jobs = self.jobs.lock().unwrap();
+        let mut jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
         if jobs.queue.len() >= cap {
             return false;
         }
@@ -139,7 +139,7 @@ impl Queues {
     /// Worker side: next job, or `None` once the queue closes (remaining
     /// jobs are abandoned — their connections are being torn down).
     fn pop_job(&self) -> Option<Job> {
-        let mut jobs = self.jobs.lock().unwrap();
+        let mut jobs = self.jobs.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if jobs.closed {
                 return None;
@@ -147,21 +147,24 @@ impl Queues {
             if let Some(job) = jobs.queue.pop_front() {
                 return Some(job);
             }
-            jobs = self.job_ready.wait(jobs).unwrap();
+            jobs = self.job_ready.wait(jobs).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     fn close(&self) {
-        self.jobs.lock().unwrap().closed = true;
+        self.jobs.lock().unwrap_or_else(|e| e.into_inner()).closed = true;
         self.job_ready.notify_all();
     }
 
     fn push_completion(&self, done: Completion) {
-        self.completions.lock().unwrap().push(done);
+        self.completions
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(done);
     }
 
     fn drain_completions(&self) -> Vec<Completion> {
-        std::mem::take(&mut self.completions.lock().unwrap())
+        std::mem::take(&mut self.completions.lock().unwrap_or_else(|e| e.into_inner()))
     }
 }
 
@@ -293,19 +296,22 @@ impl Reactor<'_> {
                 }
                 Ok(n) => {
                     conn.last_activity = now;
-                    conn.read_buf.extend_from_slice(&chunk[..n]);
+                    if let Some(bytes) = chunk.get(..n) {
+                        conn.read_buf.extend_from_slice(bytes);
+                    }
                     self.parse_frames(key, max_request, false);
                 }
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
                 Err(_) => {
                     // Reset mid-read: nothing more can be delivered.
-                    let conn = self.conns.get_mut(&key).unwrap();
-                    conn.error = true;
-                    conn.read_closed = true;
-                    conn.close_after_flush = true;
-                    conn.write_buf.clear();
-                    conn.write_pos = 0;
+                    if let Some(conn) = self.conns.get_mut(&key) {
+                        conn.error = true;
+                        conn.read_closed = true;
+                        conn.close_after_flush = true;
+                        conn.write_buf.clear();
+                        conn.write_pos = 0;
+                    }
                     return;
                 }
             }
@@ -327,10 +333,15 @@ impl Reactor<'_> {
         let fatal = &mut conn.fatal;
         let mut start = 0;
         while fatal.is_none() {
-            let Some(pos) = read_buf[start..].iter().position(|b| *b == b'\n') else {
+            let Some(tail) = read_buf.get(start..) else {
                 break;
             };
-            let line = &read_buf[start..start + pos];
+            let Some(pos) = tail.iter().position(|b| *b == b'\n') else {
+                break;
+            };
+            let Some(line) = tail.get(..pos) else {
+                break;
+            };
             accept_frame(pending, fatal, line, max_request);
             start += pos + 1;
         }
@@ -376,7 +387,9 @@ impl Reactor<'_> {
                     if !self.queues.push_job(Job { key, line }, self.run_queue_cap) {
                         // Run queue full: answer this frame overloaded
                         // and keep going — the connection stays up.
-                        let conn = self.conns.get_mut(&key).unwrap();
+                        let Some(conn) = self.conns.get_mut(&key) else {
+                            return;
+                        };
                         conn.in_flight = false;
                         render_overloaded_into("run queue full; request shed", &mut self.scratch);
                         let frame = std::mem::take(&mut self.scratch);
@@ -474,7 +487,9 @@ impl Reactor<'_> {
             let rendered = std::mem::take(&mut self.scratch);
             conn.queue_frame(&rendered, now);
             self.scratch = rendered;
-            let ws = conn.watch.as_mut().unwrap();
+            let Some(ws) = conn.watch.as_mut() else {
+                continue;
+            };
             ws.frame += 1;
             let done = ws.params.frames.is_some_and(|max| ws.frame >= max);
             if done {
@@ -651,6 +666,7 @@ pub fn serve_listener(
     // flush grace starts.
     queues.close();
     for worker in workers {
+        // av-guard: allow(G5, reason = "shutdown join: the event loop has exited and the run queue is closed, so nothing is left to stall")
         let _ = worker.join();
     }
     let _ = poller.delete(listener.raw_fd());
@@ -665,7 +681,9 @@ pub fn serve_listener(
     let owed: Vec<usize> = reactor.conns.keys().copied().collect();
     let mut draining = Vec::new();
     for key in owed {
-        let conn = reactor.conns.get_mut(&key).unwrap();
+        let Some(conn) = reactor.conns.get_mut(&key) else {
+            continue;
+        };
         if conn.backlog() == 0 {
             reactor.close_conn(key);
         } else if poller
@@ -695,7 +713,7 @@ pub fn serve_listener(
                 }
                 Flush::Blocked => true,
                 Flush::Failed => {
-                    reactor.conns.get_mut(&key).unwrap().error = true;
+                    conn.error = true;
                     reactor.close_conn(key);
                     false
                 }
@@ -706,7 +724,9 @@ pub fn serve_listener(
     // through shutdown. Count those as connection errors.
     let leftover: Vec<usize> = reactor.conns.keys().copied().collect();
     for key in leftover {
-        reactor.conns.get_mut(&key).unwrap().error = true;
+        if let Some(conn) = reactor.conns.get_mut(&key) {
+            conn.error = true;
+        }
         reactor.close_conn(key);
     }
     Ok(())

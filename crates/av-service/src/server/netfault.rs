@@ -203,7 +203,10 @@ impl NetSocket for FaultSocket {
             }
             Some(FaultKind::ShortIo) => {
                 let n = buf.len().min(1);
-                self.inner.read(&mut buf[..n])
+                match buf.get_mut(..n) {
+                    Some(short) => self.inner.read(short),
+                    None => Ok(0),
+                }
             }
             None => self.inner.read(buf),
         }
@@ -219,7 +222,10 @@ impl NetSocket for FaultSocket {
                 self.dead = true;
                 Err(reset())
             }
-            Some(FaultKind::ShortIo) => self.inner.write(&buf[..buf.len().min(1)]),
+            Some(FaultKind::ShortIo) => match buf.get(..buf.len().min(1)) {
+                Some(short) => self.inner.write(short),
+                None => Ok(0),
+            },
             None => self.inner.write(buf),
         }
     }

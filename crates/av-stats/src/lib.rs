@@ -13,8 +13,6 @@
 //! * Descriptive helpers ([`mean`], [`std_dev`], [`percentile`],
 //!   [`f1_score`]) shared by the evaluation harness.
 
-#![warn(missing_docs)]
-
 mod contingency;
 mod descriptive;
 mod gamma;

@@ -97,8 +97,6 @@
 //! The `av-serve` binary exposes the same engine over a JSONL protocol on
 //! stdin/stdout or TCP (see `av_service::protocol`).
 
-#![warn(missing_docs)]
-
 pub use av_baselines;
 pub use av_core;
 pub use av_corpus;
